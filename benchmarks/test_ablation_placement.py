@@ -1,0 +1,65 @@
+"""Ablation (DESIGN.md section 5): placement policy.
+
+The paper's prototype "allocates GPUs in descending order based on the
+number of GPUs a job needs, which avoids fragmentation and minimizes
+the number of nodes used by a job".  This bench compares that policy
+against worst-fit spreading and random placement under Muri-S on a
+multi-GPU-heavy workload, where fragmentation forces jobs to span
+machines and pay the cross-machine synchronization penalty.
+"""
+
+from repro.analysis.report import format_table
+from repro.cluster.cluster import Cluster
+from repro.cluster.placement import DescendingPlacer, RandomPlacer, SpreadPlacer
+from repro.schedulers.registry import make_scheduler
+from repro.sim.simulator import ClusterSimulator
+from repro.trace.philly import generate_trace
+from repro.trace.workload import build_jobs
+
+PLACERS = {
+    "descending/best-fit (paper)": DescendingPlacer,
+    "spread/worst-fit": SpreadPlacer,
+    "random": lambda: RandomPlacer(seed=1),
+}
+
+
+def test_ablation_placement(benchmark, record_text):
+    # Trace 2 has the heaviest multi-GPU mix.
+    trace = generate_trace("2", num_jobs=250, seed=7)
+    specs = build_jobs(trace, seed=7)
+
+    def sweep():
+        table = {}
+        for label, factory in PLACERS.items():
+            result = ClusterSimulator(
+                make_scheduler("muri-s"),
+                cluster=Cluster(8, 8),
+                placer=factory(),
+            ).run(specs, trace.name)
+            table[label] = result
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    baseline = table["descending/best-fit (paper)"]
+    rows = [
+        (label, result.avg_jct, result.makespan,
+         result.avg_jct / baseline.avg_jct)
+        for label, result in table.items()
+    ]
+    record_text(
+        "ablation_placement",
+        format_table(
+            ["Placer", "Avg JCT (s)", "Makespan (s)", "JCT vs paper policy"],
+            rows,
+            title="Placement-policy ablation under Muri-S (trace 2)",
+        ),
+    )
+
+    # The paper's consolidating policy is never the worst choice.
+    jcts = {label: result.avg_jct for label, result in table.items()}
+    assert jcts["descending/best-fit (paper)"] <= max(jcts.values()) + 1e-9
+    # And beats or matches random placement.
+    assert (
+        jcts["descending/best-fit (paper)"] <= jcts["random"] * 1.05
+    )

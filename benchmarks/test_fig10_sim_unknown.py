@@ -1,0 +1,62 @@
+"""Figure 10: trace-driven simulations, job durations unknown.
+
+Paper: Muri-L improves average JCT by 1.53-6.15x, makespan by 1-1.55x,
+and tail JCT by 1.21-5.37x over Tiresias/AntMan/Themis.
+
+Shape expectations:
+
+* Muri-L beats Tiresias and AntMan on JCT on every congested trace;
+* AntMan's JCT is the weakest column (non-preemptive FIFO), i.e.
+  Muri-L's speedup over AntMan exceeds its speedup over Tiresias on
+  most traces;
+* unknown-duration speedups exceed the known-duration ones of Fig. 9.
+"""
+
+from repro.analysis.experiments import simulation_comparison
+from repro.analysis.report import format_table
+
+TRACES = ("1", "2", "3", "4", "1'", "2'", "3'", "4'")
+CONGESTED = ("1", "2", "4", "1'", "2'", "3'", "4'")
+
+
+def test_fig10(benchmark, record_text):
+    sweep = benchmark.pedantic(
+        simulation_comparison,
+        kwargs=dict(duration_known=False, trace_ids=TRACES, num_jobs=400, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for trace_id in TRACES:
+        for baseline, speedups in sweep[trace_id].items():
+            rows.append(
+                (trace_id, baseline, speedups["avg_jct"],
+                 speedups["makespan"], speedups["p99_jct"])
+            )
+    record_text(
+        "fig10_sim_unknown",
+        format_table(
+            ["Trace", "Baseline", "JCT speedup", "Makespan speedup", "p99 speedup"],
+            rows,
+            title="Fig. 10 — Muri-L speedups (paper: JCT 1.53-6.15x, "
+                  "makespan 1-1.55x, p99 1.21-5.37x)",
+        ),
+    )
+
+    for trace_id in CONGESTED:
+        assert sweep[trace_id]["Tiresias"]["avg_jct"] > 1.2, trace_id
+        assert sweep[trace_id]["AntMan"]["avg_jct"] > 1.2, trace_id
+        assert sweep[trace_id]["Tiresias"]["makespan"] >= 0.95, trace_id
+
+    # AntMan's FIFO hurts its JCT more than Tiresias' on most traces.
+    wins = sum(
+        1
+        for trace_id in CONGESTED
+        if sweep[trace_id]["AntMan"]["avg_jct"]
+        >= sweep[trace_id]["Tiresias"]["avg_jct"]
+    )
+    assert wins >= len(CONGESTED) // 2
+
+    # Trace 3: light load, makespan parity.
+    assert 0.9 <= sweep["3"]["Tiresias"]["makespan"] <= 1.15

@@ -1,0 +1,54 @@
+"""Figure 12: impact of the number of jobs in one group.
+
+Paper (all jobs submitted at t=0, normalized to AntMan, lower is
+better): Muri-L-2/3/4 all beat AntMan on every trace; average JCT and
+makespan correlate negatively with group size overall (4-job grouping
+is best), while 2-job grouping can match or beat 3-job grouping
+because grouping overhead grows with group size.
+"""
+
+from repro.analysis.experiments import group_size_comparison
+from repro.analysis.report import format_table
+
+TRACES = ("1", "2", "3", "4")
+
+
+def test_fig12(benchmark, record_text):
+    sweep = benchmark.pedantic(
+        group_size_comparison,
+        kwargs=dict(trace_ids=TRACES, num_jobs=400, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for trace_id in TRACES:
+        for scheduler, metrics in sweep[trace_id].items():
+            rows.append(
+                (trace_id, scheduler, metrics["avg_jct"], metrics["makespan"])
+            )
+    record_text(
+        "fig12_group_size",
+        format_table(
+            ["Trace", "Scheduler", "Norm. JCT", "Norm. Makespan"],
+            rows,
+            title="Fig. 12 — normalized to AntMan, all submissions at t=0 "
+                  "(lower is better; paper: Muri beats AntMan at any size, "
+                  "4-job best overall)",
+        ),
+    )
+
+    for trace_id in TRACES:
+        row = sweep[trace_id]
+        # Muri beats AntMan regardless of group size.
+        for size in (2, 3, 4):
+            assert row[f"Muri-L-{size}"]["avg_jct"] < 1.0, (trace_id, size)
+            assert row[f"Muri-L-{size}"]["makespan"] <= 1.02, (trace_id, size)
+
+    # Across traces, 4-job grouping is the best configuration on
+    # average.
+    def mean_jct(size):
+        return sum(sweep[t][f"Muri-L-{size}"]["avg_jct"] for t in TRACES) / len(TRACES)
+
+    assert mean_jct(4) <= mean_jct(2) + 0.02
+    assert mean_jct(4) <= mean_jct(3) + 0.02

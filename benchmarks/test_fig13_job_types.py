@@ -1,0 +1,46 @@
+"""Figure 13: impact of the workload distribution.
+
+Paper: varying the number of distinct bottleneck job types from one to
+four, Muri's speedup grows monotonically — with one type Muri is only
+marginally better than the baselines; with two types it reaches 1.42x
+of SRTF and 1.49x of Tiresias; with four types 2.26x and 3.92x.
+"""
+
+from repro.analysis.experiments import job_type_sweep
+from repro.analysis.report import format_series
+
+NUM_TYPES = (1, 2, 3, 4)
+
+
+def test_fig13(benchmark, record_text):
+    sweep = benchmark.pedantic(
+        job_type_sweep,
+        kwargs=dict(num_types_values=NUM_TYPES, num_jobs=400, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    record_text(
+        "fig13_job_types",
+        format_series(
+            "# job types",
+            list(NUM_TYPES),
+            {
+                "Muri-S/SRTF": [sweep[k]["Muri-S/SRTF"] for k in NUM_TYPES],
+                "Muri-L/Tiresias": [sweep[k]["Muri-L/Tiresias"] for k in NUM_TYPES],
+            },
+            title="Fig. 13 — speedup vs bottleneck diversity (paper: "
+                  "1 type ~1x, 4 types 2.26x / 3.92x)",
+        ),
+    )
+
+    # With one job type, limited sharing opportunity: near parity.
+    assert sweep[1]["Muri-S/SRTF"] >= 0.9
+    # The speedup grows with the number of types (allow small wobble).
+    for metric in ("Muri-S/SRTF", "Muri-L/Tiresias"):
+        values = [sweep[k][metric] for k in NUM_TYPES]
+        assert values[-1] > values[0], metric
+        for left, right in zip(values, values[1:]):
+            assert right >= left - 0.12, (metric, values)
+    # Four types beat one type clearly.
+    assert sweep[4]["Muri-L/Tiresias"] >= sweep[1]["Muri-L/Tiresias"] + 0.15

@@ -1,0 +1,49 @@
+"""Figure 14: impact of inaccurate profiling.
+
+Paper: stage durations seen by the scheduler are the truth multiplied
+by a uniform factor in [1 - n_p, 1 + n_p].  Sweeping n_p from 0 to 1,
+the normalized average JCT rises from 1x to ~1.3x, while noise <= 0.2
+(the practical regime) costs under ~1%; makespan stays near 1x.
+
+Substitution note (also in DESIGN.md): the paper runs this on its
+lightly loaded trace 3, where our capacity-aware Muri would never group
+and noise would trivially be a no-op, so the bench uses congested
+trace 1 where grouping decisions are actually exercised.
+"""
+
+from repro.analysis.experiments import profiling_noise_sweep
+from repro.analysis.report import format_series
+
+LEVELS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_fig14(benchmark, record_text):
+    sweep = benchmark.pedantic(
+        profiling_noise_sweep,
+        kwargs=dict(noise_levels=LEVELS, num_jobs=400, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    record_text(
+        "fig14_profiling_noise",
+        format_series(
+            "noise n_p",
+            list(LEVELS),
+            {
+                "Norm. avg JCT": [sweep[level]["avg_jct"] for level in LEVELS],
+                "Norm. makespan": [sweep[level]["makespan"] for level in LEVELS],
+            },
+            title="Fig. 14 — Muri-L under profiling noise (paper: JCT "
+                  "1x -> ~1.3x, <=0.2 noise nearly free)",
+        ),
+    )
+
+    assert sweep[0.0]["avg_jct"] == 1.0
+    # Practical noise (<= 0.2) is nearly free.
+    assert sweep[0.2]["avg_jct"] <= 1.10
+    # Full noise degrades but stays bounded (the paper tops out ~1.3x).
+    assert 1.0 <= sweep[1.0]["avg_jct"] <= 1.5
+    # Noise never helps beyond tolerance.
+    for level in LEVELS:
+        assert sweep[level]["avg_jct"] >= 0.97

@@ -1,0 +1,110 @@
+"""Figure 7 (concept): why Muri buckets multi-GPU jobs by GPU count.
+
+The paper's Fig. 7 shows a job slowed by another it never shares a GPU
+with: inter-job interleaving and intra-job synchronization couple into
+a cascade.  This bench builds a randomized 16-GPU assignment two ways —
+
+* **cross-group** (each worker interleaves with whoever is local, the
+  anti-pattern), and
+* **bucketed** (Muri: a job's whole group is identical on all its
+  GPUs) —
+
+and evaluates both with the steady-state cascade model
+(`repro.core.cascade`).  Expected shape: cross-group coupling merges
+many jobs into giant sharing components and inflates their effective
+periods; bucketing keeps components group-sized and periods near the
+groups' own cycles.
+"""
+
+import random
+import statistics
+
+from repro.analysis.report import format_table
+from repro.core.cascade import cascade_periods
+from repro.core.ordering import best_ordering
+from repro.models.zoo import DEFAULT_MODELS, get_model
+
+NUM_GPUS = 16
+JOBS_PER_GPU = 2
+
+
+def _build_assignments(seed=0):
+    """Two-GPU jobs placed on 16 GPUs, 2 jobs per GPU, two ways."""
+    rng = random.Random(seed)
+    jobs = []
+    for index in range(NUM_GPUS):
+        model = get_model(rng.choice(DEFAULT_MODELS))
+        jobs.append((f"job{index}", model.stage_profile(2)))
+
+    # Cross-group: workers scattered so partner sets differ per GPU.
+    cross = {gpu: [] for gpu in range(NUM_GPUS)}
+    slots = [gpu for gpu in range(NUM_GPUS) for _ in range(JOBS_PER_GPU)]
+    rng.shuffle(slots)
+    for (job_id, profile), (g1, g2) in zip(
+        jobs, zip(slots[0::2], slots[1::2])
+    ):
+        cross[g1].append((job_id, profile))
+        cross[g2].append((job_id, profile))
+
+    # Bucketed: jobs paired; each pair co-located on the same two GPUs.
+    bucketed = {gpu: [] for gpu in range(NUM_GPUS)}
+    for pair_index in range(0, len(jobs), 2):
+        pair = jobs[pair_index:pair_index + 2]
+        g1, g2 = 2 * (pair_index // 2), 2 * (pair_index // 2) + 1
+        for job_id, profile in pair:
+            bucketed[g1].append((job_id, profile))
+            bucketed[g2].append((job_id, profile))
+
+    def with_offsets(assignments):
+        result = {}
+        for gpu, members in assignments.items():
+            if not members:
+                continue
+            profiles = tuple(profile for _job, profile in members)
+            offsets, _period = best_ordering(profiles)
+            result[gpu] = [
+                (job_id, profile, offset)
+                for (job_id, profile), offset in zip(members, offsets)
+            ]
+        return result
+
+    return with_offsets(cross), with_offsets(bucketed), dict(jobs)
+
+
+def test_fig7(benchmark, record_text):
+    def run():
+        rows = []
+        for seed in range(8):
+            cross, bucketed, profiles = _build_assignments(seed)
+            cross_periods = cascade_periods(cross)
+            bucketed_periods = cascade_periods(bucketed)
+            cross_slow = statistics.mean(
+                cross_periods[j] / profiles[j].iteration_time
+                for j in profiles
+            )
+            bucketed_slow = statistics.mean(
+                bucketed_periods[j] / profiles[j].iteration_time
+                for j in profiles
+            )
+            rows.append((seed, cross_slow, bucketed_slow))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    mean_cross = statistics.mean(r[1] for r in rows)
+    mean_bucketed = statistics.mean(r[2] for r in rows)
+    rows.append(("mean", mean_cross, mean_bucketed))
+    record_text(
+        "fig7_cascade",
+        format_table(
+            ["Seed", "Cross-group slowdown", "Bucketed slowdown"],
+            rows,
+            title="Fig. 7 — mean period / solo iteration under the "
+                  "steady-state cascade model (lower is better)",
+        ),
+    )
+
+    # Bucketing strictly reduces the cascade on every seed.
+    for seed, cross_slow, bucketed_slow in rows[:-1]:
+        assert bucketed_slow <= cross_slow + 1e-9, seed
+    assert mean_bucketed < mean_cross

@@ -1,0 +1,103 @@
+"""Figure 8: detailed metrics over time on the testbed trace.
+
+The paper plots queue length, blocking index, and IO/CPU/GPU
+utilization for the duration-known (SRTF/SRSF/Muri-S) and
+duration-unknown (Tiresias/Themis/Muri-L) scheduler sets.  The claims
+the curves support:
+
+* Muri's queue is shorter (it runs more jobs concurrently);
+* Muri's blocking index is lower (less starvation);
+* Muri's resource utilization is higher.
+"""
+
+from repro.analysis.experiments import detailed_metrics
+from repro.analysis.report import format_table
+from repro.jobs.resources import Resource
+
+
+def _summarize(results):
+    rows = []
+    for label, result in results.items():
+        util = result.avg_utilization()
+        rows.append(
+            (
+                label,
+                result.avg_queue_length,
+                result.avg_blocking_index,
+                util[Resource.STORAGE],
+                util[Resource.CPU],
+                util[Resource.GPU],
+                util[Resource.NETWORK],
+            )
+        )
+    return rows
+
+
+HEADERS = [
+    "Scheduler", "Avg Queue", "Avg Blocking",
+    "IO util", "CPU util", "GPU util", "Net util",
+]
+
+
+def test_fig8_known(benchmark, record_text):
+    results = benchmark.pedantic(
+        detailed_metrics,
+        kwargs=dict(num_jobs=400, seed=0, duration_known=True),
+        rounds=1,
+        iterations=1,
+    )
+    rows = _summarize(results)
+    record_text(
+        "fig8_detailed_known",
+        format_table(HEADERS, rows, title="Fig. 8(a) summary — durations known"),
+    )
+    by_name = {row[0]: row for row in rows}
+    # Muri's queue is shorter and utilization at least matches.
+    assert by_name["Muri-S"][1] <= by_name["SRSF"][1]
+    assert by_name["Muri-S"][2] <= by_name["SRSF"][2] * 1.05
+    muri_util = sum(by_name["Muri-S"][3:7])
+    srsf_util = sum(by_name["SRSF"][3:7])
+    assert muri_util >= srsf_util * 0.95
+
+
+def test_fig8_unknown(benchmark, record_text):
+    results = benchmark.pedantic(
+        detailed_metrics,
+        kwargs=dict(num_jobs=400, seed=0, duration_known=False),
+        rounds=1,
+        iterations=1,
+    )
+    rows = _summarize(results)
+    record_text(
+        "fig8_detailed_unknown",
+        format_table(HEADERS, rows, title="Fig. 8(b) summary — durations unknown"),
+    )
+    by_name = {row[0]: row for row in rows}
+    assert by_name["Muri-L"][1] <= by_name["Tiresias"][1]
+    muri_util = sum(by_name["Muri-L"][3:7])
+    tiresias_util = sum(by_name["Tiresias"][3:7])
+    assert muri_util >= tiresias_util * 0.95
+
+
+def test_fig8_timeseries_shape(benchmark, record_text):
+    """The raw curves themselves: sampled queue/blocking/util series."""
+    results = benchmark.pedantic(
+        detailed_metrics,
+        kwargs=dict(num_jobs=300, seed=0, duration_known=True),
+        rounds=1,
+        iterations=1,
+    )
+    lines = []
+    for label, result in results.items():
+        points = result.timeseries
+        step = max(1, len(points) // 10)
+        lines.append(f"{label}: {len(points)} samples")
+        for point in points[::step]:
+            lines.append(
+                f"  t={point.time:9.0f}s queue={point.queue_length:4d} "
+                f"blocking={point.blocking_index:6.2f} "
+                f"util={'/'.join(f'{u:.2f}' for u in point.utilization)}"
+            )
+    record_text("fig8_timeseries", "\n".join(lines))
+    for result in results.values():
+        assert len(result.timeseries) > 10

@@ -1,0 +1,60 @@
+"""Paper-scale validation: one full-size trace, end to end.
+
+Every other bench uses 400-job traces for runtime.  This one runs
+trace 1 at its full published size (992 jobs, the paper's smallest
+slice) on the 64-GPU cluster for the headline pairings, demonstrating
+that the harness — and the speedup shapes — hold at the paper's scale,
+not just at bench scale.
+"""
+
+from repro.analysis.report import format_table
+from repro.cluster.cluster import Cluster
+from repro.schedulers.registry import make_scheduler
+from repro.sim.simulator import ClusterSimulator
+from repro.trace.philly import generate_trace
+from repro.trace.workload import build_jobs
+
+SCHEDULERS = ("srsf", "muri-s", "tiresias", "muri-l")
+
+
+def test_paper_scale_trace1(benchmark, record_text):
+    trace = generate_trace("1", seed=1)  # full 992 jobs
+    specs = build_jobs(trace, seed=1)
+
+    def run_all():
+        return {
+            name: ClusterSimulator(
+                make_scheduler(name), cluster=Cluster(8, 8)
+            ).run(specs, trace.name)
+            for name in SCHEDULERS
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        (r.scheduler_name, r.avg_jct, r.tail_jct(99), r.makespan,
+         r.wall_clock)
+        for r in results.values()
+    ]
+    s_known = results["muri-s"].speedup_over(results["srsf"])
+    s_unknown = results["muri-l"].speedup_over(results["tiresias"])
+    rows.append(("Muri-S/SRSF speedup", s_known["avg_jct"],
+                 s_known["p99_jct"], s_known["makespan"], 0.0))
+    rows.append(("Muri-L/Tiresias speedup", s_unknown["avg_jct"],
+                 s_unknown["p99_jct"], s_unknown["makespan"], 0.0))
+    record_text(
+        "paper_scale_trace1",
+        format_table(
+            ["Scheduler", "Avg JCT (s)", "p99 JCT (s)", "Makespan (s)",
+             "Sim wall (s)"],
+            rows,
+            title=f"Full-size {trace.name} ({len(specs)} jobs, 64 GPUs)",
+        ),
+    )
+
+    assert results["muri-s"].num_jobs == len(specs)
+    # Headline shapes hold at paper scale.
+    assert s_known["avg_jct"] >= 0.95
+    assert s_known["makespan"] >= 1.0
+    assert s_unknown["avg_jct"] >= 1.3
+    assert s_unknown["makespan"] >= 1.0

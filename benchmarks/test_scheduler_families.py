@@ -1,0 +1,76 @@
+"""The scheduler landscape: every family on one congested trace.
+
+A summary artifact beyond any single paper figure: the classic queue
+disciplines (FIFO/SJF/SRSF), the fairness family (DRF, Themis), the
+duration-unaware family (Tiresias), the GPU-sharing family (AntMan),
+the big-data space packer (Tetris), and Muri, all on the same
+workload.  The expected landscape:
+
+* Tetris degenerates to SRTF-like behaviour for DL jobs (section 6.1);
+* AntMan's FIFO order gives the worst average JCT among sharers;
+* Muri-S leads overall; Muri-L leads the duration-unaware column.
+"""
+
+from repro.analysis.report import format_table
+from repro.cluster.cluster import Cluster
+from repro.schedulers.registry import make_scheduler
+from repro.sim.simulator import ClusterSimulator
+from repro.trace.philly import generate_trace
+from repro.trace.workload import build_jobs
+
+FAMILIES = [
+    ("fifo", "queue discipline"),
+    ("sjf", "queue discipline"),
+    ("srsf", "queue discipline"),
+    ("tetris", "space packing"),
+    ("drf", "fairness"),
+    ("themis", "fairness"),
+    ("tiresias", "duration-unaware"),
+    ("antman", "GPU sharing"),
+    ("muri-s", "interleaving"),
+    ("muri-l", "interleaving"),
+]
+
+
+def test_scheduler_families(benchmark, record_text):
+    trace = generate_trace("2", num_jobs=300, seed=11)
+    specs = build_jobs(trace, seed=11)
+
+    def run_all():
+        results = {}
+        for name, _family in FAMILIES:
+            results[name] = ClusterSimulator(
+                make_scheduler(name), cluster=Cluster(8, 8)
+            ).run(specs, trace.name)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, family in FAMILIES:
+        r = results[name]
+        rows.append((
+            r.scheduler_name, family, r.avg_jct, r.tail_jct(99),
+            r.makespan, r.avg_blocking_index,
+        ))
+    rows.sort(key=lambda row: row[2])
+    record_text(
+        "scheduler_families",
+        format_table(
+            ["Scheduler", "Family", "Avg JCT (s)", "p99 JCT (s)",
+             "Makespan (s)", "Blocking idx"],
+            rows,
+            title=f"All scheduler families on {trace.name} "
+                  f"({len(specs)} jobs, 64 GPUs), sorted by avg JCT",
+        ),
+    )
+
+    jct = {name: results[name].avg_jct for name, _f in FAMILIES}
+    # Tetris degenerates toward the SRTF-like end, far from FIFO.
+    assert jct["tetris"] < jct["fifo"]
+    # AntMan trails the preemptive sharers on JCT.
+    assert jct["antman"] > jct["muri-l"]
+    # Muri-S is the best or tied-best overall.
+    assert jct["muri-s"] <= min(jct.values()) * 1.10
+    # Muri-L leads the duration-unaware group.
+    assert jct["muri-l"] <= min(jct["tiresias"], jct["themis"], jct["drf"])

@@ -1,0 +1,62 @@
+"""Table 1: stage-duration percentages per model.
+
+Paper (16 V100 GPUs, PyTorch Profiler):
+
+    Model       Load Data  Preprocess  Propagate  Synchronize
+    ShuffleNet  60%        18%         6%         2%
+    VGG19       24%        4%          26%        41%
+    GPT-2       0.06%      0.03%       85%        28%
+    A2C         0%         91%         3%         0.2%
+
+This bench regenerates the rows through the profiler pipeline: each
+model's true profile is synthesized into a raw usage timeline, reduced
+back to stages with the section-4.2 procedure, and reported as
+percentages of the iteration.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.experiments import table1_stage_percentages
+from repro.models.zoo import get_model
+from repro.profiler.timeline import synthesize_timeline
+
+PAPER_ROWS = {
+    "ShuffleNet": (60.0, 18.0, 6.0, 2.0),
+    "VGG19": (24.0, 4.0, 26.0, 41.0),
+    "GPT-2": (0.06, 0.03, 85.0, 28.0),
+    "A2C": (0.0, 91.0, 3.0, 0.2),
+}
+
+
+def _measure_via_timeline(model_name: str):
+    """Profile a model the way the real system would: from raw usage."""
+    model = get_model(model_name)
+    truth = model.stage_profile(16)
+    timeline = synthesize_timeline(truth, sample_interval=0.001, seed=1)
+    measured = timeline.to_stage_profile(threshold=0.3)
+    total = measured.iteration_time
+    return tuple(100.0 * d / total for d in measured.durations)
+
+
+def test_table1(benchmark, record_text):
+    def run():
+        rows = []
+        for name, *_pcts in table1_stage_percentages():
+            measured = _measure_via_timeline(name)
+            rows.append((name, *measured))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    header = ["Model", "Load Data %", "Preprocess %", "Propagate %", "Synchronize %"]
+    record_text(
+        "table1_stage_percentages",
+        format_table(header, rows, title="Table 1 (measured via profiler pipeline)"),
+    )
+
+    # Shape check: measured percentages recover the published stage mix
+    # (paper rows are raw and may not sum to 100; compare normalized).
+    for name, *measured in rows:
+        paper = PAPER_ROWS[name]
+        paper_norm = [100.0 * p / sum(paper) for p in paper]
+        for got, want in zip(measured, paper_norm):
+            assert abs(got - want) < 6.0, (name, got, want)

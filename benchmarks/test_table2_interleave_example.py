@@ -1,0 +1,65 @@
+"""Table 2: the four-model interleaving example.
+
+Paper (16 GPUs):
+
+    Model        ShuffleNet  A2C    GPT2  VGG16
+    Bottleneck   Storage     CPU    GPU   Network
+    Separate     2041        1811   134   890     samples/s
+    Sharing      1756        878    55    220     samples/s
+    Norm. Tput   0.86        0.48   0.41  0.25
+    Total Norm. Tput                2.00
+
+The shapes that must hold: every model is slower shared than separate,
+ShuffleNet suffers least, and the total normalized throughput is ~2x.
+"""
+
+from repro.analysis.experiments import table2_interleaving_example
+from repro.analysis.report import format_table
+from repro.jobs.resources import Resource
+
+PAPER_ORDER = ("ShuffleNet", "A2C", "GPT-2", "VGG16")
+PAPER_BOTTLENECKS = {
+    "ShuffleNet": Resource.STORAGE,
+    "A2C": Resource.CPU,
+    "GPT-2": Resource.GPU,
+    "VGG16": Resource.NETWORK,
+}
+
+
+def test_table2(benchmark, record_text):
+    table = benchmark.pedantic(
+        table2_interleaving_example, rounds=1, iterations=1
+    )
+
+    rows = []
+    for name in PAPER_ORDER:
+        row = table[name]
+        rows.append(
+            (
+                name,
+                Resource(int(row["bottleneck"])).name.title(),
+                row["separate_tput"],
+                row["sharing_tput"],
+                row["normalized_tput"],
+            )
+        )
+    total = table["__total__"]["total_normalized_tput"]
+    rows.append(("Total Norm. Tput", "", 0.0, 0.0, total))
+    record_text(
+        "table2_interleave_example",
+        format_table(
+            ["Model", "Bottleneck", "Separate Tput", "Sharing Tput", "Norm. Tput"],
+            rows,
+            title="Table 2 (paper total: 2.00x)",
+        ),
+    )
+
+    # Bottlenecks match the paper row.
+    for name, bottleneck in PAPER_BOTTLENECKS.items():
+        assert int(table[name]["bottleneck"]) == int(bottleneck)
+    # Every job runs slower shared than separate.
+    for name in PAPER_ORDER:
+        assert table[name]["sharing_tput"] < table[name]["separate_tput"]
+        assert 0.0 < table[name]["normalized_tput"] < 1.0
+    # Total normalized throughput near the paper's 2.0x.
+    assert 1.7 <= total <= 2.4

@@ -1,0 +1,42 @@
+"""Table 4: testbed comparison, job durations known.
+
+Paper (400-job busiest interval, 64 GPUs):
+
+                               SRTF   SRSF   Muri-S
+    Normalized JCT             2.12   2.03   1
+    Normalized Makespan        1.56   1.59   1
+    Normalized 99th %-ile JCT  3.31   3.82   1
+
+Shape expectations: Muri-S wins every metric against both baselines
+(normalized values > 1); we do not chase the absolute factors, which
+depend on the authors' testbed contention.
+"""
+
+from repro.analysis.experiments import compare_testbed
+from repro.analysis.report import format_speedup_table
+
+BASELINES = ("SRTF", "SRSF", "Muri-S")
+
+
+def test_table4(benchmark, record_text):
+    _results, rows = benchmark.pedantic(
+        compare_testbed,
+        kwargs=dict(duration_known=True, num_jobs=400, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    record_text(
+        "table4_testbed_known",
+        format_speedup_table(
+            rows, BASELINES,
+            title="Table 4 — durations known (paper: SRTF 2.12/1.56/3.31, "
+                  "SRSF 2.03/1.59/3.82, Muri-S 1/1/1)",
+        ),
+    )
+    assert rows["Normalized JCT"]["Muri-S"] == 1.0
+    for baseline in ("SRTF", "SRSF"):
+        assert rows["Normalized JCT"][baseline] >= 1.0, baseline
+        assert rows["Normalized Makespan"][baseline] >= 1.0, baseline
+        assert rows["Normalized 99th %-ile JCT"][baseline] >= 1.0, baseline
+    # SRTF (GPU-blind) trails SRSF, as in the paper.
+    assert rows["Normalized JCT"]["SRTF"] >= rows["Normalized JCT"]["SRSF"]

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many GPUs does interleaving save?
+
+The operator's question: "my cluster runs this workload under SRSF
+today — if I switch to Muri, how much smaller could the cluster be for
+the same service level?"  This example answers it with the capacity
+API, then checks the claim's robustness across seeds with bootstrap
+confidence intervals.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analysis import (
+    bootstrap_mean_ci,
+    capacity_sweep,
+    equivalent_capacity,
+    format_table,
+    multi_seed_speedups,
+)
+from repro.cluster import Cluster
+from repro.schedulers import make_scheduler
+from repro.sim import ClusterSimulator
+from repro.trace import build_jobs, generate_trace
+
+GPUS_PER_MACHINE = 8
+
+
+def build_workload(seed):
+    # The all-at-t=0 variant: a saturated cluster, where the capacity
+    # question is sharpest (interleaving pays when GPUs are scarce).
+    trace = generate_trace("2", num_jobs=180, seed=seed, at_time_zero=True)
+    return trace, [
+        s for s in build_jobs(trace, seed=seed) if s.num_gpus <= 16
+    ]
+
+
+def main():
+    trace, specs = build_workload(seed=21)
+
+    # 1. Sweep cluster sizes under both schedulers.
+    sweep = capacity_sweep(
+        specs,
+        {
+            "SRSF": lambda: make_scheduler("srsf"),
+            "Muri-S": lambda: make_scheduler("muri-s"),
+        },
+        machine_counts=(2, 3, 4, 6, 8),
+        gpus_per_machine=GPUS_PER_MACHINE,
+        trace_name=trace.name,
+    )
+    rows = [
+        (m * GPUS_PER_MACHINE,
+         sweep[m]["SRSF"].avg_jct / 3600.0,
+         sweep[m]["Muri-S"].avg_jct / 3600.0)
+        for m in sorted(sweep)
+    ]
+    print(format_table(
+        ["GPUs", "SRSF avg JCT (h)", "Muri-S avg JCT (h)"],
+        rows,
+        title=f"Capacity sweep on {trace.name} ({len(specs)} jobs)",
+    ))
+
+    # 2. Find the smallest Muri cluster matching SRSF's 8-machine JCT.
+    target = sweep[8]["SRSF"].avg_jct * 1.05
+    needed = equivalent_capacity(
+        specs,
+        lambda: make_scheduler("muri-s"),
+        target_value=target,
+        machine_range=(1, 8),
+        gpus_per_machine=GPUS_PER_MACHINE,
+        trace_name=trace.name,
+    )
+    if needed is not None:
+        saved = (8 - needed) * GPUS_PER_MACHINE
+        print(f"\nMuri-S matches SRSF@64 GPUs (within 5%) with "
+              f"{needed * GPUS_PER_MACHINE} GPUs — {saved} GPUs saved.")
+
+    # 3. Robustness: the constrained-capacity win across seeds.
+    def one_seed(seed):
+        _trace, workload = build_workload(seed)
+        results = {}
+        for name in ("srsf", "muri-s"):
+            results[name] = ClusterSimulator(
+                make_scheduler(name), cluster=Cluster(3, GPUS_PER_MACHINE)
+            ).run(workload, "capacity-robustness")
+        return results["srsf"].avg_jct, results["muri-s"].avg_jct
+
+    speedups = multi_seed_speedups(one_seed, seeds=range(4))
+    interval = bootstrap_mean_ci(speedups)
+    print(f"\nAt 24 GPUs (capacity-constrained), Muri-S/SRSF JCT speedup "
+          f"across 4 seeds: mean {interval.estimate:.2f}x, "
+          f"95% CI [{interval.low:.2f}, {interval.high:.2f}]")
+
+
+if __name__ == "__main__":
+    main()

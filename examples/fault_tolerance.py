@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Fault handling: jobs crash, get requeued, and still finish.
+
+The paper's executor terminates a faulted training process, reports the
+error, and pushes the job back into the queue (section 5).  This
+example injects faults at different rates and checkpoint granularities
+and measures the JCT cost under Muri-L.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import ClusterSimulator, FaultInjector, MuriScheduler
+from repro.analysis import format_table
+from repro.cluster import Cluster
+from repro.trace import build_jobs, generate_trace
+
+
+def run(mtbf_hours, progress_loss):
+    trace = generate_trace("1", num_jobs=120, seed=5, at_time_zero=True)
+    specs = [s for s in build_jobs(trace, seed=5) if s.num_gpus <= 16]
+    injector = FaultInjector(
+        mean_time_between_faults=(
+            mtbf_hours * 3600.0 if mtbf_hours else float("inf")
+        ),
+        seed=1,
+        progress_loss=progress_loss,
+    )
+    simulator = ClusterSimulator(
+        MuriScheduler(policy="las2d"),
+        cluster=Cluster(2, 8),
+        fault_injector=injector,
+    )
+    return simulator.run(specs, trace.name)
+
+
+def main():
+    baseline = run(mtbf_hours=None, progress_loss=0.0)
+    rows = [("no faults", baseline.avg_jct / 3600.0, 1.00,
+             baseline.total_preemptions)]
+    for mtbf_hours, loss in ((8.0, 0.0), (2.0, 0.0), (2.0, 0.5), (0.5, 0.0)):
+        result = run(mtbf_hours, loss)
+        rows.append((
+            f"MTBF {mtbf_hours:g}h, loss {loss:.0%}",
+            result.avg_jct / 3600.0,
+            result.avg_jct / baseline.avg_jct,
+            result.total_preemptions,
+        ))
+    print(format_table(
+        ["Fault model", "Avg JCT (h)", "vs fault-free", "Stop/restarts"],
+        rows,
+        title="Muri-L under fault injection (120 jobs, 16 GPUs)",
+    ))
+    print("\nEvery job completes in every configuration; faults cost time")
+    print("(requeueing + lost progress), never correctness.")
+
+
+if __name__ == "__main__":
+    main()

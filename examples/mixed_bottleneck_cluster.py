@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""A production-style mixed cluster: the paper's motivating scenario.
+
+The introduction motivates Muri with three workload families that are
+NOT GPU-bound:
+
+* tiny CV models for IoT/edge deployment — bottlenecked on storage IO
+  (reading samples outpaces the GPU);
+* reinforcement learning — bottlenecked on CPU simulation;
+* large distributed NLP models — bottlenecked on network IO for
+  gradient synchronization;
+
+plus the classic GPU-bound transformer training.
+
+This example builds such a mixed tenancy (40% edge CV sweeps, 25% RL,
+20% distributed NLP, 15% large transformers), runs every scheduler and
+reports per-family average JCTs, showing where multi-resource
+interleaving pays off.
+
+Run:  python examples/mixed_bottleneck_cluster.py
+"""
+
+import random
+from collections import defaultdict
+
+from repro import ClusterSimulator, JobSpec
+from repro.analysis import format_table
+from repro.cluster import Cluster
+from repro.models import get_model
+from repro.schedulers import make_scheduler
+
+FAMILIES = {
+    # family: (models, gpu choices, iteration counts, share of jobs)
+    "edge-cv": (("ShuffleNet", "ResNet18"), (1, 1, 2), (400, 2000), 0.40),
+    "rl": (("A2C", "DQN"), (1, 2, 4), (500, 3000), 0.25),
+    "distributed-nlp": (("VGG16", "VGG19"), (8, 16), (300, 1500), 0.20),
+    "transformers": (("GPT-2", "Bert"), (4, 8), (800, 4000), 0.15),
+}
+
+
+def build_workload(num_jobs: int, seed: int):
+    rng = random.Random(seed)
+    specs, families = [], {}
+    names = list(FAMILIES)
+    weights = [FAMILIES[name][3] for name in names]
+    submit = 0.0
+    for _ in range(num_jobs):
+        family = rng.choices(names, weights)[0]
+        models, gpu_choices, (lo, hi), _share = FAMILIES[family]
+        model = get_model(rng.choice(models))
+        gpus = rng.choice(gpu_choices)
+        spec = JobSpec(
+            profile=model.stage_profile(gpus),
+            num_gpus=gpus,
+            submit_time=submit,
+            num_iterations=rng.randint(lo, hi),
+            model=model.name,
+        )
+        specs.append(spec)
+        families[spec.job_id] = family
+        submit += rng.expovariate(1 / 20.0)  # ~one job per 20 s: congested
+    return specs, families
+
+
+def main():
+    specs, families = build_workload(num_jobs=250, seed=11)
+    total_work = sum(s.gpu_service for s in specs) / 3600.0
+    print(f"workload: {len(specs)} jobs, {total_work:.0f} GPU-hours on 64 GPUs")
+    print()
+
+    rows = []
+    per_family_rows = defaultdict(dict)
+    for name in ("srsf", "muri-s", "tiresias", "antman", "muri-l"):
+        scheduler = make_scheduler(name)
+        result = ClusterSimulator(scheduler, cluster=Cluster(8, 8)).run(
+            specs, "mixed-cluster"
+        )
+        rows.append(
+            (scheduler.name, result.avg_jct / 3600.0,
+             result.tail_jct(99) / 3600.0, result.makespan / 3600.0)
+        )
+        family_jcts = defaultdict(list)
+        for job_id, jct in result.jcts.items():
+            family_jcts[families[job_id]].append(jct)
+        for family, jcts in family_jcts.items():
+            per_family_rows[family][scheduler.name] = (
+                sum(jcts) / len(jcts) / 3600.0
+            )
+
+    print(format_table(
+        ["Scheduler", "Avg JCT (h)", "p99 JCT (h)", "Makespan (h)"],
+        rows,
+        title="Cluster-wide metrics",
+    ))
+    print()
+
+    schedulers = [row[0] for row in rows]
+    family_table = [
+        [family] + [per_family_rows[family][name] for name in schedulers]
+        for family in FAMILIES
+    ]
+    print(format_table(
+        ["Family"] + schedulers,
+        family_table,
+        title="Average JCT by workload family (hours)",
+    ))
+    print()
+    print("Things to notice: Muri helps most when bottleneck-diverse jobs")
+    print("coexist; edge-CV sweeps (storage-bound) interleave almost for")
+    print("free with transformers (GPU-bound) and RL (CPU-bound).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Quickstart: interleave four DL jobs and schedule a small cluster.
+
+Walks through the core ideas of Muri in five minutes:
+
+1. define jobs with staged per-iteration profiles (or pull them from
+   the model zoo);
+2. compute interleaving efficiency (Eq. 4) and the best stage ordering;
+3. run the Blossom-based grouping algorithm;
+4. simulate Muri vs SRSF on a congested cluster and compare JCTs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ClusterSimulator,
+    Job,
+    JobSpec,
+    MultiRoundGrouper,
+    MuriScheduler,
+    Resource,
+    StageProfile,
+    best_ordering,
+    group_speedup,
+    interleaving_efficiency,
+)
+from repro.cluster import Cluster
+from repro.models import get_model
+from repro.schedulers import make_scheduler
+from repro.trace import build_jobs, generate_trace
+
+
+def step1_profiles():
+    print("=" * 70)
+    print("Step 1 — staged job profiles")
+    print("=" * 70)
+    # A profile lists seconds per iteration spent on each resource:
+    # (storage, CPU, GPU, network).
+    custom = StageProfile.from_mapping(
+        {Resource.STORAGE: 0.6, Resource.CPU: 0.2, Resource.GPU: 0.1,
+         Resource.NETWORK: 0.1}
+    )
+    print(f"custom job: iteration={custom.iteration_time:.2f}s "
+          f"bottleneck={custom.bottleneck.name}")
+
+    # Or take one of the paper's models (Table 1/3 profiles).
+    for name in ("ShuffleNet", "A2C", "GPT-2", "VGG16"):
+        profile = get_model(name).stage_profile(num_gpus=16)
+        fractions = ", ".join(
+            f"{resource.stage_name}={profile.fraction(resource):.0%}"
+            for resource in Resource
+        )
+        print(f"{name:10s}: {fractions}")
+    return custom
+
+
+def step2_efficiency():
+    print()
+    print("=" * 70)
+    print("Step 2 — interleaving efficiency and stage ordering")
+    print("=" * 70)
+    profiles = [
+        get_model(name).stage_profile(16)
+        for name in ("ShuffleNet", "A2C", "GPT-2", "VGG16")
+    ]
+    offsets, period = best_ordering(profiles)
+    gamma = interleaving_efficiency(profiles)
+    speedup = group_speedup(profiles)
+    print(f"best phase offsets: {offsets}")
+    print(f"interleaved iteration period T = {period:.3f}s")
+    print(f"interleaving efficiency gamma = {gamma:.2f}")
+    print(f"total normalized throughput   = {speedup:.2f}x "
+          f"(the paper's Table 2 measures 2.0x)")
+
+
+def step3_grouping():
+    print()
+    print("=" * 70)
+    print("Step 3 — Blossom-based multi-round grouping (Algorithm 1)")
+    print("=" * 70)
+    jobs = [
+        Job(JobSpec(profile=get_model(name).stage_profile(1),
+                    num_iterations=1000, model=name))
+        for name in ("ShuffleNet", "ShuffleNet", "A2C", "GPT-2",
+                     "VGG16", "Bert", "DQN", "ResNet18")
+    ]
+    grouper = MultiRoundGrouper(max_group_size=4)
+    result = grouper.group(jobs, capacity=2)  # pretend only 2 GPUs free
+    for group in result.groups:
+        members = ", ".join(job.spec.model for job in group.jobs)
+        print(f"group on {group.num_gpus} GPU(s): [{members}] "
+              f"gamma={group.believed_efficiency:.2f}")
+    print(f"total matching efficiency: {result.total_efficiency:.2f} "
+          f"({result.rounds} rounds)")
+
+
+def step4_simulate():
+    print()
+    print("=" * 70)
+    print("Step 4 — simulate Muri-S vs SRSF on a congested 16-GPU cluster")
+    print("=" * 70)
+    trace = generate_trace("1", num_jobs=150, seed=7, at_time_zero=True)
+    specs = [s for s in build_jobs(trace, seed=7) if s.num_gpus <= 16]
+
+    for scheduler in (make_scheduler("srsf"), MuriScheduler(policy="srsf")):
+        simulator = ClusterSimulator(scheduler, cluster=Cluster(2, 8))
+        result = simulator.run(specs, trace.name)
+        print(f"{scheduler.name:8s}: avg JCT {result.avg_jct:8.0f}s   "
+              f"p99 {result.tail_jct(99):8.0f}s   "
+              f"makespan {result.makespan:8.0f}s")
+
+
+if __name__ == "__main__":
+    step1_profiles()
+    step2_efficiency()
+    step3_grouping()
+    step4_simulate()

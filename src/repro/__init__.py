@@ -1,0 +1,100 @@
+"""repro: a reproduction of Muri — multi-resource interleaving for deep
+learning training (SIGCOMM 2022).
+
+The package provides:
+
+* ``repro.core`` — interleaving efficiency (Eq. 1-4), stage-ordering
+  search, the Blossom-based multi-round grouping algorithm, and the
+  Muri-S / Muri-L schedulers;
+* ``repro.matching`` — a from-scratch blossom maximum-weight-matching
+  implementation plus greedy and exact oracles;
+* ``repro.jobs`` / ``repro.models`` — the job, stage, and resource
+  model and the paper's eight-model zoo;
+* ``repro.schedulers`` — FIFO, SJF, SRTF, SRSF, Tiresias, Themis and
+  AntMan baselines;
+* ``repro.cluster`` / ``repro.sim`` — the GPU-cluster substrate and a
+  discrete-event simulator with interleaving-aware executor semantics;
+* ``repro.trace`` / ``repro.profiler`` — Philly-like synthetic traces
+  and the dry-run resource profiler with the Fig. 14 noise model;
+* ``repro.analysis`` — experiment runners and report formatting shared
+  by the examples and the benchmark harness.
+
+Quickstart::
+
+    from repro import MuriScheduler, ClusterSimulator, generate_trace, build_jobs
+
+    trace = generate_trace("1", num_jobs=200)
+    jobs = build_jobs(trace)
+    result = ClusterSimulator(MuriScheduler(policy="srsf")).run(jobs, trace.name)
+    print(result.avg_jct, result.makespan)
+"""
+
+from repro.cluster import Cluster, Machine
+from repro.core import (
+    JobGroup,
+    MultiRoundGrouper,
+    MuriScheduler,
+    best_ordering,
+    group_speedup,
+    interleaving_efficiency,
+    pair_efficiency,
+    worst_ordering,
+)
+from repro.jobs import Job, JobSpec, JobStatus, Resource, Stage, StageProfile
+from repro.matching import matching_pairs, max_weight_matching
+from repro.models import MODEL_ZOO, ModelProfile, get_model, list_models
+from repro.profiler import ResourceProfiler, UniformNoise
+from repro.schedulers import Scheduler, make_scheduler
+from repro.sim import (
+    ClusterSimulator,
+    ContentionModel,
+    FaultInjector,
+    SimulationResult,
+)
+from repro.trace import Trace, TraceRecord, build_jobs, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "MuriScheduler",
+    "MultiRoundGrouper",
+    "JobGroup",
+    "interleaving_efficiency",
+    "pair_efficiency",
+    "group_speedup",
+    "best_ordering",
+    "worst_ordering",
+    # matching
+    "max_weight_matching",
+    "matching_pairs",
+    # jobs & models
+    "Job",
+    "JobSpec",
+    "JobStatus",
+    "Resource",
+    "Stage",
+    "StageProfile",
+    "ModelProfile",
+    "MODEL_ZOO",
+    "get_model",
+    "list_models",
+    # cluster & sim
+    "Cluster",
+    "Machine",
+    "ClusterSimulator",
+    "SimulationResult",
+    "ContentionModel",
+    "FaultInjector",
+    # traces & profiling
+    "Trace",
+    "TraceRecord",
+    "generate_trace",
+    "build_jobs",
+    "ResourceProfiler",
+    "UniformNoise",
+    # schedulers
+    "Scheduler",
+    "make_scheduler",
+]

@@ -1,0 +1,55 @@
+"""Experiment runners and report formatting."""
+
+from repro.analysis.experiments import (
+    DEFAULT_CLUSTER_SHAPE,
+    DEFAULT_NUM_JOBS,
+    ablation_comparison,
+    detailed_metrics,
+    group_size_comparison,
+    job_type_sweep,
+    normalized_metrics,
+    profiling_noise_sweep,
+    run_schedulers,
+    simulation_comparison,
+    table1_stage_percentages,
+    table2_interleaving_example,
+    compare_testbed,
+)
+from repro.analysis.capacity import capacity_sweep, equivalent_capacity
+from repro.analysis.report import format_series, format_speedup_table, format_table
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    bootstrap_mean_ci,
+    bootstrap_speedup_ci,
+    multi_seed_speedups,
+    summarize_speedups,
+)
+from repro.analysis.viz import render_group_schedule, render_sparkline
+
+__all__ = [
+    "run_schedulers",
+    "normalized_metrics",
+    "table1_stage_percentages",
+    "table2_interleaving_example",
+    "compare_testbed",
+    "simulation_comparison",
+    "detailed_metrics",
+    "ablation_comparison",
+    "group_size_comparison",
+    "job_type_sweep",
+    "profiling_noise_sweep",
+    "format_table",
+    "render_group_schedule",
+    "render_sparkline",
+    "capacity_sweep",
+    "equivalent_capacity",
+    "ConfidenceInterval",
+    "bootstrap_mean_ci",
+    "bootstrap_speedup_ci",
+    "multi_seed_speedups",
+    "summarize_speedups",
+    "format_speedup_table",
+    "format_series",
+    "DEFAULT_NUM_JOBS",
+    "DEFAULT_CLUSTER_SHAPE",
+]

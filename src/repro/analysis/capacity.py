@@ -1,0 +1,137 @@
+"""Capacity planning: what is multi-resource interleaving worth in GPUs?
+
+Muri's pitch to an operator is ultimately "serve the same workload with
+fewer GPUs (or more workload with the same GPUs)".  This module makes
+that quantitative:
+
+* :func:`capacity_sweep` runs a workload across cluster sizes for a set
+  of schedulers;
+* :func:`equivalent_capacity` finds the smallest cluster on which a
+  scheduler matches a reference metric value (e.g. the average JCT the
+  baseline achieves on the full cluster), so the GPU savings of
+  switching schedulers can be stated directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.jobs.job import JobSpec
+from repro.schedulers.base import Scheduler
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import ClusterSimulator
+
+__all__ = ["capacity_sweep", "equivalent_capacity"]
+
+MetricFn = Callable[[SimulationResult], float]
+
+
+def _avg_jct(result: SimulationResult) -> float:
+    return result.avg_jct
+
+
+def capacity_sweep(
+    specs: Sequence[JobSpec],
+    scheduler_factories: Mapping[str, Callable[[], Scheduler]],
+    machine_counts: Sequence[int],
+    gpus_per_machine: int = 8,
+    trace_name: str = "capacity-sweep",
+    **sim_kwargs,
+) -> Dict[int, Dict[str, SimulationResult]]:
+    """Run a workload across cluster sizes for several schedulers.
+
+    Args:
+        specs: The workload; jobs larger than the smallest cluster are
+            dropped uniformly so every size sees the same jobs.
+        scheduler_factories: ``{label: factory}`` building a fresh
+            scheduler per run (schedulers may carry state).
+        machine_counts: Machine counts to sweep.
+        gpus_per_machine: GPUs per machine.
+        trace_name: Label recorded in the results.
+        **sim_kwargs: Extra :class:`ClusterSimulator` arguments.
+
+    Returns:
+        ``{machines: {label: result}}``.
+
+    Raises:
+        ValueError: If no job fits the smallest cluster.
+    """
+    if not machine_counts:
+        raise ValueError("machine_counts must not be empty")
+    smallest = min(machine_counts) * gpus_per_machine
+    fitting = [spec for spec in specs if spec.num_gpus <= smallest]
+    if not fitting:
+        raise ValueError("no job fits the smallest swept cluster")
+
+    sweep: Dict[int, Dict[str, SimulationResult]] = {}
+    for machines in machine_counts:
+        sweep[machines] = {}
+        for label, factory in scheduler_factories.items():
+            simulator = ClusterSimulator(
+                factory(),
+                cluster=Cluster(machines, gpus_per_machine),
+                **sim_kwargs,
+            )
+            sweep[machines][label] = simulator.run(fitting, trace_name)
+    return sweep
+
+
+def equivalent_capacity(
+    specs: Sequence[JobSpec],
+    scheduler_factory: Callable[[], Scheduler],
+    target_value: float,
+    machine_range: Tuple[int, int],
+    gpus_per_machine: int = 8,
+    metric: Optional[MetricFn] = None,
+    trace_name: str = "equivalent-capacity",
+    **sim_kwargs,
+) -> Optional[int]:
+    """Smallest machine count where the scheduler meets a target.
+
+    The metric is assumed monotone non-increasing in capacity (more
+    GPUs never hurt JCT/makespan), so a binary search applies.
+
+    Args:
+        specs: The workload.
+        scheduler_factory: Builds a fresh scheduler per probe.
+        target_value: Metric value to reach (meet or beat, i.e. <=).
+        machine_range: Inclusive ``(low, high)`` machine counts.
+        gpus_per_machine: GPUs per machine.
+        metric: Result metric; defaults to average JCT.
+        trace_name: Label recorded in the results.
+        **sim_kwargs: Extra simulator arguments.
+
+    Returns:
+        The smallest machine count meeting the target, or None if even
+        the largest swept cluster misses it.
+    """
+    low, high = machine_range
+    if low < 1 or high < low:
+        raise ValueError("machine_range must satisfy 1 <= low <= high")
+    measure = metric or _avg_jct
+
+    def value_at(machines: int) -> float:
+        capacity = machines * gpus_per_machine
+        fitting = [s for s in specs if s.num_gpus <= capacity]
+        if not fitting:
+            return float("inf")
+        simulator = ClusterSimulator(
+            scheduler_factory(),
+            cluster=Cluster(machines, gpus_per_machine),
+            **sim_kwargs,
+        )
+        return measure(simulator.run(fitting, trace_name))
+
+    if value_at(high) > target_value:
+        return None
+    best = high
+    lo, hi = low, high
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        if value_at(mid) <= target_value:
+            best = mid
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    return best

@@ -1,0 +1,420 @@
+"""Experiment runners for every table and figure in the paper.
+
+Each function reproduces one evaluation artifact end to end: it builds
+the workload, runs the schedulers through the simulator, and returns
+the numbers in the same structure the paper reports.  The benchmark
+harness (``benchmarks/``) and the examples both call these runners, so
+there is exactly one implementation of each experiment.
+
+Sizes default to bench scale (hundreds of jobs) so the whole suite
+runs in minutes; pass ``num_jobs=None`` for paper-scale traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.core.muri import MuriScheduler
+from repro.jobs.job import JobSpec
+from repro.jobs.resources import RESOURCE_ORDER, Resource
+from repro.models.zoo import DEFAULT_MODELS, MODEL_ZOO, get_model, models_for_bottlenecks
+from repro.profiler.noise import UniformNoise
+from repro.profiler.profiler import ResourceProfiler
+from repro.schedulers.base import Scheduler
+from repro.schedulers.registry import make_scheduler
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import ClusterSimulator
+from repro.trace.philly import generate_trace
+from repro.trace.workload import build_jobs
+
+__all__ = [
+    "run_schedulers",
+    "normalized_metrics",
+    "table1_stage_percentages",
+    "table2_interleaving_example",
+    "compare_testbed",
+    "simulation_comparison",
+    "detailed_metrics",
+    "ablation_comparison",
+    "group_size_comparison",
+    "job_type_sweep",
+    "profiling_noise_sweep",
+    "DEFAULT_NUM_JOBS",
+    "DEFAULT_CLUSTER_SHAPE",
+]
+
+#: Bench-scale defaults: 400 jobs (the paper's testbed interval size)
+#: on the paper's 8 x 8 = 64-GPU cluster.
+DEFAULT_NUM_JOBS = 400
+DEFAULT_CLUSTER_SHAPE = (8, 8)
+
+
+def _cluster() -> Cluster:
+    machines, gpus = DEFAULT_CLUSTER_SHAPE
+    return Cluster(machines, gpus)
+
+
+def run_schedulers(
+    specs: Sequence[JobSpec],
+    schedulers: Mapping[str, Scheduler],
+    trace_name: str = "workload",
+    cluster_factory=None,
+    **sim_kwargs,
+) -> Dict[str, SimulationResult]:
+    """Run a workload under several schedulers, each on a fresh cluster.
+
+    Args:
+        specs: The workload.
+        schedulers: ``{label: scheduler}`` to compare.
+        trace_name: Label recorded in each result.
+        cluster_factory: Zero-argument callable building a fresh
+            cluster per run; defaults to the paper's 64-GPU shape.
+        **sim_kwargs: Extra :class:`ClusterSimulator` arguments.
+    """
+    factory = cluster_factory or _cluster
+    results: Dict[str, SimulationResult] = {}
+    for label, scheduler in schedulers.items():
+        simulator = ClusterSimulator(scheduler, cluster=factory(), **sim_kwargs)
+        results[label] = simulator.run(specs, trace_name)
+    return results
+
+
+def normalized_metrics(
+    results: Mapping[str, SimulationResult],
+    reference: str,
+) -> Dict[str, Dict[str, float]]:
+    """Tables 4/5 style rows: every scheduler normalized to a reference.
+
+    A value of 2.12 in row "Normalized JCT", column "SRTF" means SRTF's
+    average JCT is 2.12x the reference's (the reference column is 1).
+    """
+    ref = results[reference]
+    rows: Dict[str, Dict[str, float]] = {
+        "Normalized JCT": {},
+        "Normalized Makespan": {},
+        "Normalized 99th %-ile JCT": {},
+    }
+    for label, result in results.items():
+        rows["Normalized JCT"][label] = result.avg_jct / ref.avg_jct
+        rows["Normalized Makespan"][label] = result.makespan / ref.makespan
+        rows["Normalized 99th %-ile JCT"][label] = (
+            result.tail_jct(99.0) / ref.tail_jct(99.0)
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 1 / Table 2
+# ---------------------------------------------------------------------------
+
+def table1_stage_percentages() -> List[Tuple[str, float, float, float, float]]:
+    """Table 1: per-stage duration percentage of each published model."""
+    rows = []
+    for name in ("ShuffleNet", "VGG19", "GPT-2", "A2C"):
+        model = get_model(name)
+        rows.append((name,) + tuple(model.stage_percentages))
+    return rows
+
+
+def table2_interleaving_example(
+    num_gpus: int = 16,
+) -> Dict[str, Dict[str, float]]:
+    """Table 2: the four-model interleaving example.
+
+    Returns per-model separate/shared throughput and normalized
+    throughput, plus the group total, using the executor's contention
+    model (the paper's measured total is 2.0x).
+    """
+    from repro.core.ordering import best_ordering
+    from repro.sim.contention import DEFAULT_CONTENTION
+
+    names = ("ShuffleNet", "A2C", "GPT-2", "VGG16")
+    profiles = [get_model(name).stage_profile(num_gpus) for name in names]
+    _offsets, period = best_ordering(profiles)
+    period *= DEFAULT_CONTENTION.factor(len(names))
+
+    table: Dict[str, Dict[str, float]] = {}
+    total = 0.0
+    for name, profile in zip(names, profiles):
+        model = get_model(name)
+        separate = model.batch_size * num_gpus / profile.iteration_time
+        shared = model.batch_size * num_gpus / period
+        normalized = profile.iteration_time / period
+        total += normalized
+        table[name] = {
+            "bottleneck": float(profile.bottleneck.value),
+            "separate_tput": separate,
+            "sharing_tput": shared,
+            "normalized_tput": normalized,
+        }
+    table["__total__"] = {"total_normalized_tput": total}
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Tables 4/5 and Figure 8 — the "testbed" experiment
+# ---------------------------------------------------------------------------
+
+def _testbed_specs(num_jobs: int, seed: int) -> Tuple[str, List[JobSpec]]:
+    """The busiest-interval workload of the testbed experiments."""
+    trace = generate_trace("2", num_jobs=max(num_jobs * 3, num_jobs), seed=seed)
+    trace = trace.busiest_interval(num_jobs)
+    return trace.name, build_jobs(trace, seed=seed)
+
+
+def compare_testbed(
+    duration_known: bool,
+    num_jobs: int = DEFAULT_NUM_JOBS,
+    seed: int = 0,
+) -> Tuple[Dict[str, SimulationResult], Dict[str, Dict[str, float]]]:
+    """Tables 4 and 5: scheduler comparison on the 400-job interval.
+
+    Args:
+        duration_known: True reproduces Table 4 (SRTF/SRSF vs Muri-S),
+            False Table 5 (Tiresias/Themis vs Muri-L).
+
+    Returns:
+        ``(results, normalized_rows)`` where rows are normalized to the
+        Muri variant (its column is 1.0).
+    """
+    trace_name, specs = _testbed_specs(num_jobs, seed)
+    if duration_known:
+        schedulers = {
+            "SRTF": make_scheduler("srtf"),
+            "SRSF": make_scheduler("srsf"),
+            "Muri-S": make_scheduler("muri-s"),
+        }
+        reference = "Muri-S"
+    else:
+        schedulers = {
+            "Tiresias": make_scheduler("tiresias"),
+            "Themis": make_scheduler("themis"),
+            "Muri-L": make_scheduler("muri-l"),
+        }
+        reference = "Muri-L"
+    results = run_schedulers(specs, schedulers, trace_name)
+    return results, normalized_metrics(results, reference)
+
+
+def detailed_metrics(
+    num_jobs: int = DEFAULT_NUM_JOBS,
+    seed: int = 0,
+    duration_known: bool = True,
+) -> Dict[str, SimulationResult]:
+    """Figure 8: full time series (queue length, blocking index,
+    per-resource utilization) for each scheduler on the testbed trace."""
+    trace_name, specs = _testbed_specs(num_jobs, seed)
+    if duration_known:
+        names = {"SRTF": "srtf", "SRSF": "srsf", "Muri-S": "muri-s"}
+    else:
+        names = {"Tiresias": "tiresias", "Themis": "themis", "Muri-L": "muri-l"}
+    schedulers = {label: make_scheduler(key) for label, key in names.items()}
+    return run_schedulers(specs, schedulers, trace_name)
+
+
+# ---------------------------------------------------------------------------
+# Figures 9/10 — trace-driven simulation
+# ---------------------------------------------------------------------------
+
+def simulation_comparison(
+    duration_known: bool,
+    trace_ids: Sequence[str] = ("1", "2", "3", "4", "1'", "2'", "3'", "4'"),
+    num_jobs: Optional[int] = DEFAULT_NUM_JOBS,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Figures 9 and 10: per-trace speedups of Muri over each baseline.
+
+    Returns:
+        ``{trace_id: {baseline: {metric: speedup}}}`` where speedup > 1
+        means Muri wins (the paper's normalized bars).
+    """
+    if duration_known:
+        baseline_names = {"SRTF": "srtf", "SRSF": "srsf"}
+        muri_key, muri_label = "muri-s", "Muri-S"
+    else:
+        baseline_names = {
+            "Tiresias": "tiresias",
+            "AntMan": "antman",
+            "Themis": "themis",
+        }
+        muri_key, muri_label = "muri-l", "Muri-L"
+
+    sweep: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for trace_id in trace_ids:
+        trace = generate_trace(trace_id, num_jobs=num_jobs, seed=seed + int(trace_id[0]))
+        specs = build_jobs(trace, seed=seed + int(trace_id[0]))
+        schedulers = {
+            label: make_scheduler(key) for label, key in baseline_names.items()
+        }
+        schedulers[muri_label] = make_scheduler(muri_key)
+        results = run_schedulers(specs, schedulers, trace.name)
+        muri = results[muri_label]
+        sweep[trace_id] = {
+            label: muri.speedup_over(results[label])
+            for label in baseline_names
+        }
+    return sweep
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — scheduling-algorithm ablation
+# ---------------------------------------------------------------------------
+
+def ablation_comparison(
+    trace_ids: Sequence[str] = ("1", "2", "3", "4"),
+    num_jobs: Optional[int] = DEFAULT_NUM_JOBS,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Figure 11: Muri-L vs worst-ordering and no-Blossom variants.
+
+    Returns:
+        ``{trace_id: {variant: {metric: value normalized to Muri-L}}}``
+        — values above 1 mean the variant is worse.
+    """
+    sweep: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for trace_id in trace_ids:
+        trace = generate_trace(trace_id, num_jobs=num_jobs, seed=seed + int(trace_id[0]))
+        specs = build_jobs(trace, seed=seed + int(trace_id[0]))
+        schedulers = {
+            "Muri-L": MuriScheduler(policy="las2d"),
+            "Muri-L w/ worst ordering": MuriScheduler(
+                policy="las2d", ordering="worst"
+            ),
+            "Muri-L w/o Blossom": MuriScheduler(policy="las2d", matcher="greedy"),
+        }
+        results = run_schedulers(specs, schedulers, trace.name)
+        reference = results["Muri-L"]
+        sweep[trace_id] = {
+            label: {
+                "avg_jct": result.avg_jct / reference.avg_jct,
+                "makespan": result.makespan / reference.makespan,
+            }
+            for label, result in results.items()
+        }
+    return sweep
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — group-size sweep
+# ---------------------------------------------------------------------------
+
+def group_size_comparison(
+    trace_ids: Sequence[str] = ("1", "2", "3", "4"),
+    num_jobs: Optional[int] = DEFAULT_NUM_JOBS,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Figure 12: Muri-L with 2/3/4-job groups vs AntMan, all at t=0.
+
+    Returns:
+        ``{trace_id: {scheduler: {metric: value normalized to AntMan}}}``
+        — values below 1 beat AntMan.
+    """
+    sweep: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for trace_id in trace_ids:
+        trace = generate_trace(
+            trace_id, num_jobs=num_jobs, seed=seed + int(trace_id[0]), at_time_zero=True
+        )
+        specs = build_jobs(trace, seed=seed + int(trace_id[0]))
+        schedulers: Dict[str, Scheduler] = {"AntMan": make_scheduler("antman")}
+        for size in (2, 3, 4):
+            schedulers[f"Muri-L-{size}"] = MuriScheduler(
+                policy="las2d", max_group_size=size
+            )
+        results = run_schedulers(specs, schedulers, trace.name)
+        reference = results["AntMan"]
+        sweep[trace_id] = {
+            label: {
+                "avg_jct": result.avg_jct / reference.avg_jct,
+                "makespan": result.makespan / reference.makespan,
+            }
+            for label, result in results.items()
+        }
+    return sweep
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 — workload-distribution sweep
+# ---------------------------------------------------------------------------
+
+def job_type_sweep(
+    num_types_values: Sequence[int] = (1, 2, 3, 4),
+    num_jobs: Optional[int] = DEFAULT_NUM_JOBS,
+    seed: int = 0,
+    trace_id: str = "1",
+) -> Dict[int, Dict[str, float]]:
+    """Figure 13: speedup vs the number of distinct bottleneck types.
+
+    Returns:
+        ``{num_types: {"Muri-S/SRTF": x, "Muri-L/Tiresias": y}}``.
+    """
+    sweep: Dict[int, Dict[str, float]] = {}
+    for num_types in num_types_values:
+        models = models_for_bottlenecks(num_types=num_types)
+        trace = generate_trace(trace_id, num_jobs=num_jobs, seed=seed)
+        specs = build_jobs(trace, models=models, seed=seed)
+        schedulers = {
+            "SRTF": make_scheduler("srtf"),
+            "Muri-S": make_scheduler("muri-s"),
+            "Tiresias": make_scheduler("tiresias"),
+            "Muri-L": make_scheduler("muri-l"),
+        }
+        results = run_schedulers(specs, schedulers, trace.name)
+        sweep[num_types] = {
+            "Muri-S/SRTF": results["Muri-S"].speedup_over(results["SRTF"])["avg_jct"],
+            "Muri-L/Tiresias": results["Muri-L"].speedup_over(
+                results["Tiresias"]
+            )["avg_jct"],
+        }
+    return sweep
+
+
+# ---------------------------------------------------------------------------
+# Figure 14 — profiling-noise sweep
+# ---------------------------------------------------------------------------
+
+def profiling_noise_sweep(
+    noise_levels: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    num_jobs: Optional[int] = DEFAULT_NUM_JOBS,
+    seed: int = 0,
+    trace_id: str = "1",
+) -> Dict[float, Dict[str, float]]:
+    """Figure 14: Muri-L under profiling noise n_p in [0, 1].
+
+    The profiler hands Muri stage durations multiplied by a uniform
+    factor in ``[1 - n_p, 1 + n_p]``; grouping and ordering decisions
+    degrade while execution uses the truth.
+
+    Substitution note: the paper runs this on its lightly loaded trace
+    3, where our capacity-aware Muri never groups at all (noise would
+    be a no-op by construction), so the default here is the congested
+    trace 1 where grouping decisions are actually exercised.
+
+    Returns:
+        ``{noise: {"avg_jct": normalized, "makespan": normalized}}``
+        normalized to the noise-free run.
+    """
+    trace = generate_trace(trace_id, num_jobs=num_jobs, seed=seed)
+    specs = build_jobs(trace, seed=seed)
+
+    runs: Dict[float, SimulationResult] = {}
+    for level in noise_levels:
+        profiler = ResourceProfiler(
+            noise=UniformNoise(level),
+            num_dry_runs=1,
+            seed=seed,
+            cache_by_model=False,
+        )
+        scheduler = MuriScheduler(policy="las2d", profiler=profiler)
+        simulator = ClusterSimulator(scheduler, cluster=_cluster())
+        runs[level] = simulator.run(specs, trace.name)
+
+    reference_level = min(noise_levels)
+    reference = runs[reference_level]
+    return {
+        level: {
+            "avg_jct": result.avg_jct / reference.avg_jct,
+            "makespan": result.makespan / reference.makespan,
+        }
+        for level, result in runs.items()
+    }

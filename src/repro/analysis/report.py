@@ -1,0 +1,82 @@
+"""Plain-text report formatting for experiment results.
+
+The benchmark harness regenerates the paper's tables and figure series
+as text; these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_speedup_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Args:
+        headers: Column names.
+        rows: Row values; floats are formatted with ``float_format``,
+            everything else with ``str``.
+        title: Optional line printed above the table.
+        float_format: Format spec applied to float cells.
+    """
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered)) if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_speedup_table(
+    metric_rows: Mapping[str, Mapping[str, float]],
+    baselines: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Render the paper's "normalized metric" tables (Tables 4/5).
+
+    Args:
+        metric_rows: ``{metric_name: {scheduler: normalized value}}``.
+        baselines: Column order.
+        title: Optional heading.
+    """
+    headers = [""] + list(baselines)
+    rows = []
+    for metric, values in metric_rows.items():
+        rows.append([metric] + [values.get(name, float("nan")) for name in baselines])
+    return format_table(headers, rows, title=title)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: Optional[str] = None,
+) -> str:
+    """Render figure-style data: one x column plus one column per line."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(xs):
+        rows.append([x] + [values[index] for values in series.values()])
+    return format_table(headers, rows, title=title)

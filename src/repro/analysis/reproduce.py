@@ -1,0 +1,184 @@
+"""One-shot reproduction: regenerate every paper artifact as a report.
+
+``reproduce_all`` runs each table/figure experiment at a configurable
+scale and assembles a single markdown report — the programmatic
+equivalent of running the whole benchmark suite, for use from the CLI
+(``repro reproduce``) or a notebook.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import (
+    ablation_comparison,
+    compare_testbed,
+    group_size_comparison,
+    job_type_sweep,
+    profiling_noise_sweep,
+    simulation_comparison,
+    table1_stage_percentages,
+    table2_interleaving_example,
+)
+from repro.analysis.report import format_series, format_speedup_table, format_table
+
+__all__ = ["reproduce_all", "ARTIFACTS"]
+
+
+def _render_table1(num_jobs: int, seed: int) -> str:
+    rows = table1_stage_percentages()
+    return format_table(
+        ["Model", "Load Data %", "Preprocess %", "Propagate %", "Synchronize %"],
+        rows,
+    )
+
+
+def _render_table2(num_jobs: int, seed: int) -> str:
+    table = table2_interleaving_example()
+    rows = [
+        (name, row["separate_tput"], row["sharing_tput"], row["normalized_tput"])
+        for name, row in table.items() if name != "__total__"
+    ]
+    rows.append(("TOTAL", 0.0, 0.0, table["__total__"]["total_normalized_tput"]))
+    return format_table(["Model", "Separate", "Sharing", "Norm. tput"], rows)
+
+
+def _render_testbed(duration_known: bool) -> Callable[[int, int], str]:
+    def render(num_jobs: int, seed: int) -> str:
+        _results, rows = compare_testbed(
+            duration_known, num_jobs=num_jobs, seed=seed
+        )
+        return format_speedup_table(rows, list(rows["Normalized JCT"]))
+
+    return render
+
+
+def _render_simulation(duration_known: bool) -> Callable[[int, int], str]:
+    def render(num_jobs: int, seed: int) -> str:
+        sweep = simulation_comparison(
+            duration_known, num_jobs=num_jobs, seed=seed
+        )
+        rows = [
+            (trace_id, baseline, s["avg_jct"], s["makespan"], s["p99_jct"])
+            for trace_id, per_baseline in sweep.items()
+            for baseline, s in per_baseline.items()
+        ]
+        return format_table(
+            ["Trace", "Baseline", "JCT x", "Makespan x", "p99 x"], rows
+        )
+
+    return render
+
+
+def _render_fig11(num_jobs: int, seed: int) -> str:
+    sweep = ablation_comparison(num_jobs=num_jobs, seed=seed)
+    rows = [
+        (trace_id, variant, m["avg_jct"], m["makespan"])
+        for trace_id, variants in sweep.items()
+        for variant, m in variants.items()
+    ]
+    return format_table(["Trace", "Variant", "Norm. JCT", "Norm. makespan"], rows)
+
+
+def _render_fig12(num_jobs: int, seed: int) -> str:
+    sweep = group_size_comparison(num_jobs=num_jobs, seed=seed)
+    rows = [
+        (trace_id, label, m["avg_jct"], m["makespan"])
+        for trace_id, row in sweep.items()
+        for label, m in row.items()
+    ]
+    return format_table(["Trace", "Scheduler", "Norm. JCT", "Norm. makespan"], rows)
+
+
+def _render_fig13(num_jobs: int, seed: int) -> str:
+    sweep = job_type_sweep(num_jobs=num_jobs, seed=seed)
+    return format_series(
+        "# types", list(sweep),
+        {
+            "Muri-S/SRTF": [v["Muri-S/SRTF"] for v in sweep.values()],
+            "Muri-L/Tiresias": [v["Muri-L/Tiresias"] for v in sweep.values()],
+        },
+    )
+
+
+def _render_fig14(num_jobs: int, seed: int) -> str:
+    sweep = profiling_noise_sweep(num_jobs=num_jobs, seed=seed)
+    return format_series(
+        "noise", list(sweep),
+        {
+            "Norm. JCT": [v["avg_jct"] for v in sweep.values()],
+            "Norm. makespan": [v["makespan"] for v in sweep.values()],
+        },
+    )
+
+
+#: (artifact id, heading, renderer) in paper order.
+ARTIFACTS: List[Tuple[str, str, Callable[[int, int], str]]] = [
+    ("table1", "Table 1 — stage-duration percentages", _render_table1),
+    ("table2", "Table 2 — four-model interleaving example", _render_table2),
+    ("table4", "Table 4 — testbed, durations known", _render_testbed(True)),
+    ("table5", "Table 5 — testbed, durations unknown", _render_testbed(False)),
+    ("fig9", "Figure 9 — simulations, durations known", _render_simulation(True)),
+    ("fig10", "Figure 10 — simulations, durations unknown", _render_simulation(False)),
+    ("fig11", "Figure 11 — algorithm ablation", _render_fig11),
+    ("fig12", "Figure 12 — group-size sweep (t=0)", _render_fig12),
+    ("fig13", "Figure 13 — bottleneck-diversity sweep", _render_fig13),
+    ("fig14", "Figure 14 — profiling-noise sweep", _render_fig14),
+]
+
+
+def reproduce_all(
+    num_jobs: int = 400,
+    seed: int = 0,
+    artifacts: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> str:
+    """Regenerate the selected paper artifacts as one markdown report.
+
+    Args:
+        num_jobs: Trace size per experiment (400 = bench scale).
+        seed: Base seed.
+        artifacts: Artifact ids to include (default: all, paper order).
+        progress: Optional callback invoked with each artifact id as it
+            starts (for CLI progress lines).
+
+    Returns:
+        The report as a markdown string.
+
+    Raises:
+        KeyError: For an unknown artifact id.
+    """
+    wanted = list(artifacts) if artifacts is not None else [
+        artifact_id for artifact_id, _h, _r in ARTIFACTS
+    ]
+    known = {artifact_id for artifact_id, _h, _r in ARTIFACTS}
+    for artifact_id in wanted:
+        if artifact_id not in known:
+            raise KeyError(
+                f"unknown artifact {artifact_id!r}; known: {sorted(known)}"
+            )
+
+    sections = [
+        "# Muri reproduction report",
+        "",
+        f"Configuration: num_jobs={num_jobs}, seed={seed}, "
+        "cluster=8x8 GPUs, interval=360 s.",
+        "",
+    ]
+    for artifact_id, heading, renderer in ARTIFACTS:
+        if artifact_id not in wanted:
+            continue
+        if progress is not None:
+            progress(artifact_id)
+        started = time.perf_counter()
+        body = renderer(num_jobs, seed)
+        elapsed = time.perf_counter() - started
+        sections.append(f"## {heading}")
+        sections.append("")
+        sections.append("```")
+        sections.append(body)
+        sections.append("```")
+        sections.append(f"*generated in {elapsed:.1f}s*")
+        sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,391 @@
+"""Command-line interface.
+
+Drives the library from a shell::
+
+    repro models                                    # the model zoo
+    repro simulate --trace 1 --jobs 200 --scheduler muri-l
+    repro compare  --trace 2' --jobs 300 --schedulers srsf,muri-s
+    repro experiment table4                         # any paper artifact
+    repro trace --trace 4 --jobs 500 --out trace.csv
+
+Every command is deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.experiments import (
+    ablation_comparison,
+    compare_testbed,
+    group_size_comparison,
+    job_type_sweep,
+    normalized_metrics,
+    profiling_noise_sweep,
+    run_schedulers,
+    simulation_comparison,
+    table2_interleaving_example,
+)
+from repro.analysis.report import format_series, format_speedup_table, format_table
+from repro.cluster.cluster import Cluster
+from repro.models.zoo import DEFAULT_MODELS, get_model
+from repro.schedulers.registry import SCHEDULERS, make_scheduler
+from repro.sim.io import save_comparison, save_result
+from repro.sim.simulator import ClusterSimulator
+from repro.trace.philly import generate_trace
+from repro.trace.workload import build_jobs
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = (
+    "table2", "table4", "table5", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Muri (SIGCOMM 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    models = sub.add_parser("models", help="list the model zoo")
+
+    def add_workload_args(p):
+        p.add_argument("--trace", default="1",
+                       help="trace id 1-4, optionally primed (e.g. 2')")
+        p.add_argument("--jobs", type=int, default=200,
+                       help="number of jobs (0 = paper scale)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--machines", type=int, default=8)
+        p.add_argument("--gpus-per-machine", type=int, default=8)
+
+    simulate = sub.add_parser("simulate", help="run one scheduler")
+    add_workload_args(simulate)
+    simulate.add_argument("--scheduler", default="muri-l",
+                          choices=sorted(SCHEDULERS))
+    simulate.add_argument("--out", help="write the result JSON here")
+
+    compare = sub.add_parser("compare", help="run several schedulers")
+    add_workload_args(compare)
+    compare.add_argument(
+        "--schedulers",
+        default="srsf,muri-s,tiresias,muri-l",
+        help="comma-separated registry names",
+    )
+    compare.add_argument("--normalize-to",
+                         help="print rows normalized to this scheduler")
+    compare.add_argument("--out", help="write the comparison JSON here")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("artifact", choices=EXPERIMENTS)
+    experiment.add_argument("--jobs", type=int, default=400)
+    experiment.add_argument("--seed", type=int, default=0)
+
+    trace = sub.add_parser("trace", help="generate a synthetic trace")
+    trace.add_argument("--trace", default="1")
+    trace.add_argument("--jobs", type=int, default=400)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", required=True, help="CSV output path")
+
+    capacity = sub.add_parser(
+        "capacity", help="sweep cluster sizes for a workload"
+    )
+    add_workload_args(capacity)
+    capacity.add_argument(
+        "--schedulers", default="srsf,muri-s",
+        help="comma-separated registry names",
+    )
+    capacity.add_argument(
+        "--machine-counts", default="2,4,6,8",
+        help="comma-separated machine counts to sweep",
+    )
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate every paper artifact as one report"
+    )
+    reproduce.add_argument("--jobs", type=int, default=400)
+    reproduce.add_argument("--seed", type=int, default=0)
+    reproduce.add_argument(
+        "--artifacts", help="comma-separated subset (default: all)"
+    )
+    reproduce.add_argument("--out", help="write the markdown report here")
+
+    return parser
+
+
+def _workload(args):
+    num_jobs = args.jobs if args.jobs > 0 else None
+    trace = generate_trace(args.trace, num_jobs=num_jobs, seed=args.seed)
+    specs = build_jobs(trace, seed=args.seed)
+    capacity = args.machines * args.gpus_per_machine
+    fitting = [s for s in specs if s.num_gpus <= capacity]
+    dropped = len(specs) - len(fitting)
+    if dropped:
+        print(f"note: dropped {dropped} job(s) larger than the cluster")
+    return trace, fitting
+
+
+def _cmd_models(_args) -> int:
+    rows = []
+    for name in DEFAULT_MODELS:
+        model = get_model(name)
+        rows.append((
+            name, model.task, model.dataset, model.batch_size,
+            model.bottleneck.name.title(),
+            model.iteration_time,
+            "Table 1" if model.published else "synthesized",
+        ))
+    print(format_table(
+        ["Model", "Type", "Dataset/Env", "Batch", "Bottleneck",
+         "Iter (s)", "Profile source"],
+        rows,
+        title="Model zoo (paper Table 3)",
+    ))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    trace, specs = _workload(args)
+    scheduler = make_scheduler(args.scheduler)
+    simulator = ClusterSimulator(
+        scheduler, cluster=Cluster(args.machines, args.gpus_per_machine)
+    )
+    result = simulator.run(specs, trace.name)
+    summary = result.summary()
+    print(format_table(
+        ["Metric", "Value"],
+        [
+            ("scheduler", scheduler.name),
+            ("trace", trace.name),
+            ("jobs", summary.num_jobs),
+            ("avg JCT (s)", summary.avg_jct),
+            ("p50 JCT (s)", summary.p50_jct),
+            ("p99 JCT (s)", summary.p99_jct),
+            ("makespan (s)", summary.makespan),
+            ("avg queue length", summary.avg_queue_length),
+            ("avg blocking index", summary.avg_blocking_index),
+            ("preemptions", summary.total_preemptions),
+        ],
+    ))
+    if args.out:
+        save_result(result, args.out)
+        print(f"result written to {args.out}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    trace, specs = _workload(args)
+    names = [n.strip() for n in args.schedulers.split(",") if n.strip()]
+    schedulers = {}
+    for name in names:
+        scheduler = make_scheduler(name)
+        schedulers[scheduler.name] = scheduler
+    results = run_schedulers(
+        specs, schedulers, trace.name,
+        cluster_factory=lambda: Cluster(args.machines, args.gpus_per_machine),
+    )
+    rows = [
+        (label, r.avg_jct, r.tail_jct(99), r.makespan,
+         r.avg_queue_length, r.total_preemptions)
+        for label, r in results.items()
+    ]
+    print(format_table(
+        ["Scheduler", "Avg JCT (s)", "p99 JCT (s)", "Makespan (s)",
+         "Avg queue", "Preempt"],
+        rows,
+        title=f"{trace.name}: {len(specs)} jobs on "
+              f"{args.machines * args.gpus_per_machine} GPUs",
+    ))
+    if args.normalize_to:
+        reference = next(
+            (label for label in results
+             if label.lower() == args.normalize_to.lower()),
+            None,
+        )
+        if reference is None:
+            print(f"error: {args.normalize_to!r} not among the results",
+                  file=sys.stderr)
+            return 2
+        print()
+        print(format_speedup_table(
+            normalized_metrics(results, reference), list(results),
+            title=f"normalized to {reference}",
+        ))
+    if args.out:
+        save_comparison(results, args.out)
+        print(f"comparison written to {args.out}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    artifact = args.artifact
+    jobs, seed = args.jobs, args.seed
+    if artifact == "table2":
+        table = table2_interleaving_example()
+        rows = [
+            (name, row["separate_tput"], row["sharing_tput"],
+             row["normalized_tput"])
+            for name, row in table.items() if name != "__total__"
+        ]
+        rows.append(("TOTAL", 0.0, 0.0,
+                     table["__total__"]["total_normalized_tput"]))
+        print(format_table(
+            ["Model", "Separate", "Sharing", "Norm. tput"], rows,
+            title="Table 2",
+        ))
+    elif artifact in ("table4", "table5"):
+        known = artifact == "table4"
+        _results, rows = compare_testbed(known, num_jobs=jobs, seed=seed)
+        print(format_speedup_table(rows, list(rows["Normalized JCT"]),
+                                   title=artifact))
+    elif artifact in ("fig9", "fig10"):
+        sweep = simulation_comparison(
+            duration_known=(artifact == "fig9"), num_jobs=jobs, seed=seed
+        )
+        rows = [
+            (trace_id, baseline, s["avg_jct"], s["makespan"], s["p99_jct"])
+            for trace_id, per_baseline in sweep.items()
+            for baseline, s in per_baseline.items()
+        ]
+        print(format_table(
+            ["Trace", "Baseline", "JCT x", "Makespan x", "p99 x"], rows,
+            title=artifact,
+        ))
+    elif artifact == "fig11":
+        sweep = ablation_comparison(num_jobs=jobs, seed=seed)
+        rows = [
+            (trace_id, variant, m["avg_jct"], m["makespan"])
+            for trace_id, variants in sweep.items()
+            for variant, m in variants.items()
+        ]
+        print(format_table(["Trace", "Variant", "JCT", "Makespan"], rows,
+                           title="fig11 (normalized to Muri-L)"))
+    elif artifact == "fig12":
+        sweep = group_size_comparison(num_jobs=jobs, seed=seed)
+        rows = [
+            (trace_id, label, m["avg_jct"], m["makespan"])
+            for trace_id, row in sweep.items()
+            for label, m in row.items()
+        ]
+        print(format_table(["Trace", "Scheduler", "JCT", "Makespan"], rows,
+                           title="fig12 (normalized to AntMan)"))
+    elif artifact == "fig13":
+        sweep = job_type_sweep(num_jobs=jobs, seed=seed)
+        print(format_series(
+            "# types", list(sweep),
+            {
+                "Muri-S/SRTF": [v["Muri-S/SRTF"] for v in sweep.values()],
+                "Muri-L/Tiresias": [v["Muri-L/Tiresias"] for v in sweep.values()],
+            },
+            title="fig13",
+        ))
+    elif artifact == "fig14":
+        sweep = profiling_noise_sweep(num_jobs=jobs, seed=seed)
+        print(format_series(
+            "noise", list(sweep),
+            {
+                "JCT": [v["avg_jct"] for v in sweep.values()],
+                "Makespan": [v["makespan"] for v in sweep.values()],
+            },
+            title="fig14",
+        ))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    trace = generate_trace(args.trace, num_jobs=args.jobs, seed=args.seed)
+    trace.to_csv(args.out)
+    print(f"{trace.name}: {len(trace)} jobs, load "
+          f"{trace.load_factor(64):.2f}x over 64 GPUs -> {args.out}")
+    return 0
+
+
+def _cmd_capacity(args) -> int:
+    from repro.analysis.capacity import capacity_sweep
+
+    num_jobs = args.jobs if args.jobs > 0 else None
+    trace = generate_trace(args.trace, num_jobs=num_jobs, seed=args.seed)
+    machine_counts = sorted(
+        int(v) for v in args.machine_counts.split(",") if v.strip()
+    )
+    smallest = min(machine_counts) * args.gpus_per_machine
+    specs = [
+        s for s in build_jobs(trace, seed=args.seed)
+        if s.num_gpus <= smallest
+    ]
+    names = [n.strip() for n in args.schedulers.split(",") if n.strip()]
+    factories = {}
+    for name in names:
+        label = make_scheduler(name).name
+        factories[label] = (lambda key: (lambda: make_scheduler(key)))(name)
+    sweep = capacity_sweep(
+        specs, factories, machine_counts,
+        gpus_per_machine=args.gpus_per_machine, trace_name=trace.name,
+    )
+    labels = list(factories)
+    rows = [
+        [machines * args.gpus_per_machine]
+        + [sweep[machines][label].avg_jct for label in labels]
+        for machines in machine_counts
+    ]
+    print(format_table(
+        ["GPUs"] + [f"{label} avg JCT (s)" for label in labels],
+        rows,
+        title=f"capacity sweep on {trace.name} ({len(specs)} jobs)",
+    ))
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.reproduce import reproduce_all
+
+    artifacts = None
+    if args.artifacts:
+        artifacts = [a.strip() for a in args.artifacts.split(",") if a.strip()]
+    report = reproduce_all(
+        num_jobs=args.jobs,
+        seed=args.seed,
+        artifacts=artifacts,
+        progress=lambda artifact: print(f"... {artifact}"),
+    )
+    if args.out:
+        Path(args.out).write_text(report)
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+_COMMANDS = {
+    "models": _cmd_models,
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "experiment": _cmd_experiment,
+    "trace": _cmd_trace,
+    "capacity": _cmd_capacity,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Cluster substrate: machines, GPU slots, and placement."""
+
+from repro.cluster.cluster import Allocation, Cluster
+from repro.cluster.machine import GpuSlot, Machine
+from repro.cluster.placement import (
+    DescendingPlacer,
+    PlacementPlan,
+    RandomPlacer,
+    SpreadPlacer,
+)
+
+__all__ = [
+    "Cluster",
+    "Allocation",
+    "Machine",
+    "GpuSlot",
+    "DescendingPlacer",
+    "SpreadPlacer",
+    "RandomPlacer",
+    "PlacementPlan",
+]

@@ -1,0 +1,146 @@
+"""The GPU cluster: a collection of machines plus allocation state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.cluster.machine import GpuSlot, Machine
+
+__all__ = ["Cluster", "Allocation"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """GPUs granted to one interleaving group.
+
+    Attributes:
+        owner: Group id the slots belong to.
+        slots: The granted GPU slots.
+    """
+
+    owner: int
+    slots: tuple
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.slots)
+
+    @property
+    def machine_ids(self) -> List[int]:
+        """Distinct machines the allocation spans, ascending."""
+        return sorted({slot.machine_id for slot in self.slots})
+
+    @property
+    def spans_machines(self) -> bool:
+        """True when the allocation crosses a machine boundary."""
+        return len(self.machine_ids) > 1
+
+
+class Cluster:
+    """A cluster of homogeneous machines.
+
+    Args:
+        num_machines: Number of servers.
+        gpus_per_machine: GPU slots per server (the paper's testbed is
+            8 machines x 8 GPUs = 64 GPUs).
+    """
+
+    def __init__(self, num_machines: int = 8, gpus_per_machine: int = 8) -> None:
+        if num_machines < 1:
+            raise ValueError("a cluster needs at least one machine")
+        self.machines: List[Machine] = [
+            Machine(machine_id=i, num_gpus=gpus_per_machine)
+            for i in range(num_machines)
+        ]
+        self._allocations: Dict[int, Allocation] = {}
+
+    # -- capacity -------------------------------------------------------------
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(m.num_gpus for m in self.machines)
+
+    @property
+    def free_gpus(self) -> int:
+        return sum(m.free_gpu_count for m in self.machines)
+
+    @property
+    def allocated_gpus(self) -> int:
+        return self.total_gpus - self.free_gpus
+
+    def can_fit(self, num_gpus: int) -> bool:
+        """True if ``num_gpus`` slots are free cluster-wide."""
+        return num_gpus <= self.free_gpus
+
+    def machine(self, machine_id: int) -> Machine:
+        return self.machines[machine_id]
+
+    # -- allocation --------------------------------------------------------------
+
+    def allocate(self, owner: int, slot_plan: Dict[int, int]) -> Allocation:
+        """Grant GPUs to ``owner`` following a per-machine plan.
+
+        Args:
+            owner: Group id receiving the slots.
+            slot_plan: Mapping ``machine_id -> gpu count``.
+
+        Raises:
+            ValueError: If the owner already holds an allocation or a
+                machine lacks capacity (nothing is allocated then).
+        """
+        if owner in self._allocations:
+            raise ValueError(f"owner {owner} already holds an allocation")
+        for machine_id, count in slot_plan.items():
+            if self.machines[machine_id].free_gpu_count < count:
+                raise ValueError(
+                    f"machine {machine_id} cannot provide {count} GPUs"
+                )
+        slots: List[GpuSlot] = []
+        for machine_id, count in slot_plan.items():
+            slots.extend(self.machines[machine_id].allocate(count, owner))
+        allocation = Allocation(owner=owner, slots=tuple(slots))
+        self._allocations[owner] = allocation
+        return allocation
+
+    def release(self, owner: int) -> None:
+        """Free every slot held by ``owner``.
+
+        Raises:
+            KeyError: If the owner holds no allocation.
+        """
+        allocation = self._allocations.pop(owner)
+        by_machine: Dict[int, List[GpuSlot]] = {}
+        for slot in allocation.slots:
+            by_machine.setdefault(slot.machine_id, []).append(slot)
+        for machine_id, slots in by_machine.items():
+            self.machines[machine_id].release(slots)
+
+    def allocation_of(self, owner: int) -> Optional[Allocation]:
+        return self._allocations.get(owner)
+
+    def allocations(self) -> Iterable[Allocation]:
+        return list(self._allocations.values())
+
+    def release_all(self) -> None:
+        """Free every allocation (used between scheduling rounds)."""
+        for owner in list(self._allocations):
+            self.release(owner)
+
+    # -- fragmentation metrics --------------------------------------------------
+
+    def fragmentation(self) -> float:
+        """Fraction of free GPUs stranded on partially used machines.
+
+        Zero when free capacity is concentrated on fully empty
+        machines; approaches one when every machine is partially used.
+        """
+        free = self.free_gpus
+        if free == 0:
+            return 0.0
+        stranded = sum(
+            m.free_gpu_count
+            for m in self.machines
+            if 0 < m.free_gpu_count < m.num_gpus
+        )
+        return stranded / free

@@ -1,0 +1,127 @@
+"""A single machine (server) in the GPU cluster.
+
+The paper's testbed machine is 8 x V100 GPUs, 2 x Xeon 8260 CPUs,
+256 GB RAM and one 100 Gbps NIC.  The simulator tracks GPUs as
+allocatable slots — one interleaving group occupies a set of GPU slots
+— while CPU/storage/network capacities are descriptive metadata: the
+interleaving model already accounts for their time-sharing inside a
+group, and the worker monitor reports their utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+__all__ = ["Machine", "GpuSlot"]
+
+
+@dataclass(frozen=True)
+class GpuSlot:
+    """Address of one GPU: (machine id, local index)."""
+
+    machine_id: int
+    gpu_index: int
+
+    def __str__(self) -> str:
+        return f"m{self.machine_id}:g{self.gpu_index}"
+
+
+@dataclass
+class Machine:
+    """One server with a fixed number of GPU slots.
+
+    Attributes:
+        machine_id: Unique id within the cluster.
+        num_gpus: GPU slots on this machine (8 on the paper's testbed).
+        num_cpus: Physical CPU sockets/cores (metadata).
+        memory_gb: RAM in gigabytes (metadata).
+        nic_gbps: Network bandwidth in Gbit/s (metadata).
+    """
+
+    machine_id: int
+    num_gpus: int = 8
+    num_cpus: int = 2
+    memory_gb: int = 256
+    nic_gbps: int = 100
+
+    _allocated: Dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError("a machine needs at least one GPU")
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def free_gpu_count(self) -> int:
+        """Number of unallocated GPU slots."""
+        return self.num_gpus - len(self._allocated)
+
+    @property
+    def allocated_gpu_count(self) -> int:
+        return len(self._allocated)
+
+    def free_gpu_indices(self) -> List[int]:
+        """Indices of unallocated GPU slots, ascending."""
+        return [i for i in range(self.num_gpus) if i not in self._allocated]
+
+    def owner_of(self, gpu_index: int) -> Optional[int]:
+        """Group id occupying a slot, or None if free."""
+        self._check_index(gpu_index)
+        return self._allocated.get(gpu_index)
+
+    # -- allocation -----------------------------------------------------------
+
+    def allocate(self, count: int, owner: int) -> List[GpuSlot]:
+        """Allocate ``count`` GPU slots to ``owner`` (a group id).
+
+        Raises:
+            ValueError: If fewer than ``count`` slots are free.
+        """
+        free = self.free_gpu_indices()
+        if count > len(free):
+            raise ValueError(
+                f"machine {self.machine_id} has {len(free)} free GPUs, "
+                f"cannot allocate {count}"
+            )
+        slots = []
+        for index in free[:count]:
+            self._allocated[index] = owner
+            slots.append(GpuSlot(self.machine_id, index))
+        return slots
+
+    def release(self, slots: List[GpuSlot]) -> None:
+        """Release previously allocated slots.
+
+        Raises:
+            ValueError: If a slot belongs to a different machine or is
+                not allocated.
+        """
+        for slot in slots:
+            if slot.machine_id != self.machine_id:
+                raise ValueError(
+                    f"slot {slot} does not belong to machine {self.machine_id}"
+                )
+            if slot.gpu_index not in self._allocated:
+                raise ValueError(f"slot {slot} is not allocated")
+        for slot in slots:
+            del self._allocated[slot.gpu_index]
+
+    def release_owner(self, owner: int) -> int:
+        """Release every slot owned by ``owner``; returns count freed."""
+        indices = [i for i, o in self._allocated.items() if o == owner]
+        for index in indices:
+            del self._allocated[index]
+        return len(indices)
+
+    def owners(self) -> Set[int]:
+        """Distinct group ids with at least one slot here."""
+        return set(self._allocated.values())
+
+    def _check_index(self, gpu_index: int) -> None:
+        if not 0 <= gpu_index < self.num_gpus:
+            raise ValueError(
+                f"gpu index {gpu_index} out of range for machine "
+                f"{self.machine_id} with {self.num_gpus} GPUs"
+            )

@@ -1,0 +1,165 @@
+"""GPU placement policies.
+
+The paper (section 5) places jobs "in a descending order based on the
+number of GPUs a job needs, which avoids fragmentation and minimizes
+the number of nodes used by a job".  :class:`DescendingPlacer`
+implements exactly that:
+
+* candidate groups are sorted by GPU demand, largest first;
+* each group prefers the single machine whose free capacity fits it
+  most tightly (best fit);
+* groups larger than a machine span the fewest machines possible,
+  taking the emptiest machines first.
+
+Two alternative policies exist for the placement ablation:
+:class:`SpreadPlacer` (worst fit: always the emptiest machine, the
+load-balancing strategy some clusters use) and :class:`RandomPlacer`
+(a seeded random feasible machine).  Both consolidate less, so
+multi-GPU jobs fragment and span machines more often.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Allocation, Cluster
+
+__all__ = ["DescendingPlacer", "SpreadPlacer", "RandomPlacer", "PlacementPlan"]
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """Outcome of one placement attempt.
+
+    Attributes:
+        placed: ``(owner, allocation)`` pairs in placement order.
+        unplaced: Owners that did not fit, in input order.
+    """
+
+    placed: Tuple[Tuple[int, Allocation], ...]
+    unplaced: Tuple[int, ...]
+
+
+class DescendingPlacer:
+    """Places groups on GPUs, largest demand first."""
+
+    def place(
+        self,
+        cluster: Cluster,
+        demands: Sequence[Tuple[int, int]],
+    ) -> PlacementPlan:
+        """Allocate GPUs for a batch of groups.
+
+        Args:
+            cluster: The cluster to allocate from (mutated).
+            demands: ``(owner, num_gpus)`` pairs.  Input order is the
+                priority order used to break demand ties.
+
+        Returns:
+            The resulting :class:`PlacementPlan`.  Owners that do not
+            fit are skipped — later, smaller groups may still fit
+            (backfilling), matching the paper's prototype behaviour of
+            filling the cluster from the dequeued batch.
+        """
+        indexed = list(enumerate(demands))
+        indexed.sort(key=lambda item: (-item[1][1], item[0]))
+
+        placed: List[Tuple[int, Allocation]] = []
+        unplaced: List[int] = []
+        for _original_index, (owner, num_gpus) in indexed:
+            plan = self.plan_for(cluster, num_gpus)
+            if plan is None:
+                unplaced.append(owner)
+                continue
+            placed.append((owner, cluster.allocate(owner, plan)))
+        return PlacementPlan(tuple(placed), tuple(unplaced))
+
+    def plan_for(self, cluster: Cluster, num_gpus: int) -> Optional[Dict[int, int]]:
+        """Compute a per-machine slot plan for one demand.
+
+        Returns:
+            ``{machine_id: count}`` or None when the demand cannot be
+            satisfied.
+        """
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if not cluster.can_fit(num_gpus):
+            return None
+
+        # Best fit on one machine: tightest sufficient free capacity.
+        single_candidates = [
+            m for m in cluster.machines if m.free_gpu_count >= num_gpus
+        ]
+        if single_candidates:
+            best = min(
+                single_candidates,
+                key=lambda m: (m.free_gpu_count, m.machine_id),
+            )
+            return {best.machine_id: num_gpus}
+
+        # Span machines: emptiest first minimizes machine count.
+        plan: Dict[int, int] = {}
+        remaining = num_gpus
+        for machine in sorted(
+            cluster.machines,
+            key=lambda m: (-m.free_gpu_count, m.machine_id),
+        ):
+            if remaining == 0:
+                break
+            take = min(machine.free_gpu_count, remaining)
+            if take > 0:
+                plan[machine.machine_id] = take
+                remaining -= take
+        if remaining > 0:
+            return None
+        return plan
+
+
+class SpreadPlacer(DescendingPlacer):
+    """Worst-fit placement: prefer the emptiest machine.
+
+    Spreads load evenly — gentler thermal/network hotspots — at the
+    cost of fragmentation: large jobs find no whole machine free and
+    must span, paying the cross-machine synchronization penalty.
+    """
+
+    def plan_for(self, cluster: Cluster, num_gpus: int) -> Optional[Dict[int, int]]:
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if not cluster.can_fit(num_gpus):
+            return None
+        candidates = [
+            m for m in cluster.machines if m.free_gpu_count >= num_gpus
+        ]
+        if candidates:
+            best = max(
+                candidates, key=lambda m: (m.free_gpu_count, -m.machine_id)
+            )
+            return {best.machine_id: num_gpus}
+        # Fall back to the consolidating span plan.
+        return super().plan_for(cluster, num_gpus)
+
+
+class RandomPlacer(DescendingPlacer):
+    """Seeded random placement among feasible machines.
+
+    The no-policy control arm of the placement ablation.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def plan_for(self, cluster: Cluster, num_gpus: int) -> Optional[Dict[int, int]]:
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if not cluster.can_fit(num_gpus):
+            return None
+        candidates = [
+            m for m in cluster.machines if m.free_gpu_count >= num_gpus
+        ]
+        if candidates:
+            choice = self._rng.choice(candidates)
+            return {choice.machine_id: num_gpus}
+        return super().plan_for(cluster, num_gpus)

@@ -1,0 +1,39 @@
+"""Muri's core: interleaving efficiency, grouping, and the scheduler."""
+
+from repro.core.efficiency import (
+    efficiency_for_period,
+    group_speedup,
+    interleaving_efficiency,
+    pair_efficiency,
+)
+from repro.core.group import JobGroup
+from repro.core.grouping import GroupingResult, MultiRoundGrouper
+from repro.core.muri import MuriScheduler
+from repro.core.ordering import (
+    best_ordering,
+    enumerate_offset_assignments,
+    group_iteration_time,
+    identity_ordering,
+    slot_durations,
+    worst_ordering,
+)
+from repro.core.priorities import POLICIES, get_policy
+
+__all__ = [
+    "interleaving_efficiency",
+    "pair_efficiency",
+    "efficiency_for_period",
+    "group_speedup",
+    "JobGroup",
+    "MultiRoundGrouper",
+    "GroupingResult",
+    "MuriScheduler",
+    "best_ordering",
+    "worst_ordering",
+    "identity_ordering",
+    "group_iteration_time",
+    "slot_durations",
+    "enumerate_offset_assignments",
+    "POLICIES",
+    "get_policy",
+]

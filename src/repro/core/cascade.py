@@ -1,0 +1,113 @@
+"""The cascading-slowdown model behind GPU-count bucketing (Fig. 7).
+
+If a distributed job's workers interleave with *different* partner sets
+on different GPUs, two dependency kinds couple:
+
+* **intra-job synchronization** — a job advances at its slowest worker;
+* **inter-job interleaving** — a worker's slot cycle waits for every
+  co-located job's stage.
+
+Fig. 7's example: on GPU 1, job A waits a unit to use the network
+because it interleaves with B; intra-job sync propagates that wait to
+A's worker on GPU 2, where it stretches job C's cycle — C is slowed by
+a job it never shares a GPU with.
+
+At steady state every job in a *sharing component* (jobs connected
+through shared GPUs) ends up pacing at the component's slowest local
+cycle: the slowdown propagates transitively until the whole component
+runs in lock step.  :func:`cascade_periods` computes exactly that —
+each job's effective period is the maximum interleaved slot-cycle
+length over its connected component.
+
+Muri's answer (section 4.2) is to *bucket* jobs by GPU count and give
+every member of a group the same partner set on every GPU, which makes
+each component a single group and eliminates the cascade; this module
+quantifies what that avoids (see ``benchmarks/test_fig7_cascade.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+from repro.core.ordering import group_iteration_time
+from repro.jobs.resources import NUM_RESOURCES
+from repro.jobs.stage import StageProfile
+
+__all__ = ["GpuAssignment", "cascade_periods", "local_cycle_length"]
+
+JobId = Hashable
+
+#: One GPU's co-located jobs: ``[(job_id, profile, offset), ...]``.
+GpuAssignment = Sequence[Tuple[JobId, StageProfile, int]]
+
+
+def local_cycle_length(
+    assignment: GpuAssignment,
+    num_resources: int = NUM_RESOURCES,
+) -> float:
+    """The interleaved slot-cycle length of one GPU in isolation."""
+    if not assignment:
+        raise ValueError("a GPU assignment needs at least one job")
+    profiles = tuple(profile for _job, profile, _offset in assignment)
+    offsets = tuple(offset for _job, _profile, offset in assignment)
+    return group_iteration_time(profiles, offsets, num_resources)
+
+
+def cascade_periods(
+    gpus: Mapping[Hashable, GpuAssignment],
+    num_resources: int = NUM_RESOURCES,
+) -> Dict[JobId, float]:
+    """Effective per-job iteration periods under cross-group coupling.
+
+    Args:
+        gpus: Mapping from GPU id to its co-located jobs.  A job
+            appearing on several GPUs is one distributed job whose
+            workers synchronize each iteration.
+
+    Returns:
+        ``{job_id: period}`` where the period is the maximum local
+        cycle length over the job's sharing component — the steady
+        state of the cascade.
+    """
+    if not gpus:
+        return {}
+
+    cycle: Dict[Hashable, float] = {
+        gpu: local_cycle_length(assignment, num_resources)
+        for gpu, assignment in gpus.items()
+    }
+
+    # Union-find over GPUs: two GPUs couple when a job spans both.
+    parent: Dict[Hashable, Hashable] = {gpu: gpu for gpu in gpus}
+
+    def find(node: Hashable) -> Hashable:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(a: Hashable, b: Hashable) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    gpus_of_job: Dict[JobId, List[Hashable]] = {}
+    for gpu, assignment in gpus.items():
+        for job_id, _profile, _offset in assignment:
+            gpus_of_job.setdefault(job_id, []).append(gpu)
+    for spanned in gpus_of_job.values():
+        first = spanned[0]
+        for other in spanned[1:]:
+            union(first, other)
+
+    component_period: Dict[Hashable, float] = {}
+    for gpu in gpus:
+        root = find(gpu)
+        component_period[root] = max(
+            component_period.get(root, 0.0), cycle[gpu]
+        )
+
+    return {
+        job_id: component_period[find(spanned[0])]
+        for job_id, spanned in gpus_of_job.items()
+    }

@@ -1,0 +1,473 @@
+"""Multi-round job grouping (Algorithm 1 of the paper).
+
+Grouping ``n`` jobs into groups of up to ``k`` (the number of resource
+types) to maximize total interleaving efficiency is maximum weight
+k-uniform hypergraph matching — NP-hard for k > 2.  Muri's heuristic
+runs matching in rounds:
+
+1. Build a graph whose nodes are (possibly merged) jobs and whose edge
+   weights are the interleaving efficiency of merging the two nodes.
+2. Find a maximum weight matching with the blossom algorithm.
+3. Merge every matched pair into one node and repeat.
+
+``log2(k)`` rounds double the group size each time (2 rounds for the
+paper's four resources: singles -> pairs -> quads).  A
+``max_group_size`` of 3 (Fig. 12's sweep) is supported by forbidding
+merges that would exceed the cap.
+
+Multi-GPU jobs are bucketed by GPU count before grouping so a job is
+never interleaved with different partners on different GPUs, avoiding
+the cascading synchronization slowdown of Fig. 7.
+
+Two practical refinements the scheduler relies on:
+
+* **Capacity awareness.**  Algorithm 1 dequeues the first ``n`` jobs
+  "so that these jobs can form k-job groups that fully utilize the
+  cluster".  Sharing has a cost (contention), so merging continues only
+  while the nodes' total GPU demand exceeds the cluster capacity —
+  merges are applied best-efficiency-first, and the algorithm stops
+  the moment everything fits.  Under light load this degenerates to
+  exclusive allocation, exactly as a GPU-only scheduler would behave.
+* **Seeded nodes.**  Currently running groups enter the graph as
+  pre-merged nodes, so an unchanged workload reproduces the same plan
+  and jobs are not pointlessly regrouped (and restarted) every
+  scheduling interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.efficiency import efficiency_for_period
+from repro.core.group import JobGroup
+from repro.core.ordering import (
+    best_ordering,
+    group_iteration_time,
+    identity_ordering,
+    worst_ordering,
+)
+from repro.jobs.job import Job
+from repro.jobs.resources import NUM_RESOURCES
+from repro.jobs.stage import StageProfile
+from repro.matching.blossom import matching_pairs
+from repro.matching.exact import exact_hypergraph_matching
+from repro.matching.greedy import sequential_pair_matching
+
+__all__ = ["MultiRoundGrouper", "GroupingResult"]
+
+_ORDERING_FNS = {
+    "best": best_ordering,
+    "worst": worst_ordering,
+    "identity": identity_ordering,
+}
+
+
+@dataclass
+class _Node:
+    """A (possibly merged) node of the matching graph."""
+
+    jobs: List[Job]
+    profiles: List[StageProfile]
+
+    @property
+    def size(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def num_gpus(self) -> int:
+        return self.jobs[0].num_gpus
+
+
+@dataclass(frozen=True)
+class GroupingResult:
+    """Outcome of one grouping invocation.
+
+    Attributes:
+        groups: The chosen interleaving groups.
+        total_efficiency: Sum of the believed efficiencies of all
+            multi-job groups (the matching objective).
+        rounds: Number of matching rounds executed.
+        total_gpu_demand: GPUs needed to run every group concurrently.
+    """
+
+    groups: Tuple[JobGroup, ...]
+    total_efficiency: float
+    rounds: int
+    total_gpu_demand: int = 0
+
+
+class MultiRoundGrouper:
+    """Muri's Blossom-based multi-round grouping algorithm.
+
+    Args:
+        max_group_size: Largest number of jobs per group (the paper
+            uses k = number of resource types; Fig. 12 sweeps 2-4).
+        num_resources: Number of resource types k.
+        matcher: "blossom" (the paper's algorithm), "greedy" (the
+            "w/o Blossom" ablation: pack consecutive jobs in priority
+            order), or "exact" (exponential hypergraph matching, only
+            viable for small inputs).
+        ordering: Stage ordering policy used both for edge weights and
+            for the final groups: "best", "worst" (Fig. 11 ablation) or
+            "identity".
+        min_efficiency: Edges below this believed efficiency are not
+            added to the graph, leaving poorly matched jobs ungrouped.
+        gpu_memory_gb: Optional per-GPU memory capacity.  Merges whose
+            interleaved peak memory (section 2.2's model) would exceed
+            it are never formed.  Jobs without a declared footprint are
+            exempt from the check.
+    """
+
+    def __init__(
+        self,
+        max_group_size: int = NUM_RESOURCES,
+        num_resources: int = NUM_RESOURCES,
+        matcher: str = "blossom",
+        ordering: str = "best",
+        min_efficiency: float = 0.0,
+        gpu_memory_gb: Optional[float] = None,
+    ) -> None:
+        if max_group_size < 1:
+            raise ValueError("max_group_size must be >= 1")
+        if max_group_size > num_resources:
+            raise ValueError(
+                "groups larger than the number of resource types would "
+                "force same-slot resource contention"
+            )
+        if matcher not in ("blossom", "greedy", "exact"):
+            raise ValueError(f"unknown matcher {matcher!r}")
+        if ordering not in _ORDERING_FNS:
+            raise ValueError(f"unknown ordering policy {ordering!r}")
+        self.max_group_size = max_group_size
+        self.num_resources = num_resources
+        self.matcher = matcher
+        self.ordering = ordering
+        self.min_efficiency = min_efficiency
+        self.gpu_memory_gb = gpu_memory_gb
+        # Edge weights depend only on the multiset of member profiles;
+        # with a small model zoo the same combinations recur constantly,
+        # so memoization collapses the O(n^2) weight computations.
+        self._weight_cache: Dict[Tuple, float] = {}
+        self._ordering_cache: Dict[Tuple, Tuple] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def group(
+        self,
+        jobs: Sequence[Job],
+        believed_profiles: Optional[Sequence[StageProfile]] = None,
+        capacity: Optional[int] = None,
+        preformed: Optional[Sequence[Sequence[int]]] = None,
+    ) -> GroupingResult:
+        """Group jobs into interleaving groups.
+
+        Jobs are first bucketed by GPU count; grouping happens within a
+        bucket only.  The input order is treated as priority order
+        (head of the queue first), which the greedy matcher relies on.
+
+        Args:
+            jobs: Jobs to group, highest priority first.
+            believed_profiles: The profiles to base decisions on, one
+                per job.  Defaults to each job's true profile.
+            capacity: Cluster GPU capacity.  When given, merging stops
+                as soon as the groups' total GPU demand fits — the
+                best-efficiency merges are applied first — so jobs are
+                not slowed by sharing the cluster does not need.
+                None merges as much as possible.
+            preformed: Optional seed groups as sequences of job ids
+                (typically the currently running groups).  A seed whose
+                members are all present enters the graph pre-merged,
+                stabilizing plans across scheduling intervals.
+
+        Returns:
+            A :class:`GroupingResult` whose groups preserve bucket
+            priority order.
+        """
+        if believed_profiles is None:
+            believed_profiles = [job.profile for job in jobs]
+        if len(believed_profiles) != len(jobs):
+            raise ValueError("need one believed profile per job")
+
+        buckets, bucket_order = self._build_nodes(jobs, believed_profiles, preformed)
+
+        if self.matcher == "exact":
+            groups: List[JobGroup] = []
+            for gpus in bucket_order:
+                groups.extend(self._group_exact(buckets[gpus]))
+            return self._result(groups, rounds=1)
+
+        demand = sum(
+            node.num_gpus for nodes in buckets.values() for node in nodes
+        )
+        max_rounds = (
+            0
+            if self.max_group_size == 1
+            else max(1, math.ceil(math.log2(self.max_group_size)))
+        )
+        executed = 0
+        for _ in range(max_rounds):
+            if capacity is not None and demand <= capacity:
+                break
+            candidates = self._candidate_merges(buckets, bucket_order)
+            if not candidates:
+                break
+            executed += 1
+            demand = self._apply_merges(buckets, candidates, demand, capacity)
+
+        if capacity is not None:
+            demand = self._split_slack(buckets, bucket_order, demand, capacity)
+
+        groups = [
+            self._finalize(node)
+            for gpus in bucket_order
+            for node in buckets[gpus]
+        ]
+        return self._result(groups, rounds=executed)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _build_nodes(
+        self,
+        jobs: Sequence[Job],
+        believed_profiles: Sequence[StageProfile],
+        preformed: Optional[Sequence[Sequence[int]]],
+    ) -> Tuple[Dict[int, List[_Node]], List[int]]:
+        by_id = {
+            job.job_id: (job, profile)
+            for job, profile in zip(jobs, believed_profiles)
+        }
+        seed_of: Dict[int, Tuple[int, ...]] = {}
+        for seed in preformed or ():
+            members = tuple(seed)
+            if len(members) < 2 or len(members) > self.max_group_size:
+                continue
+            if any(job_id not in by_id for job_id in members):
+                continue
+            gpu_counts = {by_id[job_id][0].num_gpus for job_id in members}
+            if len(gpu_counts) != 1:
+                continue
+            if any(job_id in seed_of for job_id in members):
+                continue
+            for job_id in members:
+                seed_of[job_id] = members
+
+        buckets: Dict[int, List[_Node]] = {}
+        bucket_order: List[int] = []
+        emitted = set()
+        for job, profile in zip(jobs, believed_profiles):
+            if job.job_id in emitted:
+                continue
+            members = seed_of.get(job.job_id, (job.job_id,))
+            node_jobs = [by_id[job_id][0] for job_id in members]
+            node_profiles = [by_id[job_id][1] for job_id in members]
+            emitted.update(members)
+            gpus = node_jobs[0].num_gpus
+            if gpus not in buckets:
+                buckets[gpus] = []
+                bucket_order.append(gpus)
+            buckets[gpus].append(_Node(node_jobs, node_profiles))
+        return buckets, bucket_order
+
+    def _candidate_merges(
+        self,
+        buckets: Dict[int, List[_Node]],
+        bucket_order: List[int],
+    ) -> List[Tuple[float, int, int, _Node, _Node]]:
+        """Matched node pairs across all buckets, one matching each.
+
+        Returns tuples ``(weight, priority_index, gpus, node_u, node_v)``.
+        """
+        candidates = []
+        for gpus in bucket_order:
+            nodes = buckets[gpus]
+            if len(nodes) < 2:
+                continue
+            edges = []
+            for i in range(len(nodes)):
+                for j in range(i + 1, len(nodes)):
+                    if nodes[i].size + nodes[j].size > self.max_group_size:
+                        continue
+                    if not self._memory_feasible(nodes[i], nodes[j]):
+                        continue
+                    weight = self._merge_weight(nodes[i], nodes[j])
+                    if weight >= self.min_efficiency:
+                        edges.append((i, j, weight))
+            if not edges:
+                continue
+            if self.matcher == "blossom":
+                pairs = matching_pairs(edges)
+            else:
+                eligible = {(min(u, v), max(u, v)): w for u, v, w in edges}
+                pairs = {
+                    pair
+                    for pair in sequential_pair_matching(range(len(nodes)))
+                    if pair in eligible
+                }
+            weight_of = {}
+            for u, v, w in edges:
+                weight_of[(min(u, v), max(u, v))] = w
+            for u, v in pairs:
+                key = (min(u, v), max(u, v))
+                candidates.append(
+                    (weight_of[key], key[0], gpus, nodes[u], nodes[v])
+                )
+        if self.matcher == "blossom":
+            # Best interleaving first; ties broken by priority index.
+            candidates.sort(key=lambda c: (-c[0], c[1]))
+        else:
+            # "w/o Blossom": strict priority order, as the paper's
+            # ablation packs jobs in descending priority.
+            candidates.sort(key=lambda c: c[1])
+        return candidates
+
+    def _apply_merges(
+        self,
+        buckets: Dict[int, List[_Node]],
+        candidates: List[Tuple[float, int, int, _Node, _Node]],
+        demand: int,
+        capacity: Optional[int],
+    ) -> int:
+        """Merge candidate pairs until the demand fits the capacity."""
+        for _weight, _prio, gpus, u, v in candidates:
+            if capacity is not None and demand <= capacity:
+                break
+            nodes = buckets[gpus]
+            merged = _Node(u.jobs + v.jobs, u.profiles + v.profiles)
+            index = min(nodes.index(u), nodes.index(v))
+            nodes.remove(u)
+            nodes.remove(v)
+            nodes.insert(index, merged)
+            demand -= gpus
+        return demand
+
+    def _split_slack(
+        self,
+        buckets: Dict[int, List[_Node]],
+        bucket_order: List[int],
+        demand: int,
+        capacity: int,
+    ) -> int:
+        """Dissolve sharing the cluster no longer needs (drain phase).
+
+        Sharing always slows the members, so whenever spare GPUs exist
+        the worst-efficiency group sheds its last member into its own
+        allocation.  This keeps Muri work-conserving: with a short
+        queue it degenerates to exclusive allocation, and a group never
+        outlives the congestion that justified it.
+        """
+        while demand < capacity:
+            worst: Optional[Tuple[float, int, _Node]] = None
+            for gpus in bucket_order:
+                if demand + gpus > capacity:
+                    continue
+                for node in buckets[gpus]:
+                    if node.size < 2:
+                        continue
+                    gamma = self._node_efficiency(node)
+                    if worst is None or gamma < worst[0]:
+                        worst = (gamma, gpus, node)
+            if worst is None:
+                break
+            _gamma, gpus, node = worst
+            split_job = node.jobs.pop()
+            split_profile = node.profiles.pop()
+            buckets[gpus].append(_Node([split_job], [split_profile]))
+            demand += gpus
+        return demand
+
+    def _memory_feasible(self, a: _Node, b: _Node) -> bool:
+        """Would the merged group fit in GPU memory (section 2.2)?"""
+        if self.gpu_memory_gb is None:
+            return True
+        from repro.jobs.memory import group_peak_memory
+
+        footprints = [
+            job.spec.memory for job in a.jobs + b.jobs
+        ]
+        if any(f is None for f in footprints):
+            return True
+        return group_peak_memory(footprints) <= self.gpu_memory_gb
+
+    def _node_efficiency(self, node: _Node) -> float:
+        profiles = tuple(node.profiles)
+        key = tuple(sorted(profile.durations for profile in profiles))
+        cached = self._weight_cache.get(key)
+        if cached is not None:
+            return cached
+        _offsets, period = best_ordering(profiles, self.num_resources)
+        gamma = efficiency_for_period(profiles, period, self.num_resources)
+        self._weight_cache[key] = gamma
+        return gamma
+
+    def _result(self, groups: List[JobGroup], rounds: int) -> GroupingResult:
+        total_eff = sum(g.believed_efficiency for g in groups if g.size > 1)
+        demand = sum(g.num_gpus for g in groups)
+        return GroupingResult(tuple(groups), total_eff, rounds, demand)
+
+    def _merge_weight(self, a: _Node, b: _Node) -> float:
+        # Edge weights always measure the *achievable* efficiency, so
+        # the matching is computed with the best ordering; the policy
+        # knob only affects the ordering executed (Fig. 11's variant
+        # "Muri-L w/ worst ordering" still groups like Muri-L).
+        profiles = tuple(a.profiles + b.profiles)
+        key = tuple(sorted(profile.durations for profile in profiles))
+        cached = self._weight_cache.get(key)
+        if cached is not None:
+            return cached
+        _offsets, period = best_ordering(profiles, self.num_resources)
+        weight = efficiency_for_period(profiles, period, self.num_resources)
+        self._weight_cache[key] = weight
+        return weight
+
+    def _finalize(self, node: _Node) -> JobGroup:
+        profiles = tuple(node.profiles)
+        key = tuple(profile.durations for profile in profiles)
+        offsets = self._ordering_cache.get(key)
+        if offsets is None:
+            ordering_fn = _ORDERING_FNS[self.ordering]
+            offsets, _period = ordering_fn(profiles, self.num_resources)
+            self._ordering_cache[key] = offsets
+        return JobGroup(
+            jobs=tuple(node.jobs),
+            believed_profiles=profiles,
+            offsets=offsets,
+            num_resources=self.num_resources,
+        )
+
+    def _group_exact(self, nodes: List[_Node]) -> List[JobGroup]:
+        """Exact hypergraph matching over singleton nodes (small n)."""
+        if len(nodes) > 12:
+            raise ValueError(
+                "exact matching is exponential; refusing more than 12 jobs"
+            )
+
+        def weight(group_indices: Tuple[int, ...]) -> float:
+            profiles = tuple(
+                profile
+                for idx in group_indices
+                for profile in nodes[idx].profiles
+            )
+            if len(profiles) > self.max_group_size:
+                return 0.0
+            _offsets, period = best_ordering(profiles, self.num_resources)
+            gamma = efficiency_for_period(profiles, period, self.num_resources)
+            return gamma if gamma >= self.min_efficiency else 0.0
+
+        chosen, _total = exact_hypergraph_matching(
+            len(nodes), min(self.max_group_size, len(nodes)), weight
+        )
+        grouped = set()
+        result: List[JobGroup] = []
+        for group_indices in chosen:
+            merged = _Node([], [])
+            for idx in group_indices:
+                merged.jobs.extend(nodes[idx].jobs)
+                merged.profiles.extend(nodes[idx].profiles)
+                grouped.add(idx)
+            result.append(self._finalize(merged))
+        for idx, node in enumerate(nodes):
+            if idx not in grouped:
+                result.append(self._finalize(node))
+        return result

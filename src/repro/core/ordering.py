@@ -1,0 +1,161 @@
+"""Stage orderings for interleaved job groups (Eq. 3 / Fig. 6).
+
+When a group of jobs shares one set of resources, every job cycles
+through the resources in data-path order, but each job is given a
+*phase offset*: job ``i`` with offset ``o_i`` executes resource
+``(o_i + s) mod k`` during time slot ``s``.  A synchronization barrier
+separates consecutive slots, so a slot lasts as long as the slowest
+stage scheduled in it and no two jobs ever use the same resource at
+the same time (offsets within a group are distinct).
+
+The group's iteration period is Eq. 3 of the paper, generalized to an
+arbitrary offset assignment::
+
+    T = sum_{s=0}^{k-1}  max_i  t_i^{(o_i + s) mod k}
+
+Different offset assignments ("orderings", Fig. 6) yield different
+periods; Muri enumerates them all and picks the best.  The worst
+ordering is kept around for the Fig. 11 ablation.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.jobs.resources import NUM_RESOURCES
+from repro.jobs.stage import StageProfile
+
+__all__ = [
+    "group_iteration_time",
+    "enumerate_offset_assignments",
+    "best_ordering",
+    "worst_ordering",
+    "identity_ordering",
+    "slot_durations",
+]
+
+Offsets = Tuple[int, ...]
+
+
+def slot_durations(
+    profiles: Sequence[StageProfile],
+    offsets: Offsets,
+    num_resources: int = NUM_RESOURCES,
+) -> List[float]:
+    """Duration of each barrier-delimited time slot under ``offsets``.
+
+    Slot ``s`` runs job ``i``'s stage on resource ``(o_i + s) % k``;
+    the slot lasts as long as its slowest stage.
+    """
+    _validate(profiles, offsets, num_resources)
+    slots = []
+    for s in range(num_resources):
+        slots.append(
+            max(
+                profile.durations[(offset + s) % num_resources]
+                for profile, offset in zip(profiles, offsets)
+            )
+        )
+    return slots
+
+
+def group_iteration_time(
+    profiles: Sequence[StageProfile],
+    offsets: Offsets,
+    num_resources: int = NUM_RESOURCES,
+) -> float:
+    """Interleaved iteration period T of a group (generalized Eq. 3)."""
+    return sum(slot_durations(profiles, offsets, num_resources))
+
+
+def enumerate_offset_assignments(
+    num_jobs: int,
+    num_resources: int = NUM_RESOURCES,
+) -> Iterator[Offsets]:
+    """Yield all distinct offset assignments for a group.
+
+    The first job's offset is pinned to zero (rotating every offset by
+    a constant does not change any slot), and offsets are distinct so
+    no two jobs ever contend for one resource inside a slot.
+    """
+    if num_jobs < 1:
+        raise ValueError("num_jobs must be >= 1")
+    if num_jobs > num_resources:
+        raise ValueError(
+            f"cannot interleave {num_jobs} jobs over {num_resources} "
+            "resources without same-slot contention"
+        )
+    remaining = range(1, num_resources)
+    for rest in permutations(remaining, num_jobs - 1):
+        yield (0,) + rest
+
+
+def _extreme_ordering(
+    profiles: Sequence[StageProfile],
+    num_resources: int,
+    pick_worst: bool,
+) -> Tuple[Offsets, float]:
+    best_offsets: Offsets = ()
+    best_time = None
+    for offsets in enumerate_offset_assignments(len(profiles), num_resources):
+        t = group_iteration_time(profiles, offsets, num_resources)
+        better = (
+            best_time is None
+            or (t > best_time if pick_worst else t < best_time)
+        )
+        if better:
+            best_time = t
+            best_offsets = offsets
+    assert best_time is not None
+    return best_offsets, best_time
+
+
+def best_ordering(
+    profiles: Sequence[StageProfile],
+    num_resources: int = NUM_RESOURCES,
+) -> Tuple[Offsets, float]:
+    """Offsets minimizing the group iteration period, and that period.
+
+    The enumeration is tiny in practice — at most ``(k-1)!`` candidates
+    for a full group of ``k`` jobs with ``k`` resource types (six for
+    the paper's four resources), as the paper notes in section 4.2.
+    """
+    return _extreme_ordering(profiles, num_resources, pick_worst=False)
+
+
+def worst_ordering(
+    profiles: Sequence[StageProfile],
+    num_resources: int = NUM_RESOURCES,
+) -> Tuple[Offsets, float]:
+    """Offsets maximizing the period (the Fig. 11 ablation arm)."""
+    return _extreme_ordering(profiles, num_resources, pick_worst=True)
+
+
+def identity_ordering(
+    profiles: Sequence[StageProfile],
+    num_resources: int = NUM_RESOURCES,
+) -> Tuple[Offsets, float]:
+    """The naive assignment o_i = i (Eq. 3 exactly as printed)."""
+    offsets = tuple(range(len(profiles)))
+    return offsets, group_iteration_time(profiles, offsets, num_resources)
+
+
+def _validate(
+    profiles: Sequence[StageProfile],
+    offsets: Iterable[int],
+    num_resources: int,
+) -> None:
+    offsets = tuple(offsets)
+    if len(offsets) != len(profiles):
+        raise ValueError("need one offset per job")
+    if not profiles:
+        raise ValueError("a group must contain at least one job")
+    if len(set(o % num_resources for o in offsets)) != len(offsets):
+        raise ValueError(f"offsets must be distinct modulo k, got {offsets}")
+    for profile in profiles:
+        if profile.num_resources < num_resources:
+            raise ValueError(
+                f"profile has {profile.num_resources} resources, "
+                f"need at least {num_resources}"
+            )

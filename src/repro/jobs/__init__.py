@@ -1,0 +1,38 @@
+"""Job and resource model: the vocabulary of the Muri reproduction."""
+
+from repro.jobs.job import Job, JobSpec, JobStatus
+from repro.jobs.memory import (
+    V100_MEMORY_GB,
+    MemoryFootprint,
+    group_peak_memory,
+)
+from repro.jobs.pipeline import (
+    ModelParallelJob,
+    PipelineWorker,
+    make_model_parallel_job,
+)
+from repro.jobs.resources import (
+    NUM_RESOURCES,
+    RESOURCE_ORDER,
+    STAGE_NAMES,
+    Resource,
+)
+from repro.jobs.stage import Stage, StageProfile
+
+__all__ = [
+    "Job",
+    "JobSpec",
+    "JobStatus",
+    "Resource",
+    "RESOURCE_ORDER",
+    "NUM_RESOURCES",
+    "STAGE_NAMES",
+    "Stage",
+    "StageProfile",
+    "ModelParallelJob",
+    "PipelineWorker",
+    "make_model_parallel_job",
+    "MemoryFootprint",
+    "group_peak_memory",
+    "V100_MEMORY_GB",
+]

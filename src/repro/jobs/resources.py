@@ -1,0 +1,68 @@
+"""Resource types used by DL training stages.
+
+The paper (section 1) identifies four resource types that a deep
+learning training iteration cycles through:
+
+* **storage IO** — reading training samples (data loading stage),
+* **CPU** — preprocessing and RL environment simulation,
+* **GPU** — forward and backward propagation,
+* **network IO** — gradient synchronization between workers.
+
+The canonical stage order within one iteration follows the data path:
+STORAGE -> CPU -> GPU -> NETWORK.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Tuple
+
+__all__ = ["Resource", "RESOURCE_ORDER", "NUM_RESOURCES", "STAGE_NAMES"]
+
+
+class Resource(IntEnum):
+    """One of the four resource types a training stage saturates."""
+
+    STORAGE = 0
+    CPU = 1
+    GPU = 2
+    NETWORK = 3
+
+    @property
+    def stage_name(self) -> str:
+        """Human-readable name of the stage that uses this resource."""
+        return STAGE_NAMES[self]
+
+    @classmethod
+    def from_name(cls, name: str) -> "Resource":
+        """Parse a resource from a case-insensitive name.
+
+        Accepts both resource names ("gpu") and stage names
+        ("propagate").
+        """
+        key = name.strip().upper()
+        if key in cls.__members__:
+            return cls[key]
+        for resource, stage in STAGE_NAMES.items():
+            if stage.upper() == key:
+                return resource
+        raise ValueError(f"unknown resource or stage name: {name!r}")
+
+
+#: Stages in data-path order: load -> preprocess -> propagate -> sync.
+RESOURCE_ORDER: Tuple[Resource, ...] = (
+    Resource.STORAGE,
+    Resource.CPU,
+    Resource.GPU,
+    Resource.NETWORK,
+)
+
+NUM_RESOURCES = len(RESOURCE_ORDER)
+
+#: The name the paper gives to the stage dominated by each resource.
+STAGE_NAMES = {
+    Resource.STORAGE: "load_data",
+    Resource.CPU: "preprocess",
+    Resource.GPU: "propagate",
+    Resource.NETWORK: "synchronize",
+}

@@ -1,0 +1,29 @@
+"""Graph matching algorithms used by Muri's grouping stage.
+
+Public API:
+
+* :func:`max_weight_matching` / :func:`matching_pairs` — from-scratch
+  O(V^3) blossom algorithm for maximum weight matching.
+* :func:`greedy_matching` / :func:`sequential_pair_matching` — greedy
+  baselines ("w/o Blossom" ablation).
+* :func:`brute_force_matching` / :func:`exact_hypergraph_matching` —
+  exponential-time exact oracles for tests and ablations.
+"""
+
+from repro.matching.blossom import (
+    matching_pairs,
+    matching_weight,
+    max_weight_matching,
+)
+from repro.matching.exact import brute_force_matching, exact_hypergraph_matching
+from repro.matching.greedy import greedy_matching, sequential_pair_matching
+
+__all__ = [
+    "max_weight_matching",
+    "matching_pairs",
+    "matching_weight",
+    "greedy_matching",
+    "sequential_pair_matching",
+    "brute_force_matching",
+    "exact_hypergraph_matching",
+]

@@ -1,0 +1,49 @@
+"""Greedy maximum weight matching.
+
+This is the "Muri without Blossom" ablation arm of the paper
+(Figure 11): pack jobs pairwise in a fixed priority order rather than
+solving the matching optimally.  It is also a useful fast approximate
+matcher in its own right (1/2-approximation when edges are taken in
+descending weight order).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+__all__ = ["greedy_matching", "sequential_pair_matching"]
+
+
+def greedy_matching(
+    edges: Sequence[Tuple[int, int, float]],
+) -> Set[Tuple[int, int]]:
+    """Match edges greedily in descending weight order.
+
+    Guarantees at least half the optimal matched weight for
+    non-negative weights.
+    """
+    matched: Set[int] = set()
+    pairs: Set[Tuple[int, int]] = set()
+    for u, v, w in sorted(edges, key=lambda e: (-e[2], e[0], e[1])):
+        if w <= 0:
+            break
+        if u in matched or v in matched or u == v:
+            continue
+        matched.add(u)
+        matched.add(v)
+        pairs.add((min(u, v), max(u, v)))
+    return pairs
+
+
+def sequential_pair_matching(order: Sequence[int]) -> List[Tuple[int, int]]:
+    """Pair consecutive items of ``order``: (o0, o1), (o2, o3), ...
+
+    This mirrors the paper's "Muri-L w/o Blossom" variant, which packs
+    jobs with the same GPU requirement in descending priority order
+    instead of running the matching algorithm.  A trailing odd item is
+    left unpaired.
+    """
+    pairs = []
+    for i in range(0, len(order) - 1, 2):
+        pairs.append((order[i], order[i + 1]))
+    return pairs

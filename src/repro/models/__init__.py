@@ -1,0 +1,21 @@
+"""Model zoo with the stage profiles of the paper's Tables 1 and 3."""
+
+from repro.models.zoo import (
+    DEFAULT_MODELS,
+    MODEL_ZOO,
+    MODELS_BY_BOTTLENECK,
+    ModelProfile,
+    get_model,
+    list_models,
+    models_for_bottlenecks,
+)
+
+__all__ = [
+    "ModelProfile",
+    "MODEL_ZOO",
+    "DEFAULT_MODELS",
+    "MODELS_BY_BOTTLENECK",
+    "get_model",
+    "list_models",
+    "models_for_bottlenecks",
+]

@@ -1,0 +1,16 @@
+"""Resource profiler: dry runs, caching, noise, timeline reduction."""
+
+from repro.profiler.noise import GaussianNoise, NoNoise, NoiseModel, UniformNoise
+from repro.profiler.profiler import ProfilerStats, ResourceProfiler
+from repro.profiler.timeline import UsageTimeline, synthesize_timeline
+
+__all__ = [
+    "ResourceProfiler",
+    "ProfilerStats",
+    "NoiseModel",
+    "NoNoise",
+    "UniformNoise",
+    "GaussianNoise",
+    "UsageTimeline",
+    "synthesize_timeline",
+]

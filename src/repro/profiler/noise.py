@@ -1,0 +1,84 @@
+"""Profiling noise models (Fig. 14).
+
+The paper evaluates robustness to inaccurate profiling by multiplying
+each true stage duration with a random factor drawn uniformly from
+``[1 - n_p, 1 + n_p]`` for a noise level ``n_p`` in [0, 1].  That exact
+model is :class:`UniformNoise`; a Gaussian variant is provided for
+sensitivity studies beyond the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.jobs.stage import StageProfile
+
+__all__ = ["NoiseModel", "UniformNoise", "GaussianNoise", "NoNoise"]
+
+
+class NoiseModel:
+    """Base class: perturb a true stage profile into a measured one."""
+
+    def perturb(self, profile: StageProfile, rng: random.Random) -> StageProfile:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NoNoise(NoiseModel):
+    """The identity noise model: measurements equal the truth."""
+
+    def perturb(self, profile: StageProfile, rng: random.Random) -> StageProfile:
+        return profile
+
+
+@dataclass(frozen=True)
+class UniformNoise(NoiseModel):
+    """The paper's noise model: factor uniform in [1-level, 1+level].
+
+    Attributes:
+        level: The paper's ``n_p`` in [0, 1].  Level 1 means a stage
+            can be measured anywhere from zero to double its truth.
+    """
+
+    level: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.level <= 1.0:
+            raise ValueError(f"noise level must be in [0, 1], got {self.level}")
+
+    def perturb(self, profile: StageProfile, rng: random.Random) -> StageProfile:
+        if self.level == 0.0:
+            return profile
+        noisy = tuple(
+            d * rng.uniform(1.0 - self.level, 1.0 + self.level)
+            for d in profile.durations
+        )
+        # Never let the whole profile collapse to zero.
+        if all(d == 0 for d in noisy):
+            return profile
+        return StageProfile(noisy)
+
+
+@dataclass(frozen=True)
+class GaussianNoise(NoiseModel):
+    """Multiplicative Gaussian noise, truncated to stay positive.
+
+    Attributes:
+        sigma: Standard deviation of the multiplicative factor.
+    """
+
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be >= 0")
+
+    def perturb(self, profile: StageProfile, rng: random.Random) -> StageProfile:
+        if self.sigma == 0.0:
+            return profile
+        noisy = tuple(
+            d * max(0.05, rng.gauss(1.0, self.sigma)) for d in profile.durations
+        )
+        return StageProfile(noisy)

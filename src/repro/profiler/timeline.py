@@ -1,0 +1,133 @@
+"""Converting raw resource-usage timelines into stage profiles.
+
+Section 4.2 ("Handling multi-resource usage in practice"): real jobs
+use several resources at once with varying utilization.  Muri's
+profiler normalizes each resource's usage to its own peak, assigns
+each sample point to the resource with the highest normalized usage,
+zeroes usage below a threshold, and sums sample spans into per-stage
+durations.
+
+:class:`UsageTimeline` implements that reduction, and
+:func:`synthesize_timeline` produces realistic raw timelines from a
+known profile so the reduction is testable end to end (it also powers
+the profiler demo example).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.jobs.resources import NUM_RESOURCES
+from repro.jobs.stage import StageProfile
+
+__all__ = ["UsageTimeline", "synthesize_timeline"]
+
+
+@dataclass(frozen=True)
+class UsageTimeline:
+    """Sampled multi-resource utilization over one iteration.
+
+    Attributes:
+        sample_interval: Seconds between consecutive samples.
+        samples: ``samples[i][j]`` is the raw utilization of resource
+            ``j`` at sample ``i`` (arbitrary units; each resource is
+            normalized to its own peak before comparison).
+    """
+
+    sample_interval: float
+    samples: tuple
+
+    def __post_init__(self) -> None:
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be > 0")
+        if not self.samples:
+            raise ValueError("a timeline needs at least one sample")
+        width = len(self.samples[0])
+        for row in self.samples:
+            if len(row) != width:
+                raise ValueError("all samples must have the same width")
+
+    @property
+    def num_resources(self) -> int:
+        return len(self.samples[0])
+
+    @property
+    def duration(self) -> float:
+        return len(self.samples) * self.sample_interval
+
+    def to_stage_profile(self, threshold: float = 0.1) -> StageProfile:
+        """Reduce the timeline to per-stage durations (section 4.2).
+
+        Following the paper: usage below ``threshold`` is filtered to
+        zero (idle noise), each resource is normalized to its own peak,
+        and every time point is attributed to the resource with the
+        highest normalized usage (ties broken by absolute usage).
+        All-idle samples contribute to no stage.
+
+        Args:
+            threshold: Absolute-utilization floor applied before
+                normalization.
+        """
+        if not 0 <= threshold < 1:
+            raise ValueError("threshold must be in [0, 1)")
+        filtered = [
+            tuple(value if value >= threshold else 0.0 for value in row)
+            for row in self.samples
+        ]
+        peaks = [
+            max(row[j] for row in filtered) or 1.0
+            for j in range(self.num_resources)
+        ]
+        durations = [0.0] * self.num_resources
+        for row in filtered:
+            if all(value == 0.0 for value in row):
+                continue
+            strongest = max(
+                range(self.num_resources),
+                key=lambda j: (row[j] / peaks[j], row[j]),
+            )
+            durations[strongest] += self.sample_interval
+        return StageProfile(tuple(durations))
+
+
+def synthesize_timeline(
+    profile: StageProfile,
+    sample_interval: float = 0.005,
+    background_level: float = 0.08,
+    jitter: float = 0.05,
+    seed: int = 0,
+) -> UsageTimeline:
+    """Generate a raw usage timeline matching a known stage profile.
+
+    The active resource of each stage runs near full utilization with
+    small jitter while other resources hum at a low background level —
+    the pattern the paper describes (e.g. CPUs busy throughout with a
+    preprocessing peak).
+
+    Args:
+        profile: Ground-truth stage durations.
+        sample_interval: Sampling period in seconds.
+        background_level: Mean utilization of inactive resources.
+        jitter: Uniform utilization jitter amplitude.
+        seed: RNG seed.
+    """
+    rng = random.Random(seed)
+    k = profile.num_resources
+    samples: List[List[float]] = []
+    for resource in range(k):
+        span = profile.durations[resource]
+        steps = round(span / sample_interval)
+        for _ in range(steps):
+            row = []
+            for j in range(k):
+                if j == resource:
+                    level = 0.95 + rng.uniform(-jitter, jitter)
+                else:
+                    level = background_level * rng.uniform(0.0, 2.0)
+                row.append(max(0.0, min(1.0, level)))
+            samples.append(row)
+    if not samples:
+        samples.append([1.0 if profile.durations[j] > 0 else 0.0 for j in range(k)])
+    return UsageTimeline(sample_interval=sample_interval, samples=tuple(samples))

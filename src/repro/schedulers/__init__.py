@@ -1,0 +1,41 @@
+"""Schedulers: Muri and every baseline the paper compares against."""
+
+from repro.schedulers.antman import AntManScheduler
+from repro.schedulers.base import Scheduler, fill_singletons, group_key
+from repro.schedulers.classic import (
+    FifoScheduler,
+    PriorityScheduler,
+    SjfScheduler,
+    SrsfScheduler,
+    SrtfScheduler,
+)
+from repro.schedulers.drf import DrfScheduler
+from repro.schedulers.packing import TetrisScheduler
+from repro.schedulers.registry import (
+    KNOWN_DURATION,
+    SCHEDULERS,
+    UNKNOWN_DURATION,
+    make_scheduler,
+)
+from repro.schedulers.themis import ThemisScheduler
+from repro.schedulers.tiresias import TiresiasScheduler
+
+__all__ = [
+    "Scheduler",
+    "group_key",
+    "fill_singletons",
+    "PriorityScheduler",
+    "FifoScheduler",
+    "SjfScheduler",
+    "SrtfScheduler",
+    "SrsfScheduler",
+    "TiresiasScheduler",
+    "ThemisScheduler",
+    "AntManScheduler",
+    "TetrisScheduler",
+    "DrfScheduler",
+    "make_scheduler",
+    "SCHEDULERS",
+    "KNOWN_DURATION",
+    "UNKNOWN_DURATION",
+]

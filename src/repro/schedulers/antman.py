@@ -1,0 +1,101 @@
+"""AntMan (OSDI '20): non-preemptive FIFO with opportunistic GPU sharing.
+
+AntMan packs multiple DL jobs onto one GPU with dynamic memory and
+compute scaling.  Relative to Muri it differs in two ways the paper
+leans on (section 6.3):
+
+* jobs are scheduled FIFO and never preempted, so a long job at the
+  head hurts average JCT;
+* sharing is *not* stage-aware: co-located jobs contend rather than
+  phase-shift, so the throughput benefit is smaller than Muri's
+  interleaving.
+
+We model an AntMan GPU share as a group whose stage ordering is the
+naive identity assignment (no ordering search) with an extra sharing
+slowdown applied by the executor, and cap sharing at two jobs per GPU
+(its memory-scaling regime).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence
+
+from repro.core.group import JobGroup
+from repro.core.ordering import identity_ordering
+from repro.jobs.job import Job
+from repro.schedulers.base import Scheduler, group_key
+
+__all__ = ["AntManScheduler"]
+
+
+class AntManScheduler(Scheduler):
+    """FIFO, non-preemptive, 2-way GPU sharing.
+
+    Args:
+        max_sharing: Jobs per GPU set (2 in AntMan's typical regime).
+    """
+
+    duration_aware = False
+    preemptive = False
+
+    def __init__(self, max_sharing: int = 2) -> None:
+        if max_sharing < 1:
+            raise ValueError("max_sharing must be >= 1")
+        self.max_sharing = max_sharing
+        self.name = "AntMan"
+
+    def decide(
+        self,
+        now: float,
+        jobs: Sequence[Job],
+        running: Dict[FrozenSet[int], JobGroup],
+        total_gpus: int,
+        reason: str = "tick",
+    ) -> List[JobGroup]:
+        # Keep every running group untouched (non-preemptive).
+        plan: List[JobGroup] = list(running.values())
+        used = sum(group.num_gpus for group in plan)
+        running_ids = {
+            job.job_id for group in plan for job in group.jobs
+        }
+        pending = sorted(
+            (job for job in jobs if job.job_id not in running_ids),
+            key=lambda job: (job.spec.submit_time, job.job_id),
+        )
+
+        # Fill free GPUs FIFO with dedicated jobs; once the cluster is
+        # full, later jobs run opportunistically by sharing the GPUs of
+        # a group with headroom and matching GPU count.
+        for job in pending:
+            if job.num_gpus <= total_gpus - used:
+                plan.append(JobGroup.solo(job))
+                used += job.num_gpus
+                continue
+            host_index = next(
+                (
+                    i
+                    for i, group in enumerate(plan)
+                    if group.size < self.max_sharing
+                    and group.num_gpus == job.num_gpus
+                ),
+                None,
+            )
+            if host_index is None:
+                # FIFO: do not let later jobs jump a blocked head.
+                break
+            plan[host_index] = self._share(plan[host_index], job)
+        return plan
+
+    def _share(self, host: JobGroup, job: Job) -> JobGroup:
+        members = list(host.jobs) + [job]
+        return self._pack(members)
+
+    def _pack(self, members: Sequence[Job]) -> JobGroup:
+        profiles = tuple(job.profile for job in members)
+        offsets, _period = identity_ordering(profiles)
+        return JobGroup(
+            jobs=tuple(members),
+            believed_profiles=profiles,
+            offsets=offsets,
+            coordinated=False,
+        )

@@ -1,0 +1,113 @@
+"""Classic priority schedulers: FIFO, SJF, SRTF, SRSF.
+
+These allocate GPUs exclusively (one job per GPU set, no sharing) and
+differ only in queue order.  SRTF and SRSF are the duration-aware
+baselines of Table 4; SRSF is Tiresias's "remaining time x GPUs"
+extension of SRTF to multi-GPU DL jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence
+
+from repro.core.group import JobGroup
+from repro.core.priorities import PriorityPolicy, get_policy
+from repro.jobs.job import Job
+from repro.schedulers.base import Scheduler, fill_singletons, group_key
+
+__all__ = [
+    "PriorityScheduler",
+    "FifoScheduler",
+    "SjfScheduler",
+    "SrtfScheduler",
+    "SrsfScheduler",
+]
+
+
+class PriorityScheduler(Scheduler):
+    """Exclusive-GPU scheduler ordered by a priority policy.
+
+    Args:
+        policy: Priority callable or policy name (lower value runs
+            first).
+        name: Display name.
+        duration_aware: Whether the policy consumes durations.
+        strict: Head-of-line blocking instead of backfilling.
+    """
+
+    def __init__(
+        self,
+        policy,
+        name: str,
+        duration_aware: bool,
+        strict: bool = False,
+    ) -> None:
+        self.policy: PriorityPolicy = (
+            get_policy(policy) if isinstance(policy, str) else policy
+        )
+        self.name = name
+        self.duration_aware = duration_aware
+        self.strict = strict
+
+    def decide(
+        self,
+        now: float,
+        jobs: Sequence[Job],
+        running: Dict[FrozenSet[int], JobGroup],
+        total_gpus: int,
+        reason: str = "tick",
+    ) -> List[JobGroup]:
+        ordered = sorted(
+            jobs,
+            key=lambda job: (
+                self.policy(job, now),
+                job.spec.submit_time,
+                job.job_id,
+            ),
+        )
+        return fill_singletons(ordered, total_gpus, strict=self.strict)
+
+
+class FifoScheduler(PriorityScheduler):
+    """First-in-first-out with head-of-line blocking, non-preemptive."""
+
+    preemptive = False
+
+    def __init__(self) -> None:
+        super().__init__("fifo", name="FIFO", duration_aware=False, strict=True)
+
+    def decide(self, now, jobs, running, total_gpus, reason="tick"):
+        # Never stop a running job: pin running jobs first, then extend
+        # FIFO from the queue head.
+        running_jobs = [
+            job for group in running.values() for job in group.jobs
+        ]
+        running_ids = {job.job_id for job in running_jobs}
+        pinned = [JobGroup.solo(job) for job in running_jobs]
+        free = total_gpus - sum(job.num_gpus for job in running_jobs)
+        pending = sorted(
+            (job for job in jobs if job.job_id not in running_ids),
+            key=lambda job: (job.spec.submit_time, job.job_id),
+        )
+        return pinned + fill_singletons(pending, free, strict=True)
+
+
+class SjfScheduler(PriorityScheduler):
+    """Shortest Job First (static total size)."""
+
+    def __init__(self) -> None:
+        super().__init__("sjf", name="SJF", duration_aware=True)
+
+
+class SrtfScheduler(PriorityScheduler):
+    """Shortest Remaining Time First (preemptive)."""
+
+    def __init__(self) -> None:
+        super().__init__("srtf", name="SRTF", duration_aware=True)
+
+
+class SrsfScheduler(PriorityScheduler):
+    """Shortest Remaining Service First: remaining time x GPU count."""
+
+    def __init__(self) -> None:
+        super().__init__("srsf", name="SRSF", duration_aware=True)

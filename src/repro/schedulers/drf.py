@@ -1,0 +1,97 @@
+"""Dominant Resource Fairness (Ghodsi et al., NSDI '11).
+
+The classic multi-resource *fair* allocator the paper cites in related
+work: each job's demand is a vector over resources; its *dominant
+share* is the largest fraction of any cluster resource it holds; DRF
+repeatedly grants resources to the user/job with the smallest dominant
+share.
+
+For DL jobs the dominant resource is effectively always the GPU (peak
+GPU demand ≈ the whole device), so DRF degenerates to round-robin-like
+fair sharing of GPUs — the same space-only limitation as Tetris, but
+with fairness rather than packing as the objective.  It is included as
+the fairness-family baseline: expect average JCT between FIFO and the
+LAS family, with low variance in attained service.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.core.group import JobGroup
+from repro.jobs.job import Job
+from repro.jobs.resources import NUM_RESOURCES
+from repro.schedulers.base import Scheduler
+
+__all__ = ["DrfScheduler", "dominant_share"]
+
+
+def dominant_share(job: Job, cluster_capacity: Sequence[float]) -> float:
+    """A job's dominant share if granted its demand.
+
+    The demand vector is (GPUs, plus the average per-resource stage
+    utilization scaled by GPU count); capacity is per-resource cluster
+    totals.  For DL jobs the GPU entry dominates.
+    """
+    iteration = job.profile.iteration_time
+    shares = []
+    for resource in range(min(NUM_RESOURCES, len(cluster_capacity))):
+        if cluster_capacity[resource] <= 0:
+            continue
+        demand = (
+            job.profile.durations[resource] / iteration * job.num_gpus
+        )
+        shares.append(demand / cluster_capacity[resource])
+    return max(shares) if shares else 0.0
+
+
+class DrfScheduler(Scheduler):
+    """Progressive-filling DRF over attained dominant shares.
+
+    Each round, jobs are granted GPUs in ascending order of their
+    *attained* dominant share (GPU-seconds of service relative to what
+    the cluster could have provided them), so service is equalized over
+    time — the water-filling behaviour of DRF applied longitudinally,
+    which is how fair schedulers operate on non-divisible DL jobs.
+    """
+
+    duration_aware = False
+    preemptive = True
+
+    def __init__(self) -> None:
+        self.name = "DRF"
+
+    def decide(
+        self,
+        now: float,
+        jobs: Sequence[Job],
+        running: Dict[FrozenSet[int], JobGroup],
+        total_gpus: int,
+        reason: str = "tick",
+    ) -> List[JobGroup]:
+        horizon = max(now, 1.0)
+
+        def attained_share(job: Job) -> float:
+            # Fraction of the cluster's GPU-time since its submission
+            # that this job has received, normalized by demand size so
+            # wide jobs are not inherently favoured.
+            window = max(1.0, horizon - job.spec.submit_time)
+            return job.attained_gpu_service / (window * job.num_gpus)
+
+        ordered = sorted(
+            jobs,
+            key=lambda job: (
+                attained_share(job),
+                job.spec.submit_time,
+                job.job_id,
+            ),
+        )
+        plan: List[JobGroup] = []
+        free = total_gpus
+        for job in ordered:
+            if job.num_gpus <= free:
+                plan.append(JobGroup.solo(job))
+                free -= job.num_gpus
+            if free == 0:
+                break
+        return plan

@@ -1,0 +1,79 @@
+"""Scheduler registry: build any evaluated scheduler by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.profiler.profiler import ResourceProfiler
+from repro.schedulers.antman import AntManScheduler
+from repro.schedulers.base import Scheduler
+from repro.schedulers.classic import (
+    FifoScheduler,
+    SjfScheduler,
+    SrsfScheduler,
+    SrtfScheduler,
+)
+from repro.schedulers.drf import DrfScheduler
+from repro.schedulers.packing import TetrisScheduler
+from repro.schedulers.themis import ThemisScheduler
+from repro.schedulers.tiresias import TiresiasScheduler
+
+__all__ = ["make_scheduler", "SCHEDULERS", "KNOWN_DURATION", "UNKNOWN_DURATION"]
+
+def _muri(policy: str) -> Callable[[], Scheduler]:
+    def factory() -> Scheduler:
+        # Imported lazily: core.muri itself depends on schedulers.base.
+        from repro.core.muri import MuriScheduler
+
+        return MuriScheduler(policy=policy)
+
+    return factory
+
+
+SCHEDULERS: Dict[str, Callable[[], Scheduler]] = {
+    "fifo": FifoScheduler,
+    "sjf": SjfScheduler,
+    "srtf": SrtfScheduler,
+    "srsf": SrsfScheduler,
+    "tiresias": TiresiasScheduler,
+    "tiresias-gittins": lambda: TiresiasScheduler(variant="gittins"),
+    "themis": ThemisScheduler,
+    "antman": AntManScheduler,
+    "tetris": TetrisScheduler,
+    "drf": DrfScheduler,
+    "muri-s": _muri("srsf"),
+    "muri-l": _muri("las2d"),
+}
+
+#: Baseline sets per evaluation scenario (Tables 4 and 5).
+KNOWN_DURATION = ("srtf", "srsf", "muri-s")
+UNKNOWN_DURATION = ("tiresias", "themis", "antman", "muri-l")
+
+
+def make_scheduler(
+    name: str, profiler: Optional[ResourceProfiler] = None, **kwargs
+) -> Scheduler:
+    """Instantiate a scheduler by registry name.
+
+    Args:
+        name: One of ``SCHEDULERS`` (case-insensitive).
+        profiler: Optional profiler, honoured by the Muri variants.
+        **kwargs: Extra constructor arguments for Muri variants
+            (``max_group_size``, ``matcher``, ``ordering``...).
+
+    Raises:
+        KeyError: For unknown names.
+    """
+    key = name.lower()
+    if key not in SCHEDULERS:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {', '.join(sorted(SCHEDULERS))}"
+        )
+    if key.startswith("muri"):
+        from repro.core.muri import MuriScheduler
+
+        policy = "srsf" if key == "muri-s" else "las2d"
+        return MuriScheduler(policy=policy, profiler=profiler, **kwargs)
+    if kwargs:
+        return SCHEDULERS[key](**kwargs)  # type: ignore[call-arg]
+    return SCHEDULERS[key]()

@@ -1,0 +1,94 @@
+"""Tiresias (NSDI '19): duration-unaware DL scheduling with 2D-LAS.
+
+Tiresias ranks jobs by *attained GPU service* (2D-LAS) when durations
+are unknown.  To avoid constant preemption churn from continuously
+changing attained service, it discretizes priorities into a small
+number of queues split at exponentially growing service thresholds;
+within a queue, jobs run FIFO.  We reproduce that discretized
+two-dimensional LAS, plus the 2D-Gittins variant that Tiresias offers
+when a duration *distribution* is known.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence
+
+from repro.core.group import JobGroup
+from repro.jobs.job import Job
+from repro.schedulers.base import Scheduler, fill_singletons, group_key
+
+__all__ = ["TiresiasScheduler"]
+
+
+class TiresiasScheduler(Scheduler):
+    """Discretized 2D-LAS / 2D-Gittins scheduler.
+
+    Args:
+        num_queues: Number of discretized priority queues.
+        starvation_knob: Promote a job back to the highest queue when
+            its pending time exceeds ``starvation_knob`` times its
+            attained service (Tiresias's PROMOTEKNOB); zero disables.
+        base_quantum: Attained-GPU-service threshold of the first
+            queue boundary, in GPU-seconds; boundaries grow by 10x.
+        variant: "las" (default) or "gittins".
+    """
+
+    duration_aware = False
+
+    def __init__(
+        self,
+        num_queues: int = 3,
+        starvation_knob: float = 8.0,
+        base_quantum: float = 3600.0,
+        variant: str = "las",
+    ) -> None:
+        if num_queues < 1:
+            raise ValueError("num_queues must be >= 1")
+        if variant not in ("las", "gittins"):
+            raise ValueError(f"unknown Tiresias variant {variant!r}")
+        self.num_queues = num_queues
+        self.starvation_knob = starvation_knob
+        self.base_quantum = base_quantum
+        self.variant = variant
+        self.name = "Tiresias" if variant == "las" else "Tiresias-Gittins"
+
+    # -- queue assignment ---------------------------------------------------
+
+    def _queue_index(self, job: Job, now: float) -> int:
+        attained = job.attained_gpu_service
+        # Starvation guard: long-pending jobs get promoted to queue 0.
+        if (
+            self.starvation_knob > 0
+            and job.attained_service > 0
+            and job.pending_time(now) > self.starvation_knob * job.attained_service
+        ):
+            return 0
+        boundary = self.base_quantum
+        for queue in range(self.num_queues - 1):
+            if attained < boundary:
+                return queue
+            boundary *= 10.0
+        return self.num_queues - 1
+
+    def _rank(self, job: Job, now: float):
+        queue = self._queue_index(job, now)
+        if self.variant == "gittins":
+            # Gittins within a queue: prefer jobs whose attained service
+            # is close to the queue boundary from below (most likely to
+            # finish within the next quantum under heavy-tailed sizes).
+            within = -job.attained_gpu_service
+        else:
+            # LAS within a queue: FIFO by submission (Tiresias's rule).
+            within = job.spec.submit_time
+        return (queue, within, job.spec.submit_time, job.job_id)
+
+    def decide(
+        self,
+        now: float,
+        jobs: Sequence[Job],
+        running: Dict[FrozenSet[int], JobGroup],
+        total_gpus: int,
+        reason: str = "tick",
+    ) -> List[JobGroup]:
+        ordered = sorted(jobs, key=lambda job: self._rank(job, now))
+        return fill_singletons(ordered, total_gpus)

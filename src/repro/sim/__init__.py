@@ -1,0 +1,55 @@
+"""Discrete-event simulation of DL clusters."""
+
+from repro.sim.contention import (
+    DEFAULT_CONTENTION,
+    IDEAL_CONTENTION,
+    ContentionModel,
+)
+from repro.sim.decisions import Decision, DecisionLog
+from repro.sim.engine import Event, EventKind, EventQueue
+from repro.sim.faults import FaultInjector
+from repro.sim.io import (
+    load_comparison,
+    load_result,
+    save_comparison,
+    save_result,
+)
+from repro.sim.metrics import (
+    MetricsSummary,
+    SimulationResult,
+    TimePoint,
+    percentile,
+)
+from repro.sim.monitor import (
+    FaultReport,
+    MachineSample,
+    ProgressReport,
+    WorkerMonitor,
+)
+from repro.sim.simulator import ClusterSimulator, SimulationError
+
+__all__ = [
+    "ClusterSimulator",
+    "SimulationError",
+    "SimulationResult",
+    "MetricsSummary",
+    "TimePoint",
+    "percentile",
+    "ContentionModel",
+    "DEFAULT_CONTENTION",
+    "IDEAL_CONTENTION",
+    "FaultInjector",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Decision",
+    "DecisionLog",
+    "WorkerMonitor",
+    "MachineSample",
+    "ProgressReport",
+    "FaultReport",
+    "save_result",
+    "load_result",
+    "save_comparison",
+    "load_comparison",
+]

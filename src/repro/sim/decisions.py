@@ -1,0 +1,105 @@
+"""Scheduling-decision audit log.
+
+When a scheduler misbehaves — churns preemptions, starves a job,
+leaves GPUs idle — the cluster-level metrics say *that* it happened but
+not *why*.  :class:`DecisionLog` records every scheduler invocation:
+when and why it ran, what it proposed, what was started, kept,
+preempted, and what failed placement.  Attach it via
+``ClusterSimulator(decision_log=...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = ["Decision", "DecisionLog"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One scheduler invocation, summarized.
+
+    Attributes:
+        time: Simulation time of the invocation.
+        reason: "tick" or "completion".
+        proposed_groups: Groups the scheduler returned.
+        kept: Groups already running that continue untouched.
+        started: Groups newly placed this round.
+        preempted: Groups stopped this round.
+        unplaced: Proposed new groups that failed placement.
+        queue_length: Pending jobs after the decision.
+        free_gpus: Unallocated GPUs after the decision.
+    """
+
+    time: float
+    reason: str
+    proposed_groups: int
+    kept: int
+    started: int
+    preempted: int
+    unplaced: int
+    queue_length: int
+    free_gpus: int
+
+
+class DecisionLog:
+    """Collects :class:`Decision` records during a simulation."""
+
+    def __init__(self) -> None:
+        self._decisions: List[Decision] = []
+
+    # -- ingestion ---------------------------------------------------------
+
+    def record(self, decision: Decision) -> None:
+        self._decisions.append(decision)
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    def __iter__(self):
+        return iter(self._decisions)
+
+    def decisions(self) -> List[Decision]:
+        return list(self._decisions)
+
+    @property
+    def total_preemptions(self) -> int:
+        """Groups stopped across all decisions (not per-job counts)."""
+        return sum(d.preempted for d in self._decisions)
+
+    @property
+    def total_started(self) -> int:
+        return sum(d.started for d in self._decisions)
+
+    def churn_rate(self) -> float:
+        """Fraction of decisions that preempted at least one group.
+
+        High churn with an unchanged workload usually means the
+        scheduler's plan is unstable round to round (see the seeding
+        discussion in ``repro.core.grouping``).
+        """
+        if not self._decisions:
+            return 0.0
+        churny = sum(1 for d in self._decisions if d.preempted > 0)
+        return churny / len(self._decisions)
+
+    def idle_decisions(self) -> List[Decision]:
+        """Decisions that left GPUs free while jobs queued — the
+        signature of head-of-line blocking or fragmentation."""
+        return [
+            d for d in self._decisions
+            if d.free_gpus > 0 and d.queue_length > 0
+        ]
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for reports."""
+        return {
+            "decisions": float(len(self._decisions)),
+            "started": float(self.total_started),
+            "preempted_groups": float(self.total_preemptions),
+            "churn_rate": self.churn_rate(),
+            "idle_decisions": float(len(self.idle_decisions())),
+        }

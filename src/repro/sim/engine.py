@@ -1,0 +1,81 @@
+"""A small discrete-event queue.
+
+The simulator's externally scheduled events — job arrivals, scheduler
+ticks, injected faults — go through this queue; completions are
+recomputed from group state instead (they move whenever membership
+changes, so queueing them would require invalidation).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(Enum):
+    """What an event represents."""
+
+    ARRIVAL = "arrival"
+    TICK = "tick"
+    FAULT = "fault"
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """One scheduled event.
+
+    Attributes:
+        time: When the event fires.
+        kind: Event category.
+        payload: Kind-specific data (job id for arrivals/faults).
+    """
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+
+
+class EventQueue:
+    """Min-heap of events ordered by (time, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        """Schedule an event."""
+        if event.time < 0:
+            raise ValueError("event time must be >= 0")
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or None when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event.
+
+        Raises:
+            IndexError: When the queue is empty.
+        """
+        return heapq.heappop(self._heap)[2]
+
+    def pop_until(self, time: float) -> List[Event]:
+        """Pop every event with ``event.time <= time``, in order."""
+        events: List[Event] = []
+        while self._heap and self._heap[0][0] <= time:
+            events.append(self.pop())
+        return events
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

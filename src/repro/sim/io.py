@@ -1,0 +1,120 @@
+"""Persistence for simulation results.
+
+Experiments that take minutes to run deserve durable outputs:
+:func:`save_result` / :func:`load_result` round-trip a
+:class:`~repro.sim.metrics.SimulationResult` (including the full time
+series) through JSON, and :func:`save_comparison` stores a whole
+scheduler-comparison dict in one document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+from repro.sim.metrics import SimulationResult, TimePoint
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+    "save_comparison",
+    "load_comparison",
+]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: SimulationResult) -> Dict:
+    """Serialize a result to plain JSON-compatible data."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "scheduler_name": result.scheduler_name,
+        "trace_name": result.trace_name,
+        "jcts": {str(k): v for k, v in result.jcts.items()},
+        "finish_times": {str(k): v for k, v in result.finish_times.items()},
+        "submit_times": {str(k): v for k, v in result.submit_times.items()},
+        "total_preemptions": result.total_preemptions,
+        "total_restart_time": result.total_restart_time,
+        "wall_clock": result.wall_clock,
+        "timeseries": [
+            {
+                "time": p.time,
+                "span": p.span,
+                "queue_length": p.queue_length,
+                "running_jobs": p.running_jobs,
+                "blocking_index": p.blocking_index,
+                "utilization": list(p.utilization),
+            }
+            for p in result.timeseries
+        ],
+    }
+
+
+def result_from_dict(payload: Mapping) -> SimulationResult:
+    """Rebuild a result from :func:`result_to_dict` output.
+
+    Raises:
+        ValueError: On an unknown format version.
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version: {version!r}")
+    result = SimulationResult(
+        scheduler_name=payload["scheduler_name"],
+        trace_name=payload["trace_name"],
+        jcts={int(k): v for k, v in payload["jcts"].items()},
+        finish_times={int(k): v for k, v in payload["finish_times"].items()},
+        submit_times={int(k): v for k, v in payload["submit_times"].items()},
+        total_preemptions=payload["total_preemptions"],
+        total_restart_time=payload["total_restart_time"],
+        wall_clock=payload["wall_clock"],
+    )
+    result.timeseries = [
+        TimePoint(
+            time=p["time"],
+            span=p["span"],
+            queue_length=p["queue_length"],
+            running_jobs=p["running_jobs"],
+            blocking_index=p["blocking_index"],
+            utilization=tuple(p["utilization"]),
+        )
+        for p in payload["timeseries"]
+    ]
+    return result
+
+
+def save_result(result: SimulationResult, path: Union[str, Path]) -> None:
+    """Write one result as JSON."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result(path: Union[str, Path]) -> SimulationResult:
+    """Read a result written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_comparison(
+    results: Mapping[str, SimulationResult], path: Union[str, Path]
+) -> None:
+    """Write a ``{label: result}`` comparison as one JSON document."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "results": {
+            label: result_to_dict(result) for label, result in results.items()
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_comparison(path: Union[str, Path]) -> Dict[str, SimulationResult]:
+    """Read a comparison written by :func:`save_comparison`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError("unsupported comparison format version")
+    return {
+        label: result_from_dict(entry)
+        for label, entry in payload["results"].items()
+    }

@@ -1,0 +1,209 @@
+"""Simulation metrics: the quantities the paper's evaluation reports.
+
+* **average / tail JCT** and **makespan** — headline metrics of
+  Tables 4-5 and Figs. 9-10;
+* **queue length** — pending jobs over time (Fig. 8);
+* **blocking index** — mean ratio of pending time to remaining time of
+  pending jobs, the starvation indicator of Fig. 8;
+* **per-resource utilization** — storage/CPU/GPU/network busy
+  fractions over time (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.jobs.resources import NUM_RESOURCES, RESOURCE_ORDER, Resource
+
+__all__ = ["TimePoint", "MetricsSummary", "SimulationResult", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100]).
+
+    Raises:
+        ValueError: On an empty sequence or q outside [0, 100].
+    """
+    if not values:
+        raise ValueError("cannot take the percentile of no values")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+@dataclass(frozen=True)
+class TimePoint:
+    """One sample of the cluster's instantaneous state.
+
+    Attributes:
+        time: Sample time (start of the span it describes).
+        span: Seconds until the next sample.
+        queue_length: Pending (submitted, not running) jobs.
+        running_jobs: Jobs currently making progress.
+        blocking_index: Mean pending/remaining ratio over pending jobs
+            (zero when nothing is pending).
+        utilization: Busy fraction per resource, in
+            (storage, CPU, GPU, network) order, normalized by total
+            cluster GPUs.
+    """
+
+    time: float
+    span: float
+    queue_length: int
+    running_jobs: int
+    blocking_index: float
+    utilization: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """Headline metrics of one simulation."""
+
+    avg_jct: float
+    p50_jct: float
+    p99_jct: float
+    makespan: float
+    avg_queue_length: float
+    avg_blocking_index: float
+    avg_utilization: Tuple[float, ...]
+    total_preemptions: int
+    num_jobs: int
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produced.
+
+    Attributes:
+        scheduler_name: Scheduler that produced the run.
+        trace_name: Workload label.
+        jcts: Completion time per job id.
+        finish_times: Absolute finish time per job id.
+        submit_times: Absolute submit time per job id.
+        timeseries: Sampled cluster state over the run.
+        total_preemptions: Stop/restart events across all jobs.
+        total_restart_time: Seconds lost to restart penalties.
+        wall_clock: Real seconds the simulation took (not simulated
+            time).
+    """
+
+    scheduler_name: str
+    trace_name: str
+    jcts: Dict[int, float] = field(default_factory=dict)
+    finish_times: Dict[int, float] = field(default_factory=dict)
+    submit_times: Dict[int, float] = field(default_factory=dict)
+    timeseries: List[TimePoint] = field(default_factory=list)
+    total_preemptions: int = 0
+    total_restart_time: float = 0.0
+    wall_clock: float = 0.0
+
+    # -- headline metrics ---------------------------------------------------
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jcts)
+
+    @property
+    def avg_jct(self) -> float:
+        """Mean job completion time."""
+        if not self.jcts:
+            raise ValueError("no completed jobs")
+        return sum(self.jcts.values()) / len(self.jcts)
+
+    def tail_jct(self, q: float = 99.0) -> float:
+        """The q-th percentile JCT (the paper reports the 99th)."""
+        return percentile(list(self.jcts.values()), q)
+
+    def jct_cdf(self, points: int = 20) -> List[Tuple[float, float]]:
+        """The JCT distribution as ``(jct_seconds, fraction <= jct)``.
+
+        Args:
+            points: Number of evenly spaced quantile samples.
+
+        Raises:
+            ValueError: With no completed jobs or ``points < 2``.
+        """
+        if points < 2:
+            raise ValueError("points must be >= 2")
+        values = sorted(self.jcts.values())
+        if not values:
+            raise ValueError("no completed jobs")
+        cdf = []
+        for index in range(points):
+            fraction = index / (points - 1)
+            cdf.append((percentile(values, 100.0 * fraction), fraction))
+        return cdf
+
+    @property
+    def makespan(self) -> float:
+        """Time from trace start until the last job completes."""
+        if not self.finish_times:
+            raise ValueError("no completed jobs")
+        return max(self.finish_times.values())
+
+    # -- time-weighted series averages ----------------------------------------
+
+    def _weighted_average(self, extractor) -> float:
+        total_span = sum(p.span for p in self.timeseries)
+        if total_span <= 0:
+            return 0.0
+        return (
+            sum(extractor(p) * p.span for p in self.timeseries) / total_span
+        )
+
+    @property
+    def avg_queue_length(self) -> float:
+        return self._weighted_average(lambda p: p.queue_length)
+
+    @property
+    def avg_blocking_index(self) -> float:
+        return self._weighted_average(lambda p: p.blocking_index)
+
+    def avg_utilization(self) -> Tuple[float, ...]:
+        """Time-weighted mean busy fraction per resource."""
+        return tuple(
+            self._weighted_average(lambda p, j=j: p.utilization[j])
+            for j in range(NUM_RESOURCES)
+        )
+
+    def utilization_of(self, resource: Resource) -> float:
+        return self.avg_utilization()[Resource(resource)]
+
+    # -- summaries ----------------------------------------------------------------
+
+    def summary(self) -> MetricsSummary:
+        """Collapse the run into a :class:`MetricsSummary`."""
+        return MetricsSummary(
+            avg_jct=self.avg_jct,
+            p50_jct=self.tail_jct(50.0),
+            p99_jct=self.tail_jct(99.0),
+            makespan=self.makespan,
+            avg_queue_length=self.avg_queue_length,
+            avg_blocking_index=self.avg_blocking_index,
+            avg_utilization=self.avg_utilization(),
+            total_preemptions=self.total_preemptions,
+            num_jobs=self.num_jobs,
+        )
+
+    def speedup_over(self, baseline: "SimulationResult") -> Dict[str, float]:
+        """Baseline-normalized improvements (>1 means this run wins).
+
+        Matches the paper's reporting: "Muri improves average JCT by
+        2.03x" means baseline avg JCT / Muri avg JCT = 2.03.
+        """
+        return {
+            "avg_jct": baseline.avg_jct / self.avg_jct,
+            "makespan": baseline.makespan / self.makespan,
+            "p99_jct": baseline.tail_jct(99.0) / self.tail_jct(99.0),
+        }

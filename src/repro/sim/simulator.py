@@ -1,0 +1,563 @@
+"""Discrete-event cluster simulator.
+
+Drives a scheduler against a workload, executing interleaving groups
+with the paper's semantics:
+
+* a group's members advance in lockstep, one iteration per interleaved
+  period ``T`` (Eq. 3 under the group's chosen ordering), inflated by
+  the contention model;
+* every newly (re)started group pays a restart penalty before making
+  progress — the preemption/restart overhead that motivates the
+  paper's six-minute scheduling interval;
+* when a member finishes, the group keeps running with the remaining
+  members at their original phase offsets (the period usually drops);
+* uncoordinated groups (AntMan) pay an extra sharing penalty because
+  their stages collide instead of phase-shifting;
+* the scheduler is re-invoked on a fixed interval and on completions,
+  mirroring "periodically invoked on events like job arrival and job
+  completion" (section 3).
+
+The simulator is deterministic given the workload and scheduler.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Allocation, Cluster
+from repro.cluster.placement import DescendingPlacer
+from repro.core.group import JobGroup
+from repro.core.ordering import group_iteration_time
+from repro.jobs.job import Job, JobSpec, JobStatus
+from repro.jobs.resources import NUM_RESOURCES
+from repro.schedulers.base import Scheduler, group_key
+from repro.sim.contention import DEFAULT_CONTENTION, ContentionModel
+from repro.sim.decisions import Decision, DecisionLog
+from repro.sim.engine import Event, EventKind, EventQueue
+from repro.sim.faults import FaultInjector
+from repro.sim.metrics import SimulationResult, TimePoint
+from repro.sim.monitor import WorkerMonitor
+
+__all__ = ["ClusterSimulator", "SimulationError"]
+
+_EPS = 1e-9
+#: Iterations below this count as "finished" (guards float drift).
+_ITER_EPS = 1e-6
+
+
+class SimulationError(RuntimeError):
+    """The simulation cannot make progress or exceeded its step budget."""
+
+
+@dataclass
+class _RunningGroup:
+    """Executor-side state of one placed group."""
+
+    group: JobGroup
+    allocation: Allocation
+    active: List[Job]
+    offsets: Dict[int, int]
+    penalty_remaining: float = 0.0
+    fault_deadlines: Dict[int, float] = field(default_factory=dict)
+
+    def period(self, contention: ContentionModel, uncoordinated_penalty: float) -> float:
+        """Current true iteration period of the active members."""
+        profiles = tuple(job.profile for job in self.active)
+        offsets = tuple(self.offsets[job.job_id] for job in self.active)
+        base = group_iteration_time(profiles, offsets, self.group.num_resources)
+        factor = contention.factor(len(self.active), self.allocation.spans_machines)
+        if not self.group.coordinated and len(self.active) > 1:
+            factor *= uncoordinated_penalty
+        return base * factor
+
+    def busy_time(self, resource: int) -> float:
+        """Seconds per period the active members keep ``resource`` busy."""
+        return sum(job.profile.durations[resource] for job in self.active)
+
+    def time_to_next_event(
+        self, contention: ContentionModel, uncoordinated_penalty: float
+    ) -> float:
+        """Seconds until this group's earliest completion or fault."""
+        period = self.period(contention, uncoordinated_penalty)
+        horizon = min(
+            job.remaining_iterations * period for job in self.active
+        )
+        for job in self.active:
+            deadline = self.fault_deadlines.get(job.job_id)
+            if deadline is not None:
+                horizon = min(horizon, deadline)
+        return self.penalty_remaining + horizon
+
+
+class ClusterSimulator:
+    """Runs one scheduler over one workload on a simulated cluster.
+
+    Args:
+        scheduler: The policy under test.
+        cluster: The cluster; defaults to the paper's 8 x 8 = 64 GPUs.
+        scheduling_interval: Seconds between scheduler invocations (the
+            paper uses six minutes).
+        restart_penalty: Seconds a newly started or restarted group
+            needs before making progress (process restore, CUDA
+            context, data pipeline warm-up).
+        contention: Group-size contention model.
+        uncoordinated_penalty: Extra period factor for uncoordinated
+            (AntMan-style) sharing groups.
+        fault_injector: Optional fault model; faulted jobs are requeued
+            with their progress (minus checkpoint loss) intact.
+        backfill_on_completion: When False (the paper-faithful
+            default), completions free GPUs but new jobs start only at
+            the next scheduling tick, as in the prototype's six-minute
+            interval.  When True, every completion immediately
+            re-invokes the scheduler (an idealized event-driven mode).
+        reschedule_on_arrival: When True, a job arrival immediately
+            re-invokes the scheduler instead of waiting for the next
+            tick (section 3 mentions arrival events; the prototype's
+            fixed interval is the default).
+        monitor: Optional worker monitor (Fig. 3) fed machine-level
+            utilization samples, job progress reports, and fault
+            notifications during the run.
+        placer: GPU placement policy; defaults to the paper's
+            descending / best-fit consolidation.
+        decision_log: Optional audit log recording every scheduler
+            invocation (kept/started/preempted/unplaced groups).
+        max_steps: Safety valve on simulator iterations.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        cluster: Optional[Cluster] = None,
+        scheduling_interval: float = 360.0,
+        restart_penalty: float = 30.0,
+        contention: ContentionModel = DEFAULT_CONTENTION,
+        uncoordinated_penalty: float = 1.18,
+        fault_injector: Optional[FaultInjector] = None,
+        backfill_on_completion: bool = False,
+        reschedule_on_arrival: bool = False,
+        monitor: Optional["WorkerMonitor"] = None,
+        placer: Optional[DescendingPlacer] = None,
+        decision_log: Optional[DecisionLog] = None,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        if scheduling_interval <= 0:
+            raise ValueError("scheduling_interval must be > 0")
+        if restart_penalty < 0:
+            raise ValueError("restart_penalty must be >= 0")
+        if uncoordinated_penalty < 1.0:
+            raise ValueError("uncoordinated_penalty must be >= 1")
+        self.scheduler = scheduler
+        self.cluster = cluster if cluster is not None else Cluster(8, 8)
+        self.scheduling_interval = scheduling_interval
+        self.restart_penalty = restart_penalty
+        self.contention = contention
+        self.uncoordinated_penalty = uncoordinated_penalty
+        self.fault_injector = fault_injector or FaultInjector()
+        self.backfill_on_completion = backfill_on_completion
+        self.reschedule_on_arrival = reschedule_on_arrival
+        self.monitor = monitor
+        self.decision_log = decision_log
+        self.max_steps = max_steps
+        self.placer = placer if placer is not None else DescendingPlacer()
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec], trace_name: str = "workload") -> SimulationResult:
+        """Simulate the workload to completion.
+
+        Raises:
+            SimulationError: If a job can never fit the cluster or the
+                step budget is exhausted.
+        """
+        started_wall = _time.monotonic()
+        total_gpus = self.cluster.total_gpus
+        for spec in specs:
+            if spec.num_gpus > total_gpus:
+                raise SimulationError(
+                    f"{spec.name} needs {spec.num_gpus} GPUs but the "
+                    f"cluster has {total_gpus}"
+                )
+        if not specs:
+            raise SimulationError("workload is empty")
+
+        jobs: Dict[int, Job] = {spec.job_id: Job(spec) for spec in specs}
+        result = SimulationResult(
+            scheduler_name=self.scheduler.name,
+            trace_name=trace_name,
+            submit_times={spec.job_id: spec.submit_time for spec in specs},
+        )
+
+        events = EventQueue()
+        for spec in specs:
+            events.push(Event(spec.submit_time, EventKind.ARRIVAL, spec.job_id))
+        first_arrival = min(spec.submit_time for spec in specs)
+        events.push(Event(first_arrival, EventKind.TICK))
+
+        pending: Dict[int, Job] = {}
+        running: Dict[FrozenSet[int], _RunningGroup] = {}
+        now = 0.0
+        finished = 0
+        need_reschedule = False
+        step_budget = self.max_steps or (500 * len(specs) + 100_000)
+        steps = 0
+
+        while finished < len(jobs):
+            steps += 1
+            if steps > step_budget:
+                raise SimulationError(
+                    f"step budget exhausted at t={now:.0f}s with "
+                    f"{len(jobs) - finished} jobs unfinished"
+                )
+
+            # 1. Fire due external events.
+            tick_due = False
+            for event in events.pop_until(now + _EPS):
+                if event.kind == EventKind.ARRIVAL:
+                    pending[event.payload] = jobs[event.payload]
+                    if self.reschedule_on_arrival:
+                        need_reschedule = True
+                elif event.kind == EventKind.TICK:
+                    tick_due = True
+
+            # 2. Invoke the scheduler.
+            if tick_due or need_reschedule:
+                reason = "tick" if tick_due else "completion"
+                self._reschedule(now, jobs, pending, running, result, reason)
+                need_reschedule = False
+                if tick_due:
+                    events.push(
+                        Event(now + self.scheduling_interval, EventKind.TICK)
+                    )
+
+            # 3. Find the advance horizon.
+            horizon = events.peek_time()
+            for rgroup in running.values():
+                candidate = now + rgroup.time_to_next_event(
+                    self.contention, self.uncoordinated_penalty
+                )
+                if horizon is None or candidate < horizon:
+                    horizon = candidate
+            if horizon is None:
+                raise SimulationError(
+                    f"no events and nothing running at t={now:.0f}s with "
+                    f"{len(pending)} pending jobs"
+                )
+            horizon = max(horizon, now)
+
+            # 4. Advance every running group and record the span.
+            span = horizon - now
+            if span > 0:
+                self._record_timepoint(now, span, pending, running, result)
+                completed_any = self._advance(
+                    span, jobs, pending, running, result
+                )
+                if completed_any and self.backfill_on_completion:
+                    need_reschedule = True
+            now = horizon
+            finished = sum(1 for job in jobs.values() if job.is_finished)
+
+        result.total_preemptions = sum(job.preemptions for job in jobs.values())
+        result.jcts = {
+            job_id: job.completion_time() for job_id, job in jobs.items()
+        }
+        result.finish_times = {
+            job_id: job.finish_time for job_id, job in jobs.items()
+        }
+        result.wall_clock = _time.monotonic() - started_wall
+        return result
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def _reschedule(
+        self,
+        now: float,
+        jobs: Dict[int, Job],
+        pending: Dict[int, Job],
+        running: Dict[FrozenSet[int], _RunningGroup],
+        result: SimulationResult,
+        reason: str = "tick",
+    ) -> None:
+        active_jobs = [job for job in jobs.values() if not job.is_finished and (
+            job.job_id in pending or self._is_running(job, running)
+        )]
+        running_groups = {key: rg.group for key, rg in running.items()}
+        proposal = self.scheduler.decide(
+            now, active_jobs, running_groups, self.cluster.total_gpus, reason
+        )
+
+        proposed_keys = []
+        seen_jobs = set()
+        valid: List[JobGroup] = []
+        for group in proposal:
+            key = group_key(group)
+            if any(job.job_id in seen_jobs or job.is_finished for job in group.jobs):
+                continue
+            seen_jobs.update(job.job_id for job in group.jobs)
+            proposed_keys.append(key)
+            valid.append(group)
+        keyset = set(proposed_keys)
+
+        # Stop groups not in the plan.
+        stopped = 0
+        for key in [k for k in running if k not in keyset]:
+            self._stop_group(running.pop(key), pending)
+            stopped += 1
+
+        # Start new groups, priority order, best-effort placement.
+        new_groups = [g for g in valid if group_key(g) not in running]
+        started = 0
+        for group in new_groups:
+            plan = self.placer.plan_for(self.cluster, group.num_gpus)
+            if plan is None:
+                continue  # fragmentation; members stay pending
+            started += 1
+            key = group_key(group)
+            allocation = self.cluster.allocate(self._owner_id(key), plan)
+            members = [job for job in group.jobs]
+            deadlines: Dict[int, float] = {}
+            for job in members:
+                job.mark_started(now)
+                pending.pop(job.job_id, None)
+                delay = self.fault_injector.sample_fault_delay()
+                if delay is not None:
+                    deadlines[job.job_id] = delay
+            running[key] = _RunningGroup(
+                group=group,
+                allocation=allocation,
+                active=members,
+                offsets={
+                    job.job_id: offset
+                    for job, offset in zip(group.jobs, group.offsets)
+                },
+                penalty_remaining=self.restart_penalty,
+                fault_deadlines=deadlines,
+            )
+            result.total_restart_time += self.restart_penalty
+
+        if self.decision_log is not None:
+            self.decision_log.record(Decision(
+                time=now,
+                reason=reason,
+                proposed_groups=len(valid),
+                kept=len(valid) - len(new_groups),
+                started=started,
+                preempted=stopped,
+                unplaced=len(new_groups) - started,
+                queue_length=len(pending),
+                free_gpus=self.cluster.free_gpus,
+            ))
+
+    def _stop_group(
+        self,
+        rgroup: _RunningGroup,
+        pending: Dict[int, Job],
+    ) -> None:
+        self.cluster.release(rgroup.allocation.owner)
+        for job in rgroup.active:
+            job.mark_stopped()
+            pending[job.job_id] = job
+
+    def _owner_id(self, key: FrozenSet[int]) -> int:
+        self._owner_counter = getattr(self, "_owner_counter", 0) + 1
+        return self._owner_counter
+
+    @staticmethod
+    def _is_running(job: Job, running: Dict[FrozenSet[int], _RunningGroup]) -> bool:
+        return job.status == JobStatus.RUNNING
+
+    # -- execution -----------------------------------------------------------------
+
+    def _advance(
+        self,
+        span: float,
+        jobs: Dict[int, Job],
+        pending: Dict[int, Job],
+        running: Dict[FrozenSet[int], _RunningGroup],
+        result: SimulationResult,
+    ) -> bool:
+        """Advance all groups by ``span`` seconds; returns True when a
+        job completed or faulted (capacity freed)."""
+        changed = False
+        for key in list(running):
+            rgroup = running[key]
+            paid = min(rgroup.penalty_remaining, span)
+            rgroup.penalty_remaining -= paid
+            productive = span - paid
+            if productive <= 0:
+                continue
+            period = rgroup.period(self.contention, self.uncoordinated_penalty)
+            delta_iters = productive / period
+
+            completed: List[Job] = []
+            faulted: List[Job] = []
+            for job in rgroup.active:
+                job.advance(min(delta_iters, job.remaining_iterations), productive)
+                deadline = rgroup.fault_deadlines.get(job.job_id)
+                if deadline is not None:
+                    deadline -= productive
+                    rgroup.fault_deadlines[job.job_id] = deadline
+                if job.remaining_iterations <= _ITER_EPS:
+                    completed.append(job)
+                elif deadline is not None and deadline <= _EPS:
+                    faulted.append(job)
+
+            for job in completed:
+                # The horizon was chosen as the earliest group event, so
+                # a completing member finishes exactly at span end.
+                job.mark_finished(self._advance_clock + span)
+                rgroup.active.remove(job)
+                rgroup.fault_deadlines.pop(job.job_id, None)
+                changed = True
+            for job in faulted:
+                if job in rgroup.active:
+                    if self.monitor is not None:
+                        self.monitor.report_fault(
+                            self._advance_clock + span, job.job_id
+                        )
+                    loss = self.fault_injector.progress_loss
+                    if loss > 0:
+                        executed = job.spec.num_iterations - job.remaining_iterations
+                        job.remaining_iterations = min(
+                            float(job.spec.num_iterations),
+                            job.remaining_iterations + executed * loss,
+                        )
+                    job.mark_stopped()
+                    rgroup.active.remove(job)
+                    rgroup.fault_deadlines.pop(job.job_id, None)
+                    pending[job.job_id] = job
+                    changed = True
+            if not rgroup.active:
+                self.cluster.release(rgroup.allocation.owner)
+                del running[key]
+            elif completed or faulted:
+                # Membership changed: re-key the group to its surviving
+                # members so the scheduler can keep it running instead
+                # of seeing an unknown (stale) group and preempting it.
+                self._rekey_group(key, rgroup, running)
+        return changed
+
+    @staticmethod
+    def _rekey_group(
+        old_key: FrozenSet[int],
+        rgroup: _RunningGroup,
+        running: Dict[FrozenSet[int], _RunningGroup],
+    ) -> None:
+        survivors = tuple(rgroup.active)
+        survivor_ids = {job.job_id for job in survivors}
+        profile_of = {
+            job.job_id: profile
+            for job, profile in zip(
+                rgroup.group.jobs, rgroup.group.believed_profiles
+            )
+        }
+        rgroup.group = JobGroup(
+            jobs=survivors,
+            believed_profiles=tuple(
+                profile_of[job.job_id] for job in survivors
+            ),
+            offsets=tuple(rgroup.offsets[job.job_id] for job in survivors),
+            num_resources=rgroup.group.num_resources,
+            coordinated=rgroup.group.coordinated,
+        )
+        del running[old_key]
+        running[frozenset(survivor_ids)] = rgroup
+
+    #: Set before each advance so finish times are exact.
+    _advance_clock: float = 0.0
+
+    def _record_timepoint(
+        self,
+        now: float,
+        span: float,
+        pending: Dict[int, Job],
+        running: Dict[FrozenSet[int], _RunningGroup],
+        result: SimulationResult,
+    ) -> None:
+        self._advance_clock = now
+        total_gpus = self.cluster.total_gpus
+        utilization = [0.0] * NUM_RESOURCES
+        running_jobs = 0
+        for rgroup in running.values():
+            running_jobs += len(rgroup.active)
+            period = rgroup.period(self.contention, self.uncoordinated_penalty)
+            productive_share = max(
+                0.0, (span - rgroup.penalty_remaining) / span
+            ) if span > 0 else 0.0
+            weight = rgroup.group.num_gpus / total_gpus * productive_share
+            for resource in range(NUM_RESOURCES):
+                utilization[resource] += (
+                    rgroup.busy_time(resource) / period * weight
+                )
+
+        blocking = 0.0
+        if pending:
+            ratios = []
+            for job in pending.values():
+                remaining = job.remaining_service_time
+                if remaining > 0:
+                    ratios.append(job.pending_time(now) / remaining)
+            blocking = sum(ratios) / len(ratios) if ratios else 0.0
+
+        result.timeseries.append(
+            TimePoint(
+                time=now,
+                span=span,
+                queue_length=len(pending),
+                running_jobs=running_jobs,
+                blocking_index=blocking,
+                utilization=tuple(min(1.0, u) for u in utilization),
+            )
+        )
+
+        if self.monitor is not None:
+            self._feed_monitor(now, span, running)
+
+    def _feed_monitor(
+        self,
+        now: float,
+        span: float,
+        running: Dict[FrozenSet[int], _RunningGroup],
+    ) -> None:
+        """Report per-machine utilization and job progress (Fig. 3)."""
+        machine_util: Dict[int, List[float]] = {
+            m.machine_id: [0.0] * NUM_RESOURCES for m in self.cluster.machines
+        }
+        machine_alloc: Dict[int, int] = {
+            m.machine_id: m.allocated_gpu_count for m in self.cluster.machines
+        }
+        for rgroup in running.values():
+            period = rgroup.period(self.contention, self.uncoordinated_penalty)
+            productive_share = (
+                max(0.0, (span - rgroup.penalty_remaining) / span)
+                if span > 0 else 0.0
+            )
+            slots_per_machine: Dict[int, int] = {}
+            for slot in rgroup.allocation.slots:
+                slots_per_machine[slot.machine_id] = (
+                    slots_per_machine.get(slot.machine_id, 0) + 1
+                )
+            for machine_id, slots in slots_per_machine.items():
+                weight = (
+                    slots
+                    / self.cluster.machine(machine_id).num_gpus
+                    * productive_share
+                )
+                for resource in range(NUM_RESOURCES):
+                    machine_util[machine_id][resource] += (
+                        rgroup.busy_time(resource) / period * weight
+                    )
+            for job in rgroup.active:
+                self.monitor.report_progress(
+                    now, job.job_id, job.remaining_iterations,
+                    job.attained_service,
+                )
+        for machine_id, utilization in machine_util.items():
+            self.monitor.record_machine(
+                now,
+                span,
+                machine_id,
+                machine_alloc[machine_id],
+                tuple(min(1.0, u) for u in utilization),
+            )

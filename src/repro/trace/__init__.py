@@ -1,0 +1,35 @@
+"""Workload traces: records, synthesis, and job materialization."""
+
+from repro.trace.arrivals import (
+    bursty_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+    zero_arrivals,
+)
+from repro.trace.philly import (
+    PAPER_TRACE_IDS,
+    PhillyTraceGenerator,
+    TRACE_PRESETS,
+    TracePreset,
+    generate_trace,
+)
+from repro.trace.philly_loader import load_philly_json
+from repro.trace.records import Trace, TraceRecord
+from repro.trace.workload import assign_models, build_jobs
+
+__all__ = [
+    "Trace",
+    "TraceRecord",
+    "TracePreset",
+    "TRACE_PRESETS",
+    "PAPER_TRACE_IDS",
+    "PhillyTraceGenerator",
+    "generate_trace",
+    "load_philly_json",
+    "assign_models",
+    "build_jobs",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "zero_arrivals",
+]

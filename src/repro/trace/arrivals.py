@@ -1,0 +1,99 @@
+"""Arrival processes for synthetic traces.
+
+Philly-style production traces show bursty, diurnally modulated
+arrivals.  These generators produce submission-time sequences for the
+trace synthesizer; all randomness flows through an explicit
+``random.Random`` so traces are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+__all__ = [
+    "poisson_arrivals",
+    "diurnal_arrivals",
+    "bursty_arrivals",
+    "zero_arrivals",
+]
+
+
+def poisson_arrivals(
+    rng: random.Random, num_jobs: int, mean_interarrival: float
+) -> List[float]:
+    """Homogeneous Poisson process: exponential inter-arrival times."""
+    if mean_interarrival <= 0:
+        raise ValueError("mean_interarrival must be > 0")
+    times: List[float] = []
+    now = 0.0
+    for _ in range(num_jobs):
+        now += rng.expovariate(1.0 / mean_interarrival)
+        times.append(now)
+    return times
+
+
+def diurnal_arrivals(
+    rng: random.Random,
+    num_jobs: int,
+    mean_interarrival: float,
+    period: float = 86400.0,
+    depth: float = 0.6,
+) -> List[float]:
+    """Poisson process with a sinusoidal day/night rate modulation.
+
+    Args:
+        rng: Source of randomness.
+        num_jobs: Jobs to generate.
+        mean_interarrival: Average spacing at the mean rate.
+        period: Modulation period in seconds (one day by default).
+        depth: Modulation depth in [0, 1); the instantaneous rate is
+            ``base * (1 + depth * sin(2 pi t / period))``, thinned.
+    """
+    if not 0 <= depth < 1:
+        raise ValueError("depth must be in [0, 1)")
+    # Thinning: draw at the peak rate, accept proportionally.
+    peak_interarrival = mean_interarrival / (1.0 + depth)
+    times: List[float] = []
+    now = 0.0
+    while len(times) < num_jobs:
+        now += rng.expovariate(1.0 / peak_interarrival)
+        rate_factor = (1.0 + depth * math.sin(2 * math.pi * now / period)) / (
+            1.0 + depth
+        )
+        if rng.random() < rate_factor:
+            times.append(now)
+    return times
+
+
+def bursty_arrivals(
+    rng: random.Random,
+    num_jobs: int,
+    mean_interarrival: float,
+    burst_fraction: float = 0.3,
+    burst_size: int = 8,
+) -> List[float]:
+    """Poisson arrivals where some jobs land in near-simultaneous bursts.
+
+    Models users submitting hyper-parameter sweeps: a burst drops
+    ``burst_size`` jobs within a few seconds of one another.
+    """
+    if not 0 <= burst_fraction <= 1:
+        raise ValueError("burst_fraction must be in [0, 1]")
+    times: List[float] = []
+    now = 0.0
+    while len(times) < num_jobs:
+        now += rng.expovariate(1.0 / mean_interarrival)
+        if rng.random() < burst_fraction:
+            for _ in range(min(burst_size, num_jobs - len(times))):
+                times.append(now + rng.uniform(0.0, 5.0))
+        else:
+            times.append(now)
+    times.sort()
+    return times[:num_jobs]
+
+
+def zero_arrivals(num_jobs: int) -> List[float]:
+    """Every job submitted at t = 0 (the paper's prime-trace variants)."""
+    return [0.0] * num_jobs

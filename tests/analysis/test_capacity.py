@@ -1,0 +1,134 @@
+"""Tests for the capacity-planning helpers."""
+
+import pytest
+
+from repro.analysis.capacity import capacity_sweep, equivalent_capacity
+from repro.jobs.job import JobSpec
+from repro.jobs.stage import StageProfile
+from repro.schedulers.registry import make_scheduler
+
+UNIT = StageProfile((0.25, 0.25, 0.25, 0.25))
+
+
+def workload(n=24, iters=200):
+    return [JobSpec(profile=UNIT, num_iterations=iters) for _ in range(n)]
+
+
+class TestSweep:
+    def test_structure(self):
+        sweep = capacity_sweep(
+            workload(),
+            {"SRSF": lambda: make_scheduler("srsf")},
+            machine_counts=(1, 2),
+            gpus_per_machine=4,
+        )
+        assert set(sweep) == {1, 2}
+        assert set(sweep[1]) == {"SRSF"}
+
+    def test_more_gpus_never_hurt(self):
+        sweep = capacity_sweep(
+            workload(),
+            {"SRSF": lambda: make_scheduler("srsf")},
+            machine_counts=(1, 2, 4),
+            gpus_per_machine=4,
+            restart_penalty=0.0,
+        )
+        jcts = [sweep[m]["SRSF"].avg_jct for m in (1, 2, 4)]
+        assert jcts == sorted(jcts, reverse=True)
+
+    def test_empty_counts(self):
+        with pytest.raises(ValueError):
+            capacity_sweep(workload(), {}, machine_counts=())
+
+    def test_oversized_jobs_dropped_uniformly(self):
+        specs = workload() + [JobSpec(profile=UNIT, num_gpus=32,
+                                      num_iterations=10)]
+        sweep = capacity_sweep(
+            specs,
+            {"SRSF": lambda: make_scheduler("srsf")},
+            machine_counts=(1, 4),
+            gpus_per_machine=4,
+        )
+        # The 32-GPU job is absent at every size (smallest is 4 GPUs).
+        assert sweep[4]["SRSF"].num_jobs == len(workload())
+
+    def test_nothing_fits(self):
+        with pytest.raises(ValueError):
+            capacity_sweep(
+                [JobSpec(profile=UNIT, num_gpus=64, num_iterations=1)],
+                {"SRSF": lambda: make_scheduler("srsf")},
+                machine_counts=(1,),
+                gpus_per_machine=4,
+            )
+
+
+class TestEquivalentCapacity:
+    def test_finds_minimum(self):
+        specs = workload()
+        # Measure what 4 machines achieve, then search for it.
+        sweep = capacity_sweep(
+            specs,
+            {"SRSF": lambda: make_scheduler("srsf")},
+            machine_counts=(4,),
+            gpus_per_machine=4,
+            restart_penalty=0.0,
+        )
+        target = sweep[4]["SRSF"].avg_jct
+        needed = equivalent_capacity(
+            specs,
+            lambda: make_scheduler("srsf"),
+            target_value=target * 1.001,
+            machine_range=(1, 6),
+            gpus_per_machine=4,
+            restart_penalty=0.0,
+        )
+        assert needed is not None
+        assert needed <= 4
+
+    def test_unreachable_target(self):
+        needed = equivalent_capacity(
+            workload(),
+            lambda: make_scheduler("srsf"),
+            target_value=0.001,  # impossible JCT
+            machine_range=(1, 2),
+            gpus_per_machine=4,
+        )
+        assert needed is None
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            equivalent_capacity(
+                workload(), lambda: make_scheduler("srsf"),
+                target_value=1.0, machine_range=(3, 2),
+            )
+
+    def test_muri_needs_fewer_gpus_under_contention(self):
+        """The headline capacity story: Muri matches the baseline's
+        full-cluster JCT on a smaller cluster."""
+        profiles = [
+            StageProfile((0.7, 0.1, 0.1, 0.1)),
+            StageProfile((0.1, 0.7, 0.1, 0.1)),
+            StageProfile((0.1, 0.1, 0.7, 0.1)),
+            StageProfile((0.1, 0.1, 0.1, 0.7)),
+        ]
+        specs = [
+            JobSpec(profile=profiles[i % 4], num_iterations=300)
+            for i in range(32)
+        ]
+        baseline = capacity_sweep(
+            specs,
+            {"SRSF": lambda: make_scheduler("srsf")},
+            machine_counts=(4,),
+            gpus_per_machine=2,
+            restart_penalty=0.0,
+        )[4]["SRSF"].avg_jct
+        needed = equivalent_capacity(
+            specs,
+            lambda: make_scheduler("muri-s"),
+            target_value=baseline,
+            machine_range=(1, 4),
+            gpus_per_machine=2,
+            restart_penalty=0.0,
+        )
+        assert needed is not None
+        assert needed < 4

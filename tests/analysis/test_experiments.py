@@ -1,0 +1,116 @@
+"""Smoke and shape tests for the experiment runners.
+
+These use deliberately tiny workloads: they validate plumbing and the
+qualitative shape, not the headline numbers (the benchmarks do that).
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ablation_comparison,
+    group_size_comparison,
+    job_type_sweep,
+    normalized_metrics,
+    profiling_noise_sweep,
+    run_schedulers,
+    simulation_comparison,
+    table1_stage_percentages,
+    table2_interleaving_example,
+    compare_testbed as run_compare_testbed,
+)
+from repro.schedulers.registry import make_scheduler
+from repro.trace.philly import generate_trace
+from repro.trace.workload import build_jobs
+
+SMALL = 60
+
+
+def test_table1_rows():
+    rows = table1_stage_percentages()
+    assert [row[0] for row in rows] == ["ShuffleNet", "VGG19", "GPT-2", "A2C"]
+    shufflenet = rows[0]
+    assert shufflenet[1:] == (60.0, 18.0, 6.0, 2.0)
+
+
+def test_table2_total_speedup_near_two():
+    table = table2_interleaving_example()
+    total = table["__total__"]["total_normalized_tput"]
+    assert 1.7 <= total <= 2.4
+    for name in ("ShuffleNet", "A2C", "GPT-2", "VGG16"):
+        row = table[name]
+        assert 0 < row["normalized_tput"] <= 1
+        assert row["sharing_tput"] < row["separate_tput"]
+
+
+def test_run_schedulers_and_normalization():
+    trace = generate_trace("1", num_jobs=SMALL, seed=0)
+    specs = build_jobs(trace, seed=0)
+    results = run_schedulers(
+        specs,
+        {"SRSF": make_scheduler("srsf"), "Muri-S": make_scheduler("muri-s")},
+        trace.name,
+    )
+    rows = normalized_metrics(results, "Muri-S")
+    assert rows["Normalized JCT"]["Muri-S"] == pytest.approx(1.0)
+    assert rows["Normalized Makespan"]["Muri-S"] == pytest.approx(1.0)
+    assert rows["Normalized JCT"]["SRSF"] > 0
+
+
+def test_compare_testbed_known():
+    results, rows = run_compare_testbed(duration_known=True, num_jobs=SMALL)
+    assert set(results) == {"SRTF", "SRSF", "Muri-S"}
+    assert rows["Normalized JCT"]["Muri-S"] == pytest.approx(1.0)
+
+
+def test_compare_testbed_unknown():
+    results, rows = run_compare_testbed(duration_known=False, num_jobs=SMALL)
+    assert set(results) == {"Tiresias", "Themis", "Muri-L"}
+    assert rows["Normalized 99th %-ile JCT"]["Muri-L"] == pytest.approx(1.0)
+
+
+def test_simulation_comparison_structure():
+    sweep = simulation_comparison(
+        duration_known=False, trace_ids=("3",), num_jobs=SMALL
+    )
+    assert set(sweep) == {"3"}
+    assert set(sweep["3"]) == {"Tiresias", "AntMan", "Themis"}
+    for speedups in sweep["3"].values():
+        assert set(speedups) == {"avg_jct", "makespan", "p99_jct"}
+        assert all(v > 0 for v in speedups.values())
+
+
+def test_ablation_structure():
+    sweep = ablation_comparison(trace_ids=("1",), num_jobs=SMALL)
+    variants = sweep["1"]
+    assert variants["Muri-L"]["avg_jct"] == pytest.approx(1.0)
+    assert variants["Muri-L w/ worst ordering"]["avg_jct"] >= 0.5
+
+
+def test_group_size_structure():
+    sweep = group_size_comparison(trace_ids=("1",), num_jobs=40)
+    row = sweep["1"]
+    assert row["AntMan"]["avg_jct"] == pytest.approx(1.0)
+    assert set(row) == {"AntMan", "Muri-L-2", "Muri-L-3", "Muri-L-4"}
+
+
+def test_job_type_sweep_structure():
+    sweep = job_type_sweep(num_types_values=(1, 4), num_jobs=SMALL)
+    assert set(sweep) == {1, 4}
+    for value in sweep.values():
+        assert set(value) == {"Muri-S/SRTF", "Muri-L/Tiresias"}
+
+
+def test_noise_sweep_normalized_to_zero_noise():
+    sweep = profiling_noise_sweep(noise_levels=(0.0, 1.0), num_jobs=SMALL)
+    assert sweep[0.0]["avg_jct"] == pytest.approx(1.0)
+    assert sweep[0.0]["makespan"] == pytest.approx(1.0)
+    assert sweep[1.0]["avg_jct"] > 0
+
+
+def test_detailed_metrics_runner():
+    from repro.analysis.experiments import detailed_metrics
+
+    results = detailed_metrics(num_jobs=40, seed=0, duration_known=False)
+    assert set(results) == {"Tiresias", "Themis", "Muri-L"}
+    for result in results.values():
+        assert result.timeseries

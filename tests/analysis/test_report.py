@@ -1,0 +1,58 @@
+"""Tests for report formatting."""
+
+from repro.analysis.report import format_series, format_speedup_table, format_table
+
+
+class TestFormatTable:
+    def test_basic(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 3.25]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert "2.50" in text
+        assert "3.25" in text
+
+    def test_title(self):
+        text = format_table(["c"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["longer-name", 1.0], ["s", 2.0]])
+        lines = text.splitlines()
+        # All data lines have the same separator column position.
+        assert lines[2].index("1.00") == lines[3].index("2.00")
+
+    def test_float_format(self):
+        text = format_table(["v"], [[3.14159]], float_format="{:.4f}")
+        assert "3.1416" in text
+
+
+class TestSpeedupTable:
+    def test_rows_and_columns(self):
+        rows = {
+            "Normalized JCT": {"SRTF": 2.12, "Muri-S": 1.0},
+            "Normalized Makespan": {"SRTF": 1.56, "Muri-S": 1.0},
+        }
+        text = format_speedup_table(rows, ["SRTF", "Muri-S"], title="Table 4")
+        assert "Table 4" in text
+        assert "2.12" in text
+        assert "Normalized Makespan" in text
+
+    def test_missing_value_is_nan(self):
+        rows = {"m": {"A": 1.0}}
+        text = format_speedup_table(rows, ["A", "B"])
+        assert "nan" in text
+
+
+class TestSeries:
+    def test_series(self):
+        text = format_series(
+            "noise", [0.0, 0.5], {"jct": [1.0, 1.2], "makespan": [1.0, 1.0]}
+        )
+        assert "noise" in text
+        assert "1.20" in text
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two data rows

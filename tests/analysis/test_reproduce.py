@@ -1,0 +1,53 @@
+"""Tests for the one-shot reproduction runner."""
+
+import pytest
+
+from repro.analysis.reproduce import ARTIFACTS, reproduce_all
+
+
+def test_artifact_ids_cover_the_paper():
+    ids = [artifact_id for artifact_id, _h, _r in ARTIFACTS]
+    assert ids == [
+        "table1", "table2", "table4", "table5",
+        "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    ]
+
+
+def test_unknown_artifact_rejected():
+    with pytest.raises(KeyError):
+        reproduce_all(num_jobs=10, artifacts=["fig99"])
+
+
+def test_subset_report():
+    seen = []
+    report = reproduce_all(
+        num_jobs=30,
+        artifacts=["table1", "table2"],
+        progress=seen.append,
+    )
+    assert seen == ["table1", "table2"]
+    assert "# Muri reproduction report" in report
+    assert "Table 1" in report and "Table 2" in report
+    assert "Figure 9" not in report
+    assert "ShuffleNet" in report
+
+
+def test_small_experiment_artifacts_run():
+    report = reproduce_all(num_jobs=30, artifacts=["fig13", "fig14"])
+    assert "Figure 13" in report
+    assert "Muri-L/Tiresias" in report
+    assert "Norm. makespan" in report
+
+
+def test_cli_reproduce(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "report.md"
+    code = main([
+        "reproduce", "--jobs", "25", "--artifacts", "table2",
+        "--out", str(out),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "... table2" in captured.out
+    assert "TOTAL" in out.read_text()

@@ -1,0 +1,103 @@
+"""Tests for the bootstrap statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    bootstrap_mean_ci,
+    bootstrap_speedup_ci,
+    multi_seed_speedups,
+    summarize_speedups,
+)
+
+
+class TestConfidenceInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(1.0, 2.0, 1.0, 0.95)
+
+    def test_contains(self):
+        ci = ConfidenceInterval(1.5, 1.0, 2.0, 0.95)
+        assert 1.5 in ci
+        assert 0.5 not in ci
+
+    def test_excludes(self):
+        ci = ConfidenceInterval(1.5, 1.2, 2.0, 0.95)
+        assert ci.excludes(1.0)
+        assert not ci.excludes(1.5)
+
+    def test_width(self):
+        assert ConfidenceInterval(1.5, 1.0, 2.0, 0.95).width == 1.0
+
+
+class TestBootstrapMean:
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.0)
+
+    def test_point_mass(self):
+        ci = bootstrap_mean_ci([3.0] * 20)
+        assert ci.estimate == 3.0
+        assert ci.low == ci.high == 3.0
+
+    def test_contains_true_mean_for_tight_sample(self):
+        values = [10.0, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9, 10.3]
+        ci = bootstrap_mean_ci(values, seed=1)
+        assert ci.estimate in ci
+        assert ci.low < 10.0 < ci.high
+
+    def test_deterministic_given_seed(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        a = bootstrap_mean_ci(values, seed=7)
+        b = bootstrap_mean_ci(values, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_more_data_tightens(self):
+        import random
+
+        rng = random.Random(0)
+        small = [rng.gauss(5, 1) for _ in range(8)]
+        large = [rng.gauss(5, 1) for _ in range(256)]
+        assert bootstrap_mean_ci(large).width < bootstrap_mean_ci(small).width
+
+
+class TestBootstrapSpeedup:
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_speedup_ci([], [1.0])
+
+    def test_clear_speedup_excludes_one(self):
+        baseline = [10.0, 11.0, 9.0, 10.5, 9.5, 10.4, 10.8, 9.2]
+        treatment = [5.0, 5.5, 4.5, 5.2, 4.8, 5.3, 5.6, 4.7]
+        ci = bootstrap_speedup_ci(baseline, treatment, seed=1)
+        assert ci.estimate == pytest.approx(2.0, rel=0.05)
+        assert ci.excludes(1.0)
+
+    def test_no_difference_contains_one(self):
+        values = [10.0, 11.0, 9.0, 10.5, 9.5, 10.2, 10.7, 9.4]
+        ci = bootstrap_speedup_ci(values, list(values), seed=2)
+        assert 1.0 in ci
+
+
+class TestMultiSeed:
+    def test_collects_per_seed_ratio(self):
+        speedups = multi_seed_speedups(
+            lambda seed: (10.0 + seed, 5.0), seeds=[0, 1, 2]
+        )
+        assert speedups == [2.0, 2.2, 2.4]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            multi_seed_speedups(lambda seed: (1.0, 0.0), seeds=[0])
+
+    def test_summary(self):
+        summary = summarize_speedups([1.8, 2.0, 2.2, 1.9, 2.1])
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.8
+        assert summary["max"] == 2.2
+        assert summary["n"] == 5
+        assert summary["ci_low"] <= summary["mean"] <= summary["ci_high"]

@@ -1,0 +1,108 @@
+"""Tests for the text-mode schedule visualization."""
+
+import pytest
+
+from repro.analysis.viz import render_group_schedule, render_sparkline
+from repro.core.group import JobGroup
+from repro.core.grouping import MultiRoundGrouper
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.stage import StageProfile
+
+STORAGE = StageProfile((0.7, 0.1, 0.1, 0.1))
+GPU = StageProfile((0.1, 0.1, 0.7, 0.1))
+
+
+def make_group():
+    jobs = [
+        Job(JobSpec(profile=STORAGE, num_iterations=10, name="io-job")),
+        Job(JobSpec(profile=GPU, num_iterations=10, name="gpu-job")),
+    ]
+    result = MultiRoundGrouper().group(jobs, capacity=1)
+    assert len(result.groups) == 1
+    return result.groups[0]
+
+
+class TestGroupSchedule:
+    def test_one_row_per_job(self):
+        art = render_group_schedule(make_group())
+        lines = art.splitlines()
+        assert "io-job" in lines[1]
+        assert "gpu-job" in lines[2]
+
+    def test_header_has_period_and_gamma(self):
+        group = make_group()
+        art = render_group_schedule(group)
+        assert f"{group.believed_period:.3f}" in art
+        assert "gamma" in art
+
+    def test_legend_names_stages(self):
+        art = render_group_schedule(make_group())
+        for word in ("load_data", "preprocess", "propagate", "synchronize"):
+            assert word in art
+
+    def test_all_four_resources_marked(self):
+        art = render_group_schedule(make_group())
+        body = art.splitlines()[1:-1]
+        marks = "".join(body)
+        for char in "SCGN":
+            assert char in marks
+
+    def test_rows_align(self):
+        art = render_group_schedule(make_group(), width=40)
+        rows = [line for line in art.splitlines() if "|" in line]
+        assert len({len(row) for row in rows}) == 1
+
+    def test_solo_group_renders(self):
+        job = Job(JobSpec(profile=GPU, num_iterations=5, name="solo"))
+        art = render_group_schedule(JobGroup.solo(job))
+        assert "solo" in art
+
+    def test_true_vs_believed(self):
+        job = Job(JobSpec(profile=GPU, num_iterations=5, name="j"))
+        group = JobGroup.solo(job, believed_profile=GPU.scaled(2.0))
+        believed = render_group_schedule(group, use_believed=True)
+        actual = render_group_schedule(group, use_believed=False)
+        assert "2.000" in believed  # 2x iteration time
+        assert "1.000" in actual
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+    def test_length_matches(self):
+        assert len(render_sparkline([0, 1, 2, 3])) == 4
+
+    def test_monotone_values_monotone_glyphs(self):
+        line = render_sparkline([0.0, 0.25, 0.5, 0.75, 1.0])
+        assert list(line) == sorted(line, key=" ▁▂▃▄▅▆▇█".index)
+
+    def test_all_zero(self):
+        assert set(render_sparkline([0.0, 0.0])) == {" "}
+
+    def test_custom_ceiling(self):
+        low = render_sparkline([0.5], maximum=1.0)
+        high = render_sparkline([0.5], maximum=0.5)
+        assert " ▁▂▃▄▅▆▇█".index(high) > " ▁▂▃▄▅▆▇█".index(low)
+
+    def test_downsampling(self):
+        line = render_sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+    def test_values_clamped(self):
+        line = render_sparkline([5.0], maximum=1.0)
+        assert line == "█"
+
+
+def test_single_stage_job_renders():
+    """A job using only one resource renders as one full slot."""
+    from repro.jobs.job import Job, JobSpec
+    from repro.jobs.stage import StageProfile
+
+    job = Job(JobSpec(profile=StageProfile((1.0, 0, 0, 0)),
+                      num_iterations=1, name="io-only"))
+    art = render_group_schedule(JobGroup.solo(job))
+    body = art.splitlines()[1]
+    assert "io-only" in body
+    assert "S" in body
+    assert not any(c in body for c in "CGN")

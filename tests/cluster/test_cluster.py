@@ -1,0 +1,94 @@
+"""Tests for the Cluster allocation layer."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+
+
+def test_paper_default_shape():
+    cluster = Cluster()
+    assert cluster.total_gpus == 64
+    assert len(cluster.machines) == 8
+
+
+def test_requires_a_machine():
+    with pytest.raises(ValueError):
+        Cluster(num_machines=0)
+
+
+def test_allocate_single_machine():
+    cluster = Cluster(2, 4)
+    allocation = cluster.allocate(owner=1, slot_plan={0: 3})
+    assert allocation.num_gpus == 3
+    assert allocation.machine_ids == [0]
+    assert not allocation.spans_machines
+    assert cluster.free_gpus == 5
+
+
+def test_allocate_spanning_machines():
+    cluster = Cluster(2, 4)
+    allocation = cluster.allocate(owner=1, slot_plan={0: 4, 1: 2})
+    assert allocation.num_gpus == 6
+    assert allocation.spans_machines
+    assert allocation.machine_ids == [0, 1]
+
+
+def test_double_allocation_rejected():
+    cluster = Cluster(1, 4)
+    cluster.allocate(owner=1, slot_plan={0: 1})
+    with pytest.raises(ValueError):
+        cluster.allocate(owner=1, slot_plan={0: 1})
+
+
+def test_over_allocation_rejected_atomically():
+    cluster = Cluster(2, 2)
+    with pytest.raises(ValueError):
+        cluster.allocate(owner=1, slot_plan={0: 2, 1: 3})
+    assert cluster.free_gpus == 4  # untouched
+
+
+def test_release():
+    cluster = Cluster(2, 4)
+    cluster.allocate(owner=5, slot_plan={0: 2, 1: 2})
+    cluster.release(5)
+    assert cluster.free_gpus == 8
+    assert cluster.allocation_of(5) is None
+
+
+def test_release_unknown_owner():
+    with pytest.raises(KeyError):
+        Cluster(1, 1).release(9)
+
+
+def test_release_all():
+    cluster = Cluster(2, 4)
+    cluster.allocate(owner=1, slot_plan={0: 2})
+    cluster.allocate(owner=2, slot_plan={1: 2})
+    cluster.release_all()
+    assert cluster.free_gpus == 8
+    assert list(cluster.allocations()) == []
+
+
+def test_can_fit():
+    cluster = Cluster(2, 4)
+    assert cluster.can_fit(8)
+    assert not cluster.can_fit(9)
+    cluster.allocate(owner=1, slot_plan={0: 4})
+    assert cluster.can_fit(4)
+    assert not cluster.can_fit(5)
+
+
+class TestFragmentation:
+    def test_empty_cluster_no_fragmentation(self):
+        assert Cluster(2, 4).fragmentation() == 0.0
+
+    def test_full_cluster_no_fragmentation(self):
+        cluster = Cluster(1, 2)
+        cluster.allocate(owner=1, slot_plan={0: 2})
+        assert cluster.fragmentation() == 0.0
+
+    def test_partial_machines_are_stranded(self):
+        cluster = Cluster(2, 4)
+        cluster.allocate(owner=1, slot_plan={0: 1})
+        # 3 stranded on machine 0 + 4 clean on machine 1 = 3/7.
+        assert cluster.fragmentation() == pytest.approx(3 / 7)

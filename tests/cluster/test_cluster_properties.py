@@ -1,0 +1,77 @@
+"""Property-based tests for cluster allocation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.placement import DescendingPlacer
+
+
+@st.composite
+def demand_sequences(draw):
+    machines = draw(st.integers(min_value=1, max_value=6))
+    gpus = draw(st.integers(min_value=1, max_value=8))
+    demands = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=machines * gpus),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    return machines, gpus, demands
+
+
+@settings(max_examples=120, deadline=None)
+@given(demand_sequences())
+def test_placement_never_overallocates(params):
+    machines, gpus, demands = params
+    cluster = Cluster(machines, gpus)
+    plan = DescendingPlacer().place(
+        cluster, [(i, d) for i, d in enumerate(demands)]
+    )
+    # Capacity conserved.
+    assert cluster.allocated_gpus + cluster.free_gpus == cluster.total_gpus
+    assert cluster.allocated_gpus == sum(
+        allocation.num_gpus for _o, allocation in plan.placed
+    )
+    # Every placed allocation got exactly what it asked for.
+    asked = dict(enumerate(demands))
+    for owner, allocation in plan.placed:
+        assert allocation.num_gpus == asked[owner]
+    # Placed + unplaced covers every demand exactly once.
+    owners = [o for o, _a in plan.placed] + list(plan.unplaced)
+    assert sorted(owners) == sorted(asked)
+
+
+@settings(max_examples=120, deadline=None)
+@given(demand_sequences())
+def test_release_restores_capacity(params):
+    machines, gpus, demands = params
+    cluster = Cluster(machines, gpus)
+    plan = DescendingPlacer().place(
+        cluster, [(i, d) for i, d in enumerate(demands)]
+    )
+    for owner, _allocation in plan.placed:
+        cluster.release(owner)
+    assert cluster.free_gpus == cluster.total_gpus
+    assert list(cluster.allocations()) == []
+
+
+@settings(max_examples=100, deadline=None)
+@given(demand_sequences())
+def test_unplaced_only_when_genuinely_unfit(params):
+    """A demand is skipped only if, at its placement turn, the free
+    capacity could not hold it."""
+    machines, gpus, demands = params
+    cluster = Cluster(machines, gpus)
+    plan = DescendingPlacer().place(
+        cluster, [(i, d) for i, d in enumerate(demands)]
+    )
+    for owner in plan.unplaced:
+        # After all placements, the leftover is smaller than the demand
+        # (descending order guarantees it was also true at its turn).
+        assert demands[owner] > cluster.free_gpus or (
+            demands[owner] > max(
+                (m.free_gpu_count for m in cluster.machines), default=0
+            )
+        )

@@ -1,0 +1,88 @@
+"""Tests for Machine GPU-slot allocation."""
+
+import pytest
+
+from repro.cluster.machine import GpuSlot, Machine
+
+
+def test_defaults_match_paper_testbed():
+    machine = Machine(machine_id=0)
+    assert machine.num_gpus == 8
+    assert machine.num_cpus == 2
+    assert machine.memory_gb == 256
+
+
+def test_requires_a_gpu():
+    with pytest.raises(ValueError):
+        Machine(machine_id=0, num_gpus=0)
+
+
+def test_allocate_returns_slots():
+    machine = Machine(machine_id=3, num_gpus=4)
+    slots = machine.allocate(2, owner=7)
+    assert len(slots) == 2
+    assert all(isinstance(s, GpuSlot) for s in slots)
+    assert all(s.machine_id == 3 for s in slots)
+    assert machine.free_gpu_count == 2
+    assert machine.allocated_gpu_count == 2
+
+
+def test_allocate_too_many():
+    machine = Machine(machine_id=0, num_gpus=2)
+    with pytest.raises(ValueError):
+        machine.allocate(3, owner=1)
+    # Nothing was allocated.
+    assert machine.free_gpu_count == 2
+
+
+def test_owner_of():
+    machine = Machine(machine_id=0, num_gpus=2)
+    slots = machine.allocate(1, owner=42)
+    assert machine.owner_of(slots[0].gpu_index) == 42
+    free_index = machine.free_gpu_indices()[0]
+    assert machine.owner_of(free_index) is None
+
+
+def test_owner_of_out_of_range():
+    machine = Machine(machine_id=0, num_gpus=2)
+    with pytest.raises(ValueError):
+        machine.owner_of(5)
+
+
+def test_release():
+    machine = Machine(machine_id=0, num_gpus=4)
+    slots = machine.allocate(3, owner=1)
+    machine.release(slots[:2])
+    assert machine.free_gpu_count == 3
+
+
+def test_release_wrong_machine():
+    machine = Machine(machine_id=0, num_gpus=2)
+    machine.allocate(1, owner=1)
+    with pytest.raises(ValueError):
+        machine.release([GpuSlot(machine_id=9, gpu_index=0)])
+
+
+def test_release_unallocated():
+    machine = Machine(machine_id=0, num_gpus=2)
+    with pytest.raises(ValueError):
+        machine.release([GpuSlot(machine_id=0, gpu_index=0)])
+
+
+def test_release_owner():
+    machine = Machine(machine_id=0, num_gpus=4)
+    machine.allocate(2, owner=1)
+    machine.allocate(1, owner=2)
+    assert machine.release_owner(1) == 2
+    assert machine.free_gpu_count == 3
+    assert machine.owners() == {2}
+
+
+def test_free_indices_ascending():
+    machine = Machine(machine_id=0, num_gpus=4)
+    machine.allocate(2, owner=1)
+    assert machine.free_gpu_indices() == sorted(machine.free_gpu_indices())
+
+
+def test_slot_str():
+    assert str(GpuSlot(1, 5)) == "m1:g5"

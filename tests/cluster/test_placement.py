@@ -1,0 +1,122 @@
+"""Tests for the descending-demand placement policy."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.placement import DescendingPlacer
+
+
+def test_plan_single_machine_best_fit():
+    cluster = Cluster(2, 8)
+    cluster.allocate(owner=99, slot_plan={0: 6})  # machine 0 has 2 free
+    placer = DescendingPlacer()
+    # A 2-GPU group should pick the tighter machine 0, leaving machine 1
+    # fully empty for large jobs.
+    plan = placer.plan_for(cluster, 2)
+    assert plan == {0: 2}
+
+
+def test_plan_spans_when_needed():
+    cluster = Cluster(2, 8)
+    cluster.allocate(owner=99, slot_plan={0: 4})
+    plan = DescendingPlacer().plan_for(cluster, 10)
+    assert sum(plan.values()) == 10
+    assert len(plan) == 2
+    # Emptiest machine first.
+    assert plan[1] == 8
+
+
+def test_plan_none_when_unfit():
+    cluster = Cluster(1, 4)
+    assert DescendingPlacer().plan_for(cluster, 5) is None
+
+
+def test_plan_invalid_demand():
+    with pytest.raises(ValueError):
+        DescendingPlacer().plan_for(Cluster(1, 4), 0)
+
+
+def test_place_largest_first():
+    cluster = Cluster(2, 4)
+    placer = DescendingPlacer()
+    plan = placer.place(cluster, [(1, 2), (2, 4), (3, 2)])
+    placed_owners = [owner for owner, _ in plan.placed]
+    assert placed_owners[0] == 2  # the 4-GPU group went first
+    assert set(placed_owners) == {1, 2, 3}
+    assert plan.unplaced == ()
+
+
+def test_place_skips_unfit_but_continues():
+    cluster = Cluster(1, 4)
+    plan = DescendingPlacer().place(cluster, [(1, 3), (2, 3), (3, 1)])
+    owners = {owner for owner, _ in plan.placed}
+    assert 1 in owners
+    assert 2 in plan.unplaced
+    assert 3 in owners  # backfilled past the unfit group
+
+
+def test_place_minimizes_machines_per_group():
+    cluster = Cluster(4, 8)
+    plan = DescendingPlacer().place(cluster, [(1, 8), (2, 8)])
+    for _owner, allocation in plan.placed:
+        assert not allocation.spans_machines
+
+
+def test_place_avoids_fragmentation():
+    # Two 4-GPU groups should share one machine, keeping the other empty.
+    cluster = Cluster(2, 8)
+    DescendingPlacer().place(cluster, [(1, 4), (2, 4)])
+    free_per_machine = sorted(m.free_gpu_count for m in cluster.machines)
+    assert free_per_machine == [0, 8]
+
+
+class TestSpreadPlacer:
+    def test_prefers_emptiest(self):
+        from repro.cluster.placement import SpreadPlacer
+
+        cluster = Cluster(2, 8)
+        cluster.allocate(owner=9, slot_plan={0: 4})
+        plan = SpreadPlacer().plan_for(cluster, 2)
+        assert plan == {1: 2}
+
+    def test_falls_back_to_span(self):
+        from repro.cluster.placement import SpreadPlacer
+
+        cluster = Cluster(2, 4)
+        cluster.allocate(owner=9, slot_plan={0: 2, 1: 2})
+        plan = SpreadPlacer().plan_for(cluster, 4)
+        assert plan is not None
+        assert sum(plan.values()) == 4
+
+    def test_unfit(self):
+        from repro.cluster.placement import SpreadPlacer
+
+        assert SpreadPlacer().plan_for(Cluster(1, 2), 3) is None
+
+
+class TestRandomPlacer:
+    def test_seeded_determinism(self):
+        from repro.cluster.placement import RandomPlacer
+
+        def plans(seed):
+            cluster = Cluster(4, 8)
+            placer = RandomPlacer(seed=seed)
+            return [tuple(placer.plan_for(cluster, 2).items())
+                    for _ in range(10)]
+
+        assert plans(3) == plans(3)
+
+    def test_uses_multiple_machines(self):
+        from repro.cluster.placement import RandomPlacer
+
+        cluster = Cluster(4, 8)
+        placer = RandomPlacer(seed=0)
+        chosen = {
+            next(iter(placer.plan_for(cluster, 1))) for _ in range(30)
+        }
+        assert len(chosen) > 1
+
+    def test_unfit(self):
+        from repro.cluster.placement import RandomPlacer
+
+        assert RandomPlacer().plan_for(Cluster(1, 2), 3) is None

@@ -1,0 +1,92 @@
+"""Tests for the Fig. 7 cascading-slowdown model."""
+
+import pytest
+
+from repro.core.cascade import cascade_periods, local_cycle_length
+from repro.jobs.stage import StageProfile
+
+# Two-resource style profiles padded to four resources.
+GPU1_NET1 = StageProfile((0.0, 0.0, 1.0, 1.0))    # 1 unit GPU, 1 network
+GPU2_NET1 = StageProfile((0.0, 0.0, 2.0, 1.0))    # 2 units GPU, 1 network
+GPU1 = StageProfile((0.0, 0.0, 1.0, 0.0))
+
+
+class TestLocalCycle:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            local_cycle_length([])
+
+    def test_single_job(self):
+        assert local_cycle_length([("a", GPU1_NET1, 0)]) == pytest.approx(2.0)
+
+    def test_pair(self):
+        length = local_cycle_length(
+            [("a", GPU1_NET1, 0), ("b", GPU1_NET1, 1)]
+        )
+        assert length >= 2.0
+
+
+class TestCascade:
+    def test_empty(self):
+        assert cascade_periods({}) == {}
+
+    def test_isolated_groups_keep_their_periods(self):
+        periods = cascade_periods({
+            "g1": [("a", GPU1_NET1, 0)],
+            "g2": [("b", GPU2_NET1, 0)],
+        })
+        assert periods["a"] == pytest.approx(2.0)
+        assert periods["b"] == pytest.approx(3.0)
+
+    def test_fig7_cascade(self):
+        """Fig. 7: A spans GPUs 1-2; B shares GPU 1 with A; C shares
+        GPU 2 with A.  B's heavier cycle on GPU 1 stretches A, and A's
+        sync stretches C — a job C never co-located with B is slowed by
+        B."""
+        slow = StageProfile((0.0, 0.0, 3.0, 1.0))   # B: heavy GPU stage
+        periods = cascade_periods({
+            "gpu1": [("A", GPU1_NET1, 0), ("B", slow, 1)],
+            "gpu2": [("A", GPU1_NET1, 0), ("C", GPU1_NET1, 1)],
+        })
+        solo_pair = local_cycle_length(
+            [("A", GPU1_NET1, 0), ("C", GPU1_NET1, 1)]
+        )
+        # Everyone in the component paces at GPU 1's slower cycle.
+        assert periods["A"] == periods["B"] == periods["C"]
+        assert periods["C"] > solo_pair
+
+    def test_bucketed_groups_have_no_cascade(self):
+        """Muri's bucketing: both workers of A interleave with both
+        workers of D (same group on both GPUs) — the component is one
+        group and nothing external can slow it."""
+        periods = cascade_periods({
+            "gpu1": [("A", GPU1_NET1, 0), ("D", GPU1_NET1, 1)],
+            "gpu2": [("A", GPU1_NET1, 0), ("D", GPU1_NET1, 1)],
+            "gpu3": [("E", GPU2_NET1, 0)],
+        })
+        pair_cycle = local_cycle_length(
+            [("A", GPU1_NET1, 0), ("D", GPU1_NET1, 1)]
+        )
+        assert periods["A"] == pytest.approx(pair_cycle)
+        assert periods["E"] == pytest.approx(3.0)  # untouched
+
+    def test_chain_propagates_transitively(self):
+        """A chain a-b-c-d of pairwise sharing forms one component."""
+        slow = StageProfile((0.0, 0.0, 5.0, 0.0))
+        periods = cascade_periods({
+            "g1": [("a", GPU1, 0), ("b", GPU1, 1)],
+            "g2": [("b", GPU1, 0), ("c", GPU1, 1)],
+            "g3": [("c", GPU1, 0), ("d", slow, 1)],
+        })
+        # g3's cycle (5 + 1 GPU units serialized on one resource) paces
+        # the whole chain, including job a two hops away.
+        assert periods["a"] == periods["d"]
+        assert periods["a"] >= 5.0
+
+    def test_solo_job_unaffected_by_other_components(self):
+        slow = StageProfile((0.0, 0.0, 9.0, 0.0))
+        periods = cascade_periods({
+            "g1": [("loner", GPU1, 0)],
+            "g2": [("x", slow, 0), ("y", GPU1, 1)],
+        })
+        assert periods["loner"] == pytest.approx(1.0)

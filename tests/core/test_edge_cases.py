@@ -1,0 +1,126 @@
+"""Edge-case coverage across the core APIs."""
+
+import pytest
+
+from repro.core.efficiency import group_speedup, interleaving_efficiency
+from repro.core.group import JobGroup
+from repro.core.muri import MuriScheduler
+from repro.core.ordering import best_ordering, enumerate_offset_assignments
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.stage import StageProfile
+
+
+class TestThreeResourceWorlds:
+    """The machinery is k-generic, not hard-coded to four resources."""
+
+    def test_three_jobs_three_resources(self):
+        profiles = [
+            StageProfile((1.0, 0.1, 0.1)),
+            StageProfile((0.1, 1.0, 0.1)),
+            StageProfile((0.1, 0.1, 1.0)),
+        ]
+        offsets, period = best_ordering(profiles, num_resources=3)
+        assert len(offsets) == 3
+        assert period == pytest.approx(1.2)  # 1.0 + 0.1 + 0.1 slots
+        assert group_speedup(profiles, num_resources=3) == pytest.approx(
+            3 * 1.2 / 1.2
+        )
+
+    def test_enumeration_size_k3(self):
+        assert len(list(enumerate_offset_assignments(3, num_resources=3))) == 2
+
+    def test_efficiency_k3_bounds(self):
+        profiles = [StageProfile((0.5, 0.3, 0.2))] * 2
+        gamma = interleaving_efficiency(profiles, num_resources=3)
+        assert 0 < gamma <= 1
+
+
+class TestGroupWithExplicitOffsets:
+    def test_speedup_with_explicit_offsets(self):
+        a = StageProfile((0.0, 2.0, 1.0, 0.0))
+        b = StageProfile((0.0, 1.0, 2.0, 0.0))
+        best = group_speedup((a, b))
+        forced = group_speedup((a, b), offsets=(0, 2))
+        assert forced <= best + 1e-9
+
+    def test_group_with_two_resource_profiles(self):
+        jobs = [
+            Job(JobSpec(profile=StageProfile((2.0, 1.0)), num_iterations=5)),
+            Job(JobSpec(profile=StageProfile((1.0, 2.0)), num_iterations=5)),
+        ]
+        group = JobGroup(
+            jobs=tuple(jobs),
+            believed_profiles=tuple(j.profile for j in jobs),
+            offsets=(0, 1),
+            num_resources=2,
+        )
+        assert group.believed_period == pytest.approx(3.0)
+        assert group.believed_efficiency == pytest.approx(1.0)
+
+
+class TestMuriDegenerateInputs:
+    def test_empty_queue(self):
+        plan = MuriScheduler().decide(0.0, [], {}, total_gpus=8)
+        assert plan == []
+
+    def test_single_job(self):
+        job = Job(JobSpec(profile=StageProfile((0.1, 0.1, 0.7, 0.1)),
+                          num_iterations=10))
+        plan = MuriScheduler().decide(0.0, [job], {}, total_gpus=8)
+        assert len(plan) == 1
+        assert plan[0].size == 1
+
+    def test_all_jobs_wider_than_cluster(self):
+        jobs = [
+            Job(JobSpec(profile=StageProfile((0.1, 0.1, 0.7, 0.1)),
+                        num_gpus=16, num_iterations=10))
+            for _ in range(3)
+        ]
+        plan = MuriScheduler().decide(0.0, jobs, {}, total_gpus=8)
+        assert plan == []
+
+    def test_zero_iteration_budget_respected(self):
+        # Jobs with a single iteration still schedule.
+        job = Job(JobSpec(profile=StageProfile((0.1, 0.1, 0.7, 0.1)),
+                          num_iterations=1))
+        plan = MuriScheduler().decide(0.0, [job], {}, total_gpus=1)
+        assert len(plan) == 1
+
+
+class TestSimulatorMuriBackfillPath:
+    def test_completion_backfill_uses_cached_groups(self):
+        """With event-driven backfill on, Muri serves completions from
+        its cached plan (reason='completion' path, end to end)."""
+        from repro.cluster.cluster import Cluster
+        from repro.sim.contention import IDEAL_CONTENTION
+        from repro.sim.simulator import ClusterSimulator
+
+        cpu = StageProfile((0.1, 0.7, 0.1, 0.1))
+        gpu = StageProfile((0.1, 0.1, 0.7, 0.1))
+        # Six jobs on one GPU: the first group finishes, freeing the
+        # GPU mid-interval; backfill must start cached leftovers.
+        specs = [
+            JobSpec(profile=(cpu if i % 2 else gpu), num_iterations=50)
+            for i in range(6)
+        ]
+        result = ClusterSimulator(
+            MuriScheduler(),
+            cluster=Cluster(1, 1),
+            scheduling_interval=10_000.0,  # ticks effectively never fire
+            backfill_on_completion=True,
+            restart_penalty=0.0,
+            contention=IDEAL_CONTENTION,
+        ).run(specs, "backfill")
+        assert result.num_jobs == 6
+        # Without backfill they'd wait 10000 s per wave; with it the
+        # whole workload drains promptly.
+        assert result.makespan < 1000.0
+
+
+class TestEventKinds:
+    def test_fault_kind_exists(self):
+        from repro.sim.engine import Event, EventKind
+
+        event = Event(1.0, EventKind.FAULT, payload=7)
+        assert event.kind is EventKind.FAULT
+        assert event.payload == 7

@@ -1,0 +1,173 @@
+"""Tests for interleaving efficiency (Eq. 1-4) and group speedup."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.efficiency import (
+    efficiency_for_period,
+    group_speedup,
+    interleaving_efficiency,
+    pair_efficiency,
+)
+from repro.jobs.stage import StageProfile
+
+# Fig. 4 profiles over two resources (CPU, GPU):
+# A uses 2 CPU then 1 GPU; B uses 1 CPU then 2 GPU; C is like A; D like B.
+A = StageProfile((2.0, 1.0))
+B = StageProfile((1.0, 2.0))
+C = StageProfile((2.0, 1.0))
+D = StageProfile((1.0, 2.0))
+
+
+class TestFigure4:
+    def test_perfect_pair_efficiency_is_one(self):
+        """Grouping A and B overlaps perfectly: gamma = 1."""
+        assert interleaving_efficiency((A, B), num_resources=2) == pytest.approx(1.0)
+
+    def test_poor_pair_efficiency(self):
+        """Grouping A and C leaves the GPU idle half the time: gamma = 0.75."""
+        assert interleaving_efficiency((A, C), num_resources=2) == pytest.approx(0.75)
+
+    def test_plan1_beats_plan2(self):
+        plan1 = (
+            interleaving_efficiency((A, B), num_resources=2)
+            + interleaving_efficiency((C, D), num_resources=2)
+        )
+        plan2 = (
+            interleaving_efficiency((A, C), num_resources=2)
+            + interleaving_efficiency((B, D), num_resources=2)
+        )
+        assert plan1 == pytest.approx(2.0)
+        assert plan1 > plan2
+
+
+class TestFigure2:
+    def test_interleaving_two_pipelined_jobs(self):
+        """Fig. 2: jobs A (GPU-lean) and B (network-lean) interleave to
+        ~1.7x combined throughput."""
+        # Stylized from the figure: A is GPU-heavy with a short network
+        # remainder, B the reverse, and the overlap is imperfect.
+        job_a = StageProfile((4.0, 2.0))
+        job_b = StageProfile((1.0, 3.0))
+        speedup = group_speedup((job_a, job_b), num_resources=2)
+        # T = max(4, 3) + max(2, 1) = 6; total = (6 + 4) / 6.
+        assert speedup == pytest.approx(10.0 / 6.0)
+        assert 1.5 < speedup < 2.0
+
+
+class TestEfficiencyForPeriod:
+    def test_fully_busy(self):
+        assert efficiency_for_period([A, B], 3.0, num_resources=2) == pytest.approx(1.0)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            efficiency_for_period([A], 0.0, num_resources=2)
+
+    def test_single_job_efficiency(self):
+        # Solo A: CPU busy 2/3, GPU busy 1/3 -> gamma = 0.5.
+        gamma = interleaving_efficiency((A,), num_resources=2)
+        assert gamma == pytest.approx(0.5)
+
+
+class TestOrderingPolicies:
+    def test_worst_not_better_than_best(self):
+        p = StageProfile((1.0, 2.0, 1.0, 1.0))
+        q = StageProfile((1.0, 1.0, 2.0, 1.0))
+        best = interleaving_efficiency((p, q), ordering="best")
+        worst = interleaving_efficiency((p, q), ordering="worst")
+        assert worst <= best
+
+    def test_explicit_offsets(self):
+        p = StageProfile((1.0, 2.0, 1.0, 1.0))
+        q = StageProfile((1.0, 1.0, 2.0, 1.0))
+        gamma = interleaving_efficiency((p, q), offsets=(0, 1))
+        assert 0 < gamma <= 1
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            interleaving_efficiency((A, B), ordering="random", num_resources=2)
+
+
+class TestPairEfficiency:
+    def test_symmetric(self):
+        p = StageProfile((0.6, 0.2, 0.1, 0.1))
+        q = StageProfile((0.1, 0.1, 0.7, 0.1))
+        assert pair_efficiency(p, q) == pytest.approx(pair_efficiency(q, p))
+
+    def test_identical_jobs_have_low_efficiency(self):
+        p = StageProfile((0.0, 0.0, 1.0, 0.0))
+        q = StageProfile((0.0, 0.0, 1.0, 0.0))
+        # Two GPU-only jobs: GPU always busy, other three always idle.
+        assert pair_efficiency(p, q) == pytest.approx(0.25)
+
+
+class TestGroupSpeedup:
+    def test_single_job_speedup_is_one(self):
+        assert group_speedup((A,), num_resources=2) == pytest.approx(1.0)
+
+    def test_perfect_quad_reaches_four(self):
+        """Fig. 1(b): four single-stage jobs yield 4x throughput."""
+        jobs = [
+            StageProfile(tuple(1.0 if i == r else 0.0 for i in range(4)))
+            for r in range(4)
+        ]
+        assert group_speedup(jobs) == pytest.approx(4.0)
+
+    def test_identical_jobs_no_speedup(self):
+        jobs = [StageProfile((0.0, 0.0, 1.0, 0.0))] * 4
+        assert group_speedup(jobs) == pytest.approx(1.0)
+
+    def test_table2_quad_speedup_near_two(self):
+        """Table 2: the four-model example reaches ~2x total."""
+        from repro.models.zoo import get_model
+
+        profiles = [
+            get_model(m).stage_profile(16)
+            for m in ("ShuffleNet", "A2C", "GPT-2", "VGG16")
+        ]
+        speedup = group_speedup(profiles)
+        assert 1.8 <= speedup <= 2.6
+
+
+@st.composite
+def groups(draw):
+    size = draw(st.integers(min_value=1, max_value=4))
+    return [
+        StageProfile(
+            tuple(
+                draw(
+                    st.lists(
+                        st.floats(min_value=0.0, max_value=5.0),
+                        min_size=4,
+                        max_size=4,
+                    ).filter(lambda d: sum(d) > 0)
+                )
+            )
+        )
+        for _ in range(size)
+    ]
+
+
+@settings(max_examples=150, deadline=None)
+@given(groups())
+def test_efficiency_in_unit_interval(profiles):
+    gamma = interleaving_efficiency(profiles)
+    assert 0.0 < gamma <= 1.0 + 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(groups())
+def test_speedup_bounds(profiles):
+    """1 <= total normalized throughput <= group size."""
+    speedup = group_speedup(profiles)
+    assert speedup >= 1.0 - 1e-9
+    assert speedup <= len(profiles) + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(groups())
+def test_best_ordering_maximizes_efficiency(profiles):
+    best = interleaving_efficiency(profiles, ordering="best")
+    ident = interleaving_efficiency(profiles, ordering="identity")
+    assert best >= ident - 1e-9

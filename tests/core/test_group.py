@@ -1,0 +1,106 @@
+"""Tests for JobGroup."""
+
+import pytest
+
+from repro.core.group import JobGroup
+from repro.core.ordering import best_ordering
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.stage import StageProfile
+
+CPU_HEAVY = StageProfile((0.1, 0.7, 0.1, 0.1))
+GPU_HEAVY = StageProfile((0.1, 0.1, 0.7, 0.1))
+
+
+def make_job(profile=CPU_HEAVY, gpus=1, iters=100):
+    return Job(JobSpec(profile=profile, num_gpus=gpus, num_iterations=iters))
+
+
+def make_pair():
+    a, b = make_job(CPU_HEAVY), make_job(GPU_HEAVY)
+    profiles = (a.profile, b.profile)
+    offsets, _ = best_ordering(profiles)
+    return JobGroup(jobs=(a, b), believed_profiles=profiles, offsets=offsets)
+
+
+class TestValidation:
+    def test_empty_group(self):
+        with pytest.raises(ValueError):
+            JobGroup(jobs=(), believed_profiles=(), offsets=())
+
+    def test_profile_count_mismatch(self):
+        job = make_job()
+        with pytest.raises(ValueError):
+            JobGroup(jobs=(job,), believed_profiles=(), offsets=(0,))
+
+    def test_offset_count_mismatch(self):
+        job = make_job()
+        with pytest.raises(ValueError):
+            JobGroup(jobs=(job,), believed_profiles=(job.profile,), offsets=(0, 1))
+
+    def test_mixed_gpu_counts_rejected(self):
+        a, b = make_job(gpus=1), make_job(gpus=2)
+        with pytest.raises(ValueError):
+            JobGroup(
+                jobs=(a, b),
+                believed_profiles=(a.profile, b.profile),
+                offsets=(0, 1),
+            )
+
+
+class TestSolo:
+    def test_solo_defaults(self):
+        job = make_job()
+        group = JobGroup.solo(job)
+        assert group.size == 1
+        assert group.num_gpus == 1
+        assert group.offsets == (0,)
+        assert group.believed_profiles == (job.profile,)
+
+    def test_solo_with_believed_profile(self):
+        job = make_job()
+        noisy = StageProfile((0.2, 0.6, 0.1, 0.1))
+        group = JobGroup.solo(job, believed_profile=noisy)
+        assert group.believed_profiles == (noisy,)
+        # Actual execution still uses the truth.
+        assert group.actual_period() == pytest.approx(job.profile.iteration_time)
+
+
+class TestMetrics:
+    def test_believed_equals_actual_without_noise(self):
+        group = make_pair()
+        assert group.believed_period == pytest.approx(group.actual_period())
+        assert group.believed_efficiency == pytest.approx(group.actual_efficiency())
+
+    def test_actual_period_with_contention(self):
+        group = make_pair()
+        assert group.actual_period(1.1) == pytest.approx(group.actual_period() * 1.1)
+
+    def test_believed_differs_under_noise(self):
+        a, b = make_job(CPU_HEAVY), make_job(GPU_HEAVY)
+        # The profiler measured every stage at twice its true length.
+        wrong = (CPU_HEAVY.scaled(2.0), GPU_HEAVY.scaled(2.0))
+        offsets, _ = best_ordering(wrong)
+        group = JobGroup(jobs=(a, b), believed_profiles=wrong, offsets=offsets)
+        assert group.believed_period == pytest.approx(2 * group.actual_period())
+
+    def test_normalized_throughputs(self):
+        group = make_pair()
+        tputs = group.normalized_throughputs()
+        assert set(tputs) == {job.job_id for job in group.jobs}
+        for job in group.jobs:
+            expected = job.profile.iteration_time / group.actual_period()
+            assert tputs[job.job_id] == pytest.approx(expected)
+        assert all(0 < v <= 1 for v in tputs.values())
+
+    def test_busy_time(self):
+        group = make_pair()
+        assert group.busy_time(1) == pytest.approx(0.7 + 0.1)  # CPU
+        assert group.busy_time(2) == pytest.approx(0.1 + 0.7)  # GPU
+
+    def test_contains(self):
+        group = make_pair()
+        assert group.jobs[0] in group
+        assert make_job() not in group
+
+    def test_coordinated_default(self):
+        assert make_pair().coordinated

@@ -1,0 +1,107 @@
+"""Property-based tests for the multi-round grouping algorithm."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grouping import MultiRoundGrouper
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.stage import StageProfile
+from repro.models.zoo import DEFAULT_MODELS, get_model
+
+
+@st.composite
+def job_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=14))
+    jobs = []
+    for _ in range(n):
+        model = get_model(draw(st.sampled_from(DEFAULT_MODELS)))
+        gpus = draw(st.sampled_from([1, 1, 2, 4]))
+        jobs.append(
+            Job(JobSpec(
+                profile=model.stage_profile(gpus),
+                num_gpus=gpus,
+                num_iterations=draw(st.integers(min_value=1, max_value=1000)),
+                model=model.name,
+            ))
+        )
+    return jobs
+
+
+@st.composite
+def grouper_configs(draw):
+    return MultiRoundGrouper(
+        max_group_size=draw(st.sampled_from([1, 2, 3, 4])),
+        matcher=draw(st.sampled_from(["blossom", "greedy"])),
+        ordering=draw(st.sampled_from(["best", "worst", "identity"])),
+        min_efficiency=draw(st.sampled_from([0.0, 0.3])),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(job_batches(), grouper_configs(), st.integers(min_value=0, max_value=30))
+def test_grouping_invariants(jobs, grouper, capacity_raw):
+    capacity = capacity_raw or None
+    result = grouper.group(jobs, capacity=capacity)
+
+    # Every job appears in exactly one group.
+    seen = [job.job_id for group in result.groups for job in group.jobs]
+    assert sorted(seen) == sorted(job.job_id for job in jobs)
+
+    for group in result.groups:
+        # Size cap respected.
+        assert group.size <= grouper.max_group_size
+        # GPU-count homogeneity (bucketing).
+        assert len({job.num_gpus for job in group.jobs}) == 1
+        # Offsets are valid (distinct mod k).
+        assert len(set(o % 4 for o in group.offsets)) == group.size
+        # Efficiency is a valid fraction.
+        assert 0 < group.believed_efficiency <= 1 + 1e-9
+
+    # Reported demand matches the plan.
+    assert result.total_gpu_demand == sum(g.num_gpus for g in result.groups)
+
+
+@settings(max_examples=50, deadline=None)
+@given(job_batches(), st.integers(min_value=1, max_value=40))
+def test_capacity_is_binding_or_unreachable(jobs, capacity):
+    """After grouping, either demand fits the capacity or no further
+    merge could have reduced it (max group size / bucket limits)."""
+    grouper = MultiRoundGrouper()
+    result = grouper.group(jobs, capacity=capacity)
+    if result.total_gpu_demand <= capacity:
+        return
+    # Demand above capacity: verify no merge remains possible within
+    # the same bucket and size cap.
+    by_bucket = {}
+    for group in result.groups:
+        by_bucket.setdefault(group.num_gpus, []).append(group)
+    for groups in by_bucket.values():
+        sizes = sorted(g.size for g in groups)
+        if len(sizes) >= 2:
+            # The two smallest could only merge if they exceed the cap.
+            assert sizes[0] + sizes[1] > grouper.max_group_size
+
+
+@settings(max_examples=50, deadline=None)
+@given(job_batches())
+def test_grouping_is_deterministic(jobs):
+    a = MultiRoundGrouper().group(jobs, capacity=2)
+    b = MultiRoundGrouper().group(jobs, capacity=2)
+    key_a = [frozenset(j.job_id for j in g.jobs) for g in a.groups]
+    key_b = [frozenset(j.job_id for j in g.jobs) for g in b.groups]
+    assert key_a == key_b
+
+
+@settings(max_examples=50, deadline=None)
+@given(job_batches())
+def test_no_capacity_means_full_grouping(jobs):
+    """Without a capacity, the algorithm merges as far as rounds allow:
+    at most one undersized group per bucket remains."""
+    grouper = MultiRoundGrouper(max_group_size=2)
+    result = grouper.group(jobs)
+    by_bucket = {}
+    for group in result.groups:
+        by_bucket.setdefault(group.num_gpus, []).append(group)
+    for groups in by_bucket.values():
+        singles = [g for g in groups if g.size == 1]
+        assert len(singles) <= 1

@@ -1,0 +1,109 @@
+"""Tests for the priority policies (SRSF, 2D-LAS, and friends)."""
+
+import pytest
+
+from repro.core.priorities import (
+    POLICIES,
+    fifo_priority,
+    get_policy,
+    gittins_priority,
+    las2d_priority,
+    las_priority,
+    sjf_priority,
+    srsf_priority,
+    srtf_priority,
+)
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.stage import StageProfile
+
+PROFILE = StageProfile((0.25, 0.25, 0.25, 0.25))  # 1 s per iteration
+
+
+def make_job(iters=100, gpus=1, submit=0.0):
+    return Job(JobSpec(profile=PROFILE, num_gpus=gpus, submit_time=submit,
+                       num_iterations=iters))
+
+
+def test_fifo_orders_by_submission():
+    early, late = make_job(submit=1.0), make_job(submit=5.0)
+    assert fifo_priority(early, 10.0) < fifo_priority(late, 10.0)
+
+
+def test_sjf_orders_by_total_size():
+    small, big = make_job(iters=10), make_job(iters=100)
+    assert sjf_priority(small, 0.0) < sjf_priority(big, 0.0)
+
+
+def test_sjf_static_under_progress():
+    job = make_job(iters=100)
+    before = sjf_priority(job, 0.0)
+    job.advance(50.0, 50.0)
+    assert sjf_priority(job, 0.0) == before
+
+
+def test_srtf_tracks_remaining():
+    job = make_job(iters=100)
+    before = srtf_priority(job, 0.0)
+    job.advance(40.0, 40.0)
+    assert srtf_priority(job, 0.0) == pytest.approx(before - 40.0)
+
+
+def test_srtf_ignores_gpus():
+    narrow, wide = make_job(iters=50, gpus=1), make_job(iters=50, gpus=8)
+    assert srtf_priority(narrow, 0.0) == srtf_priority(wide, 0.0)
+
+
+def test_srsf_scales_with_gpus():
+    """The paper: p_i = r_i * g_i."""
+    narrow, wide = make_job(iters=50, gpus=1), make_job(iters=50, gpus=8)
+    assert srsf_priority(wide, 0.0) == pytest.approx(8 * srsf_priority(narrow, 0.0))
+
+
+def test_las_prefers_fresh_jobs():
+    fresh, veteran = make_job(), make_job()
+    veteran.advance(10.0, 10.0)
+    assert las_priority(fresh, 0.0) < las_priority(veteran, 0.0)
+
+
+def test_las2d_scales_with_gpus():
+    """The paper: p_i = a_i * g_i."""
+    narrow, wide = make_job(gpus=1), make_job(gpus=4)
+    narrow.advance(10.0, 10.0)
+    wide.advance(10.0, 10.0)
+    assert las2d_priority(wide, 0.0) == pytest.approx(
+        4 * las2d_priority(narrow, 0.0)
+    )
+
+
+def test_las_family_is_duration_blind():
+    short, long_ = make_job(iters=1), make_job(iters=10_000)
+    assert las_priority(short, 0.0) == las_priority(long_, 0.0)
+    assert las2d_priority(short, 0.0) == las2d_priority(long_, 0.0)
+
+
+def test_gittins_zero_for_new_jobs():
+    assert gittins_priority(make_job(), 0.0) == 0.0
+
+
+def test_gittins_grows_in_steps():
+    job = make_job(iters=100_000)
+    values = []
+    for wall in (10.0, 100.0, 1000.0):
+        job.advance(0.0, wall)
+        values.append(gittins_priority(job, 0.0))
+    assert values == sorted(values)
+    assert len(set(values)) > 1
+
+
+def test_get_policy_known_names():
+    for name in POLICIES:
+        assert callable(get_policy(name))
+
+
+def test_get_policy_case_insensitive():
+    assert get_policy("SRSF") is srsf_priority
+
+
+def test_get_policy_unknown():
+    with pytest.raises(KeyError):
+        get_policy("wfq")

@@ -1,0 +1,123 @@
+"""Tests for GPU memory accounting (section 2.2's feasibility claim)."""
+
+import pytest
+
+from repro.core.grouping import MultiRoundGrouper
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.memory import (
+    V100_MEMORY_GB,
+    MemoryFootprint,
+    group_peak_memory,
+)
+from repro.jobs.stage import StageProfile
+from repro.models.zoo import get_model
+
+
+class TestFootprint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryFootprint(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            MemoryFootprint(1.0, -1.0)
+
+    def test_solo_peak(self):
+        assert MemoryFootprint(2.0, 5.0).solo_peak_gb == 7.0
+
+
+class TestGroupPeak:
+    def test_empty_group(self):
+        with pytest.raises(ValueError):
+            group_peak_memory([])
+
+    def test_residual_validation(self):
+        with pytest.raises(ValueError):
+            group_peak_memory([MemoryFootprint(1, 1)], residual=1.5)
+
+    def test_single_job_is_solo_peak(self):
+        footprint = MemoryFootprint(2.0, 5.0)
+        assert group_peak_memory([footprint]) == footprint.solo_peak_gb
+
+    def test_coordinated_staggering(self):
+        a, b = MemoryFootprint(1.0, 4.0), MemoryFootprint(2.0, 3.0)
+        # weights sum + largest activation + 10% of the other.
+        assert group_peak_memory([a, b]) == pytest.approx(3.0 + 4.0 + 0.3)
+
+    def test_uncoordinated_sums_everything(self):
+        a, b = MemoryFootprint(1.0, 4.0), MemoryFootprint(2.0, 3.0)
+        assert group_peak_memory([a, b], coordinated=False) == pytest.approx(10.0)
+
+    def test_coordinated_below_uncoordinated(self):
+        footprints = [MemoryFootprint(0.5, 3.0) for _ in range(4)]
+        assert group_peak_memory(footprints) < group_peak_memory(
+            footprints, coordinated=False
+        )
+
+    def test_zero_residual_is_perfect_staggering(self):
+        footprints = [MemoryFootprint(0.0, 3.0), MemoryFootprint(0.0, 2.0)]
+        assert group_peak_memory(footprints, residual=0.0) == 3.0
+
+
+class TestPaperClaim:
+    def test_table2_quad_within_ten_percent_of_gpt2(self):
+        """Section 2.2: interleaving the four-model group raises peak
+        memory by <10% over GPT-2, the largest member."""
+        footprints = [
+            get_model(name).memory
+            for name in ("ShuffleNet", "A2C", "GPT-2", "VGG16")
+        ]
+        gpt2_peak = get_model("GPT-2").memory.solo_peak_gb
+        quad_peak = group_peak_memory(footprints)
+        assert quad_peak <= gpt2_peak * 1.10
+        assert quad_peak <= V100_MEMORY_GB  # feasible on the testbed GPU
+
+    def test_gpt2_has_largest_footprint(self):
+        from repro.models.zoo import DEFAULT_MODELS
+
+        peaks = {m: get_model(m).memory.solo_peak_gb for m in DEFAULT_MODELS}
+        assert max(peaks, key=peaks.get) == "GPT-2"
+
+
+class TestGrouperConstraint:
+    @staticmethod
+    def _job(activations, model="custom"):
+        return Job(JobSpec(
+            profile=StageProfile((0.1, 0.1, 0.7, 0.1)),
+            num_iterations=10,
+            memory=MemoryFootprint(1.0, activations),
+            model=model,
+        ))
+
+    def test_infeasible_merge_blocked(self):
+        big_a, big_b = self._job(14.0), self._job(14.0)
+        grouper = MultiRoundGrouper(gpu_memory_gb=16.0)
+        result = grouper.group([big_a, big_b], capacity=1)
+        assert all(group.size == 1 for group in result.groups)
+
+    def test_feasible_merge_allowed(self):
+        small_a, small_b = self._job(2.0), self._job(2.0)
+        grouper = MultiRoundGrouper(gpu_memory_gb=16.0)
+        result = grouper.group([small_a, small_b], capacity=1)
+        assert result.groups[0].size == 2
+
+    def test_jobs_without_footprint_exempt(self):
+        plain = [
+            Job(JobSpec(profile=StageProfile((0.1, 0.1, 0.7, 0.1)),
+                        num_iterations=10))
+            for _ in range(2)
+        ]
+        grouper = MultiRoundGrouper(gpu_memory_gb=0.001)
+        result = grouper.group(plain, capacity=1)
+        assert result.groups[0].size == 2
+
+    def test_group_peak_memory_accessor(self):
+        a, b = self._job(4.0), self._job(2.0)
+        grouper = MultiRoundGrouper()
+        group = grouper.group([a, b], capacity=1).groups[0]
+        assert group.peak_memory_gb() == pytest.approx(2.0 + 4.0 + 0.2)
+
+    def test_group_peak_memory_none_without_footprints(self):
+        from repro.core.group import JobGroup
+
+        job = Job(JobSpec(profile=StageProfile((0.1, 0.1, 0.7, 0.1)),
+                          num_iterations=10))
+        assert JobGroup.solo(job).peak_memory_gb() is None

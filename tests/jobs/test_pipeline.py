@@ -1,0 +1,128 @@
+"""Tests for model-parallel (pipeline) job support (paper section 7)."""
+
+import pytest
+
+from repro.jobs.pipeline import make_model_parallel_job
+from repro.jobs.resources import Resource
+
+
+def make(**kwargs):
+    defaults = dict(
+        num_stages=4,
+        compute_time=0.8,
+        activation_time=0.1,
+        load_time=0.15,
+        preprocess_time=0.05,
+        sync_time=0.2,
+        num_iterations=100,
+    )
+    defaults.update(kwargs)
+    return make_model_parallel_job(**defaults)
+
+
+class TestValidation:
+    def test_minimum_two_stages(self):
+        with pytest.raises(ValueError):
+            make(num_stages=1)
+
+    def test_positive_compute(self):
+        with pytest.raises(ValueError):
+            make(compute_time=0.0)
+
+    def test_nonnegative_activation(self):
+        with pytest.raises(ValueError):
+            make(activation_time=-0.1)
+
+
+class TestWorkerRoles:
+    def test_roles(self):
+        job = make()
+        roles = [w.role for w in job.workers]
+        assert roles == ["first", "middle", "middle", "last"]
+
+    def test_first_worker_loads_and_preprocesses(self):
+        first = make().workers[0]
+        assert first.profile.duration(Resource.STORAGE) == pytest.approx(0.15)
+        assert first.profile.duration(Resource.CPU) == pytest.approx(0.05)
+
+    def test_middle_workers_only_network_and_gpu(self):
+        middle = make().workers[1]
+        assert middle.profile.duration(Resource.STORAGE) == 0.0
+        assert middle.profile.duration(Resource.CPU) == 0.0
+        assert middle.profile.duration(Resource.GPU) > 0
+        assert middle.profile.duration(Resource.NETWORK) == pytest.approx(0.1)
+
+    def test_last_worker_syncs(self):
+        last = make().workers[-1]
+        # Full duplex: max(activation receive, gradient sync) = 0.2.
+        assert last.profile.duration(Resource.NETWORK) == pytest.approx(0.2)
+
+
+class TestComputeSplit:
+    def test_balanced_split(self):
+        job = make()
+        for worker in job.workers:
+            assert worker.profile.duration(Resource.GPU) == pytest.approx(0.2)
+
+    def test_front_loaded_split(self):
+        job = make(balanced=False)
+        gpu_times = [w.profile.duration(Resource.GPU) for w in job.workers]
+        assert gpu_times == sorted(gpu_times, reverse=True)
+        assert sum(gpu_times) == pytest.approx(0.8)
+
+
+class TestSchedulingView:
+    def test_spec_occupies_one_gpu_per_stage(self):
+        assert make().spec.num_gpus == 4
+
+    def test_spec_profile_is_bottleneck_workers(self):
+        job = make()
+        assert (
+            job.spec.profile.durations
+            == job.bottleneck_worker.profile.durations
+        )
+
+    def test_pipeline_period_is_slowest_worker(self):
+        job = make()
+        assert job.pipeline_period == pytest.approx(
+            max(w.profile.iteration_time for w in job.workers)
+        )
+
+    def test_first_worker_is_bottleneck_with_heavy_io(self):
+        job = make(load_time=0.5, preprocess_time=0.3)
+        assert job.bottleneck_worker.role == "first"
+
+    def test_utilizations_bounded(self):
+        utils = make().worker_utilizations()
+        assert len(utils) == 4
+        assert all(0 < u <= 1.0 for u in utils)
+        assert max(utils) == pytest.approx(1.0)
+
+    def test_schedulable_end_to_end(self):
+        """A pipeline job flows through the simulator like any other."""
+        from repro.cluster.cluster import Cluster
+        from repro.core.muri import MuriScheduler
+        from repro.jobs.job import Job
+        from repro.sim.simulator import ClusterSimulator
+
+        job = make(num_iterations=50)
+        result = ClusterSimulator(
+            MuriScheduler(), cluster=Cluster(1, 4), restart_penalty=0.0
+        ).run([job.spec], "pipeline")
+        assert result.num_jobs == 1
+        assert result.jcts[job.spec.job_id] >= 50 * job.pipeline_period * 0.99
+
+
+class TestInterleavingAcrossPipelines:
+    def test_complementary_pipelines_interleave_well(self):
+        """An IO-bound first stage and a compute-bound pipeline can
+        share GPUs — section 7's 'same propagation direction' idea."""
+        from repro.core.efficiency import pair_efficiency
+
+        io_heavy = make(load_time=0.6, preprocess_time=0.2, compute_time=0.4)
+        gpu_heavy = make(compute_time=3.2, activation_time=0.05)
+        gamma = pair_efficiency(
+            io_heavy.spec.profile, gpu_heavy.spec.profile
+        )
+        same = pair_efficiency(gpu_heavy.spec.profile, gpu_heavy.spec.profile)
+        assert gamma > same

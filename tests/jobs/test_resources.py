@@ -1,0 +1,63 @@
+"""Tests for the resource/stage vocabulary."""
+
+import pytest
+
+from repro.jobs.resources import (
+    NUM_RESOURCES,
+    RESOURCE_ORDER,
+    STAGE_NAMES,
+    Resource,
+)
+
+
+def test_four_resources():
+    assert NUM_RESOURCES == 4
+    assert len(RESOURCE_ORDER) == 4
+
+
+def test_data_path_order():
+    assert RESOURCE_ORDER == (
+        Resource.STORAGE,
+        Resource.CPU,
+        Resource.GPU,
+        Resource.NETWORK,
+    )
+
+
+def test_indices_are_dense():
+    assert [int(r) for r in RESOURCE_ORDER] == [0, 1, 2, 3]
+
+
+def test_stage_names_cover_all_resources():
+    assert set(STAGE_NAMES) == set(RESOURCE_ORDER)
+
+
+def test_stage_name_property():
+    assert Resource.STORAGE.stage_name == "load_data"
+    assert Resource.CPU.stage_name == "preprocess"
+    assert Resource.GPU.stage_name == "propagate"
+    assert Resource.NETWORK.stage_name == "synchronize"
+
+
+@pytest.mark.parametrize("name,expected", [
+    ("gpu", Resource.GPU),
+    ("GPU", Resource.GPU),
+    ("storage", Resource.STORAGE),
+    ("network", Resource.NETWORK),
+    ("load_data", Resource.STORAGE),
+    ("Preprocess", Resource.CPU),
+    ("synchronize", Resource.NETWORK),
+    (" propagate ", Resource.GPU),
+])
+def test_from_name(name, expected):
+    assert Resource.from_name(name) == expected
+
+
+def test_from_name_unknown():
+    with pytest.raises(ValueError):
+        Resource.from_name("tpu")
+
+
+def test_resources_usable_as_indices():
+    durations = [1.0, 2.0, 3.0, 4.0]
+    assert durations[Resource.GPU] == 3.0

@@ -1,0 +1,220 @@
+"""Tests for the from-scratch blossom maximum weight matching."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.blossom import (
+    matching_pairs,
+    matching_weight,
+    max_weight_matching,
+)
+from repro.matching.exact import brute_force_matching
+
+
+def test_empty_edge_list():
+    assert max_weight_matching([]) == []
+
+
+def test_single_edge():
+    assert matching_pairs([(0, 1, 5.0)]) == {(0, 1)}
+
+
+def test_single_edge_zero_weight_not_matched():
+    # Zero weight adds nothing; the matcher may leave it out.
+    pairs = matching_pairs([(0, 1, 0.0)])
+    assert matching_weight([(0, 1, 0.0)], pairs) == 0.0
+
+
+def test_negative_weight_edge_unmatched():
+    assert matching_pairs([(0, 1, -1.0)]) == set()
+
+
+def test_negative_weight_matched_when_max_cardinality():
+    assert matching_pairs([(0, 1, -1.0)], max_cardinality=True) == {(0, 1)}
+
+
+def test_self_loop_rejected():
+    with pytest.raises(ValueError):
+        max_weight_matching([(2, 2, 1.0)])
+
+
+def test_negative_vertex_rejected():
+    with pytest.raises(ValueError):
+        max_weight_matching([(-1, 0, 1.0)])
+
+
+def test_path_graph_picks_heavier_edge():
+    # 0-1 (2), 1-2 (3): only one can be matched.
+    assert matching_pairs([(0, 1, 2.0), (1, 2, 3.0)]) == {(1, 2)}
+
+
+def test_path_graph_three_edges():
+    # 0-1 (5), 1-2 (11), 2-3 (5): ends beat the heavy middle (10 > 11? no).
+    pairs = matching_pairs([(0, 1, 5.0), (1, 2, 11.0), (2, 3, 5.0)])
+    assert pairs == {(1, 2)}
+
+
+def test_path_graph_prefers_two_ends():
+    pairs = matching_pairs([(0, 1, 6.0), (1, 2, 11.0), (2, 3, 6.0)])
+    assert pairs == {(0, 1), (2, 3)}
+
+
+def test_triangle_matches_heaviest_edge():
+    edges = [(0, 1, 5.0), (1, 2, 6.0), (0, 2, 4.0)]
+    assert matching_pairs(edges) == {(1, 2)}
+
+
+def test_odd_cycle_blossom_case():
+    # 5-cycle where the optimum requires reasoning around the blossom.
+    edges = [(0, 1, 8.0), (1, 2, 9.0), (2, 3, 10.0), (3, 4, 7.0), (4, 0, 6.0)]
+    pairs = matching_pairs(edges)
+    bf_pairs, bf_weight = brute_force_matching(edges)
+    assert matching_weight(edges, pairs) == pytest.approx(bf_weight)
+
+
+def test_classic_blossom_expansion():
+    # Known tricky instance from the literature: nested blossoms.
+    edges = [
+        (1, 2, 9), (1, 3, 9), (2, 3, 10), (2, 4, 8), (3, 5, 8),
+        (4, 5, 10), (5, 6, 6),
+    ]
+    pairs = matching_pairs(edges)
+    assert matching_weight(edges, pairs) == pytest.approx(23.0)
+    assert pairs == {(1, 3), (2, 4), (5, 6)}
+
+
+def test_blossom_with_augmenting_path_through_it():
+    edges = [
+        (1, 2, 8), (1, 3, 9), (2, 3, 10), (3, 4, 7), (4, 5, 6), (1, 6, 3),
+    ]
+    pairs = matching_pairs(edges)
+    _bf_pairs, bf_weight = brute_force_matching(edges)
+    assert matching_weight(edges, pairs) == pytest.approx(bf_weight)
+
+
+def test_float_weights():
+    edges = [(0, 1, 0.9), (1, 2, 0.45), (2, 3, 0.9), (0, 3, 0.2)]
+    pairs = matching_pairs(edges)
+    assert pairs == {(0, 1), (2, 3)}
+
+
+def test_parallel_edges_use_best():
+    edges = [(0, 1, 1.0), (0, 1, 7.0), (0, 1, 3.0)]
+    pairs = matching_pairs(edges)
+    assert pairs == {(0, 1)}
+    assert matching_weight(edges, pairs) == pytest.approx(7.0)
+
+
+def test_disconnected_components():
+    edges = [(0, 1, 2.0), (2, 3, 3.0), (4, 5, 4.0)]
+    assert matching_pairs(edges) == {(0, 1), (2, 3), (4, 5)}
+
+
+def test_mate_array_is_symmetric():
+    edges = [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 2.5), (3, 0, 1.0)]
+    mate = max_weight_matching(edges)
+    for v, m in enumerate(mate):
+        if m != -1:
+            assert mate[m] == v
+
+
+def test_isolated_vertices_in_mate_array():
+    # Vertex 2 appears only via id numbering (edge 3-4 forces length 5).
+    mate = max_weight_matching([(0, 1, 1.0), (3, 4, 1.0)])
+    assert len(mate) == 5
+    assert mate[2] == -1
+
+
+def test_max_cardinality_prefers_more_edges():
+    # Weight-only optimum is the single heavy middle edge; cardinality
+    # optimum takes both light ends.
+    edges = [(0, 1, 2.0), (1, 2, 100.0), (2, 3, 2.0)]
+    weight_only = matching_pairs(edges)
+    cardinality = matching_pairs(edges, max_cardinality=True)
+    assert weight_only == {(1, 2)}
+    assert cardinality == {(0, 1), (2, 3)}
+
+
+def test_complete_graph_k4_perfect_matching():
+    edges = [
+        (0, 1, 10.0), (0, 2, 1.0), (0, 3, 1.0),
+        (1, 2, 1.0), (1, 3, 1.0), (2, 3, 10.0),
+    ]
+    assert matching_pairs(edges) == {(0, 1), (2, 3)}
+
+
+def test_large_random_graph_against_networkx():
+    networkx = pytest.importorskip("networkx")
+    rng = random.Random(7)
+    n = 60
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.25:
+                edges.append((u, v, rng.randint(1, 500)))
+    pairs = matching_pairs(edges)
+    graph = networkx.Graph()
+    graph.add_weighted_edges_from(edges)
+    nx_pairs = networkx.max_weight_matching(graph)
+    nx_weight = sum(graph[u][v]["weight"] for u, v in nx_pairs)
+    assert matching_weight(edges, pairs) == pytest.approx(nx_weight)
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    chosen = draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=len(possible), unique=True)
+    )
+    weights = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=30),
+            min_size=len(chosen),
+            max_size=len(chosen),
+        )
+    )
+    return [(u, v, w) for (u, v), w in zip(chosen, weights)]
+
+
+@settings(max_examples=150, deadline=None)
+@given(random_graphs())
+def test_matches_brute_force_weight(edges):
+    pairs = matching_pairs(edges)
+    _bf_pairs, bf_weight = brute_force_matching(edges)
+    assert matching_weight(edges, pairs) == pytest.approx(bf_weight)
+
+
+@settings(max_examples=150, deadline=None)
+@given(random_graphs())
+def test_max_cardinality_matches_brute_force(edges):
+    pairs = matching_pairs(edges, max_cardinality=True)
+    bf_pairs, bf_weight = brute_force_matching(edges, max_cardinality=True)
+    assert len(pairs) == len(bf_pairs)
+    assert matching_weight(edges, pairs) == pytest.approx(bf_weight)
+
+
+@settings(max_examples=100, deadline=None)
+@given(random_graphs())
+def test_matching_is_valid(edges):
+    """No vertex appears in two matched pairs."""
+    pairs = matching_pairs(edges)
+    seen = set()
+    for u, v in pairs:
+        assert u not in seen and v not in seen
+        seen.update((u, v))
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs(), st.floats(min_value=0.001, max_value=1000))
+def test_weight_scaling_invariance(edges, scale):
+    """Scaling every weight by a positive constant keeps the matching weight scaled."""
+    pairs = matching_pairs(edges)
+    scaled = [(u, v, w * scale) for u, v, w in edges]
+    scaled_pairs = matching_pairs(scaled)
+    assert matching_weight(scaled, scaled_pairs) == pytest.approx(
+        matching_weight(edges, pairs) * scale, rel=1e-6
+    )

@@ -1,0 +1,84 @@
+"""Tests for the exact exponential matchers (test oracles)."""
+
+import pytest
+
+from repro.matching.exact import brute_force_matching, exact_hypergraph_matching
+
+
+class TestBruteForce:
+    def test_empty(self):
+        pairs, weight = brute_force_matching([])
+        assert pairs == set()
+        assert weight == 0.0
+
+    def test_single_edge(self):
+        pairs, weight = brute_force_matching([(0, 1, 4.0)])
+        assert pairs == {(0, 1)}
+        assert weight == 4.0
+
+    def test_path(self):
+        pairs, weight = brute_force_matching(
+            [(0, 1, 6.0), (1, 2, 11.0), (2, 3, 6.0)]
+        )
+        assert pairs == {(0, 1), (2, 3)}
+        assert weight == 12.0
+
+    def test_parallel_edges_keep_best(self):
+        pairs, weight = brute_force_matching([(0, 1, 1.0), (1, 0, 9.0)])
+        assert weight == 9.0
+
+    def test_zero_weight_edges_do_not_help(self):
+        _pairs, weight = brute_force_matching([(0, 1, 0.0), (2, 3, 0.0)])
+        assert weight == 0.0
+
+    def test_max_cardinality_counts_edges_first(self):
+        edges = [(0, 1, 1.0), (1, 2, 50.0), (2, 3, 1.0)]
+        pairs, weight = brute_force_matching(edges, max_cardinality=True)
+        assert len(pairs) == 2
+        assert weight == 2.0
+
+
+class TestHypergraph:
+    def test_pairs_reduce_to_matching(self):
+        weights = {(0, 1): 3.0, (0, 2): 1.0, (1, 2): 1.0, (2, 3): 3.0,
+                   (0, 3): 1.0, (1, 3): 1.0}
+        groups, total = exact_hypergraph_matching(
+            4, 2, lambda g: weights.get(tuple(sorted(g)), 0.0)
+        )
+        assert total == 6.0
+        assert sorted(groups) == [(0, 1), (2, 3)]
+
+    def test_triples(self):
+        def weight(group):
+            # Only one specific triple is valuable.
+            return 10.0 if group == (0, 1, 2) else 1.0
+
+        groups, total = exact_hypergraph_matching(6, 3, weight)
+        assert (0, 1, 2) in groups
+        assert total == 11.0  # plus the (3,4,5) leftover triple at 1.0
+
+    def test_disjointness(self):
+        groups, _ = exact_hypergraph_matching(6, 2, lambda g: 1.0)
+        used = [node for group in groups for node in group]
+        assert len(used) == len(set(used))
+
+    def test_group_size_one(self):
+        groups, total = exact_hypergraph_matching(3, 1, lambda g: float(g[0]))
+        assert total == 3.0  # picks nodes 1 and 2 (0 adds nothing)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            exact_hypergraph_matching(3, 0, lambda g: 1.0)
+
+    def test_fewer_nodes_than_group_size(self):
+        groups, total = exact_hypergraph_matching(2, 3, lambda g: 1.0)
+        assert groups == []
+        assert total == 0.0
+
+    def test_prefers_weight_over_coverage(self):
+        def weight(group):
+            return {(0, 1): 10.0, (2, 3): 10.0, (0, 2): 15.0}.get(group, 0.0)
+
+        groups, total = exact_hypergraph_matching(4, 2, weight)
+        # (0,1)+(2,3)=20 beats (0,2)=15.
+        assert total == 20.0

@@ -1,0 +1,82 @@
+"""Tests for the greedy matchers (the "w/o Blossom" ablation arm)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.blossom import matching_pairs, matching_weight
+from repro.matching.greedy import greedy_matching, sequential_pair_matching
+
+
+class TestGreedyMatching:
+    def test_empty(self):
+        assert greedy_matching([]) == set()
+
+    def test_takes_heaviest_first(self):
+        edges = [(0, 1, 1.0), (1, 2, 5.0), (2, 3, 1.0)]
+        assert greedy_matching(edges) == {(1, 2)}
+
+    def test_skips_nonpositive(self):
+        assert greedy_matching([(0, 1, 0.0), (2, 3, -1.0)]) == set()
+
+    def test_skips_self_loops(self):
+        assert greedy_matching([(1, 1, 9.0), (0, 1, 2.0)]) == {(0, 1)}
+
+    def test_deterministic_tie_break(self):
+        edges = [(0, 1, 1.0), (2, 3, 1.0), (0, 2, 1.0)]
+        assert greedy_matching(edges) == greedy_matching(list(reversed(edges)))
+
+    def test_can_be_suboptimal(self):
+        # Greedy grabs the 10 edge, blocking two 9s.
+        edges = [(1, 2, 10.0), (0, 1, 9.0), (2, 3, 9.0)]
+        greedy = greedy_matching(edges)
+        optimal = matching_pairs(edges)
+        assert matching_weight(edges, greedy) == 10.0
+        assert matching_weight(edges, optimal) == 18.0
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    chosen = draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=len(possible), unique=True)
+    )
+    weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=40),
+            min_size=len(chosen),
+            max_size=len(chosen),
+        )
+    )
+    return [(u, v, w) for (u, v), w in zip(chosen, weights)]
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_graphs())
+def test_greedy_half_approximation(edges):
+    """Greedy achieves at least half the optimal matched weight."""
+    greedy_weight = matching_weight(edges, greedy_matching(edges))
+    optimal_weight = matching_weight(edges, matching_pairs(edges))
+    assert greedy_weight * 2 >= optimal_weight - 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_graphs())
+def test_greedy_matching_is_valid(edges):
+    seen = set()
+    for u, v in greedy_matching(edges):
+        assert u not in seen and v not in seen
+        seen.update((u, v))
+
+
+class TestSequentialPairing:
+    def test_even(self):
+        assert sequential_pair_matching([5, 3, 8, 1]) == [(5, 3), (8, 1)]
+
+    def test_odd_leaves_tail(self):
+        assert sequential_pair_matching([1, 2, 3]) == [(1, 2)]
+
+    def test_empty_and_single(self):
+        assert sequential_pair_matching([]) == []
+        assert sequential_pair_matching([7]) == []

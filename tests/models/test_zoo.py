@@ -1,0 +1,160 @@
+"""Tests for the model zoo (Tables 1 and 3)."""
+
+import pytest
+
+from repro.jobs.resources import Resource
+from repro.models.zoo import (
+    DEFAULT_MODELS,
+    MODEL_ZOO,
+    MODELS_BY_BOTTLENECK,
+    get_model,
+    list_models,
+    models_for_bottlenecks,
+)
+
+#: Table 3 bottleneck column.
+TABLE3_BOTTLENECKS = {
+    "ResNet18": Resource.STORAGE,
+    "ShuffleNet": Resource.STORAGE,
+    "VGG16": Resource.NETWORK,
+    "VGG19": Resource.NETWORK,
+    "Bert": Resource.GPU,
+    "GPT-2": Resource.GPU,
+    "A2C": Resource.CPU,
+    "DQN": Resource.CPU,
+}
+
+#: Table 1 rows exactly as published.
+TABLE1 = {
+    "ShuffleNet": (60.0, 18.0, 6.0, 2.0),
+    "VGG19": (24.0, 4.0, 26.0, 41.0),
+    "GPT-2": (0.06, 0.03, 85.0, 28.0),
+    "A2C": (0.0, 91.0, 3.0, 0.2),
+}
+
+
+def test_all_eight_models_present():
+    assert len(MODEL_ZOO) == 8
+    assert set(DEFAULT_MODELS) == set(MODEL_ZOO)
+
+
+@pytest.mark.parametrize("name,bottleneck", TABLE3_BOTTLENECKS.items())
+def test_table3_bottlenecks(name, bottleneck):
+    assert get_model(name).bottleneck == bottleneck
+
+
+@pytest.mark.parametrize("name,percentages", TABLE1.items())
+def test_table1_percentages_published(name, percentages):
+    model = get_model(name)
+    assert model.stage_percentages == percentages
+    assert model.published
+
+
+def test_synthesized_models_flagged():
+    for name in ("ResNet18", "VGG16", "Bert", "DQN"):
+        assert not get_model(name).published
+
+
+@pytest.mark.parametrize("name", DEFAULT_MODELS)
+def test_profile_bottleneck_matches_declared(name):
+    model = get_model(name)
+    profile = model.stage_profile(num_gpus=4)
+    assert profile.bottleneck == model.bottleneck
+
+
+@pytest.mark.parametrize("name", DEFAULT_MODELS)
+def test_profile_iteration_time_matches_reference(name):
+    model = get_model(name)
+    assert model.stage_profile(4).iteration_time == pytest.approx(
+        model.iteration_time
+    )
+
+
+def test_profile_identical_across_gpu_counts():
+    # The paper profiles once per model and reuses the profile.
+    model = get_model("VGG19")
+    assert model.stage_profile(1).durations == model.stage_profile(16).durations
+
+
+def test_network_scaling_grows_sync_stage():
+    model = get_model("VGG19")
+    base = model.stage_profile(32)
+    scaled = model.stage_profile(32, network_scaling=0.5)
+    assert scaled.duration(Resource.NETWORK) > base.duration(Resource.NETWORK)
+    assert scaled.duration(Resource.GPU) == base.duration(Resource.GPU)
+
+
+def test_throughput_definition():
+    model = get_model("ShuffleNet")
+    assert model.throughput(16) == pytest.approx(
+        model.batch_size * 16 / model.stage_profile(16).iteration_time
+    )
+
+
+def test_table2_separate_throughputs_roughly_match_paper():
+    """Table 2 'Separate Tput' row: 2041 / 1811 / 134 / 890 samples/s."""
+    expected = {"ShuffleNet": 2041, "A2C": 1811, "GPT-2": 134, "VGG16": 890}
+    for name, target in expected.items():
+        measured = get_model(name).throughput(16)
+        assert measured == pytest.approx(target, rel=0.15)
+
+
+def test_normalized_percentages_sum_to_one():
+    for name in DEFAULT_MODELS:
+        values = get_model(name).normalized_percentages()
+        assert sum(values.values()) == pytest.approx(1.0)
+
+
+def test_lookup_case_insensitive():
+    assert get_model("gpt-2").name == "GPT-2"
+    assert get_model("SHUFFLENET").name == "ShuffleNet"
+
+
+def test_lookup_unknown():
+    with pytest.raises(KeyError):
+        get_model("AlexNet")
+
+
+def test_list_models_order():
+    assert list_models() == DEFAULT_MODELS
+
+
+def test_bottleneck_index_has_two_models_each():
+    for resource in Resource:
+        assert len(MODELS_BY_BOTTLENECK[resource]) == 2
+
+
+class TestModelsForBottlenecks:
+    def test_num_types_one(self):
+        names = models_for_bottlenecks(num_types=1)
+        assert set(names) == {"ResNet18", "ShuffleNet"}
+
+    def test_num_types_four_is_everything(self):
+        assert set(models_for_bottlenecks(num_types=4)) == set(DEFAULT_MODELS)
+
+    def test_num_types_monotone(self):
+        previous = set()
+        for k in (1, 2, 3, 4):
+            current = set(models_for_bottlenecks(num_types=k))
+            assert previous <= current
+            previous = current
+
+    def test_explicit_map(self):
+        names = models_for_bottlenecks(bottlenecks={Resource.GPU: True})
+        assert set(names) == {"Bert", "GPT-2"}
+
+    def test_requires_exactly_one_argument(self):
+        with pytest.raises(ValueError):
+            models_for_bottlenecks()
+        with pytest.raises(ValueError):
+            models_for_bottlenecks(bottlenecks={Resource.GPU: True}, num_types=2)
+
+    def test_invalid_num_types(self):
+        with pytest.raises(ValueError):
+            models_for_bottlenecks(num_types=0)
+        with pytest.raises(ValueError):
+            models_for_bottlenecks(num_types=5)
+
+    def test_empty_selection(self):
+        with pytest.raises(ValueError):
+            models_for_bottlenecks(bottlenecks={Resource.GPU: False})

@@ -1,0 +1,83 @@
+"""Tests for the profiling noise models (Fig. 14)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jobs.stage import StageProfile
+from repro.profiler.noise import GaussianNoise, NoNoise, UniformNoise
+
+PROFILE = StageProfile((0.3, 0.2, 0.4, 0.1))
+
+
+def test_no_noise_is_identity():
+    rng = random.Random(0)
+    assert NoNoise().perturb(PROFILE, rng) is PROFILE
+
+
+def test_uniform_level_zero_is_identity():
+    rng = random.Random(0)
+    assert UniformNoise(0.0).perturb(PROFILE, rng) is PROFILE
+
+
+def test_uniform_level_validation():
+    with pytest.raises(ValueError):
+        UniformNoise(-0.1)
+    with pytest.raises(ValueError):
+        UniformNoise(1.1)
+
+
+def test_uniform_bounds():
+    """Paper's model: each stage scaled by a factor in [1-n, 1+n]."""
+    rng = random.Random(1)
+    noise = UniformNoise(0.3)
+    for _ in range(50):
+        noisy = noise.perturb(PROFILE, rng)
+        for truth, measured in zip(PROFILE.durations, noisy.durations):
+            assert truth * 0.7 - 1e-12 <= measured <= truth * 1.3 + 1e-12
+
+
+def test_uniform_perturbs_stages_independently():
+    rng = random.Random(2)
+    noisy = UniformNoise(0.5).perturb(PROFILE, rng)
+    ratios = {
+        round(measured / truth, 6)
+        for truth, measured in zip(PROFILE.durations, noisy.durations)
+    }
+    assert len(ratios) > 1
+
+
+def test_uniform_reproducible_with_seeded_rng():
+    a = UniformNoise(0.4).perturb(PROFILE, random.Random(7))
+    b = UniformNoise(0.4).perturb(PROFILE, random.Random(7))
+    assert a.durations == b.durations
+
+
+def test_gaussian_validation():
+    with pytest.raises(ValueError):
+        GaussianNoise(-1.0)
+
+
+def test_gaussian_sigma_zero_identity():
+    assert GaussianNoise(0.0).perturb(PROFILE, random.Random(0)) is PROFILE
+
+
+def test_gaussian_stays_positive():
+    rng = random.Random(3)
+    noise = GaussianNoise(2.0)
+    for _ in range(100):
+        noisy = noise.perturb(PROFILE, rng)
+        assert all(d > 0 for d in noisy.durations)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_uniform_always_valid_profile(level, seed):
+    noisy = UniformNoise(level).perturb(PROFILE, random.Random(seed))
+    assert noisy.num_resources == PROFILE.num_resources
+    assert any(d > 0 for d in noisy.durations)

@@ -1,0 +1,102 @@
+"""Tests for the resource profiler (dry runs, caching, estimates)."""
+
+import pytest
+
+from repro.jobs.job import JobSpec
+from repro.jobs.stage import StageProfile
+from repro.profiler.noise import UniformNoise
+from repro.profiler.profiler import ResourceProfiler
+
+GPU = StageProfile((0.1, 0.1, 0.7, 0.1))
+CPU = StageProfile((0.1, 0.7, 0.1, 0.1))
+
+
+def make_spec(profile=GPU, model="GPT-2", gpus=1):
+    return JobSpec(profile=profile, num_gpus=gpus, num_iterations=10, model=model)
+
+
+def test_exact_without_noise():
+    profiler = ResourceProfiler()
+    spec = make_spec()
+    assert profiler.profile(spec).durations == pytest.approx(GPU.durations)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ResourceProfiler(num_dry_runs=0)
+
+
+def test_cache_by_model():
+    profiler = ResourceProfiler()
+    a, b = make_spec(model="Bert"), make_spec(model="Bert")
+    profiler.profile(a)
+    profiler.profile(b)
+    assert profiler.stats.cache_misses == 1
+    assert profiler.stats.cache_hits == 1
+
+
+def test_cache_key_includes_gpu_count():
+    profiler = ResourceProfiler()
+    profiler.profile(make_spec(model="Bert", gpus=1))
+    profiler.profile(make_spec(model="Bert", gpus=4))
+    assert profiler.stats.cache_misses == 2
+
+
+def test_cache_disabled():
+    profiler = ResourceProfiler(cache_by_model=False)
+    profiler.profile(make_spec())
+    profiler.profile(make_spec())
+    assert profiler.stats.cache_misses == 2
+    assert profiler.stats.cache_hits == 0
+
+
+def test_dry_run_count():
+    profiler = ResourceProfiler(num_dry_runs=7)
+    profiler.profile(make_spec())
+    assert profiler.stats.dry_runs == 7
+
+
+def test_noise_is_averaged():
+    noisy = ResourceProfiler(
+        noise=UniformNoise(0.5), num_dry_runs=200, seed=0, cache_by_model=False
+    )
+    measured = noisy.profile(make_spec())
+    # Averaging 200 symmetric samples lands near the truth.
+    for truth, value in zip(GPU.durations, measured.durations):
+        assert value == pytest.approx(truth, rel=0.15)
+
+
+def test_single_dry_run_keeps_noise():
+    noisy = ResourceProfiler(
+        noise=UniformNoise(0.9), num_dry_runs=1, seed=1, cache_by_model=False
+    )
+    measured = noisy.profile(make_spec())
+    assert measured.durations != pytest.approx(GPU.durations)
+
+
+def test_estimate_group_efficiency_uses_measured_profiles():
+    profiler = ResourceProfiler()
+    specs = [make_spec(GPU, "GPT-2"), make_spec(CPU, "A2C")]
+    gamma = profiler.estimate_group_efficiency(specs)
+    from repro.core.efficiency import interleaving_efficiency
+
+    assert gamma == pytest.approx(interleaving_efficiency((GPU, CPU)))
+
+
+def test_invalidate_all():
+    profiler = ResourceProfiler()
+    profiler.profile(make_spec(model="Bert"))
+    profiler.invalidate()
+    profiler.profile(make_spec(model="Bert"))
+    assert profiler.stats.cache_misses == 2
+
+
+def test_invalidate_one_model():
+    profiler = ResourceProfiler()
+    profiler.profile(make_spec(model="Bert"))
+    profiler.profile(make_spec(CPU, model="A2C"))
+    profiler.invalidate("Bert")
+    profiler.profile(make_spec(model="Bert"))
+    profiler.profile(make_spec(CPU, model="A2C"))
+    assert profiler.stats.cache_misses == 3
+    assert profiler.stats.cache_hits == 1

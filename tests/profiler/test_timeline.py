@@ -1,0 +1,90 @@
+"""Tests for usage-timeline reduction (section 4.2)."""
+
+import pytest
+
+from repro.jobs.stage import StageProfile
+from repro.profiler.timeline import UsageTimeline, synthesize_timeline
+
+
+class TestUsageTimeline:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UsageTimeline(sample_interval=0.0, samples=((1.0,),))
+        with pytest.raises(ValueError):
+            UsageTimeline(sample_interval=0.1, samples=())
+        with pytest.raises(ValueError):
+            UsageTimeline(sample_interval=0.1, samples=((1.0, 0.0), (1.0,)))
+
+    def test_duration(self):
+        timeline = UsageTimeline(0.5, ((1.0, 0.0), (0.0, 1.0), (1.0, 0.0)))
+        assert timeline.duration == pytest.approx(1.5)
+        assert timeline.num_resources == 2
+
+    def test_reduction_assigns_argmax_resource(self):
+        timeline = UsageTimeline(
+            1.0,
+            (
+                (0.9, 0.1, 0.0, 0.0),
+                (0.9, 0.2, 0.0, 0.0),
+                (0.1, 0.0, 0.95, 0.0),
+            ),
+        )
+        profile = timeline.to_stage_profile()
+        assert profile.durations == (2.0, 0.0, 1.0, 0.0)
+
+    def test_threshold_filters_weak_signal(self):
+        # Second sample has everything near zero (idle gap).
+        timeline = UsageTimeline(
+            1.0,
+            (
+                (1.0, 0.0, 0.0, 0.0),
+                (0.05, 0.04, 0.03, 0.0),
+                (0.0, 0.0, 1.0, 0.0),
+            ),
+        )
+        profile = timeline.to_stage_profile(threshold=0.5)
+        assert profile.durations == (1.0, 0.0, 1.0, 0.0)
+
+    def test_normalization_to_per_resource_peak(self):
+        """Section 4.2: usage is normalized to each resource's own peak,
+        so a 'weak' absolute signal can still win its time point."""
+        timeline = UsageTimeline(
+            1.0,
+            (
+                (0.2, 0.9, 0.0, 0.0),   # CPU peak sample
+                (0.2, 0.09, 0.0, 0.0),  # storage relative 1.0 beats CPU 0.1
+            ),
+        )
+        profile = timeline.to_stage_profile(threshold=0.05)
+        assert profile.durations[0] == 1.0
+        assert profile.durations[1] == 1.0
+
+    def test_threshold_validation(self):
+        timeline = UsageTimeline(1.0, ((1.0, 0.0, 0.0, 0.0),))
+        with pytest.raises(ValueError):
+            timeline.to_stage_profile(threshold=1.0)
+
+
+class TestSynthesizeRoundTrip:
+    @pytest.mark.parametrize("durations", [
+        (0.6, 0.18, 0.06, 0.02),
+        (0.0, 0.5, 0.3, 0.2),
+        (0.25, 0.25, 0.25, 0.25),
+    ])
+    def test_roundtrip_close_to_truth(self, durations):
+        truth = StageProfile(durations)
+        timeline = synthesize_timeline(truth, sample_interval=0.002, seed=1)
+        recovered = timeline.to_stage_profile(threshold=0.3)
+        for expected, measured in zip(truth.durations, recovered.durations):
+            assert measured == pytest.approx(expected, abs=0.01)
+
+    def test_reproducible(self):
+        truth = StageProfile((0.4, 0.3, 0.2, 0.1))
+        a = synthesize_timeline(truth, seed=5)
+        b = synthesize_timeline(truth, seed=5)
+        assert a.samples == b.samples
+
+    def test_tiny_profile_yields_nonempty_timeline(self):
+        truth = StageProfile((0.0001, 0.0, 0.0, 0.0))
+        timeline = synthesize_timeline(truth, sample_interval=0.01)
+        assert len(timeline.samples) >= 1

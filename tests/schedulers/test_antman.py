@@ -1,0 +1,98 @@
+"""Tests for the AntMan scheduler model."""
+
+import pytest
+
+from repro.core.group import JobGroup
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.stage import StageProfile
+from repro.schedulers.antman import AntManScheduler
+from repro.schedulers.base import group_key
+
+UNIT = StageProfile((0.25, 0.25, 0.25, 0.25))
+
+
+def make_job(iters=100, gpus=1, submit=0.0):
+    return Job(JobSpec(profile=UNIT, num_gpus=gpus, submit_time=submit,
+                       num_iterations=iters))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AntManScheduler(max_sharing=0)
+
+
+def test_identity():
+    scheduler = AntManScheduler()
+    assert scheduler.name == "AntMan"
+    assert not scheduler.preemptive
+    assert not scheduler.duration_aware
+
+
+def test_dedicated_until_full():
+    jobs = [make_job() for _ in range(2)]
+    plan = AntManScheduler().decide(0.0, jobs, {}, total_gpus=4)
+    assert all(group.size == 1 for group in plan)
+    assert len(plan) == 2
+
+
+def test_shares_when_full():
+    jobs = [make_job(submit=float(i)) for i in range(3)]
+    plan = AntManScheduler().decide(0.0, jobs, {}, total_gpus=2)
+    sizes = sorted(group.size for group in plan)
+    assert sizes == [1, 2]
+
+
+def test_sharing_groups_are_uncoordinated():
+    jobs = [make_job(submit=float(i)) for i in range(3)]
+    plan = AntManScheduler().decide(0.0, jobs, {}, total_gpus=2)
+    shared = next(group for group in plan if group.size == 2)
+    assert not shared.coordinated
+
+
+def test_sharing_cap():
+    jobs = [make_job(submit=float(i)) for i in range(5)]
+    plan = AntManScheduler(max_sharing=2).decide(0.0, jobs, {}, total_gpus=2)
+    assert all(group.size <= 2 for group in plan)
+    scheduled = sum(group.size for group in plan)
+    assert scheduled == 4  # fifth job blocked by the cap
+
+
+def test_fifo_blocking_on_gpu_mismatch():
+    first = make_job(gpus=1, submit=0.0)
+    blocked = make_job(gpus=2, submit=1.0)
+    later = make_job(gpus=1, submit=2.0)
+    plan = AntManScheduler().decide(0.0, [first, blocked, later], {}, total_gpus=1)
+    # The 2-GPU job cannot share a 1-GPU host and blocks the queue.
+    scheduled = [job.job_id for group in plan for job in group.jobs]
+    assert first.job_id in scheduled
+    assert blocked.job_id not in scheduled
+    assert later.job_id not in scheduled
+
+
+def test_running_job_keeps_its_slot():
+    running_job = make_job(submit=0.0)
+    running_job.mark_started(0.0)
+    group = JobGroup.solo(running_job)
+    running = {group_key(group): group}
+    newcomer = make_job(iters=1, submit=1.0)
+    plan = AntManScheduler().decide(10.0, [running_job, newcomer], running,
+                                    total_gpus=1)
+    # The newcomer may opportunistically share the running job's GPU,
+    # but the running job itself is never evicted from the plan.
+    scheduled = [job.job_id for g in plan for job in g.jobs]
+    assert running_job.job_id in scheduled
+    assert sum(g.num_gpus for g in plan) <= 1
+
+
+def test_full_group_not_extended():
+    a, b = make_job(submit=0.0), make_job(submit=1.0)
+    a.mark_started(0.0)
+    b.mark_started(0.0)
+    scheduler = AntManScheduler(max_sharing=2)
+    shared = scheduler._pack([a, b])
+    running = {group_key(shared): shared}
+    extra = make_job(submit=2.0)
+    plan = scheduler.decide(10.0, [a, b, extra], running, total_gpus=1)
+    assert all(group.size <= 2 for group in plan)
+    scheduled = [job.job_id for g in plan for job in g.jobs]
+    assert extra.job_id not in scheduled

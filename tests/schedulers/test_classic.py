@@ -1,0 +1,107 @@
+"""Tests for the classic priority schedulers."""
+
+import pytest
+
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.stage import StageProfile
+from repro.schedulers.base import fill_singletons, group_key
+from repro.schedulers.classic import (
+    FifoScheduler,
+    PriorityScheduler,
+    SjfScheduler,
+    SrsfScheduler,
+    SrtfScheduler,
+)
+from repro.core.group import JobGroup
+
+UNIT = StageProfile((0.25, 0.25, 0.25, 0.25))
+
+
+def make_job(iters=100, gpus=1, submit=0.0):
+    return Job(JobSpec(profile=UNIT, num_gpus=gpus, submit_time=submit,
+                       num_iterations=iters))
+
+
+class TestFillSingletons:
+    def test_fills_in_order(self):
+        jobs = [make_job(gpus=2), make_job(gpus=2)]
+        groups = fill_singletons(jobs, total_gpus=4)
+        assert len(groups) == 2
+
+    def test_backfills_past_big_job(self):
+        jobs = [make_job(gpus=8), make_job(gpus=2)]
+        groups = fill_singletons(jobs, total_gpus=4)
+        assert len(groups) == 1
+        assert groups[0].jobs[0] is jobs[1]
+
+    def test_strict_blocks_at_head(self):
+        jobs = [make_job(gpus=8), make_job(gpus=2)]
+        assert fill_singletons(jobs, total_gpus=4, strict=True) == []
+
+    def test_stops_when_full(self):
+        jobs = [make_job(gpus=2), make_job(gpus=2), make_job(gpus=2)]
+        groups = fill_singletons(jobs, total_gpus=4)
+        assert len(groups) == 2
+
+
+class TestPriorityScheduler:
+    def test_accepts_policy_name(self):
+        scheduler = PriorityScheduler("srtf", name="X", duration_aware=True)
+        assert callable(scheduler.policy)
+
+    def test_orders_by_policy(self):
+        short, long_ = make_job(iters=10), make_job(iters=1000)
+        scheduler = SrtfScheduler()
+        plan = scheduler.decide(0.0, [long_, short], {}, total_gpus=1)
+        assert plan[0].jobs[0] is short
+
+    def test_tie_break_by_submission(self):
+        early = make_job(iters=10, submit=0.0)
+        late = make_job(iters=10, submit=5.0)
+        plan = SrtfScheduler().decide(10.0, [late, early], {}, total_gpus=1)
+        assert plan[0].jobs[0] is early
+
+
+class TestSchedulerIdentities:
+    def test_names_and_awareness(self):
+        assert FifoScheduler().name == "FIFO"
+        assert not FifoScheduler().duration_aware
+        assert not FifoScheduler().preemptive
+        assert SjfScheduler().duration_aware
+        assert SrtfScheduler().duration_aware
+        assert SrsfScheduler().duration_aware
+        assert SrsfScheduler().preemptive
+
+
+class TestSrsf:
+    def test_weights_by_gpus(self):
+        # 10-iteration 8-GPU job is "bigger" than 50-iteration 1-GPU job.
+        wide = make_job(iters=10, gpus=8)
+        narrow = make_job(iters=50, gpus=1)
+        plan = SrsfScheduler().decide(0.0, [wide, narrow], {}, total_gpus=8)
+        assert plan[0].jobs[0] is narrow
+
+    def test_srtf_ignores_gpus(self):
+        wide = make_job(iters=10, gpus=8)
+        narrow = make_job(iters=50, gpus=1)
+        plan = SrtfScheduler().decide(0.0, [wide, narrow], {}, total_gpus=8)
+        assert plan[0].jobs[0] is wide
+
+
+class TestFifoNonPreemption:
+    def test_keeps_running_jobs(self):
+        running_job = make_job(iters=1000, submit=0.0)
+        running_job.mark_started(0.0)
+        newcomer = make_job(iters=1, submit=1.0)
+        group = JobGroup.solo(running_job)
+        plan = FifoScheduler().decide(
+            10.0, [running_job, newcomer], {group_key(group): group}, total_gpus=1
+        )
+        scheduled = [job.job_id for g in plan for job in g.jobs]
+        assert scheduled == [running_job.job_id]
+
+    def test_head_of_line_blocking(self):
+        big = make_job(iters=10, gpus=4, submit=0.0)
+        small = make_job(iters=10, gpus=1, submit=1.0)
+        plan = FifoScheduler().decide(0.0, [big, small], {}, total_gpus=2)
+        assert plan == []

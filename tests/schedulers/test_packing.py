@@ -1,0 +1,81 @@
+"""Tests for the Tetris-style space-packing baseline."""
+
+import pytest
+
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.stage import StageProfile
+from repro.schedulers.packing import TetrisScheduler, peak_demand_vector
+
+STORAGE = StageProfile((0.7, 0.1, 0.1, 0.1))
+GPU_ONLY = StageProfile((0.0, 0.0, 1.0, 0.0))
+HALF_GPU = StageProfile((0.0, 0.0, 0.5, 0.0))
+
+
+def make_job(profile=STORAGE, gpus=1, iters=100, submit=0.0):
+    return Job(JobSpec(profile=profile, num_gpus=gpus, num_iterations=iters,
+                       submit_time=submit))
+
+
+class TestPeakDemand:
+    def test_all_used_resources_peak_at_one(self):
+        job = make_job(STORAGE)
+        assert peak_demand_vector(job) == (1.0, 1.0, 1.0, 1.0)
+
+    def test_unused_resources_are_zero(self):
+        job = make_job(GPU_ONLY)
+        assert peak_demand_vector(job) == (0.0, 0.0, 1.0, 0.0)
+
+
+class TestDegeneration:
+    def test_peak_packing_cannot_colocate_staged_jobs(self):
+        """The paper's claim: peak demands make DL jobs unpackable, so
+        Tetris degenerates to exclusive scheduling."""
+        jobs = [make_job(STORAGE), make_job(GPU_ONLY), make_job(STORAGE)]
+        plan = TetrisScheduler().decide(0.0, jobs, {}, total_gpus=2)
+        assert all(group.size == 1 for group in plan)
+        assert len(plan) == 2  # capacity-bound, jobs run exclusively
+
+    def test_disjoint_single_resource_jobs_can_pack(self):
+        """Jobs that genuinely never touch the same resource do pack —
+        the regime big-data schedulers were designed for."""
+        gpu_job = make_job(GPU_ONLY)
+        storage_job = make_job(StageProfile((1.0, 0.0, 0.0, 0.0)))
+        plan = TetrisScheduler().decide(0.0, [gpu_job, storage_job], {},
+                                        total_gpus=1)
+        assert len(plan) == 1
+        assert plan[0].size == 2
+        assert not plan[0].coordinated
+
+    def test_orders_by_remaining_service(self):
+        short = make_job(iters=10)
+        long_ = make_job(iters=1000)
+        plan = TetrisScheduler().decide(0.0, [long_, short], {}, total_gpus=1)
+        assert plan[0].jobs[0] is short
+
+
+class TestAverageVariant:
+    def test_average_demand_overpacks(self):
+        # Each job averages 50% storage + 50% GPU over its iteration;
+        # averages sum to 100% so the optimistic variant co-locates
+        # them (peaks would forbid it: both peak at 100% on both).
+        profile = StageProfile((0.5, 0.0, 0.5, 0.0))
+        jobs = [make_job(profile), make_job(profile)]
+        peak_plan = TetrisScheduler().decide(0.0, jobs, {}, total_gpus=1)
+        avg_plan = TetrisScheduler(use_average_demand=True).decide(
+            0.0, jobs, {}, total_gpus=1
+        )
+        assert all(group.size == 1 for group in peak_plan)
+        assert len(avg_plan) == 1
+        assert avg_plan[0].size == 2
+
+    def test_name_reflects_variant(self):
+        assert TetrisScheduler().name == "Tetris"
+        assert TetrisScheduler(use_average_demand=True).name == "Tetris-avg"
+
+
+class TestGpuBuckets:
+    def test_only_same_gpu_count_shares(self):
+        a = make_job(GPU_ONLY, gpus=2)
+        b = make_job(StageProfile((1.0, 0.0, 0.0, 0.0)), gpus=4)
+        plan = TetrisScheduler().decide(0.0, [a, b], {}, total_gpus=8)
+        assert all(group.size == 1 for group in plan)

@@ -1,0 +1,60 @@
+"""Tests for the scheduler registry."""
+
+import pytest
+
+from repro.core.muri import MuriScheduler
+from repro.profiler.profiler import ResourceProfiler
+from repro.schedulers.registry import (
+    KNOWN_DURATION,
+    SCHEDULERS,
+    UNKNOWN_DURATION,
+    make_scheduler,
+)
+
+
+def test_all_names_buildable():
+    for name in SCHEDULERS:
+        scheduler = make_scheduler(name)
+        assert scheduler.name
+
+
+def test_case_insensitive():
+    assert make_scheduler("SRTF").name == "SRTF"
+    assert make_scheduler("Muri-S").name == "Muri-S"
+
+
+def test_unknown_name():
+    with pytest.raises(KeyError):
+        make_scheduler("slurm")
+
+
+def test_muri_variants():
+    muri_s = make_scheduler("muri-s")
+    muri_l = make_scheduler("muri-l")
+    assert isinstance(muri_s, MuriScheduler)
+    assert muri_s.duration_aware
+    assert not muri_l.duration_aware
+
+
+def test_muri_kwargs_forwarded():
+    scheduler = make_scheduler("muri-l", max_group_size=2, matcher="greedy")
+    assert scheduler.max_group_size == 2
+    assert scheduler.grouper.matcher == "greedy"
+
+
+def test_muri_profiler_forwarded():
+    profiler = ResourceProfiler()
+    scheduler = make_scheduler("muri-s", profiler=profiler)
+    assert scheduler.profiler is profiler
+
+
+def test_baseline_sets_match_paper():
+    assert set(KNOWN_DURATION) == {"srtf", "srsf", "muri-s"}
+    assert set(UNKNOWN_DURATION) == {"tiresias", "themis", "antman", "muri-l"}
+
+
+def test_duration_awareness_consistent_with_sets():
+    for name in KNOWN_DURATION:
+        assert make_scheduler(name).duration_aware
+    for name in UNKNOWN_DURATION:
+        assert not make_scheduler(name).duration_aware

@@ -1,0 +1,57 @@
+"""Tests for the Themis finish-time-fairness scheduler."""
+
+import pytest
+
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.stage import StageProfile
+from repro.schedulers.themis import ThemisScheduler
+
+UNIT = StageProfile((0.25, 0.25, 0.25, 0.25))
+
+
+def make_job(iters=1000, gpus=1, submit=0.0):
+    return Job(JobSpec(profile=UNIT, num_gpus=gpus, submit_time=submit,
+                       num_iterations=iters))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ThemisScheduler(fairness_knob=1.0)
+    with pytest.raises(ValueError):
+        ThemisScheduler(fairness_knob=-0.1)
+
+
+def test_rho_grows_while_waiting():
+    scheduler = ThemisScheduler()
+    job = make_job(submit=0.0)
+    early = scheduler.finish_time_fairness(job, 10.0)
+    late = scheduler.finish_time_fairness(job, 10_000.0)
+    assert late > early
+
+
+def test_rho_is_one_for_ideal_run():
+    scheduler = ThemisScheduler()
+    job = make_job(iters=100, submit=0.0)
+    job.advance(50.0, 50.0)
+    # Running continuously since submission: rho = 1.
+    assert scheduler.finish_time_fairness(job, 50.0) == pytest.approx(1.0)
+
+
+def test_most_unfair_job_first():
+    scheduler = ThemisScheduler(fairness_knob=0.0)
+    waiting = make_job(iters=100, submit=0.0)   # waited 1000 s
+    recent = make_job(iters=100, submit=990.0)  # waited 10 s
+    plan = scheduler.decide(1000.0, [recent, waiting], {}, total_gpus=1)
+    assert plan[0].jobs[0] is waiting
+
+
+def test_fairness_knob_hides_tail():
+    scheduler = ThemisScheduler(fairness_knob=0.5)
+    jobs = [make_job(submit=float(i)) for i in range(10)]
+    plan = scheduler.decide(1000.0, jobs, {}, total_gpus=100)
+    # Only the worst half is eligible this round.
+    assert len(plan) == 5
+
+
+def test_duration_unaware():
+    assert not ThemisScheduler().duration_aware

@@ -1,0 +1,78 @@
+"""Tests for the Tiresias (2D-LAS / Gittins) scheduler."""
+
+import pytest
+
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.stage import StageProfile
+from repro.schedulers.tiresias import TiresiasScheduler
+
+UNIT = StageProfile((0.25, 0.25, 0.25, 0.25))
+
+
+def make_job(iters=10_000, gpus=1, submit=0.0):
+    return Job(JobSpec(profile=UNIT, num_gpus=gpus, submit_time=submit,
+                       num_iterations=iters))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TiresiasScheduler(num_queues=0)
+    with pytest.raises(ValueError):
+        TiresiasScheduler(variant="magic")
+
+
+def test_names():
+    assert TiresiasScheduler().name == "Tiresias"
+    assert TiresiasScheduler(variant="gittins").name == "Tiresias-Gittins"
+    assert not TiresiasScheduler().duration_aware
+
+
+def test_fresh_jobs_outrank_veterans():
+    fresh = make_job(submit=100.0)
+    veteran = make_job(submit=0.0)
+    veteran.advance(0.0, 5000.0 * 1)  # attained GPU service beyond queue 0
+    scheduler = TiresiasScheduler(base_quantum=3600.0)
+    plan = scheduler.decide(6000.0, [veteran, fresh], {}, total_gpus=1)
+    assert plan[0].jobs[0] is fresh
+
+
+def test_queue_discretization_keeps_fifo_within_queue():
+    # Both in queue 0 (little attained service): FIFO by submission.
+    a = make_job(submit=0.0)
+    b = make_job(submit=10.0)
+    a.advance(0.0, 100.0)
+    b.advance(0.0, 50.0)
+    plan = TiresiasScheduler().decide(200.0, [b, a], {}, total_gpus=1)
+    assert plan[0].jobs[0] is a
+
+
+def test_attained_service_uses_gpu_dimension():
+    # 2D: wide jobs accumulate service faster.
+    narrow = make_job(gpus=1, submit=0.0)
+    wide = make_job(gpus=8, submit=0.0)
+    narrow.advance(0.0, 1000.0)
+    wide.advance(0.0, 1000.0)  # 8000 GPU-seconds: beyond queue 0
+    scheduler = TiresiasScheduler(base_quantum=3600.0, starvation_knob=0.0)
+    plan = scheduler.decide(2000.0, [wide, narrow], {}, total_gpus=1)
+    assert plan[0].jobs[0] is narrow
+
+
+def test_starvation_promotion():
+    # A long-pending veteran is promoted back to queue 0.
+    veteran = make_job(submit=0.0)
+    veteran.advance(0.0, 4000.0)  # queue 1 territory
+    fresh = make_job(submit=99_000.0)
+    scheduler = TiresiasScheduler(starvation_knob=2.0)
+    # veteran has been pending ~96000 s >> 2 x 4000 s attained.
+    plan = scheduler.decide(100_000.0, [fresh, veteran], {}, total_gpus=1)
+    assert plan[0].jobs[0] is veteran
+
+
+def test_gittins_prefers_more_attained_within_queue():
+    scheduler = TiresiasScheduler(variant="gittins", base_quantum=3600.0)
+    a = make_job(submit=0.0)
+    b = make_job(submit=0.0)
+    a.advance(0.0, 100.0)
+    b.advance(0.0, 1000.0)
+    plan = scheduler.decide(2000.0, [a, b], {}, total_gpus=1)
+    assert plan[0].jobs[0] is b

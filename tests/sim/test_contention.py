@@ -1,0 +1,50 @@
+"""Tests for the contention model."""
+
+import pytest
+
+from repro.sim.contention import (
+    DEFAULT_CONTENTION,
+    IDEAL_CONTENTION,
+    ContentionModel,
+)
+
+
+def test_defaults_monotone_in_group_size():
+    factors = [DEFAULT_CONTENTION.factor(size) for size in (1, 2, 3, 4)]
+    assert factors == sorted(factors)
+    assert factors[0] == 1.0
+
+
+def test_ideal_is_free():
+    for size in (1, 2, 3, 4):
+        assert IDEAL_CONTENTION.factor(size) == 1.0
+    assert IDEAL_CONTENTION.factor(2, spans_machines=True) == 1.0
+
+
+def test_unknown_size_falls_back_to_largest():
+    model = ContentionModel(factors={1: 1.0, 2: 1.5})
+    assert model.factor(7) == 1.5
+
+
+def test_cross_machine_penalty():
+    model = ContentionModel(
+        factors={1: 1.0, 2: 1.1}, cross_machine_penalty=1.2
+    )
+    assert model.factor(2, spans_machines=True) == pytest.approx(1.1 * 1.2)
+    assert model.factor(1, spans_machines=True) == pytest.approx(1.2)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ContentionModel(factors={2: 1.0})  # size 1 missing
+    with pytest.raises(ValueError):
+        ContentionModel(factors={1: 0.9})
+    with pytest.raises(ValueError):
+        ContentionModel(factors={1: 1.0, 0: 1.0})
+    with pytest.raises(ValueError):
+        ContentionModel(factors={1: 1.0}, cross_machine_penalty=0.5)
+
+
+def test_invalid_group_size_query():
+    with pytest.raises(ValueError):
+        DEFAULT_CONTENTION.factor(0)

@@ -1,0 +1,67 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.sim.engine import Event, EventKind, EventQueue
+
+
+def test_empty_queue():
+    queue = EventQueue()
+    assert len(queue) == 0
+    assert not queue
+    assert queue.peek_time() is None
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        EventQueue().pop()
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        EventQueue().push(Event(-1.0, EventKind.TICK))
+
+
+def test_ordering_by_time():
+    queue = EventQueue()
+    queue.push(Event(5.0, EventKind.TICK))
+    queue.push(Event(1.0, EventKind.ARRIVAL, payload=3))
+    queue.push(Event(3.0, EventKind.FAULT))
+    times = [queue.pop().time for _ in range(3)]
+    assert times == [1.0, 3.0, 5.0]
+
+
+def test_fifo_within_same_time():
+    queue = EventQueue()
+    queue.push(Event(1.0, EventKind.ARRIVAL, payload="first"))
+    queue.push(Event(1.0, EventKind.ARRIVAL, payload="second"))
+    assert queue.pop().payload == "first"
+    assert queue.pop().payload == "second"
+
+
+def test_peek_does_not_remove():
+    queue = EventQueue()
+    queue.push(Event(2.0, EventKind.TICK))
+    assert queue.peek_time() == 2.0
+    assert len(queue) == 1
+
+
+def test_pop_until():
+    queue = EventQueue()
+    for t in (1.0, 2.0, 3.0, 4.0):
+        queue.push(Event(t, EventKind.TICK))
+    due = queue.pop_until(2.5)
+    assert [e.time for e in due] == [1.0, 2.0]
+    assert len(queue) == 2
+
+
+def test_pop_until_inclusive():
+    queue = EventQueue()
+    queue.push(Event(2.0, EventKind.TICK))
+    assert len(queue.pop_until(2.0)) == 1
+
+
+def test_payload_carried():
+    queue = EventQueue()
+    queue.push(Event(1.0, EventKind.ARRIVAL, payload={"job": 9}))
+    assert queue.pop().payload == {"job": 9}

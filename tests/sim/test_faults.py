@@ -1,0 +1,39 @@
+"""Tests for the fault injector."""
+
+import pytest
+
+from repro.sim.faults import FaultInjector
+
+
+def test_disabled_by_default():
+    injector = FaultInjector()
+    assert not injector.enabled
+    assert injector.sample_fault_delay() is None
+
+
+def test_enabled_samples_positive_delays():
+    injector = FaultInjector(mean_time_between_faults=100.0, seed=0)
+    assert injector.enabled
+    delays = [injector.sample_fault_delay() for _ in range(50)]
+    assert all(d > 0 for d in delays)
+
+
+def test_mean_roughly_matches():
+    injector = FaultInjector(mean_time_between_faults=50.0, seed=1)
+    delays = [injector.sample_fault_delay() for _ in range(5000)]
+    assert sum(delays) / len(delays) == pytest.approx(50.0, rel=0.1)
+
+
+def test_reproducible():
+    a = FaultInjector(mean_time_between_faults=10.0, seed=7)
+    b = FaultInjector(mean_time_between_faults=10.0, seed=7)
+    assert [a.sample_fault_delay() for _ in range(5)] == [
+        b.sample_fault_delay() for _ in range(5)
+    ]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FaultInjector(mean_time_between_faults=0.0)
+    with pytest.raises(ValueError):
+        FaultInjector(progress_loss=1.5)

@@ -1,0 +1,86 @@
+"""Tests for simulation-result serialization."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.jobs.job import JobSpec
+from repro.jobs.stage import StageProfile
+from repro.schedulers.classic import SrsfScheduler
+from repro.sim.io import (
+    load_comparison,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_comparison,
+    save_result,
+)
+from repro.sim.simulator import ClusterSimulator
+
+UNIT = StageProfile((0.25, 0.25, 0.25, 0.25))
+
+
+@pytest.fixture()
+def result():
+    specs = [
+        JobSpec(profile=UNIT, num_iterations=50),
+        JobSpec(profile=UNIT, num_iterations=100, submit_time=10.0),
+    ]
+    return ClusterSimulator(
+        SrsfScheduler(), cluster=Cluster(1, 2), restart_penalty=0.0
+    ).run(specs, "io-test")
+
+
+def test_dict_roundtrip(result):
+    rebuilt = result_from_dict(result_to_dict(result))
+    assert rebuilt.scheduler_name == result.scheduler_name
+    assert rebuilt.trace_name == result.trace_name
+    assert rebuilt.jcts == result.jcts
+    assert rebuilt.finish_times == result.finish_times
+    assert rebuilt.avg_jct == pytest.approx(result.avg_jct)
+    assert rebuilt.makespan == pytest.approx(result.makespan)
+    assert len(rebuilt.timeseries) == len(result.timeseries)
+    assert rebuilt.timeseries[0] == result.timeseries[0]
+
+
+def test_file_roundtrip(result, tmp_path):
+    path = tmp_path / "result.json"
+    save_result(result, path)
+    rebuilt = load_result(path)
+    assert rebuilt.jcts == result.jcts
+    assert rebuilt.avg_queue_length == pytest.approx(result.avg_queue_length)
+    assert rebuilt.avg_utilization() == pytest.approx(result.avg_utilization())
+
+
+def test_job_ids_stay_ints(result, tmp_path):
+    path = tmp_path / "result.json"
+    save_result(result, path)
+    rebuilt = load_result(path)
+    assert all(isinstance(k, int) for k in rebuilt.jcts)
+
+
+def test_version_check():
+    with pytest.raises(ValueError):
+        result_from_dict({"format_version": 999})
+
+
+def test_comparison_roundtrip(result, tmp_path):
+    path = tmp_path / "cmp.json"
+    save_comparison({"SRSF": result, "copy": result}, path)
+    rebuilt = load_comparison(path)
+    assert set(rebuilt) == {"SRSF", "copy"}
+    assert rebuilt["SRSF"].avg_jct == pytest.approx(result.avg_jct)
+
+
+def test_comparison_version_check(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"format_version": 0, "results": {}}')
+    with pytest.raises(ValueError):
+        load_comparison(path)
+
+
+def test_speedup_works_after_reload(result, tmp_path):
+    path = tmp_path / "result.json"
+    save_result(result, path)
+    rebuilt = load_result(path)
+    speedups = rebuilt.speedup_over(result)
+    assert speedups["avg_jct"] == pytest.approx(1.0)

@@ -1,0 +1,124 @@
+"""Tests for simulation metrics."""
+
+import pytest
+
+from repro.jobs.resources import Resource
+from repro.sim.metrics import (
+    SimulationResult,
+    TimePoint,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_single_value(self):
+        assert percentile([42.0], 99) == 42.0
+
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+
+def make_result():
+    result = SimulationResult(scheduler_name="X", trace_name="t")
+    result.jcts = {0: 100.0, 1: 200.0, 2: 600.0}
+    result.finish_times = {0: 150.0, 1: 260.0, 2: 660.0}
+    result.submit_times = {0: 50.0, 1: 60.0, 2: 60.0}
+    result.timeseries = [
+        TimePoint(0.0, 10.0, 4, 2, 0.5, (0.1, 0.2, 0.3, 0.4)),
+        TimePoint(10.0, 30.0, 2, 4, 0.25, (0.2, 0.4, 0.6, 0.8)),
+    ]
+    return result
+
+
+class TestSimulationResult:
+    def test_avg_jct(self):
+        assert make_result().avg_jct == pytest.approx(300.0)
+
+    def test_avg_jct_requires_jobs(self):
+        with pytest.raises(ValueError):
+            SimulationResult("X", "t").avg_jct
+
+    def test_tail_jct(self):
+        assert make_result().tail_jct(100) == 600.0
+
+    def test_makespan(self):
+        assert make_result().makespan == 660.0
+
+    def test_time_weighted_queue_length(self):
+        # (4*10 + 2*30) / 40 = 2.5
+        assert make_result().avg_queue_length == pytest.approx(2.5)
+
+    def test_time_weighted_blocking(self):
+        # (0.5*10 + 0.25*30) / 40 = 0.3125
+        assert make_result().avg_blocking_index == pytest.approx(0.3125)
+
+    def test_avg_utilization(self):
+        util = make_result().avg_utilization()
+        assert util[0] == pytest.approx((0.1 * 10 + 0.2 * 30) / 40)
+        assert util[3] == pytest.approx((0.4 * 10 + 0.8 * 30) / 40)
+
+    def test_utilization_of(self):
+        result = make_result()
+        assert result.utilization_of(Resource.GPU) == pytest.approx(
+            (0.3 * 10 + 0.6 * 30) / 40
+        )
+
+    def test_empty_timeseries_averages(self):
+        result = SimulationResult("X", "t")
+        assert result.avg_queue_length == 0.0
+
+    def test_summary(self):
+        summary = make_result().summary()
+        assert summary.num_jobs == 3
+        assert summary.avg_jct == pytest.approx(300.0)
+        assert summary.makespan == 660.0
+
+    def test_speedup_over(self):
+        fast, slow = make_result(), make_result()
+        slow.jcts = {k: v * 2 for k, v in slow.jcts.items()}
+        slow.finish_times = {k: v * 3 for k, v in slow.finish_times.items()}
+        speedups = fast.speedup_over(slow)
+        assert speedups["avg_jct"] == pytest.approx(2.0)
+        assert speedups["makespan"] == pytest.approx(3.0)
+        assert speedups["p99_jct"] == pytest.approx(2.0)
+
+
+class TestJctCdf:
+    def test_endpoints(self):
+        result = make_result()
+        cdf = result.jct_cdf(points=5)
+        assert cdf[0] == (100.0, 0.0)
+        assert cdf[-1] == (600.0, 1.0)
+
+    def test_monotone(self):
+        cdf = make_result().jct_cdf(points=11)
+        jcts = [j for j, _f in cdf]
+        fractions = [f for _j, f in cdf]
+        assert jcts == sorted(jcts)
+        assert fractions == sorted(fractions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_result().jct_cdf(points=1)
+        empty = SimulationResult("X", "t")
+        with pytest.raises(ValueError):
+            empty.jct_cdf()

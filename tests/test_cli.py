@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_models(capsys):
+    code, out, _err = run(capsys, "models")
+    assert code == 0
+    for name in ("ShuffleNet", "GPT-2", "A2C", "VGG19"):
+        assert name in out
+
+
+def test_simulate(capsys):
+    code, out, _err = run(
+        capsys, "simulate", "--trace", "1", "--jobs", "40",
+        "--scheduler", "srsf", "--machines", "2",
+    )
+    assert code == 0
+    assert "avg JCT" in out
+    assert "SRSF" in out
+
+
+def test_simulate_writes_result(capsys, tmp_path):
+    out_path = tmp_path / "r.json"
+    code, out, _err = run(
+        capsys, "simulate", "--trace", "3", "--jobs", "30",
+        "--scheduler", "fifo", "--out", str(out_path),
+    )
+    assert code == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["scheduler_name"] == "FIFO"
+    assert len(payload["jcts"]) == 30
+
+
+def test_simulate_drops_oversized_jobs(capsys):
+    code, out, _err = run(
+        capsys, "simulate", "--trace", "2", "--jobs", "60",
+        "--scheduler", "srsf", "--machines", "1", "--gpus-per-machine", "4",
+    )
+    assert code == 0
+    assert "dropped" in out
+
+
+def test_compare(capsys):
+    code, out, _err = run(
+        capsys, "compare", "--trace", "1", "--jobs", "40",
+        "--schedulers", "srsf,muri-s", "--machines", "2",
+    )
+    assert code == 0
+    assert "SRSF" in out and "Muri-S" in out
+
+
+def test_compare_normalized(capsys):
+    code, out, _err = run(
+        capsys, "compare", "--trace", "1", "--jobs", "40",
+        "--schedulers", "srsf,muri-s", "--normalize-to", "muri-s",
+        "--machines", "2",
+    )
+    assert code == 0
+    assert "normalized to Muri-S" in out
+
+
+def test_compare_normalize_unknown(capsys):
+    code, _out, err = run(
+        capsys, "compare", "--trace", "1", "--jobs", "30",
+        "--schedulers", "srsf", "--normalize-to", "nope", "--machines", "2",
+    )
+    assert code == 2
+    assert "not among the results" in err
+
+
+def test_compare_writes_json(capsys, tmp_path):
+    out_path = tmp_path / "cmp.json"
+    code, _out, _err = run(
+        capsys, "compare", "--trace", "3", "--jobs", "30",
+        "--schedulers", "fifo,srsf", "--out", str(out_path), "--machines", "2",
+    )
+    assert code == 0
+    payload = json.loads(out_path.read_text())
+    assert set(payload["results"]) == {"FIFO", "SRSF"}
+
+
+def test_experiment_table2(capsys):
+    code, out, _err = run(capsys, "experiment", "table2")
+    assert code == 0
+    assert "TOTAL" in out
+
+
+def test_experiment_fig13(capsys):
+    code, out, _err = run(capsys, "experiment", "fig13", "--jobs", "40")
+    assert code == 0
+    assert "Muri-L/Tiresias" in out
+
+
+def test_experiment_unknown_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig99"])
+
+
+def test_trace_generation(capsys, tmp_path):
+    out_path = tmp_path / "trace.csv"
+    code, out, _err = run(
+        capsys, "trace", "--trace", "4", "--jobs", "25", "--out", str(out_path)
+    )
+    assert code == 0
+    assert out_path.exists()
+    header = out_path.read_text().splitlines()[0]
+    assert header.startswith("job_id,")
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["simulate", "--scheduler", "bogus"])
+
+
+def test_experiment_table4_small(capsys):
+    code, out, _err = run(capsys, "experiment", "table4", "--jobs", "50")
+    assert code == 0
+    assert "Normalized JCT" in out
+
+
+def test_experiment_fig11_small(capsys):
+    code, out, _err = run(capsys, "experiment", "fig11", "--jobs", "30")
+    assert code == 0
+    assert "worst ordering" in out
+
+
+def test_experiment_fig14_small(capsys):
+    code, out, _err = run(capsys, "experiment", "fig14", "--jobs", "30")
+    assert code == 0
+    assert "Makespan" in out
+
+
+def test_capacity_sweep(capsys):
+    code, out, _err = run(
+        capsys, "capacity", "--trace", "1", "--jobs", "40",
+        "--schedulers", "srsf,muri-s", "--machine-counts", "1,2",
+        "--gpus-per-machine", "8",
+    )
+    assert code == 0
+    assert "capacity sweep" in out
+    assert "Muri-S" in out

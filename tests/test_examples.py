@@ -1,0 +1,72 @@
+"""Smoke tests for the examples.
+
+Each example is importable without side effects (main() guarded); the
+custom-scheduler example's class is additionally exercised end to end
+so the tutorial's code cannot rot.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_expected_examples_present():
+    expected = {
+        "quickstart.py",
+        "mixed_bottleneck_cluster.py",
+        "profiling_pipeline.py",
+        "trace_study.py",
+        "fault_tolerance.py",
+        "model_parallel.py",
+        "custom_scheduler.py",
+        "capacity_planning.py",
+    }
+    assert expected <= set(EXAMPLE_FILES)
+
+
+@pytest.mark.parametrize("name", EXAMPLE_FILES)
+def test_example_imports_cleanly(name):
+    module = load_example(name)
+    entry_points = [
+        attr for attr in vars(module)
+        if attr == "main" or attr.startswith("step")
+    ]
+    assert entry_points, f"{name} has no main()/step*() entry point"
+
+
+def test_custom_scheduler_class_works():
+    from repro.cluster.cluster import Cluster
+    from repro.jobs.job import JobSpec
+    from repro.jobs.stage import StageProfile
+    from repro.sim.simulator import ClusterSimulator
+
+    module = load_example("custom_scheduler.py")
+    scheduler = module.MuriFtfScheduler()
+    assert scheduler.name == "Muri-FTF"
+
+    profiles = [
+        StageProfile((0.7, 0.1, 0.1, 0.1)),
+        StageProfile((0.1, 0.1, 0.7, 0.1)),
+    ]
+    specs = [
+        JobSpec(profile=profiles[i % 2], num_iterations=100)
+        for i in range(8)
+    ]
+    result = ClusterSimulator(
+        scheduler, cluster=Cluster(1, 2), restart_penalty=0.0
+    ).run(specs, "tutorial")
+    assert result.num_jobs == 8

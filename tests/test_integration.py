@@ -1,0 +1,203 @@
+"""End-to-end integration tests: the paper's headline claims in miniature.
+
+These run full scheduler-vs-scheduler simulations on small but
+congested workloads and assert the qualitative outcomes the paper
+reports.  They are the repository's regression net for "does Muri
+still win where it should".
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_schedulers
+from repro.cluster.cluster import Cluster
+from repro.schedulers.registry import make_scheduler
+from repro.trace.philly import generate_trace
+from repro.trace.workload import build_jobs
+
+
+@pytest.fixture(scope="module")
+def congested_results():
+    """One congested trace, every scheduler, shared across tests."""
+    trace = generate_trace("1", num_jobs=200, seed=1, at_time_zero=True)
+    specs = build_jobs(trace, seed=1)
+    schedulers = {
+        name: make_scheduler(name)
+        for name in ("srtf", "srsf", "muri-s", "tiresias", "themis",
+                     "antman", "muri-l")
+    }
+    return run_schedulers(specs, schedulers, trace.name,
+                          cluster_factory=lambda: Cluster(4, 8))
+
+
+def test_all_jobs_complete_everywhere(congested_results):
+    counts = {name: r.num_jobs for name, r in congested_results.items()}
+    assert len(set(counts.values())) == 1
+
+
+def test_muri_l_beats_tiresias_on_jct(congested_results):
+    speedup = congested_results["muri-l"].speedup_over(
+        congested_results["tiresias"]
+    )
+    assert speedup["avg_jct"] > 1.2
+
+
+def test_muri_l_beats_antman(congested_results):
+    speedup = congested_results["muri-l"].speedup_over(
+        congested_results["antman"]
+    )
+    assert speedup["avg_jct"] > 1.5
+    assert speedup["makespan"] > 1.0
+
+
+def test_muri_improves_makespan_over_exclusive_baselines(congested_results):
+    for muri, baseline in (("muri-s", "srsf"), ("muri-s", "srtf"),
+                           ("muri-l", "tiresias")):
+        speedup = congested_results[muri].speedup_over(
+            congested_results[baseline]
+        )
+        assert speedup["makespan"] > 1.0, (muri, baseline)
+
+
+def test_muri_s_at_least_matches_srtf(congested_results):
+    speedup = congested_results["muri-s"].speedup_over(
+        congested_results["srtf"]
+    )
+    assert speedup["avg_jct"] > 0.95
+
+
+def test_antman_jct_suffers_from_fifo(congested_results):
+    """AntMan is non-preemptive FIFO: its average JCT trails the
+    preemptive duration-aware baselines (the paper's explanation for
+    its poor JCT column)."""
+    assert (
+        congested_results["antman"].avg_jct
+        > congested_results["srsf"].avg_jct
+    )
+
+
+def test_muri_runs_more_jobs_concurrently(congested_results):
+    def mean_running(result):
+        total = sum(p.span for p in result.timeseries)
+        return sum(p.running_jobs * p.span for p in result.timeseries) / total
+
+    assert mean_running(congested_results["muri-l"]) > mean_running(
+        congested_results["tiresias"]
+    )
+
+
+def test_muri_queue_is_shorter(congested_results):
+    assert (
+        congested_results["muri-l"].avg_queue_length
+        < congested_results["tiresias"].avg_queue_length
+    )
+
+
+def test_light_load_parity():
+    """Trace 3 (lightly loaded): Muri degenerates to the baseline and
+    neither wins big — the paper's trace-3 observation."""
+    trace = generate_trace("3", num_jobs=120, seed=3)
+    specs = build_jobs(trace, seed=3)
+    results = run_schedulers(
+        specs,
+        {"srsf": make_scheduler("srsf"), "muri-s": make_scheduler("muri-s")},
+        trace.name,
+    )
+    speedup = results["muri-s"].speedup_over(results["srsf"])
+    assert 0.9 <= speedup["avg_jct"] <= 1.3
+    assert 0.9 <= speedup["makespan"] <= 1.3
+
+
+def test_prime_traces_raise_makespan_speedup():
+    """Setting all submissions to t=0 increases contention and thus
+    Muri's makespan speedup (the paper's 'impact of load')."""
+    def makespan_speedup(at_zero):
+        trace = generate_trace("1", num_jobs=150, seed=2, at_time_zero=at_zero)
+        specs = build_jobs(trace, seed=2)
+        results = run_schedulers(
+            specs,
+            {"tiresias": make_scheduler("tiresias"),
+             "muri-l": make_scheduler("muri-l")},
+            trace.name,
+        )
+        return results["muri-l"].speedup_over(results["tiresias"])["makespan"]
+
+    assert makespan_speedup(True) >= makespan_speedup(False) - 0.15
+
+
+def test_profiling_noise_degrades_gracefully():
+    from repro.core.muri import MuriScheduler
+    from repro.profiler.noise import UniformNoise
+    from repro.profiler.profiler import ResourceProfiler
+    from repro.sim.simulator import ClusterSimulator
+
+    trace = generate_trace("1", num_jobs=120, seed=4, at_time_zero=True)
+    specs = build_jobs(trace, seed=4)
+
+    def run_with_noise(level):
+        profiler = ResourceProfiler(
+            noise=UniformNoise(level), num_dry_runs=1, seed=0,
+            cache_by_model=False,
+        )
+        simulator = ClusterSimulator(
+            MuriScheduler(policy="las2d", profiler=profiler),
+            cluster=Cluster(4, 8),
+        )
+        return simulator.run(specs, trace.name).avg_jct
+
+    clean = run_with_noise(0.0)
+    noisy = run_with_noise(1.0)
+    # Full noise hurts, but not catastrophically (<2x in the paper's
+    # Fig. 14 spirit).
+    assert noisy >= clean * 0.98
+    assert noisy <= clean * 2.0
+
+
+def test_naive_gpu_sharing_can_degrade_jct():
+    """Section 2.1's motivating example: two identical jobs contending
+    on the same non-GPU resource run at half speed when shared, making
+    shared average JCT (2 units) worse than FIFO's (1.5 units)."""
+    from repro.jobs.job import JobSpec
+    from repro.jobs.stage import StageProfile
+    from repro.schedulers.antman import AntManScheduler
+    from repro.schedulers.classic import FifoScheduler
+    from repro.sim.contention import IDEAL_CONTENTION
+    from repro.sim.simulator import ClusterSimulator
+
+    # Storage-bound jobs: sharing serializes their dominant stage.
+    profile = StageProfile((0.9, 0.0, 0.1, 0.0))
+    cluster = lambda: Cluster(1, 1)
+
+    def run(scheduler):
+        specs = [JobSpec(profile=profile, num_iterations=500)
+                 for _ in range(2)]
+        return ClusterSimulator(
+            scheduler, cluster=cluster(),
+            scheduling_interval=10.0, restart_penalty=0.0,
+            contention=IDEAL_CONTENTION, uncoordinated_penalty=1.0,
+            backfill_on_completion=True,
+        ).run(specs, "degrade")
+
+    fifo = run(FifoScheduler())
+    shared = run(AntManScheduler())
+    # FIFO: one job at 500 s, the other at 1000 s -> avg 750 s.
+    assert fifo.avg_jct == pytest.approx(750.0, rel=0.05)
+    # Naive sharing: both at ~1000 s -> avg ~1000 s, strictly worse.
+    assert shared.avg_jct > fifo.avg_jct * 1.2
+
+
+def test_muri_does_not_group_contending_jobs_when_avoidable():
+    """Muri's matching assigns low weight to same-bottleneck pairs, so
+    with a complementary partner available it never picks the
+    degenerate pairing of the section 2.1 example."""
+    from repro.core.grouping import MultiRoundGrouper
+    from repro.jobs.job import Job, JobSpec
+    from repro.jobs.stage import StageProfile
+
+    storage = StageProfile((0.9, 0.0, 0.1, 0.0))
+    gpu = StageProfile((0.1, 0.0, 0.9, 0.0))
+    jobs = [Job(JobSpec(profile=p, num_iterations=10))
+            for p in (storage, storage, gpu, gpu)]
+    result = MultiRoundGrouper(max_group_size=2).group(jobs, capacity=2)
+    for group in result.groups:
+        bottlenecks = {job.profile.bottleneck for job in group.jobs}
+        assert len(bottlenecks) == group.size  # always mixed pairs

@@ -1,0 +1,67 @@
+"""Tests for arrival processes."""
+
+import random
+
+import pytest
+
+from repro.trace.arrivals import (
+    bursty_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+    zero_arrivals,
+)
+
+
+@pytest.mark.parametrize("generator,kwargs", [
+    (poisson_arrivals, {}),
+    (diurnal_arrivals, {}),
+    (bursty_arrivals, {}),
+])
+def test_count_and_monotonicity(generator, kwargs):
+    rng = random.Random(0)
+    times = generator(rng, 200, 10.0, **kwargs)
+    assert len(times) == 200
+    assert times == sorted(times)
+    assert all(t >= 0 for t in times)
+
+
+def test_poisson_mean_interarrival():
+    rng = random.Random(1)
+    times = poisson_arrivals(rng, 5000, 10.0)
+    mean = times[-1] / len(times)
+    assert mean == pytest.approx(10.0, rel=0.1)
+
+
+def test_poisson_invalid_rate():
+    with pytest.raises(ValueError):
+        poisson_arrivals(random.Random(0), 10, 0.0)
+
+
+def test_poisson_reproducible():
+    a = poisson_arrivals(random.Random(42), 50, 5.0)
+    b = poisson_arrivals(random.Random(42), 50, 5.0)
+    assert a == b
+
+
+def test_diurnal_depth_validation():
+    with pytest.raises(ValueError):
+        diurnal_arrivals(random.Random(0), 10, 1.0, depth=1.0)
+
+
+def test_bursty_contains_bursts():
+    rng = random.Random(3)
+    times = bursty_arrivals(rng, 400, 60.0, burst_fraction=0.5, burst_size=8)
+    # Many gaps should be tiny (within-burst) despite the long mean.
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    small = sum(1 for g in gaps if g < 5.0)
+    assert small > len(gaps) * 0.3
+
+
+def test_bursty_fraction_validation():
+    with pytest.raises(ValueError):
+        bursty_arrivals(random.Random(0), 10, 1.0, burst_fraction=1.5)
+
+
+def test_zero_arrivals():
+    assert zero_arrivals(5) == [0.0] * 5
+    assert zero_arrivals(0) == []

@@ -1,0 +1,104 @@
+"""Tests for the Philly-like trace generator."""
+
+import pytest
+
+from repro.trace.philly import (
+    PAPER_TRACE_IDS,
+    PhillyTraceGenerator,
+    TRACE_PRESETS,
+    generate_trace,
+)
+
+
+def test_four_presets():
+    assert set(TRACE_PRESETS) == set(PAPER_TRACE_IDS) == {"1", "2", "3", "4"}
+
+
+def test_preset_job_counts_span_paper_range():
+    counts = sorted(p.num_jobs for p in TRACE_PRESETS.values())
+    assert counts[0] == 992
+    assert counts[-1] == 5755
+
+
+def test_generate_default_size():
+    trace = generate_trace("1", num_jobs=100)
+    assert len(trace) == 100
+
+
+def test_generate_full_size():
+    trace = generate_trace("3")
+    assert len(trace) == TRACE_PRESETS["3"].num_jobs
+
+
+def test_reproducible():
+    a = generate_trace("2", num_jobs=150, seed=9)
+    b = generate_trace("2", num_jobs=150, seed=9)
+    assert tuple(a) == tuple(b)
+
+
+def test_seed_changes_trace():
+    a = generate_trace("2", num_jobs=150, seed=1)
+    b = generate_trace("2", num_jobs=150, seed=2)
+    assert tuple(a) != tuple(b)
+
+
+def test_target_load_respected():
+    for trace_id, preset in TRACE_PRESETS.items():
+        trace = generate_trace(trace_id, num_jobs=300, seed=0)
+        assert trace.load_factor(preset.reference_gpus) == pytest.approx(
+            preset.target_load, rel=1e-6
+        )
+
+
+def test_target_load_independent_of_size():
+    small = generate_trace("1", num_jobs=100, seed=0)
+    large = generate_trace("1", num_jobs=800, seed=0)
+    assert small.load_factor(64) == pytest.approx(large.load_factor(64), rel=1e-6)
+
+
+def test_gpu_counts_are_powers_of_two():
+    trace = generate_trace("2", num_jobs=400, seed=0)
+    for record in trace:
+        assert record.num_gpus & (record.num_gpus - 1) == 0
+
+
+def test_single_gpu_jobs_dominate():
+    trace = generate_trace("4", num_jobs=1000, seed=0)
+    singles = sum(1 for r in trace if r.num_gpus == 1)
+    assert singles > len(trace) * 0.5
+
+
+def test_durations_clipped():
+    preset = TRACE_PRESETS["1"]
+    trace = generate_trace("1", num_jobs=1000, seed=0)
+    for record in trace:
+        assert 30.0 <= record.duration <= preset.duration_cap * 1.0001
+
+
+def test_trace3_has_long_head_jobs():
+    trace = generate_trace("3", num_jobs=400, seed=0)
+    head = list(trace)[: len(trace) // 10]
+    longest_head = max(r.duration for r in head)
+    assert longest_head > 8 * 3600.0
+
+
+def test_prime_variants():
+    for spec in ("1'", "1-prime"):
+        trace = generate_trace(spec, num_jobs=50, seed=0)
+        assert all(r.submit_time == 0.0 for r in trace)
+        assert trace.name.endswith("-prime")
+
+
+def test_prime_flag():
+    trace = generate_trace("2", num_jobs=50, seed=0, at_time_zero=True)
+    assert all(r.submit_time == 0.0 for r in trace)
+
+
+def test_unknown_trace_id():
+    with pytest.raises(KeyError):
+        generate_trace("9")
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        PhillyTraceGenerator(TRACE_PRESETS["1"]).generate(0)

@@ -1,0 +1,139 @@
+"""Tests for the real Philly-format loader (on a synthetic fixture)."""
+
+import json
+
+import pytest
+
+from repro.trace.philly_loader import (
+    load_philly_json,
+    parse_philly_time,
+    round_up_power_of_two,
+)
+
+
+def philly_entry(jobid, vc, submitted, attempts, status="Pass"):
+    return {
+        "jobid": jobid,
+        "vc": vc,
+        "submitted_time": submitted,
+        "attempts": attempts,
+        "status": status,
+    }
+
+
+def attempt(start, end, gpus_per_machine):
+    return {
+        "start_time": start,
+        "end_time": end,
+        "detail": [
+            {"ip": f"m{i}", "gpus": [f"gpu{g}" for g in range(count)]}
+            for i, count in enumerate(gpus_per_machine)
+        ],
+    }
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    entries = [
+        philly_entry(
+            "app_1", "vc-a", "2017-10-03 10:00:00",
+            [attempt("2017-10-03 10:05:00", "2017-10-03 11:05:00", [2, 1])],
+        ),
+        philly_entry(
+            "app_2", "vc-a", "2017-10-03 10:30:00",
+            [
+                attempt("2017-10-03 10:31:00", "2017-10-03 10:41:00", [1]),
+                attempt("2017-10-03 11:00:00", "2017-10-03 11:20:00", [1]),
+            ],
+        ),
+        philly_entry(
+            "app_3", "vc-b", "2017-10-03 09:00:00",
+            [attempt("2017-10-03 09:01:00", "2017-10-03 12:01:00", [8])],
+        ),
+        philly_entry(  # failed job
+            "app_4", "vc-a", "2017-10-03 10:10:00",
+            [attempt("2017-10-03 10:11:00", "2017-10-03 10:21:00", [1])],
+            status="Killed",
+        ),
+        philly_entry(  # too short
+            "app_5", "vc-a", "2017-10-03 10:20:00",
+            [attempt("2017-10-03 10:20:01", "2017-10-03 10:20:05", [1])],
+        ),
+        philly_entry(  # unparsable times
+            "app_6", "vc-a", "None",
+            [attempt("None", "None", [1])],
+        ),
+    ]
+    path = tmp_path / "cluster_job_log"
+    path.write_text(json.dumps(entries))
+    return path
+
+
+class TestHelpers:
+    def test_parse_time(self):
+        parsed = parse_philly_time("2017-10-03 17:13:54")
+        assert parsed is not None and parsed.hour == 17
+
+    def test_parse_time_none(self):
+        assert parse_philly_time("None") is None
+        assert parse_philly_time("") is None
+        assert parse_philly_time("garbage") is None
+
+    @pytest.mark.parametrize("value,expected", [
+        (1, 1), (2, 2), (3, 4), (5, 8), (8, 8), (9, 16), (17, 32),
+    ])
+    def test_round_up_power_of_two(self, value, expected):
+        assert round_up_power_of_two(value) == expected
+
+    def test_round_up_invalid(self):
+        with pytest.raises(ValueError):
+            round_up_power_of_two(0)
+
+
+class TestLoader:
+    def test_loads_passing_jobs(self, trace_file):
+        trace = load_philly_json(trace_file)
+        # app_1, app_2, app_3 survive; 4 (failed), 5 (short), 6 (bad).
+        assert len(trace) == 3
+
+    def test_vc_filter(self, trace_file):
+        trace = load_philly_json(trace_file, virtual_cluster="vc-a")
+        assert len(trace) == 2
+        assert trace.name.endswith("-vc-a")
+
+    def test_submit_times_rebased(self, trace_file):
+        trace = load_philly_json(trace_file, virtual_cluster="vc-a")
+        assert trace[0].submit_time == 0.0
+        assert trace[1].submit_time == pytest.approx(30 * 60.0)
+
+    def test_duration_sums_attempts(self, trace_file):
+        trace = load_philly_json(trace_file, virtual_cluster="vc-a")
+        # app_2 had 10 + 20 minutes across two attempts.
+        by_duration = sorted(r.duration for r in trace)
+        assert by_duration[0] == pytest.approx(30 * 60.0)
+        assert by_duration[1] == pytest.approx(60 * 60.0)
+
+    def test_gpus_power_of_two(self, trace_file):
+        trace = load_philly_json(trace_file)
+        for record in trace:
+            assert record.num_gpus & (record.num_gpus - 1) == 0
+        # app_1 used 3 GPUs peak -> rounded to 4.
+        assert max(r.num_gpus for r in load_philly_json(
+            trace_file, virtual_cluster="vc-a")) == 4
+
+    def test_include_failed(self, trace_file):
+        trace = load_philly_json(
+            trace_file, virtual_cluster="vc-a", include_failed=True
+        )
+        assert len(trace) == 3
+
+    def test_no_jobs_raises(self, trace_file):
+        with pytest.raises(ValueError):
+            load_philly_json(trace_file, virtual_cluster="vc-nope")
+
+    def test_feeds_build_jobs(self, trace_file):
+        from repro.trace.workload import build_jobs
+
+        trace = load_philly_json(trace_file)
+        specs = build_jobs(trace, seed=0)
+        assert len(specs) == len(trace)

@@ -1,0 +1,87 @@
+"""Property-based tests for traces and workload materialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.philly import TRACE_PRESETS, generate_trace
+from repro.trace.records import Trace, TraceRecord
+from repro.trace.workload import build_jobs
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    records = []
+    for index in range(n):
+        records.append(TraceRecord(
+            job_id=index,
+            submit_time=draw(st.floats(min_value=0, max_value=10_000)),
+            duration=draw(st.floats(min_value=1.0, max_value=100_000)),
+            num_gpus=draw(st.sampled_from([1, 2, 4, 8, 16])),
+        ))
+    return Trace.from_records("prop", records)
+
+
+@settings(max_examples=100, deadline=None)
+@given(traces())
+def test_trace_ordering_invariant(trace):
+    submits = [r.submit_time for r in trace]
+    assert submits == sorted(submits)
+
+
+@settings(max_examples=100, deadline=None)
+@given(traces())
+def test_prime_variant_preserves_everything_but_time(trace):
+    prime = trace.at_time_zero()
+    assert len(prime) == len(trace)
+    assert all(r.submit_time == 0.0 for r in prime)
+    assert sorted(r.duration for r in prime) == sorted(
+        r.duration for r in trace
+    )
+    # Summation order can differ after the re-sort; compare to 1 ulp.
+    assert prime.total_gpu_seconds == pytest.approx(
+        trace.total_gpu_seconds, rel=1e-12
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces(), st.integers(min_value=1, max_value=40))
+def test_busiest_interval_is_densest(trace, window):
+    if window >= len(trace):
+        return
+    selected = trace.busiest_interval(window)
+    assert len(selected) == window
+    span = selected[-1].submit_time - selected[0].submit_time
+    # No other window of the same size is tighter.
+    submits = [r.submit_time for r in trace]
+    best = min(
+        submits[i + window - 1] - submits[i]
+        for i in range(len(submits) - window + 1)
+    )
+    assert span == best
+    assert selected[0].submit_time == 0.0  # rebased
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces(), st.integers(min_value=0, max_value=2**31))
+def test_build_jobs_durations_are_faithful(trace, seed):
+    specs = build_jobs(trace, seed=seed)
+    for record, spec in zip(trace, specs):
+        solo = spec.num_iterations * spec.iteration_time
+        # Within one iteration of the trace duration (rounding).
+        assert abs(solo - record.duration) <= spec.iteration_time
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.sampled_from(sorted(TRACE_PRESETS)),
+    st.integers(min_value=2, max_value=120),
+    st.integers(min_value=0, max_value=50),
+)
+def test_generated_traces_hit_target_load(trace_id, num_jobs, seed):
+    trace = generate_trace(trace_id, num_jobs=num_jobs, seed=seed)
+    target = TRACE_PRESETS[trace_id].target_load
+    assert trace.load_factor(64) == pytest.approx(
+        target, rel=1e-6
+    )

@@ -1,0 +1,84 @@
+"""Tests for trace-to-job materialization."""
+
+import pytest
+
+from repro.models.zoo import DEFAULT_MODELS, get_model
+from repro.trace.records import Trace, TraceRecord
+from repro.trace.workload import assign_models, build_jobs
+
+
+def make_trace(n=20):
+    return Trace.from_records(
+        "t",
+        [
+            TraceRecord(job_id=i, submit_time=float(i), duration=600.0,
+                        num_gpus=1 << (i % 3))
+            for i in range(n)
+        ],
+    )
+
+
+class TestAssignModels:
+    def test_seeded_and_reproducible(self):
+        trace = make_trace()
+        assert assign_models(trace, seed=5) == assign_models(trace, seed=5)
+        assert assign_models(trace, seed=5) != assign_models(trace, seed=6)
+
+    def test_draws_from_default_pool(self):
+        names = assign_models(make_trace(200), seed=0)
+        assert set(names) <= set(DEFAULT_MODELS)
+        assert len(set(names)) > 4  # uses the breadth of the pool
+
+    def test_respects_fixed_models(self):
+        trace = Trace.from_records(
+            "t", [TraceRecord(0, 0.0, 10.0, 1, model="Bert")]
+        )
+        assert assign_models(trace, seed=0) == ["Bert"]
+
+    def test_custom_pool(self):
+        names = assign_models(make_trace(), models=["A2C"], seed=0)
+        assert set(names) == {"A2C"}
+
+    def test_empty_pool(self):
+        with pytest.raises(ValueError):
+            assign_models(make_trace(), models=[])
+
+
+class TestBuildJobs:
+    def test_one_spec_per_record(self):
+        trace = make_trace()
+        specs = build_jobs(trace, seed=0)
+        assert len(specs) == len(trace)
+
+    def test_carries_trace_fields(self):
+        trace = make_trace()
+        specs = build_jobs(trace, seed=0)
+        for record, spec in zip(trace, specs):
+            assert spec.submit_time == record.submit_time
+            assert spec.num_gpus == record.num_gpus
+            assert spec.job_id == record.job_id
+
+    def test_iterations_approximate_duration(self):
+        """The paper derives iteration counts from trace durations."""
+        trace = make_trace()
+        specs = build_jobs(trace, seed=0)
+        for record, spec in zip(trace, specs):
+            solo = spec.num_iterations * spec.iteration_time
+            assert solo == pytest.approx(record.duration, rel=0.01)
+
+    def test_minimum_one_iteration(self):
+        trace = Trace.from_records("t", [TraceRecord(0, 0.0, 0.001, 1)])
+        specs = build_jobs(trace, seed=0)
+        assert specs[0].num_iterations == 1
+
+    def test_profile_matches_model(self):
+        trace = Trace.from_records(
+            "t", [TraceRecord(0, 0.0, 100.0, 4, model="GPT-2")]
+        )
+        spec = build_jobs(trace, seed=0)[0]
+        assert spec.model == "GPT-2"
+        assert spec.profile.durations == get_model("GPT-2").stage_profile(4).durations
+
+    def test_model_pool_restriction(self):
+        specs = build_jobs(make_trace(), models=["DQN", "Bert"], seed=1)
+        assert {spec.model for spec in specs} <= {"DQN", "Bert"}
