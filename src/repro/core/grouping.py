@@ -32,18 +32,38 @@ Two practical refinements the scheduler relies on:
   pre-merged nodes, so an unchanged workload reproduces the same plan
   and jobs are not pointlessly regrouped (and restarted) every
   scheduling interval.
+
+To keep the decision latency at the paper's "1,000 jobs in a few
+seconds" scale, the hot path is layered (see "Decision latency and
+scaling" in ``docs/simulation_model.md``):
+
+* **Sparse candidate graphs.**  Buckets at or above
+  ``sparsify_threshold`` nodes build a bounded-degree candidate graph
+  (:mod:`repro.matching.sparsify`) instead of all O(n^2) edges; below
+  the threshold the dense build runs and results are bit-identical to
+  the dense algorithm.
+* **Vectorized weight kernels.**  Edge weights evaluate all offset
+  assignments in one batch from cached slot-max tables
+  (:func:`repro.core.ordering.best_period_for_rows`).
+* **Quantized weight cache.**  With ``cache_quantum > 0`` the weight
+  cache keys snap durations to a grid, so profiling noise does not
+  destroy the hit rate.
+* **Incremental decision cache.**  Each bucket's matching is memoized
+  against the bucket's node-key sequence; a queue segment unchanged
+  since the previous scheduling round skips matching entirely.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.efficiency import efficiency_for_period
 from repro.core.group import JobGroup
 from repro.core.ordering import (
     best_ordering,
+    best_period_for_rows,
     group_iteration_time,
     identity_ordering,
     worst_ordering,
@@ -54,6 +74,11 @@ from repro.jobs.stage import StageProfile
 from repro.matching.blossom import matching_pairs
 from repro.matching.exact import exact_hypergraph_matching
 from repro.matching.greedy import sequential_pair_matching
+from repro.matching.sparsify import (
+    SparsifyConfig,
+    node_signature,
+    sparse_candidate_edges,
+)
 
 __all__ = ["MultiRoundGrouper", "GroupingResult"]
 
@@ -63,13 +88,22 @@ _ORDERING_FNS = {
     "identity": identity_ordering,
 }
 
+#: A matched pair within one bucket: (weight, left index, right index)
+#: with ``left < right`` in the bucket's priority order.
+_MatchedPair = Tuple[float, int, int]
+
 
 @dataclass
 class _Node:
-    """A (possibly merged) node of the matching graph."""
+    """A (possibly merged) node of the matching graph.
+
+    ``keys`` carries one (possibly quantized) durations key per member
+    profile so cache keys never re-derive them from the profiles.
+    """
 
     jobs: List[Job]
     profiles: List[StageProfile]
+    keys: List[Tuple[float, ...]]
 
     @property
     def size(self) -> int:
@@ -78,6 +112,13 @@ class _Node:
     @property
     def num_gpus(self) -> int:
         return self.jobs[0].num_gpus
+
+    def merged_with(self, other: "_Node") -> "_Node":
+        return _Node(
+            self.jobs + other.jobs,
+            self.profiles + other.profiles,
+            self.keys + other.keys,
+        )
 
 
 @dataclass(frozen=True)
@@ -118,6 +159,18 @@ class MultiRoundGrouper:
             interleaved peak memory (section 2.2's model) would exceed
             it are never formed.  Jobs without a declared footprint are
             exempt from the check.
+        sparsify_threshold: Bucket size at which the blossom matcher
+            switches from the dense O(n^2) edge build to a
+            bounded-degree candidate graph.  ``None`` disables
+            sparsification; buckets below the threshold always take
+            the dense path, keeping small-queue results bit-identical.
+        max_degree: Edges kept per node in the sparse candidate graph.
+        probe_limit: Candidate weight evaluations per node in the
+            sparse build (defaults to ``3 * max_degree``).
+        cache_quantum: Grid (in seconds) the weight/ordering cache keys
+            snap durations to.  ``0`` keys on exact durations; a
+            positive quantum trades a little decision quality for cache
+            hits that survive profiling noise.
     """
 
     def __init__(
@@ -128,6 +181,10 @@ class MultiRoundGrouper:
         ordering: str = "best",
         min_efficiency: float = 0.0,
         gpu_memory_gb: Optional[float] = None,
+        sparsify_threshold: Optional[int] = 128,
+        max_degree: int = 8,
+        probe_limit: Optional[int] = None,
+        cache_quantum: float = 0.0,
     ) -> None:
         if max_group_size < 1:
             raise ValueError("max_group_size must be >= 1")
@@ -140,17 +197,35 @@ class MultiRoundGrouper:
             raise ValueError(f"unknown matcher {matcher!r}")
         if ordering not in _ORDERING_FNS:
             raise ValueError(f"unknown ordering policy {ordering!r}")
+        if cache_quantum < 0:
+            raise ValueError("cache_quantum must be >= 0")
         self.max_group_size = max_group_size
         self.num_resources = num_resources
         self.matcher = matcher
         self.ordering = ordering
         self.min_efficiency = min_efficiency
         self.gpu_memory_gb = gpu_memory_gb
+        self.sparsify_threshold = sparsify_threshold
+        self.cache_quantum = cache_quantum
+        self._sparsify_config: Optional[SparsifyConfig] = None
+        if sparsify_threshold is not None:
+            self._sparsify_config = SparsifyConfig(
+                threshold=sparsify_threshold,
+                max_degree=max_degree,
+                probe_limit=(
+                    3 * max_degree if probe_limit is None else probe_limit
+                ),
+            )
         # Edge weights depend only on the multiset of member profiles;
         # with a small model zoo the same combinations recur constantly,
         # so memoization collapses the O(n^2) weight computations.
         self._weight_cache: Dict[Tuple, float] = {}
         self._ordering_cache: Dict[Tuple, Tuple] = {}
+        # Per-bucket matchings of the previous group() call, keyed by
+        # the bucket's node-key sequence: an unchanged queue segment
+        # between scheduling intervals skips matching entirely.
+        self._decision_cache: Dict[Tuple, List[_MatchedPair]] = {}
+        self._decision_cache_prev: Dict[Tuple, List[_MatchedPair]] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -191,6 +266,8 @@ class MultiRoundGrouper:
             raise ValueError("need one believed profile per job")
 
         buckets, bucket_order = self._build_nodes(jobs, believed_profiles, preformed)
+        self._decision_cache_prev = self._decision_cache
+        self._decision_cache = {}
 
         if self.matcher == "exact":
             groups: List[JobGroup] = []
@@ -227,6 +304,9 @@ class MultiRoundGrouper:
         return self._result(groups, rounds=executed)
 
     # -- internals ---------------------------------------------------------------
+
+    def _profile_key(self, profile: StageProfile) -> Tuple[float, ...]:
+        return profile.durations_key(self.cache_quantum)
 
     def _build_nodes(
         self,
@@ -267,52 +347,57 @@ class MultiRoundGrouper:
             if gpus not in buckets:
                 buckets[gpus] = []
                 bucket_order.append(gpus)
-            buckets[gpus].append(_Node(node_jobs, node_profiles))
+            buckets[gpus].append(
+                _Node(
+                    node_jobs,
+                    node_profiles,
+                    [self._profile_key(p) for p in node_profiles],
+                )
+            )
         return buckets, bucket_order
+
+    def _node_cache_key(self, node: _Node) -> Tuple:
+        """Everything that determines a node's edges in the matching.
+
+        Durations keys fix every weight and size constraint; the memory
+        footprints only matter when the feasibility check is active.
+        """
+        if self.gpu_memory_gb is None:
+            return tuple(node.keys)
+        return (
+            tuple(node.keys),
+            tuple(job.spec.memory for job in node.jobs),
+        )
 
     def _candidate_merges(
         self,
         buckets: Dict[int, List[_Node]],
         bucket_order: List[int],
-    ) -> List[Tuple[float, int, int, _Node, _Node]]:
+    ) -> List[Tuple[float, int, int, int]]:
         """Matched node pairs across all buckets, one matching each.
 
-        Returns tuples ``(weight, priority_index, gpus, node_u, node_v)``.
+        Returns tuples ``(weight, priority_index, gpus, partner_index)``
+        where ``priority_index < partner_index`` are positions in
+        ``buckets[gpus]`` at call time.  Matchings are memoized per
+        bucket against the node-key sequence, so a bucket unchanged
+        since the previous ``group()`` call reuses its pairs without
+        rebuilding edges or rerunning the matcher.
         """
-        candidates = []
+        candidates: List[Tuple[float, int, int, int]] = []
         for gpus in bucket_order:
             nodes = buckets[gpus]
             if len(nodes) < 2:
                 continue
-            edges = []
-            for i in range(len(nodes)):
-                for j in range(i + 1, len(nodes)):
-                    if nodes[i].size + nodes[j].size > self.max_group_size:
-                        continue
-                    if not self._memory_feasible(nodes[i], nodes[j]):
-                        continue
-                    weight = self._merge_weight(nodes[i], nodes[j])
-                    if weight >= self.min_efficiency:
-                        edges.append((i, j, weight))
-            if not edges:
-                continue
-            if self.matcher == "blossom":
-                pairs = matching_pairs(edges)
-            else:
-                eligible = {(min(u, v), max(u, v)): w for u, v, w in edges}
-                pairs = {
-                    pair
-                    for pair in sequential_pair_matching(range(len(nodes)))
-                    if pair in eligible
-                }
-            weight_of = {}
-            for u, v, w in edges:
-                weight_of[(min(u, v), max(u, v))] = w
-            for u, v in pairs:
-                key = (min(u, v), max(u, v))
-                candidates.append(
-                    (weight_of[key], key[0], gpus, nodes[u], nodes[v])
-                )
+            bucket_key = (
+                gpus,
+                tuple(self._node_cache_key(node) for node in nodes),
+            )
+            matched = self._decision_cache_prev.get(bucket_key)
+            if matched is None:
+                matched = self._match_bucket(nodes)
+            self._decision_cache[bucket_key] = matched
+            for weight, left, right in matched:
+                candidates.append((weight, left, gpus, right))
         if self.matcher == "blossom":
             # Best interleaving first; ties broken by priority index.
             candidates.sort(key=lambda c: (-c[0], c[1]))
@@ -322,24 +407,136 @@ class MultiRoundGrouper:
             candidates.sort(key=lambda c: c[1])
         return candidates
 
+    def _match_bucket(self, nodes: List[_Node]) -> List[_MatchedPair]:
+        """One matching over a bucket; pairs as (weight, i, j), i < j.
+
+        Large buckets match on a bounded-degree candidate graph; nodes
+        the sparse matching strands (all their candidates taken) are
+        rematched among themselves until no pair forms, so the final
+        cardinality tracks the dense algorithm's.  A bucket below the
+        sparsify threshold takes exactly one dense pass, whose maximum
+        weight matching leaves no feasible pair behind by construction.
+        """
+        if self.matcher == "greedy":
+            # Only consecutive priority pairs can ever match, so only
+            # their edges are evaluated — same result as filtering the
+            # dense edge set, built in O(n) weight evaluations.
+            matched = []
+            for i, j in sequential_pair_matching(range(len(nodes))):
+                weight = self._pair_weight(nodes[i], nodes[j])
+                if weight is not None:
+                    matched.append((weight, i, j))
+            return matched
+
+        matched = []
+        remaining = list(range(len(nodes)))
+        while len(remaining) >= 2:
+            sparse = (
+                self._sparsify_config is not None
+                and len(remaining) >= self._sparsify_config.threshold
+            )
+            new_pairs = self._match_subset(nodes, remaining, sparse)
+            matched.extend(new_pairs)
+            if not sparse or not new_pairs:
+                break
+            taken = set()
+            for _weight, left, right in new_pairs:
+                taken.add(left)
+                taken.add(right)
+            remaining = [index for index in remaining if index not in taken]
+        return matched
+
+    def _match_subset(
+        self,
+        nodes: List[_Node],
+        indices: List[int],
+        sparse: bool,
+    ) -> List[_MatchedPair]:
+        """Match the sub-bucket ``indices``; pairs in global indices."""
+        subset = [nodes[index] for index in indices]
+        if sparse:
+            config = self._sparsify_config
+            signatures = [
+                node_signature(
+                    self._aggregate_durations(node),
+                    config.duration_bin_base,
+                )
+                for node in subset
+            ]
+            edges = sparse_candidate_edges(
+                signatures,
+                lambda a, b: self._pair_weight(subset[a], subset[b]),
+                config,
+            )
+        else:
+            edges = []
+            for a in range(len(subset)):
+                for b in range(a + 1, len(subset)):
+                    weight = self._pair_weight(subset[a], subset[b])
+                    if weight is not None:
+                        edges.append((a, b, weight))
+        if not edges:
+            return []
+        weight_of = {(u, v): w for u, v, w in edges}
+        return [
+            (
+                weight_of[(min(u, v), max(u, v))],
+                indices[min(u, v)],
+                indices[max(u, v)],
+            )
+            for u, v in matching_pairs(edges)
+        ]
+
+    def _pair_weight(self, u: _Node, v: _Node) -> Optional[float]:
+        """Edge weight of merging two nodes, or None if infeasible."""
+        if u.size + v.size > self.max_group_size:
+            return None
+        if not self._memory_feasible(u, v):
+            return None
+        weight = self._merge_weight(u, v)
+        if weight < self.min_efficiency:
+            return None
+        return weight
+
+    def _aggregate_durations(self, node: _Node) -> List[float]:
+        k = self.num_resources
+        totals = [0.0] * k
+        for profile in node.profiles:
+            durations = profile.durations
+            for r in range(k):
+                totals[r] += durations[r]
+        return totals
+
     def _apply_merges(
         self,
         buckets: Dict[int, List[_Node]],
-        candidates: List[Tuple[float, int, int, _Node, _Node]],
+        candidates: List[Tuple[float, int, int, int]],
         demand: int,
         capacity: Optional[int],
     ) -> int:
-        """Merge candidate pairs until the demand fits the capacity."""
-        for _weight, _prio, gpus, u, v in candidates:
+        """Merge candidate pairs until the demand fits the capacity.
+
+        Pairs are disjoint (they come from one matching per bucket), so
+        merges are recorded against original indices — merged node at
+        the left position, tombstone at the right — and each bucket
+        list is rebuilt once, instead of O(n) list surgery per merge.
+        """
+        pending: Dict[int, Dict[int, Optional[_Node]]] = {}
+        for _weight, left, gpus, right in candidates:
             if capacity is not None and demand <= capacity:
                 break
             nodes = buckets[gpus]
-            merged = _Node(u.jobs + v.jobs, u.profiles + v.profiles)
-            index = min(nodes.index(u), nodes.index(v))
-            nodes.remove(u)
-            nodes.remove(v)
-            nodes.insert(index, merged)
+            per_bucket = pending.setdefault(gpus, {})
+            per_bucket[left] = nodes[left].merged_with(nodes[right])
+            per_bucket[right] = None
             demand -= gpus
+        for gpus, per_bucket in pending.items():
+            rebuilt = []
+            for index, node in enumerate(buckets[gpus]):
+                replacement = per_bucket.get(index, node)
+                if replacement is not None:
+                    rebuilt.append(replacement)
+            buckets[gpus] = rebuilt
         return demand
 
     def _split_slack(
@@ -373,7 +570,10 @@ class MultiRoundGrouper:
             _gamma, gpus, node = worst
             split_job = node.jobs.pop()
             split_profile = node.profiles.pop()
-            buckets[gpus].append(_Node([split_job], [split_profile]))
+            split_key = node.keys.pop()
+            buckets[gpus].append(
+                _Node([split_job], [split_profile], [split_key])
+            )
             demand += gpus
         return demand
 
@@ -391,15 +591,7 @@ class MultiRoundGrouper:
         return group_peak_memory(footprints) <= self.gpu_memory_gb
 
     def _node_efficiency(self, node: _Node) -> float:
-        profiles = tuple(node.profiles)
-        key = tuple(sorted(profile.durations for profile in profiles))
-        cached = self._weight_cache.get(key)
-        if cached is not None:
-            return cached
-        _offsets, period = best_ordering(profiles, self.num_resources)
-        gamma = efficiency_for_period(profiles, period, self.num_resources)
-        self._weight_cache[key] = gamma
-        return gamma
+        return self._weight_for(node.keys, node.profiles)
 
     def _result(self, groups: List[JobGroup], rounds: int) -> GroupingResult:
         total_eff = sum(g.believed_efficiency for g in groups if g.size > 1)
@@ -411,19 +603,26 @@ class MultiRoundGrouper:
         # the matching is computed with the best ordering; the policy
         # knob only affects the ordering executed (Fig. 11's variant
         # "Muri-L w/ worst ordering" still groups like Muri-L).
-        profiles = tuple(a.profiles + b.profiles)
-        key = tuple(sorted(profile.durations for profile in profiles))
+        return self._weight_for(a.keys + b.keys, a.profiles + b.profiles)
+
+    def _weight_for(
+        self,
+        keys: Sequence[Tuple[float, ...]],
+        profiles: Sequence[StageProfile],
+    ) -> float:
+        key = tuple(sorted(keys))
         cached = self._weight_cache.get(key)
         if cached is not None:
             return cached
-        _offsets, period = best_ordering(profiles, self.num_resources)
+        rows = tuple(profile.durations for profile in profiles)
+        _offsets, period = best_period_for_rows(rows, self.num_resources)
         weight = efficiency_for_period(profiles, period, self.num_resources)
         self._weight_cache[key] = weight
         return weight
 
     def _finalize(self, node: _Node) -> JobGroup:
         profiles = tuple(node.profiles)
-        key = tuple(profile.durations for profile in profiles)
+        key = tuple(node.keys)
         offsets = self._ordering_cache.get(key)
         if offsets is None:
             ordering_fn = _ORDERING_FNS[self.ordering]
@@ -461,10 +660,11 @@ class MultiRoundGrouper:
         grouped = set()
         result: List[JobGroup] = []
         for group_indices in chosen:
-            merged = _Node([], [])
+            merged = _Node([], [], [])
             for idx in group_indices:
                 merged.jobs.extend(nodes[idx].jobs)
                 merged.profiles.extend(nodes[idx].profiles)
+                merged.keys.extend(nodes[idx].keys)
                 grouped.add(idx)
             result.append(self._finalize(merged))
         for idx, node in enumerate(nodes):

@@ -45,6 +45,13 @@ class MuriScheduler(Scheduler):
             created, leaving badly paired jobs solo.
         gpu_memory_gb: Optional per-GPU memory capacity for the
             grouper's feasibility check (section 2.2).
+        sparsify_threshold: Bucket size at which the grouper switches
+            to a bounded-degree candidate graph ("Decision latency and
+            scaling" in docs/simulation_model.md); None disables it.
+        max_degree: Candidate edges kept per node when sparsifying.
+        cache_quantum: Duration grid for the grouper's decision cache
+            keys; a positive value keeps cache hits alive under
+            profiling noise.
     """
 
     def __init__(
@@ -56,6 +63,9 @@ class MuriScheduler(Scheduler):
         ordering: str = "best",
         min_efficiency: float = 0.0,
         gpu_memory_gb: Optional[float] = None,
+        sparsify_threshold: Optional[int] = 128,
+        max_degree: int = 8,
+        cache_quantum: float = 0.0,
     ) -> None:
         self.policy: PriorityPolicy = (
             get_policy(policy) if isinstance(policy, str) else policy
@@ -69,6 +79,9 @@ class MuriScheduler(Scheduler):
             ordering=ordering,
             min_efficiency=min_efficiency,
             gpu_memory_gb=gpu_memory_gb,
+            sparsify_threshold=sparsify_threshold,
+            max_degree=max_degree,
+            cache_quantum=cache_quantum,
         )
         self.duration_aware = self.policy_name in ("srsf", "srtf", "sjf")
         suffix = "S" if self.duration_aware else "L"

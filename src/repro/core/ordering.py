@@ -20,8 +20,11 @@ ordering is kept around for the Fig. 11 ablation.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import permutations
 from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.jobs.resources import NUM_RESOURCES
 from repro.jobs.stage import StageProfile
@@ -33,6 +36,8 @@ __all__ = [
     "worst_ordering",
     "identity_ordering",
     "slot_durations",
+    "extreme_period_for_rows",
+    "best_period_for_rows",
 ]
 
 Offsets = Tuple[int, ...]
@@ -91,24 +96,79 @@ def enumerate_offset_assignments(
         yield (0,) + rest
 
 
+@lru_cache(maxsize=None)
+def _assignment_table(
+    num_jobs: int, num_resources: int
+) -> Tuple[Tuple[Offsets, ...], np.ndarray]:
+    """All offset assignments, as tuples and as an index array."""
+    assignments = tuple(
+        enumerate_offset_assignments(num_jobs, num_resources)
+    )
+    array = np.array(assignments, dtype=np.intp)
+    array.setflags(write=False)
+    return assignments, array
+
+
+@lru_cache(maxsize=65536)
+def _rolled_rows(durations: Tuple[float, ...], num_resources: int) -> np.ndarray:
+    """Table ``R[o][s] = durations[(o + s) % k]`` for one profile."""
+    k = num_resources
+    table = np.array(
+        [[durations[(o + s) % k] for s in range(k)] for o in range(k)],
+        dtype=float,
+    )
+    table.setflags(write=False)
+    return table
+
+
+def extreme_period_for_rows(
+    rows: Sequence[Tuple[float, ...]],
+    num_resources: int = NUM_RESOURCES,
+    pick_worst: bool = False,
+) -> Tuple[Offsets, float]:
+    """Best (or worst) iteration period for raw duration tuples.
+
+    The vectorized core of :func:`best_ordering`: all ``(k-1)!`` offset
+    assignments are evaluated in one batch from cached per-profile
+    slot-max tables.  Slot maxima and the left-to-right slot sum are
+    computed exactly as the scalar enumeration would, so the returned
+    period is bit-identical to the generator-based implementation this
+    replaces.
+    """
+    k = num_resources
+    assignments, index = _assignment_table(len(rows), k)
+    tables = np.stack([_rolled_rows(tuple(row), k) for row in rows])
+    # slots[p, i, s]: job i's stage duration in slot s under assignment p.
+    slots = tables[np.arange(len(rows)), index]
+    slot_max = slots.max(axis=1)
+    periods = slot_max[:, 0]
+    for s in range(1, k):
+        periods = periods + slot_max[:, s]
+    best = int(periods.argmax() if pick_worst else periods.argmin())
+    return assignments[best], float(periods[best])
+
+
+def best_period_for_rows(
+    rows: Sequence[Tuple[float, ...]],
+    num_resources: int = NUM_RESOURCES,
+) -> Tuple[Offsets, float]:
+    """Offsets minimizing the period, straight from duration tuples."""
+    return extreme_period_for_rows(rows, num_resources, pick_worst=False)
+
+
 def _extreme_ordering(
     profiles: Sequence[StageProfile],
     num_resources: int,
     pick_worst: bool,
 ) -> Tuple[Offsets, float]:
-    best_offsets: Offsets = ()
-    best_time = None
-    for offsets in enumerate_offset_assignments(len(profiles), num_resources):
-        t = group_iteration_time(profiles, offsets, num_resources)
-        better = (
-            best_time is None
-            or (t > best_time if pick_worst else t < best_time)
-        )
-        if better:
-            best_time = t
-            best_offsets = offsets
-    assert best_time is not None
-    return best_offsets, best_time
+    for profile in profiles:
+        if profile.num_resources < num_resources:
+            raise ValueError(
+                f"profile has {profile.num_resources} resources, "
+                f"need at least {num_resources}"
+            )
+    rows = tuple(profile.durations for profile in profiles)
+    return extreme_period_for_rows(rows, num_resources, pick_worst)
 
 
 def best_ordering(

@@ -57,6 +57,10 @@ class StageProfile:
                 raise ValueError(f"stage durations must be >= 0, got {d}")
         if all(d == 0 for d in self.durations):
             raise ValueError("a stage profile must use at least one resource")
+        # Profiles are immutable, so the totals the efficiency model
+        # reads on every edge-weight evaluation are computed once here
+        # instead of being re-summed per call.
+        object.__setattr__(self, "_iteration_time", sum(self.durations))
 
     @property
     def num_resources(self) -> int:
@@ -125,9 +129,22 @@ class StageProfile:
 
         Running alone, the stages of one iteration execute back to
         back, so the iteration period equals the stage sum (Eq. 3 of
-        the paper with a single job).
+        the paper with a single job).  Cached at construction.
         """
-        return sum(self.durations)
+        return self._iteration_time  # type: ignore[attr-defined]
+
+    def durations_key(self, quantum: float = 0.0) -> Tuple[float, ...]:
+        """A hashable cache key for this profile's durations.
+
+        With ``quantum == 0`` the key is the exact duration tuple.  A
+        positive ``quantum`` snaps every duration to that grid, so
+        profiles that differ only by measurement noise (e.g. the
+        perturbations of :mod:`repro.profiler.noise`) collapse onto the
+        same key and share cached grouping decisions.
+        """
+        if quantum > 0.0:
+            return tuple(round(d / quantum) * quantum for d in self.durations)
+        return self.durations
 
     @property
     def bottleneck(self) -> Resource:

@@ -8,6 +8,8 @@ Public API:
   baselines ("w/o Blossom" ablation).
 * :func:`brute_force_matching` / :func:`exact_hypergraph_matching` —
   exponential-time exact oracles for tests and ablations.
+* :func:`sparse_candidate_edges` / :class:`SparsifyConfig` —
+  bounded-degree candidate graphs for 1,000+ node instances.
 """
 
 from repro.matching.blossom import (
@@ -17,6 +19,11 @@ from repro.matching.blossom import (
 )
 from repro.matching.exact import brute_force_matching, exact_hypergraph_matching
 from repro.matching.greedy import greedy_matching, sequential_pair_matching
+from repro.matching.sparsify import (
+    SparsifyConfig,
+    node_signature,
+    sparse_candidate_edges,
+)
 
 __all__ = [
     "max_weight_matching",
@@ -26,4 +33,7 @@ __all__ = [
     "sequential_pair_matching",
     "brute_force_matching",
     "exact_hypergraph_matching",
+    "SparsifyConfig",
+    "node_signature",
+    "sparse_candidate_edges",
 ]

@@ -133,6 +133,74 @@ class TestCapacityAwareness:
         assert all(group.size == 1 for group in result.groups)
 
 
+class TestApplyMerges:
+    """The tombstone-based merge application must reproduce the old
+    list-surgery semantics: the merged node takes the left partner's
+    position, the right partner disappears, everything else keeps its
+    relative order."""
+
+    @staticmethod
+    def _reference_apply(buckets, candidates, demand, capacity):
+        # Object-identity surgery, as the per-merge implementation did:
+        # resolve indices against a snapshot, then index/replace/remove.
+        snapshot = {gpus: list(nodes) for gpus, nodes in buckets.items()}
+        for _weight, left, gpus, right in candidates:
+            if capacity is not None and demand <= capacity:
+                break
+            left_node = snapshot[gpus][left]
+            right_node = snapshot[gpus][right]
+            nodes = buckets[gpus]
+            nodes[nodes.index(left_node)] = left_node.merged_with(right_node)
+            nodes.remove(right_node)
+            demand -= gpus
+        return demand
+
+    def _bucket_fixture(self, capacity):
+        jobs = [
+            make_job(p)
+            for p in (STORAGE, CPU, GPU, NETWORK, STORAGE, CPU, GPU, NETWORK)
+        ]
+        grouper = MultiRoundGrouper()
+        buckets, order = grouper._build_nodes(jobs, [j.profile for j in jobs], None)
+        candidates = grouper._candidate_merges(buckets, order)
+        return grouper, buckets, candidates
+
+    @staticmethod
+    def _plan(buckets):
+        return {
+            gpus: [[job.job_id for job in node.jobs] for node in nodes]
+            for gpus, nodes in buckets.items()
+        }
+
+    @pytest.mark.parametrize("capacity", [None, 6, 7])
+    def test_matches_list_surgery_semantics(self, capacity):
+        grouper, buckets, candidates = self._bucket_fixture(capacity)
+        expected = {gpus: list(nodes) for gpus, nodes in buckets.items()}
+        expected_demand = self._reference_apply(
+            expected, candidates, demand=8, capacity=capacity
+        )
+        demand = grouper._apply_merges(buckets, candidates, 8, capacity)
+        assert demand == expected_demand
+        assert self._plan(buckets) == self._plan(expected)
+
+    def test_merged_node_keeps_left_position(self):
+        grouper, buckets, candidates = self._bucket_fixture(None)
+        first_left = candidates[0][1]
+        anchor = buckets[1][first_left].jobs[0].job_id
+        grouper._apply_merges(buckets, candidates, 8, None)
+        # The best merge's left partner still heads its merged node, at
+        # a position no later than before.
+        positions = [node.jobs[0].job_id for node in buckets[1]]
+        assert anchor in positions
+        assert positions.index(anchor) <= first_left
+
+    def test_capacity_stops_merging_early(self):
+        grouper, buckets, candidates = self._bucket_fixture(7)
+        demand = grouper._apply_merges(buckets, candidates, 8, 7)
+        assert demand == 7
+        assert sum(len(nodes) for nodes in buckets.values()) == 7
+
+
 class TestSeeds:
     def test_preformed_members_stay_together(self):
         jobs = [make_job(p) for p in (STORAGE, CPU, GPU, NETWORK)]

@@ -8,7 +8,9 @@ from hypothesis import strategies as st
 
 from repro.core.ordering import (
     best_ordering,
+    best_period_for_rows,
     enumerate_offset_assignments,
+    extreme_period_for_rows,
     group_iteration_time,
     identity_ordering,
     slot_durations,
@@ -162,3 +164,48 @@ def test_period_at_least_busy_time_per_resource(profiles):
     for resource in range(4):
         busy = sum(p.durations[resource] for p in profiles)
         assert period >= busy - 1e-9
+
+
+def _scalar_extreme(profiles, pick_worst=False):
+    """Reference implementation: the generator-based enumeration the
+    vectorized kernel replaced."""
+    extreme = None
+    for offsets in enumerate_offset_assignments(len(profiles), 4):
+        period = group_iteration_time(profiles, offsets, 4)
+        better = (
+            extreme is None
+            or (period > extreme[1] if pick_worst else period < extreme[1])
+        )
+        if better:
+            extreme = (offsets, period)
+    return extreme
+
+
+@settings(max_examples=150, deadline=None)
+@given(profile_groups())
+def test_vectorized_kernel_matches_scalar_enumeration(profiles):
+    """The batch kernel is bit-identical to the scalar scan: same
+    offsets (first-improvement tie-breaking) and exactly equal period,
+    for both best and worst."""
+    rows = tuple(p.durations for p in profiles)
+    for pick_worst in (False, True):
+        offsets, period = extreme_period_for_rows(rows, 4, pick_worst)
+        ref_offsets, ref_period = _scalar_extreme(profiles, pick_worst)
+        assert offsets == ref_offsets
+        assert period == ref_period
+
+
+def test_best_period_for_rows_matches_best_ordering():
+    profiles = (
+        StageProfile((1.0, 2.0, 1.0, 1.0)),
+        StageProfile((1.0, 1.0, 2.0, 1.0)),
+        StageProfile((2.0, 1.0, 1.0, 1.0)),
+    )
+    rows = tuple(p.durations for p in profiles)
+    assert best_period_for_rows(rows) == best_ordering(profiles)
+
+
+def test_rows_kernel_rejects_oversized_groups():
+    rows = ((1.0, 1.0, 1.0, 1.0),) * 5
+    with pytest.raises(ValueError):
+        best_period_for_rows(rows)

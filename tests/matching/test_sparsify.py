@@ -1,0 +1,137 @@
+"""Tests for the bounded-degree candidate graph builder."""
+
+import pytest
+
+from repro.matching.sparsify import (
+    SparsifyConfig,
+    node_signature,
+    sparse_candidate_edges,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        config = SparsifyConfig()
+        assert config.threshold >= 2
+        assert config.probe_limit >= config.max_degree
+
+    def test_threshold_too_small(self):
+        with pytest.raises(ValueError):
+            SparsifyConfig(threshold=1)
+
+    def test_zero_degree(self):
+        with pytest.raises(ValueError):
+            SparsifyConfig(max_degree=0)
+
+    def test_probe_limit_below_degree(self):
+        with pytest.raises(ValueError):
+            SparsifyConfig(max_degree=8, probe_limit=4)
+
+    def test_bad_bin_base(self):
+        with pytest.raises(ValueError):
+            SparsifyConfig(duration_bin_base=1.0)
+
+
+class TestNodeSignature:
+    def test_bottleneck_index(self):
+        assert node_signature([0.1, 0.7, 0.1, 0.1])[0] == 1
+
+    def test_duration_bin_is_log_scale(self):
+        # totals 2 and 3.9 share a bin at base 2; 2 and 4.1 do not.
+        assert (
+            node_signature([2.0, 0, 0, 0])[1]
+            == node_signature([3.9, 0, 0, 0])[1]
+        )
+        assert (
+            node_signature([2.0, 0, 0, 0])[1]
+            != node_signature([4.1, 0, 0, 0])[1]
+        )
+
+    def test_zero_total(self):
+        assert node_signature([0.0, 0.0]) == (0, 0)
+
+    def test_coarser_base_merges_bins(self):
+        fine = {node_signature([t, 0, 0, 0], 2.0)[1] for t in (1, 3, 9, 27)}
+        coarse = {node_signature([t, 0, 0, 0], 100.0)[1] for t in (1, 3, 9, 27)}
+        assert len(coarse) < len(fine)
+
+
+def _signatures(n):
+    # Four bottleneck classes, two duration bins.
+    return [(i % 4, (i // 4) % 2) for i in range(n)]
+
+
+class TestSparseCandidateEdges:
+    def test_edges_are_ordered_and_unique(self):
+        edges = sparse_candidate_edges(
+            _signatures(40), lambda i, j: 1.0 / (1 + abs(i - j))
+        )
+        assert all(u < v for u, v, _w in edges)
+        assert len({(u, v) for u, v, _w in edges}) == len(edges)
+
+    def test_weights_come_from_the_oracle(self):
+        edges = sparse_candidate_edges(
+            _signatures(40), lambda i, j: float(i * 100 + j)
+        )
+        for u, v, w in edges:
+            assert w == float(u * 100 + v)
+
+    def test_deterministic(self):
+        first = sparse_candidate_edges(
+            _signatures(64), lambda i, j: 1.0 / (1 + abs(i - j))
+        )
+        second = sparse_candidate_edges(
+            _signatures(64), lambda i, j: 1.0 / (1 + abs(i - j))
+        )
+        assert first == second
+
+    def test_per_node_probe_and_degree_bounds(self):
+        config = SparsifyConfig(threshold=2, max_degree=3, probe_limit=6)
+        calls = {}
+
+        def weight(i, j):
+            calls[(i, j)] = calls.get((i, j), 0) + 1
+            return 1.0
+
+        edges = sparse_candidate_edges(_signatures(60), weight, config)
+        # The weight oracle runs at most once per pair (memoized), and
+        # the total probe volume is bounded by n * probe_limit.
+        assert all(count == 1 for count in calls.values())
+        assert len(calls) <= 60 * config.probe_limit
+        # Kept edges are the union of per-node top lists: a node can
+        # exceed max_degree only through other nodes' lists, and the
+        # total size is bounded by n * max_degree.
+        assert len(edges) <= 60 * config.max_degree
+
+    def test_infeasible_pairs_never_emitted(self):
+        edges = sparse_candidate_edges(
+            _signatures(40),
+            lambda i, j: None if (i + j) % 2 else 1.0,
+        )
+        assert edges
+        assert all((u + v) % 2 == 0 for u, v, _w in edges)
+
+    def test_all_infeasible_gives_no_edges(self):
+        assert sparse_candidate_edges(_signatures(20), lambda i, j: None) == []
+
+    def test_single_bucket_covers_everyone(self):
+        # All nodes identical: the rotation must still give every node
+        # candidates rather than funnelling probes onto node 0.
+        signatures = [(0, 0)] * 32
+        edges = sparse_candidate_edges(
+            signatures, lambda i, j: 1.0, SparsifyConfig(threshold=2)
+        )
+        touched = {u for u, _v, _w in edges} | {v for _u, v, _w in edges}
+        assert touched == set(range(32))
+
+    def test_heaviest_edges_survive(self):
+        # Node 0 in a bucket with many partners: its kept edges are the
+        # heaviest among those probed.
+        config = SparsifyConfig(threshold=2, max_degree=2, probe_limit=50)
+        signatures = [(0, 0)] * 20
+        edges = sparse_candidate_edges(
+            signatures, lambda i, j: float(i + j), config
+        )
+        node0 = sorted(w for u, v, w in edges if u == 0)
+        # 0's two heaviest probed partners are 18 and 19.
+        assert node0[-2:] == [18.0, 19.0]
