@@ -9,7 +9,7 @@ and measures the JCT cost under Muri-L.
 Run:  python examples/fault_tolerance.py
 """
 
-from repro import ClusterSimulator, FaultInjector, MuriScheduler
+from repro import ClusterSimulator, FaultInjector, make_scheduler
 from repro.analysis import format_table
 from repro.cluster import Cluster
 from repro.trace import build_jobs, generate_trace
@@ -26,7 +26,7 @@ def run(mtbf_hours, progress_loss):
         progress_loss=progress_loss,
     )
     simulator = ClusterSimulator(
-        MuriScheduler(policy="las2d"),
+        make_scheduler("muri-l"),
         cluster=Cluster(2, 8),
         fault_injector=injector,
     )

@@ -13,7 +13,7 @@ Run:  python examples/model_parallel.py
 from repro import ClusterSimulator, Job
 from repro.analysis import format_table, render_group_schedule
 from repro.cluster import Cluster
-from repro.core import MultiRoundGrouper, MuriScheduler
+from repro.core import MultiRoundGrouper
 from repro.jobs import make_model_parallel_job
 from repro.schedulers import make_scheduler
 

@@ -17,7 +17,6 @@ from repro import (
     Job,
     JobSpec,
     MultiRoundGrouper,
-    MuriScheduler,
     Resource,
     StageProfile,
     best_ordering,
@@ -102,7 +101,7 @@ def step4_simulate():
     trace = generate_trace("1", num_jobs=150, seed=7, at_time_zero=True)
     specs = [s for s in build_jobs(trace, seed=7) if s.num_gpus <= 16]
 
-    for scheduler in (make_scheduler("srsf"), MuriScheduler(policy="srsf")):
+    for scheduler in (make_scheduler("srsf"), make_scheduler("muri-s")):
         simulator = ClusterSimulator(scheduler, cluster=Cluster(2, 8))
         result = simulator.run(specs, trace.name)
         print(f"{scheduler.name:8s}: avg JCT {result.avg_jct:8.0f}s   "

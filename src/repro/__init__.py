@@ -17,7 +17,12 @@ The package provides:
 * ``repro.trace`` / ``repro.profiler`` — Philly-like synthetic traces
   and the dry-run resource profiler with the Fig. 14 noise model;
 * ``repro.analysis`` — experiment runners and report formatting shared
-  by the examples and the benchmark harness.
+  by the examples and the benchmark harness;
+* ``repro.observe`` — structured tracing and decision provenance: a
+  zero-overhead-when-disabled :class:`Tracer` threaded through the
+  simulator/scheduler stack, Chrome-trace/JSONL exporters, and the
+  per-job grouping provenance behind ``repro explain``
+  (see ``docs/observability.md``).
 
 Quickstart::
 
@@ -43,11 +48,28 @@ from repro.core import (
 from repro.jobs import Job, JobSpec, JobStatus, Resource, Stage, StageProfile
 from repro.matching import matching_pairs, max_weight_matching
 from repro.models import MODEL_ZOO, ModelProfile, get_model, list_models
+from repro.observe import (
+    EventCategory,
+    ProvenanceStore,
+    TraceEvent,
+    Tracer,
+    format_explain,
+    trace_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.profiler import ResourceProfiler, UniformNoise
-from repro.schedulers import Scheduler, make_scheduler
+from repro.schedulers import (
+    Scheduler,
+    available_schedulers,
+    make_scheduler,
+    register_scheduler,
+)
 from repro.sim import (
     ClusterSimulator,
     ContentionModel,
+    Decision,
+    DecisionLog,
     FaultInjector,
     SimulationResult,
 )
@@ -87,6 +109,17 @@ __all__ = [
     "SimulationResult",
     "ContentionModel",
     "FaultInjector",
+    "Decision",
+    "DecisionLog",
+    # observability
+    "Tracer",
+    "TraceEvent",
+    "EventCategory",
+    "ProvenanceStore",
+    "write_chrome_trace",
+    "write_jsonl",
+    "trace_summary",
+    "format_explain",
     # traces & profiling
     "Trace",
     "TraceRecord",
@@ -97,4 +130,6 @@ __all__ = [
     # schedulers
     "Scheduler",
     "make_scheduler",
+    "register_scheduler",
+    "available_schedulers",
 ]

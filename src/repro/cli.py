@@ -4,6 +4,9 @@ Drives the library from a shell::
 
     repro models                                    # the model zoo
     repro simulate --trace 1 --jobs 200 --scheduler muri-l
+    repro simulate --trace 1 --jobs 100 --scheduler muri-s \
+                   --trace-out run.json             # Perfetto-loadable
+    repro explain 17 --trace 1 --jobs 100 --scheduler muri-s
     repro compare  --trace 2' --jobs 300 --schedulers srsf,muri-s
     repro experiment table4                         # any paper artifact
     repro trace --trace 4 --jobs 500 --out trace.csv
@@ -31,6 +34,13 @@ from repro.analysis.experiments import (
 from repro.analysis.report import format_series, format_speedup_table, format_table
 from repro.cluster.cluster import Cluster
 from repro.models.zoo import DEFAULT_MODELS, get_model
+from repro.observe import (
+    Tracer,
+    format_explain,
+    trace_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.schedulers.registry import SCHEDULERS, make_scheduler
 from repro.sim.io import save_comparison, save_result
 from repro.sim.simulator import ClusterSimulator
@@ -69,6 +79,22 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--scheduler", default="muri-l",
                           choices=sorted(SCHEDULERS))
     simulate.add_argument("--out", help="write the result JSON here")
+    simulate.add_argument(
+        "--trace-out",
+        help="record a structured trace of the run: .jsonl writes one "
+             "JSON event per line, anything else a Chrome-trace JSON "
+             "loadable in Perfetto (ui.perfetto.dev)",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="re-run a workload with tracing and print one job's "
+             "decision provenance (grouping partners, efficiency, round)",
+    )
+    add_workload_args(explain)
+    explain.add_argument("job_id", type=int, help="job id to explain")
+    explain.add_argument("--scheduler", default="muri-l",
+                         choices=sorted(SCHEDULERS))
 
     compare = sub.add_parser("compare", help="run several schedulers")
     add_workload_args(compare)
@@ -153,9 +179,11 @@ def _cmd_models(_args) -> int:
 
 def _cmd_simulate(args) -> int:
     trace, specs = _workload(args)
-    scheduler = make_scheduler(args.scheduler)
+    tracer = Tracer() if args.trace_out else None
+    scheduler = make_scheduler(args.scheduler, tracer=tracer)
     simulator = ClusterSimulator(
-        scheduler, cluster=Cluster(args.machines, args.gpus_per_machine)
+        scheduler, cluster=Cluster(args.machines, args.gpus_per_machine),
+        tracer=tracer,
     )
     result = simulator.run(specs, trace.name)
     summary = result.summary()
@@ -177,6 +205,34 @@ def _cmd_simulate(args) -> int:
     if args.out:
         save_result(result, args.out)
         print(f"result written to {args.out}")
+    if args.trace_out:
+        if args.trace_out.endswith(".jsonl"):
+            write_jsonl(tracer, args.trace_out)
+        else:
+            write_chrome_trace(tracer, args.trace_out)
+        print(f"trace written to {args.trace_out}")
+        print(trace_summary(tracer))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    trace, specs = _workload(args)
+    tracer = Tracer()
+    scheduler = make_scheduler(args.scheduler, tracer=tracer)
+    simulator = ClusterSimulator(
+        scheduler, cluster=Cluster(args.machines, args.gpus_per_machine),
+        tracer=tracer,
+    )
+    result = simulator.run(specs, trace.name)
+    if args.job_id not in tracer.provenance:
+        known = tracer.provenance.job_ids()
+        print(
+            f"error: no provenance recorded for job {args.job_id}; "
+            f"known job ids: {known[:20]}{'...' if len(known) > 20 else ''}",
+            file=sys.stderr,
+        )
+        return 2
+    print(format_explain(tracer, args.job_id, result))
     return 0
 
 
@@ -368,6 +424,7 @@ def _cmd_reproduce(args) -> int:
 _COMMANDS = {
     "models": _cmd_models,
     "simulate": _cmd_simulate,
+    "explain": _cmd_explain,
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,
     "trace": _cmd_trace,

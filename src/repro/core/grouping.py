@@ -79,6 +79,9 @@ from repro.matching.sparsify import (
     node_signature,
     sparse_candidate_edges,
 )
+from repro.observe.events import EventCategory
+from repro.observe.provenance import CandidateConsidered, GroupDecision
+from repro.observe.tracer import Tracer, maybe_span
 
 __all__ = ["MultiRoundGrouper", "GroupingResult"]
 
@@ -99,11 +102,16 @@ class _Node:
 
     ``keys`` carries one (possibly quantized) durations key per member
     profile so cache keys never re-derive them from the profiles.
+    ``round_formed`` and ``seeded`` are provenance breadcrumbs: the
+    matching round whose merge produced this node (0 = never merged)
+    and whether it entered the graph pre-merged as a running group.
     """
 
     jobs: List[Job]
     profiles: List[StageProfile]
     keys: List[Tuple[float, ...]]
+    round_formed: int = 0
+    seeded: bool = False
 
     @property
     def size(self) -> int:
@@ -113,11 +121,12 @@ class _Node:
     def num_gpus(self) -> int:
         return self.jobs[0].num_gpus
 
-    def merged_with(self, other: "_Node") -> "_Node":
+    def merged_with(self, other: "_Node", round_formed: int = 0) -> "_Node":
         return _Node(
             self.jobs + other.jobs,
             self.profiles + other.profiles,
             self.keys + other.keys,
+            round_formed=round_formed,
         )
 
 
@@ -171,7 +180,15 @@ class MultiRoundGrouper:
             snap durations to.  ``0`` keys on exact durations; a
             positive quantum trades a little decision quality for cache
             hits that survive profiling noise.
+        tracer: Optional :class:`~repro.observe.Tracer`.  When enabled,
+            the grouper times its matching rounds, counts weight /
+            decision cache hits, and publishes per-group
+            :class:`~repro.observe.GroupDecision` provenance on
+            :attr:`last_decisions` after every :meth:`group` call.
     """
+
+    #: Candidate edges kept per job in provenance records.
+    PROVENANCE_CANDIDATE_CAP = 6
 
     def __init__(
         self,
@@ -185,6 +202,7 @@ class MultiRoundGrouper:
         max_degree: int = 8,
         probe_limit: Optional[int] = None,
         cache_quantum: float = 0.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_group_size < 1:
             raise ValueError("max_group_size must be >= 1")
@@ -226,6 +244,15 @@ class MultiRoundGrouper:
         # between scheduling intervals skips matching entirely.
         self._decision_cache: Dict[Tuple, List[_MatchedPair]] = {}
         self._decision_cache_prev: Dict[Tuple, List[_MatchedPair]] = {}
+        self.tracer = tracer
+        #: Provenance of the most recent :meth:`group` call (a tuple of
+        #: :class:`~repro.observe.GroupDecision`), or None when the
+        #: tracer was absent/disabled for that call.
+        self.last_decisions: Optional[Tuple[GroupDecision, ...]] = None
+        # Scratch: per-job candidate edges of the in-flight group()
+        # call, populated only while tracing.
+        self._prov_candidates: Optional[Dict[int, List[CandidateConsidered]]] = None
+        self._trace_now = 0.0
 
     # -- public API -----------------------------------------------------------
 
@@ -235,6 +262,7 @@ class MultiRoundGrouper:
         believed_profiles: Optional[Sequence[StageProfile]] = None,
         capacity: Optional[int] = None,
         preformed: Optional[Sequence[Sequence[int]]] = None,
+        now: float = 0.0,
     ) -> GroupingResult:
         """Group jobs into interleaving groups.
 
@@ -255,16 +283,43 @@ class MultiRoundGrouper:
                 (typically the currently running groups).  A seed whose
                 members are all present enters the graph pre-merged,
                 stabilizing plans across scheduling intervals.
+            now: Simulation time stamped on trace events (purely
+                observational; decisions never depend on it).
 
         Returns:
             A :class:`GroupingResult` whose groups preserve bucket
-            priority order.
+            priority order.  With tracing enabled, the matching
+            provenance of the call is additionally published on
+            :attr:`last_decisions`.
         """
         if believed_profiles is None:
             believed_profiles = [job.profile for job in jobs]
         if len(believed_profiles) != len(jobs):
             raise ValueError("need one believed profile per job")
 
+        tracing = self.tracer is not None and self.tracer.enabled
+        self.last_decisions = None
+        self._prov_candidates = {} if tracing else None
+        self._trace_now = now
+
+        with maybe_span(
+            self.tracer, "grouping.group", now,
+            jobs=len(jobs), matcher=self.matcher,
+        ):
+            result = self._group_inner(
+                jobs, believed_profiles, capacity, preformed, tracing
+            )
+        self._prov_candidates = None
+        return result
+
+    def _group_inner(
+        self,
+        jobs: Sequence[Job],
+        believed_profiles: Sequence[StageProfile],
+        capacity: Optional[int],
+        preformed: Optional[Sequence[Sequence[int]]],
+        tracing: bool,
+    ) -> GroupingResult:
         buckets, bucket_order = self._build_nodes(jobs, believed_profiles, preformed)
         self._decision_cache_prev = self._decision_cache
         self._decision_cache = {}
@@ -273,6 +328,10 @@ class MultiRoundGrouper:
             groups: List[JobGroup] = []
             for gpus in bucket_order:
                 groups.extend(self._group_exact(buckets[gpus]))
+            if tracing:
+                self.last_decisions = tuple(
+                    self._decision_from_group(group) for group in groups
+                )
             return self._result(groups, rounds=1)
 
         demand = sum(
@@ -291,16 +350,22 @@ class MultiRoundGrouper:
             if not candidates:
                 break
             executed += 1
-            demand = self._apply_merges(buckets, candidates, demand, capacity)
+            demand = self._apply_merges(
+                buckets, candidates, demand, capacity, round_number=executed
+            )
 
         if capacity is not None:
             demand = self._split_slack(buckets, bucket_order, demand, capacity)
 
-        groups = [
-            self._finalize(node)
-            for gpus in bucket_order
-            for node in buckets[gpus]
+        final_nodes = [
+            node for gpus in bucket_order for node in buckets[gpus]
         ]
+        groups = [self._finalize(node) for node in final_nodes]
+        if tracing:
+            self.last_decisions = tuple(
+                self._decision_for(node, group)
+                for node, group in zip(final_nodes, groups)
+            )
         return self._result(groups, rounds=executed)
 
     # -- internals ---------------------------------------------------------------
@@ -352,6 +417,7 @@ class MultiRoundGrouper:
                     node_jobs,
                     node_profiles,
                     [self._profile_key(p) for p in node_profiles],
+                    seeded=len(members) > 1,
                 )
             )
         return buckets, bucket_order
@@ -393,9 +459,28 @@ class MultiRoundGrouper:
                 tuple(self._node_cache_key(node) for node in nodes),
             )
             matched = self._decision_cache_prev.get(bucket_key)
+            cache_hit = matched is not None
             if matched is None:
-                matched = self._match_bucket(nodes)
+                with maybe_span(
+                    self.tracer, "grouping.match", self._trace_now,
+                    bucket_gpus=gpus, nodes=len(nodes),
+                ):
+                    matched = self._match_bucket(nodes)
             self._decision_cache[bucket_key] = matched
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                kind = "hit" if cache_hit else "miss"
+                tracer.count(f"grouping.decision_cache.{kind}")
+                tracer.emit(
+                    EventCategory.CACHE,
+                    f"grouping.decision_cache.{kind}",
+                    self._trace_now,
+                    bucket_gpus=gpus,
+                    nodes=len(nodes),
+                    pairs=len(matched),
+                )
+                if cache_hit:
+                    self._note_cached_candidates(nodes, matched)
             for weight, left, right in matched:
                 candidates.append((weight, left, gpus, right))
         if self.matcher == "blossom":
@@ -467,6 +552,8 @@ class MultiRoundGrouper:
                 signatures,
                 lambda a, b: self._pair_weight(subset[a], subset[b]),
                 config,
+                tracer=self.tracer,
+                sim_time=self._trace_now,
             )
         else:
             edges = []
@@ -478,13 +565,17 @@ class MultiRoundGrouper:
         if not edges:
             return []
         weight_of = {(u, v): w for u, v, w in edges}
+        pairs = list(matching_pairs(edges))
+        if self._prov_candidates is not None:
+            matched_local = {(min(u, v), max(u, v)) for u, v in pairs}
+            self._note_candidates(subset, edges, matched_local)
         return [
             (
                 weight_of[(min(u, v), max(u, v))],
                 indices[min(u, v)],
                 indices[max(u, v)],
             )
-            for u, v in matching_pairs(edges)
+            for u, v in pairs
         ]
 
     def _pair_weight(self, u: _Node, v: _Node) -> Optional[float]:
@@ -513,6 +604,7 @@ class MultiRoundGrouper:
         candidates: List[Tuple[float, int, int, int]],
         demand: int,
         capacity: Optional[int],
+        round_number: int = 0,
     ) -> int:
         """Merge candidate pairs until the demand fits the capacity.
 
@@ -527,7 +619,9 @@ class MultiRoundGrouper:
                 break
             nodes = buckets[gpus]
             per_bucket = pending.setdefault(gpus, {})
-            per_bucket[left] = nodes[left].merged_with(nodes[right])
+            per_bucket[left] = nodes[left].merged_with(
+                nodes[right], round_formed=round_number
+            )
             per_bucket[right] = None
             demand -= gpus
         for gpus, per_bucket in pending.items():
@@ -593,6 +687,92 @@ class MultiRoundGrouper:
     def _node_efficiency(self, node: _Node) -> float:
         return self._weight_for(node.keys, node.profiles)
 
+    # -- provenance (tracing only) ---------------------------------------------
+
+    #: Per-job scratch-list cap while collecting candidate edges; the
+    #: final records keep only PROVENANCE_CANDIDATE_CAP of these.
+    _CANDIDATE_SCRATCH_CAP = 64
+
+    def _note_candidates(
+        self,
+        subset: List[_Node],
+        edges: List[Tuple[int, int, float]],
+        matched_local: set,
+    ) -> None:
+        """File every evaluated edge as a candidate for both endpoints."""
+        buffer = self._prov_candidates
+        for a, b, weight in edges:
+            matched = (min(a, b), max(a, b)) in matched_local
+            left, right = subset[a], subset[b]
+            left_ids = tuple(job.job_id for job in left.jobs)
+            right_ids = tuple(job.job_id for job in right.jobs)
+            forward = CandidateConsidered(right_ids, weight, matched)
+            backward = CandidateConsidered(left_ids, weight, matched)
+            for job_id in left_ids:
+                per_job = buffer.setdefault(job_id, [])
+                if matched or len(per_job) < self._CANDIDATE_SCRATCH_CAP:
+                    per_job.append(forward)
+            for job_id in right_ids:
+                per_job = buffer.setdefault(job_id, [])
+                if matched or len(per_job) < self._CANDIDATE_SCRATCH_CAP:
+                    per_job.append(backward)
+
+    def _note_cached_candidates(
+        self,
+        nodes: List[_Node],
+        matched: List[_MatchedPair],
+    ) -> None:
+        """On a decision-cache hit only the chosen pairs are known —
+        record those so provenance still shows who matched whom."""
+        buffer = self._prov_candidates
+        if buffer is None:
+            return
+        for weight, left, right in matched:
+            left_ids = tuple(job.job_id for job in nodes[left].jobs)
+            right_ids = tuple(job.job_id for job in nodes[right].jobs)
+            for job_id in left_ids:
+                buffer.setdefault(job_id, []).append(
+                    CandidateConsidered(right_ids, weight, True)
+                )
+            for job_id in right_ids:
+                buffer.setdefault(job_id, []).append(
+                    CandidateConsidered(left_ids, weight, True)
+                )
+
+    def _job_candidates(self, job_id: int) -> Tuple[CandidateConsidered, ...]:
+        """The best candidates recorded for one job, matched ones first."""
+        buffer = self._prov_candidates
+        if not buffer or job_id not in buffer:
+            return ()
+        ranked = sorted(
+            buffer[job_id],
+            key=lambda c: (not c.matched, -c.efficiency),
+        )
+        return tuple(ranked[: self.PROVENANCE_CANDIDATE_CAP])
+
+    def _decision_for(self, node: _Node, group: JobGroup) -> GroupDecision:
+        """The provenance record of one final node/group pair."""
+        members = tuple(job.job_id for job in node.jobs)
+        return GroupDecision(
+            members=members,
+            efficiency=group.believed_efficiency if node.size > 1 else 1.0,
+            round_formed=node.round_formed,
+            seeded=node.seeded,
+            candidates={
+                job_id: self._job_candidates(job_id) for job_id in members
+            },
+        )
+
+    def _decision_from_group(self, group: JobGroup) -> GroupDecision:
+        """Provenance for the exact matcher, which keeps no node state."""
+        members = tuple(job.job_id for job in group.jobs)
+        return GroupDecision(
+            members=members,
+            efficiency=group.believed_efficiency if group.size > 1 else 1.0,
+            round_formed=1 if group.size > 1 else 0,
+            seeded=False,
+        )
+
     def _result(self, groups: List[JobGroup], rounds: int) -> GroupingResult:
         total_eff = sum(g.believed_efficiency for g in groups if g.size > 1)
         demand = sum(g.num_gpus for g in groups)
@@ -612,8 +792,13 @@ class MultiRoundGrouper:
     ) -> float:
         key = tuple(sorted(keys))
         cached = self._weight_cache.get(key)
+        tracer = self.tracer
         if cached is not None:
+            if tracer is not None:
+                tracer.count("grouping.weight_cache.hit")
             return cached
+        if tracer is not None:
+            tracer.count("grouping.weight_cache.miss")
         rows = tuple(profile.durations for profile in profiles)
         _offsets, period = best_period_for_rows(rows, self.num_resources)
         weight = efficiency_for_period(profiles, period, self.num_resources)
@@ -625,9 +810,17 @@ class MultiRoundGrouper:
         key = tuple(node.keys)
         offsets = self._ordering_cache.get(key)
         if offsets is None:
+            if self.tracer is not None:
+                self.tracer.count("grouping.ordering_cache.miss")
             ordering_fn = _ORDERING_FNS[self.ordering]
-            offsets, _period = ordering_fn(profiles, self.num_resources)
+            with maybe_span(
+                self.tracer, "grouping.ordering", self._trace_now,
+                members=len(profiles),
+            ):
+                offsets, _period = ordering_fn(profiles, self.num_resources)
             self._ordering_cache[key] = offsets
+        elif self.tracer is not None:
+            self.tracer.count("grouping.ordering_cache.hit")
         return JobGroup(
             jobs=tuple(node.jobs),
             believed_profiles=profiles,

@@ -20,6 +20,9 @@ from repro.core.grouping import MultiRoundGrouper
 from repro.core.priorities import PriorityPolicy, get_policy
 from repro.jobs.job import Job
 from repro.jobs.resources import NUM_RESOURCES
+from repro.observe.events import EventCategory
+from repro.observe.provenance import GroupingRecord
+from repro.observe.tracer import Tracer, maybe_span
 from repro.profiler.profiler import ResourceProfiler
 from repro.schedulers.base import Scheduler, group_key
 
@@ -52,6 +55,11 @@ class MuriScheduler(Scheduler):
         cache_quantum: Duration grid for the grouper's decision cache
             keys; a positive value keeps cache hits alive under
             profiling noise.
+        tracer: Optional :class:`~repro.observe.Tracer`.  When enabled,
+            decide() calls are timed, group formations are emitted as
+            events, and every grouping decision is filed per member job
+            in the tracer's :class:`~repro.observe.ProvenanceStore`
+            (the data behind ``repro explain``).
     """
 
     def __init__(
@@ -66,6 +74,7 @@ class MuriScheduler(Scheduler):
         sparsify_threshold: Optional[int] = 128,
         max_degree: int = 8,
         cache_quantum: float = 0.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.policy: PriorityPolicy = (
             get_policy(policy) if isinstance(policy, str) else policy
@@ -73,6 +82,7 @@ class MuriScheduler(Scheduler):
         self.policy_name = policy if isinstance(policy, str) else "custom"
         self.profiler = profiler
         self.max_group_size = max_group_size
+        self.tracer = tracer
         self.grouper = MultiRoundGrouper(
             max_group_size=max_group_size,
             matcher=matcher,
@@ -82,6 +92,7 @@ class MuriScheduler(Scheduler):
             sparsify_threshold=sparsify_threshold,
             max_degree=max_degree,
             cache_quantum=cache_quantum,
+            tracer=tracer,
         )
         self.duration_aware = self.policy_name in ("srsf", "srtf", "sjf")
         suffix = "S" if self.duration_aware else "L"
@@ -103,9 +114,33 @@ class MuriScheduler(Scheduler):
         total_gpus: int,
         reason: str = "tick",
     ) -> List[JobGroup]:
+        with maybe_span(
+            self.tracer, "sched.decide", now,
+            scheduler=self.name, jobs=len(jobs), reason=reason,
+        ):
+            return self._decide_inner(now, jobs, running, total_gpus, reason)
+
+    def _decide_inner(
+        self,
+        now: float,
+        jobs: Sequence[Job],
+        running: Dict[FrozenSet[int], JobGroup],
+        total_gpus: int,
+        reason: str,
+    ) -> List[JobGroup]:
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         if reason == "completion":
             plan = self._backfill_from_cache(jobs, running, total_gpus)
             if plan is not None:
+                if tracing:
+                    tracer.emit(
+                        EventCategory.SCHED,
+                        "sched.backfill",
+                        now,
+                        groups=len(plan),
+                        cached_left=len(self._cached_overflow),
+                    )
                 return plan
 
         priority = {
@@ -121,7 +156,10 @@ class MuriScheduler(Scheduler):
             believed,
             capacity=total_gpus,
             preformed=[tuple(key) for key in running],
+            now=now,
         )
+        if tracing:
+            self._record_provenance(now, reason)
 
         # Highest-priority member first; fill the cluster, backfilling
         # smaller groups past ones that do not fit.
@@ -189,6 +227,41 @@ class MuriScheduler(Scheduler):
             # the next tick.
             return None
         return plan
+
+    def _record_provenance(self, now: float, reason: str) -> None:
+        """File the grouper's last decisions in the tracer (tracing only).
+
+        One :class:`GroupingRecord` per member job, plus a
+        ``group.formed`` event for every multi-job group.
+        """
+        tracer = self.tracer
+        decisions = self.grouper.last_decisions
+        if tracer is None or decisions is None:
+            return
+        for decision in decisions:
+            if len(decision.members) > 1:
+                tracer.emit(
+                    EventCategory.GROUP,
+                    "group.formed",
+                    now,
+                    members=list(decision.members),
+                    efficiency=decision.efficiency,
+                    round=decision.round_formed,
+                    seeded=decision.seeded,
+                )
+            for job_id in decision.members:
+                tracer.provenance.record_grouping(
+                    job_id,
+                    GroupingRecord(
+                        sim_time=now,
+                        reason=reason,
+                        members=decision.members,
+                        efficiency=decision.efficiency,
+                        round_formed=decision.round_formed,
+                        seeded=decision.seeded,
+                        candidates=decision.candidates.get(job_id, ()),
+                    ),
+                )
 
     # -- internals ---------------------------------------------------------------
 

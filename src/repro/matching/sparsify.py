@@ -33,6 +33,9 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.observe.events import EventCategory
+from repro.observe.tracer import Tracer
+
 __all__ = [
     "SparsifyConfig",
     "node_signature",
@@ -108,6 +111,8 @@ def sparse_candidate_edges(
     signatures: Sequence[Signature],
     weight_fn: WeightFn,
     config: SparsifyConfig = SparsifyConfig(),
+    tracer: Optional[Tracer] = None,
+    sim_time: float = 0.0,
 ) -> List[Tuple[int, int, float]]:
     """Build a bounded-degree edge list over ``len(signatures)`` nodes.
 
@@ -117,12 +122,19 @@ def sparse_candidate_edges(
             pair.  Called at most ``probe_limit`` times per node, with
             ``i < j``.
         config: Degree / probe bounds.
+        tracer: Optional :class:`~repro.observe.Tracer`; when enabled,
+            probe/memo-hit counters are bumped and one ``CACHE``
+            summary event describes the build.
+        sim_time: Simulation time stamped on that summary event.
 
     Returns:
         Edges ``(i, j, weight)`` with ``i < j``, each in the top
         ``max_degree`` of at least one endpoint, sorted by node index.
     """
     n = len(signatures)
+    tracing = tracer is not None and tracer.enabled
+    total_probes = 0
+    memo_hits = 0
     buckets: Dict[Signature, List[int]] = {}
     rank: List[int] = [0] * n
     for index, signature in enumerate(signatures):
@@ -169,7 +181,9 @@ def sparse_candidate_edges(
                 advanced = True
                 pair = (i, j) if i < j else (j, i)
                 probes += 1
+                total_probes += 1
                 if pair in weights:
+                    memo_hits += 1
                     weight: Optional[float] = weights[pair]
                 else:
                     weight = weight_fn(*pair)
@@ -194,4 +208,16 @@ def sparse_candidate_edges(
     kept = {
         (u, v) for per_node in top for (_w, u, v) in per_node
     }
+    if tracing:
+        tracer.count("sparsify.probes", total_probes)
+        tracer.count("sparsify.memo_hits", memo_hits)
+        tracer.emit(
+            EventCategory.CACHE,
+            "sparsify.build",
+            sim_time,
+            nodes=n,
+            probes=total_probes,
+            memo_hits=memo_hits,
+            edges_kept=len(kept),
+        )
     return [(u, v, weights[(u, v)]) for (u, v) in sorted(kept)]

@@ -1,0 +1,65 @@
+"""Structured tracing and decision provenance for the simulator stack.
+
+``repro.observe`` answers the question the aggregate metrics cannot:
+*why* did the scheduler do that?  It has three pieces:
+
+* :class:`~repro.observe.tracer.Tracer` — a zero-overhead-when-disabled
+  event collector with typed events (job lifecycle, scheduling rounds,
+  group formation, cache hits) and nestable wall-clock timing spans
+  around the hot paths (matching, ordering, placement);
+* :class:`~repro.observe.provenance.ProvenanceStore` — per-job records
+  of every grouping decision: the candidate partners considered, the
+  efficiency scores, and which Algorithm 1 round produced the group,
+  surfaced by ``repro explain <job-id>``;
+* :mod:`~repro.observe.export` — Chrome-trace/Perfetto JSON for
+  timelines, JSONL for machine consumption, and a terminal summary.
+
+Attach one tracer to the whole stack::
+
+    from repro import ClusterSimulator, Tracer, make_scheduler
+
+    tracer = Tracer()
+    scheduler = make_scheduler("muri-s", tracer=tracer)
+    result = ClusterSimulator(scheduler, tracer=tracer).run(specs)
+    print(tracer.provenance.explain(job_id=3))
+"""
+
+from repro.observe.events import EventCategory, TraceEvent
+from repro.observe.export import (
+    format_explain,
+    to_chrome_trace,
+    to_jsonl,
+    trace_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.observe.provenance import (
+    CandidateConsidered,
+    GroupDecision,
+    GroupingRecord,
+    JobProvenance,
+    OutcomeRecord,
+    ProvenanceStore,
+)
+from repro.observe.tracer import NULL_SPAN, Span, Tracer, maybe_span
+
+__all__ = [
+    "EventCategory",
+    "TraceEvent",
+    "Tracer",
+    "Span",
+    "NULL_SPAN",
+    "maybe_span",
+    "ProvenanceStore",
+    "JobProvenance",
+    "GroupingRecord",
+    "GroupDecision",
+    "OutcomeRecord",
+    "CandidateConsidered",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "trace_summary",
+    "format_explain",
+]

@@ -1,0 +1,80 @@
+"""Typed trace events.
+
+Every observation the tracer collects is a :class:`TraceEvent`: a
+category (what subsystem it came from), a name (what happened), the
+simulation time it refers to, the wall-clock time it was recorded at,
+and free-form ``args``.  Spans are events with a non-None ``duration``
+(wall-clock seconds) and a ``depth`` recording their nesting level.
+
+Events are plain data on purpose: exporters (Chrome trace, JSONL) and
+tests consume them without needing the tracer that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+__all__ = ["EventCategory", "TraceEvent"]
+
+
+class EventCategory(Enum):
+    """What subsystem a trace event came from."""
+
+    #: Job lifecycle: arrival, start, preemption, fault, finish.
+    JOB = "job"
+    #: Scheduler invocations and their decision summaries.
+    SCHED = "sched"
+    #: Interleaving-group formation, breakup, placement outcomes.
+    GROUP = "group"
+    #: Cache behaviour: decision/weight cache hits, sparsifier probes.
+    CACHE = "cache"
+    #: Wall-clock timing spans around hot paths.
+    SPAN = "span"
+    #: Simulation-level bookkeeping (run start/end, event queue).
+    SIM = "sim"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded observation.
+
+    Attributes:
+        category: Subsystem the event belongs to.
+        name: Dotted event name, e.g. ``"group.formed"``.
+        sim_time: Simulation time (seconds) the event refers to.
+        wall_time: Wall-clock seconds since the tracer was created.
+        duration: Wall-clock seconds covered; None for instant events,
+            set for spans.
+        depth: Span nesting depth (0 for top-level spans and instants).
+        args: Event-specific payload (JSON-compatible values).
+    """
+
+    category: EventCategory
+    name: str
+    sim_time: float
+    wall_time: float
+    duration: Optional[float] = None
+    depth: int = 0
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_span(self) -> bool:
+        """True when the event records a timed span, not an instant."""
+        return self.duration is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (used by the JSONL export)."""
+        payload: Dict[str, Any] = {
+            "category": self.category.value,
+            "name": self.name,
+            "sim_time": self.sim_time,
+            "wall_time": self.wall_time,
+        }
+        if self.duration is not None:
+            payload["duration"] = self.duration
+            payload["depth"] = self.depth
+        if self.args:
+            payload["args"] = dict(self.args)
+        return payload

@@ -1,0 +1,305 @@
+"""Exporters: Chrome-trace JSON, JSONL, and terminal renderings.
+
+Three consumers, three formats:
+
+* :func:`write_chrome_trace` — the Trace Event Format understood by
+  Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.  Instant
+  events are laid out on the *simulation* clock (one process, one
+  thread per category, plus counter tracks for queue length and free
+  GPUs); timing spans are laid out on the *wall* clock in a second
+  process so hot-path latencies are not distorted by simulated time.
+* :func:`write_jsonl` — one JSON object per event, for machine
+  consumption (``jq``, pandas, downstream pipelines).
+* :func:`trace_summary` / :func:`format_explain` — terminal text: the
+  run-level digest printed by ``repro simulate --trace-out`` and the
+  per-job provenance printed by ``repro explain``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.observe.events import EventCategory, TraceEvent
+from repro.observe.tracer import Tracer
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "trace_summary",
+    "format_explain",
+]
+
+#: Microseconds per second (trace-event timestamps are in us).
+_US = 1_000_000.0
+
+#: Chrome-trace pid for events on the simulation clock.
+_PID_SIM = 1
+#: Chrome-trace pid for wall-clock hot-path spans.
+_PID_WALL = 2
+
+#: Stable thread ids per category inside the simulation process.
+_CATEGORY_TIDS = {
+    EventCategory.SIM: 1,
+    EventCategory.SCHED: 2,
+    EventCategory.GROUP: 3,
+    EventCategory.JOB: 4,
+    EventCategory.CACHE: 5,
+}
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce event args to JSON-compatible values."""
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def to_chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """The tracer's events as a Trace Event Format document.
+
+    Returns a dict ready for ``json.dump``; load the result in
+    Perfetto or ``chrome://tracing`` to browse the timeline.
+    """
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID_SIM,
+            "tid": 0,
+            "args": {"name": "simulation (sim time)"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID_WALL,
+            "tid": 0,
+            "args": {"name": "hot paths (wall time)"},
+        },
+    ]
+    for category, tid in _CATEGORY_TIDS.items():
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID_SIM,
+                "tid": tid,
+                "args": {"name": category.value},
+            }
+        )
+    trace_events.append(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID_WALL,
+            "tid": 1,
+            "args": {"name": "spans"},
+        }
+    )
+
+    for event in tracer.events:
+        args = {k: _json_safe(v) for k, v in event.args.items()}
+        if event.is_span:
+            trace_events.append(
+                {
+                    "name": event.name,
+                    "cat": event.category.value,
+                    "ph": "X",
+                    "ts": event.wall_time * _US,
+                    "dur": (event.duration or 0.0) * _US,
+                    "pid": _PID_WALL,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+            continue
+        tid = _CATEGORY_TIDS.get(event.category, 9)
+        trace_events.append(
+            {
+                "name": event.name,
+                "cat": event.category.value,
+                "ph": "i",
+                "s": "t",
+                "ts": event.sim_time * _US,
+                "pid": _PID_SIM,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        if event.name == "sched.decision":
+            for counter in ("queue_length", "free_gpus"):
+                if counter in event.args:
+                    trace_events.append(
+                        {
+                            "name": counter,
+                            "ph": "C",
+                            "ts": event.sim_time * _US,
+                            "pid": _PID_SIM,
+                            "tid": 0,
+                            "args": {counter: event.args[counter]},
+                        }
+                    )
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.observe",
+            "dropped_events": tracer.dropped_events,
+            "counters": tracer.counters,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> None:
+    """Write :func:`to_chrome_trace` output as JSON to ``path``."""
+    Path(path).write_text(json.dumps(to_chrome_trace(tracer)))
+
+
+def to_jsonl(tracer: Tracer) -> Iterator[str]:
+    """One JSON document per event, in recording order."""
+    for event in tracer.events:
+        payload = event.to_dict()
+        if "args" in payload:
+            payload["args"] = _json_safe(payload["args"])
+        yield json.dumps(payload)
+
+
+def write_jsonl(tracer: Tracer, path: Union[str, Path]) -> None:
+    """Write the event stream as JSON Lines to ``path``."""
+    with Path(path).open("w") as handle:
+        for line in to_jsonl(tracer):
+            handle.write(line + "\n")
+
+
+def trace_summary(tracer: Tracer) -> str:
+    """A terminal digest: event volumes, hottest spans, cache counters."""
+    lines: List[str] = []
+    by_category: Dict[str, int] = {}
+    span_totals: Dict[str, List[float]] = {}
+    for event in tracer.events:
+        by_category[event.category.value] = (
+            by_category.get(event.category.value, 0) + 1
+        )
+        if event.is_span:
+            bucket = span_totals.setdefault(event.name, [0.0, 0.0])
+            bucket[0] += 1
+            bucket[1] += event.duration or 0.0
+
+    lines.append(
+        f"trace: {len(tracer)} events"
+        + (f" ({tracer.dropped_events} dropped)" if tracer.dropped_events else "")
+    )
+    if by_category:
+        lines.append(
+            "  by category: "
+            + ", ".join(
+                f"{name}={count}" for name, count in sorted(by_category.items())
+            )
+        )
+    if span_totals:
+        lines.append("  hottest spans (wall time):")
+        ranked = sorted(
+            span_totals.items(), key=lambda item: -item[1][1]
+        )[:8]
+        for name, (count, total) in ranked:
+            lines.append(
+                f"    {name:<24s} {int(count):>6d} calls  {total * 1e3:10.1f} ms"
+            )
+    counters = tracer.counters
+    if counters:
+        lines.append("  counters:")
+        for name in sorted(counters):
+            lines.append(f"    {name:<32s} {counters[name]:>10d}")
+    if len(tracer.provenance):
+        lines.append(
+            f"  provenance: {len(tracer.provenance)} jobs with grouping records"
+        )
+    return "\n".join(lines)
+
+
+def _format_grouping_line(record, job_id: int) -> List[str]:
+    partners = record.partners_of(job_id)
+    if partners:
+        what = (
+            f"grouped with {list(partners)} "
+            f"gamma={record.efficiency:.3f} round={record.round_formed}"
+            + ("  (seeded: carried over)" if record.seeded else "")
+        )
+    else:
+        what = "ran solo (no interleaving partner chosen)"
+    lines = [f"  t={record.sim_time:>9.1f}s  [{record.reason:<10s}] {what}"]
+    if record.candidates:
+        shown = ", ".join(
+            f"{list(c.partners)} @ {c.efficiency:.3f}"
+            + ("*" if c.matched else "")
+            for c in record.candidates
+        )
+        lines.append(f"              candidates considered: {shown}")
+    return lines
+
+
+def format_explain(
+    tracer: Tracer,
+    job_id: int,
+    result: Optional[Any] = None,
+) -> str:
+    """Render one job's decision provenance as terminal text.
+
+    Args:
+        tracer: The tracer a simulation ran with.
+        job_id: The job to explain.
+        result: Optional ``SimulationResult`` for submit/finish/JCT
+            context (duck-typed: only ``submit_times``/``finish_times``
+            /``jcts`` dicts are read).
+
+    Returns:
+        A multi-line report: lifecycle summary, every recorded grouping
+        decision (partners, efficiency score, Algorithm 1 round,
+        candidates considered), and placement/lifecycle outcomes.
+    """
+    lines: List[str] = [f"job {job_id} — decision provenance"]
+    if result is not None:
+        submit = result.submit_times.get(job_id)
+        finish = result.finish_times.get(job_id)
+        jct = result.jcts.get(job_id)
+        parts = []
+        if submit is not None:
+            parts.append(f"submitted t={submit:.1f}s")
+        if finish is not None:
+            parts.append(f"finished t={finish:.1f}s")
+        if jct is not None:
+            parts.append(f"JCT {jct:.1f}s")
+        if parts:
+            lines.append("  " + "   ".join(parts))
+
+    provenance = tracer.provenance.get(job_id)
+    if provenance is None:
+        lines.append(
+            "  no provenance recorded — was the simulation run with this "
+            "tracer attached to a grouping scheduler (e.g. muri-s/muri-l)?"
+        )
+        return "\n".join(lines)
+
+    if provenance.groupings:
+        lines.append(f"grouping decisions ({len(provenance.groupings)}):")
+        for record in provenance.groupings:
+            lines.extend(_format_grouping_line(record, job_id))
+    else:
+        lines.append("grouping decisions: none recorded")
+
+    if provenance.outcomes:
+        lines.append(f"outcomes ({len(provenance.outcomes)}):")
+        for outcome in provenance.outcomes:
+            detail = f"  {outcome.detail}" if outcome.detail else ""
+            lines.append(
+                f"  t={outcome.sim_time:>9.1f}s  {outcome.outcome}{detail}"
+            )
+    return "\n".join(lines)

@@ -15,7 +15,9 @@ from repro.schedulers.registry import (
     KNOWN_DURATION,
     SCHEDULERS,
     UNKNOWN_DURATION,
+    available_schedulers,
     make_scheduler,
+    register_scheduler,
 )
 from repro.schedulers.themis import ThemisScheduler
 from repro.schedulers.tiresias import TiresiasScheduler
@@ -35,6 +37,8 @@ __all__ = [
     "TetrisScheduler",
     "DrfScheduler",
     "make_scheduler",
+    "register_scheduler",
+    "available_schedulers",
     "SCHEDULERS",
     "KNOWN_DURATION",
     "UNKNOWN_DURATION",

@@ -1,9 +1,19 @@
-"""Scheduler registry: build any evaluated scheduler by name."""
+"""Scheduler registry: build any evaluated scheduler by name.
+
+:func:`make_scheduler` is the single supported construction path for
+schedulers — the CLI, the experiment harness, and the examples all go
+through it.  :func:`register_scheduler` adds project-local policies to
+the same namespace, and :func:`available_schedulers` lists what can be
+built.  Indexing :data:`SCHEDULERS` directly for construction still
+works but is deprecated in favour of the factory.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import warnings
+from typing import Callable, Dict, List, Optional
 
+from repro.observe.tracer import Tracer
 from repro.profiler.profiler import ResourceProfiler
 from repro.schedulers.antman import AntManScheduler
 from repro.schedulers.base import Scheduler
@@ -18,7 +28,14 @@ from repro.schedulers.packing import TetrisScheduler
 from repro.schedulers.themis import ThemisScheduler
 from repro.schedulers.tiresias import TiresiasScheduler
 
-__all__ = ["make_scheduler", "SCHEDULERS", "KNOWN_DURATION", "UNKNOWN_DURATION"]
+__all__ = [
+    "make_scheduler",
+    "register_scheduler",
+    "available_schedulers",
+    "SCHEDULERS",
+    "KNOWN_DURATION",
+    "UNKNOWN_DURATION",
+]
 
 def _muri(policy: str) -> Callable[[], Scheduler]:
     def factory() -> Scheduler:
@@ -30,7 +47,26 @@ def _muri(policy: str) -> Callable[[], Scheduler]:
     return factory
 
 
-SCHEDULERS: Dict[str, Callable[[], Scheduler]] = {
+class _Registry(Dict[str, Callable[[], Scheduler]]):
+    """The scheduler-name -> factory table.
+
+    Direct indexing for construction (``SCHEDULERS["srsf"]()``) is the
+    pre-factory idiom and warns; use :func:`make_scheduler` instead.
+    Membership tests, iteration, and ``.get`` stay silent — they are
+    how the factory itself and the CLI inspect the table.
+    """
+
+    def __getitem__(self, key: str) -> Callable[[], Scheduler]:
+        warnings.warn(
+            "constructing schedulers via SCHEDULERS[name]() is deprecated; "
+            "use repro.make_scheduler(name, ...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return super().__getitem__(key)
+
+
+SCHEDULERS: Dict[str, Callable[[], Scheduler]] = _Registry({
     "fifo": FifoScheduler,
     "sjf": SjfScheduler,
     "srtf": SrtfScheduler,
@@ -43,21 +79,59 @@ SCHEDULERS: Dict[str, Callable[[], Scheduler]] = {
     "drf": DrfScheduler,
     "muri-s": _muri("srsf"),
     "muri-l": _muri("las2d"),
-}
+})
 
 #: Baseline sets per evaluation scenario (Tables 4 and 5).
 KNOWN_DURATION = ("srtf", "srsf", "muri-s")
 UNKNOWN_DURATION = ("tiresias", "themis", "antman", "muri-l")
 
 
+def available_schedulers() -> List[str]:
+    """Every registry name :func:`make_scheduler` accepts, sorted."""
+    return sorted(SCHEDULERS)
+
+
+def register_scheduler(
+    name: str,
+    factory: Callable[[], Scheduler],
+    replace: bool = False,
+) -> None:
+    """Add a scheduler factory under ``name`` (case-insensitive).
+
+    Args:
+        name: Registry name for :func:`make_scheduler`.
+        factory: Zero-argument callable returning a new scheduler.
+        replace: Allow overwriting an existing registration.
+
+    Raises:
+        ValueError: When ``name`` is already registered and ``replace``
+            is False.
+    """
+    key = name.lower()
+    if key in SCHEDULERS and not replace:
+        raise ValueError(
+            f"scheduler {name!r} is already registered; "
+            "pass replace=True to overwrite"
+        )
+    dict.__setitem__(SCHEDULERS, key, factory)
+
+
 def make_scheduler(
-    name: str, profiler: Optional[ResourceProfiler] = None, **kwargs
+    name: str,
+    profiler: Optional[ResourceProfiler] = None,
+    tracer: Optional[Tracer] = None,
+    **kwargs,
 ) -> Scheduler:
     """Instantiate a scheduler by registry name.
 
+    The single supported construction path: every built-in policy and
+    anything added via :func:`register_scheduler` is available here.
+
     Args:
-        name: One of ``SCHEDULERS`` (case-insensitive).
+        name: One of :func:`available_schedulers` (case-insensitive).
         profiler: Optional profiler, honoured by the Muri variants.
+        tracer: Optional :class:`~repro.observe.Tracer`, honoured by
+            the Muri variants (decision provenance and grouping spans).
         **kwargs: Extra constructor arguments for Muri variants
             (``max_group_size``, ``matcher``, ``ordering``...).
 
@@ -67,13 +141,17 @@ def make_scheduler(
     key = name.lower()
     if key not in SCHEDULERS:
         raise KeyError(
-            f"unknown scheduler {name!r}; available: {', '.join(sorted(SCHEDULERS))}"
+            f"unknown scheduler {name!r}; available: "
+            f"{', '.join(available_schedulers())}"
         )
-    if key.startswith("muri"):
+    if key in ("muri-s", "muri-l"):
         from repro.core.muri import MuriScheduler
 
         policy = "srsf" if key == "muri-s" else "las2d"
-        return MuriScheduler(policy=policy, profiler=profiler, **kwargs)
+        return MuriScheduler(
+            policy=policy, profiler=profiler, tracer=tracer, **kwargs
+        )
+    factory = SCHEDULERS.get(key)
     if kwargs:
-        return SCHEDULERS[key](**kwargs)  # type: ignore[call-arg]
-    return SCHEDULERS[key]()
+        return factory(**kwargs)  # type: ignore[call-arg]
+    return factory()

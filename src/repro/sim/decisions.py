@@ -10,7 +10,7 @@ preempted, and what failed placement.  Attach it via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 __all__ = ["Decision", "DecisionLog"]
@@ -42,6 +42,10 @@ class Decision:
     queue_length: int
     free_gpus: int
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation of the decision."""
+        return asdict(self)
+
 
 class DecisionLog:
     """Collects :class:`Decision` records during a simulation."""
@@ -64,6 +68,10 @@ class DecisionLog:
 
     def decisions(self) -> List[Decision]:
         return list(self._decisions)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Every decision as a JSON-compatible dict, in order."""
+        return [decision.to_dict() for decision in self._decisions]
 
     @property
     def total_preemptions(self) -> int:

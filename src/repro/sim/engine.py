@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, List, Optional, Tuple
 
+from repro.observe.tracer import Tracer
+
 __all__ = ["EventKind", "Event", "EventQueue"]
 
 
@@ -41,16 +43,25 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of events ordered by (time, insertion order)."""
+    """Min-heap of events ordered by (time, insertion order).
 
-    def __init__(self) -> None:
+    Args:
+        tracer: Optional :class:`~repro.observe.Tracer`; when enabled,
+            pushes bump an ``engine.push.<kind>`` counter so traces show
+            the external-event volume by kind.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self._heap: List[Tuple[float, int, Event]] = []
         self._counter = itertools.count()
+        self.tracer = tracer
 
     def push(self, event: Event) -> None:
         """Schedule an event."""
         if event.time < 0:
             raise ValueError("event time must be >= 0")
+        if self.tracer is not None:
+            self.tracer.count(f"engine.push.{event.kind.value}")
         heapq.heappush(self._heap, (event.time, next(self._counter), event))
 
     def peek_time(self) -> Optional[float]:

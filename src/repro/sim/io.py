@@ -13,7 +13,7 @@ import json
 from pathlib import Path
 from typing import Dict, Mapping, Union
 
-from repro.sim.metrics import SimulationResult, TimePoint
+from repro.sim.metrics import SimulationResult
 
 __all__ = [
     "result_to_dict",
@@ -24,66 +24,21 @@ __all__ = [
     "load_comparison",
 ]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = SimulationResult.FORMAT_VERSION
 
 
 def result_to_dict(result: SimulationResult) -> Dict:
-    """Serialize a result to plain JSON-compatible data."""
-    return {
-        "format_version": _FORMAT_VERSION,
-        "scheduler_name": result.scheduler_name,
-        "trace_name": result.trace_name,
-        "jcts": {str(k): v for k, v in result.jcts.items()},
-        "finish_times": {str(k): v for k, v in result.finish_times.items()},
-        "submit_times": {str(k): v for k, v in result.submit_times.items()},
-        "total_preemptions": result.total_preemptions,
-        "total_restart_time": result.total_restart_time,
-        "wall_clock": result.wall_clock,
-        "timeseries": [
-            {
-                "time": p.time,
-                "span": p.span,
-                "queue_length": p.queue_length,
-                "running_jobs": p.running_jobs,
-                "blocking_index": p.blocking_index,
-                "utilization": list(p.utilization),
-            }
-            for p in result.timeseries
-        ],
-    }
+    """Serialize a result; delegates to ``SimulationResult.to_dict``."""
+    return result.to_dict()
 
 
 def result_from_dict(payload: Mapping) -> SimulationResult:
-    """Rebuild a result from :func:`result_to_dict` output.
+    """Rebuild a result; delegates to ``SimulationResult.from_dict``.
 
     Raises:
         ValueError: On an unknown format version.
     """
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported result format version: {version!r}")
-    result = SimulationResult(
-        scheduler_name=payload["scheduler_name"],
-        trace_name=payload["trace_name"],
-        jcts={int(k): v for k, v in payload["jcts"].items()},
-        finish_times={int(k): v for k, v in payload["finish_times"].items()},
-        submit_times={int(k): v for k, v in payload["submit_times"].items()},
-        total_preemptions=payload["total_preemptions"],
-        total_restart_time=payload["total_restart_time"],
-        wall_clock=payload["wall_clock"],
-    )
-    result.timeseries = [
-        TimePoint(
-            time=p["time"],
-            span=p["span"],
-            queue_length=p["queue_length"],
-            running_jobs=p["running_jobs"],
-            blocking_index=p["blocking_index"],
-            utilization=tuple(p["utilization"]),
-        )
-        for p in payload["timeseries"]
-    ]
-    return result
+    return SimulationResult.from_dict(payload)
 
 
 def save_result(result: SimulationResult, path: Union[str, Path]) -> None:

@@ -13,15 +13,25 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.jobs.resources import NUM_RESOURCES, RESOURCE_ORDER, Resource
 
 __all__ = ["TimePoint", "MetricsSummary", "SimulationResult", "percentile"]
 
 
-def percentile(values: Sequence[float], q: float) -> float:
+def percentile(
+    values: Sequence[float], q: float, presorted: bool = False
+) -> float:
     """Linear-interpolation percentile (q in [0, 100]).
+
+    Args:
+        values: The sample.
+        q: The percentile, 0-100 inclusive.
+        presorted: Set True when ``values`` is already in ascending
+            order to skip the O(n log n) sort — the multi-quantile
+            paths (:meth:`SimulationResult.summary`,
+            :meth:`SimulationResult.jct_cdf`) sort once and reuse.
 
     Raises:
         ValueError: On an empty sequence or q outside [0, 100].
@@ -30,7 +40,7 @@ def percentile(values: Sequence[float], q: float) -> float:
         raise ValueError("cannot take the percentile of no values")
     if not 0 <= q <= 100:
         raise ValueError("q must be in [0, 100]")
-    ordered = sorted(values)
+    ordered = values if presorted else sorted(values)
     if len(ordered) == 1:
         return ordered[0]
     rank = (len(ordered) - 1) * q / 100.0
@@ -142,7 +152,10 @@ class SimulationResult:
         cdf = []
         for index in range(points):
             fraction = index / (points - 1)
-            cdf.append((percentile(values, 100.0 * fraction), fraction))
+            cdf.append(
+                (percentile(values, 100.0 * fraction, presorted=True),
+                 fraction)
+            )
         return cdf
 
     @property
@@ -184,10 +197,12 @@ class SimulationResult:
 
     def summary(self) -> MetricsSummary:
         """Collapse the run into a :class:`MetricsSummary`."""
+        # Both quantiles share one sort instead of re-sorting per call.
+        ordered_jcts = sorted(self.jcts.values())
         return MetricsSummary(
             avg_jct=self.avg_jct,
-            p50_jct=self.tail_jct(50.0),
-            p99_jct=self.tail_jct(99.0),
+            p50_jct=percentile(ordered_jcts, 50.0, presorted=True),
+            p99_jct=percentile(ordered_jcts, 99.0, presorted=True),
             makespan=self.makespan,
             avg_queue_length=self.avg_queue_length,
             avg_blocking_index=self.avg_blocking_index,
@@ -195,6 +210,79 @@ class SimulationResult:
             total_preemptions=self.total_preemptions,
             num_jobs=self.num_jobs,
         )
+
+    # -- serialization ------------------------------------------------------
+
+    #: Schema version of :meth:`to_dict` payloads.
+    FORMAT_VERSION = 1
+
+    def to_dict(self) -> Dict:
+        """Serialize to plain JSON-compatible data.
+
+        Round-trips through :meth:`from_dict`; job-id keys become
+        strings (JSON object keys), the time series a list of dicts.
+        """
+        return {
+            "format_version": self.FORMAT_VERSION,
+            "scheduler_name": self.scheduler_name,
+            "trace_name": self.trace_name,
+            "jcts": {str(k): v for k, v in self.jcts.items()},
+            "finish_times": {str(k): v for k, v in self.finish_times.items()},
+            "submit_times": {str(k): v for k, v in self.submit_times.items()},
+            "total_preemptions": self.total_preemptions,
+            "total_restart_time": self.total_restart_time,
+            "wall_clock": self.wall_clock,
+            "timeseries": [
+                {
+                    "time": p.time,
+                    "span": p.span,
+                    "queue_length": p.queue_length,
+                    "running_jobs": p.running_jobs,
+                    "blocking_index": p.blocking_index,
+                    "utilization": list(p.utilization),
+                }
+                for p in self.timeseries
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: On an unknown format version.
+        """
+        version = payload.get("format_version")
+        if version != cls.FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported result format version: {version!r}"
+            )
+        result = cls(
+            scheduler_name=payload["scheduler_name"],
+            trace_name=payload["trace_name"],
+            jcts={int(k): v for k, v in payload["jcts"].items()},
+            finish_times={
+                int(k): v for k, v in payload["finish_times"].items()
+            },
+            submit_times={
+                int(k): v for k, v in payload["submit_times"].items()
+            },
+            total_preemptions=payload["total_preemptions"],
+            total_restart_time=payload["total_restart_time"],
+            wall_clock=payload["wall_clock"],
+        )
+        result.timeseries = [
+            TimePoint(
+                time=p["time"],
+                span=p["span"],
+                queue_length=p["queue_length"],
+                running_jobs=p["running_jobs"],
+                blocking_index=p["blocking_index"],
+                utilization=tuple(p["utilization"]),
+            )
+            for p in payload["timeseries"]
+        ]
+        return result
 
     def speedup_over(self, baseline: "SimulationResult") -> Dict[str, float]:
         """Baseline-normalized improvements (>1 means this run wins).

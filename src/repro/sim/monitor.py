@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.jobs.resources import NUM_RESOURCES
+from repro.observe.events import EventCategory
+from repro.observe.tracer import Tracer
 
 __all__ = ["MachineSample", "ProgressReport", "FaultReport", "WorkerMonitor"]
 
@@ -63,12 +65,20 @@ class WorkerMonitor:
     Args:
         progress_interval: Minimum simulated seconds between stored
             progress reports per job (keeps the audit trail compact).
+        tracer: Optional :class:`~repro.observe.Tracer`; when enabled,
+            fault reports become trace events and sample/report volumes
+            are counted.
     """
 
-    def __init__(self, progress_interval: float = 60.0) -> None:
+    def __init__(
+        self,
+        progress_interval: float = 60.0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         if progress_interval <= 0:
             raise ValueError("progress_interval must be > 0")
         self.progress_interval = progress_interval
+        self.tracer = tracer
         self._machine_samples: Dict[int, List[MachineSample]] = {}
         self._progress: Dict[int, List[ProgressReport]] = {}
         self._faults: List[FaultReport] = []
@@ -85,6 +95,8 @@ class WorkerMonitor:
         utilization: Tuple[float, ...],
     ) -> None:
         """Store one machine-level utilization sample."""
+        if self.tracer is not None:
+            self.tracer.count("monitor.machine_samples")
         self._machine_samples.setdefault(machine_id, []).append(
             MachineSample(time, span, machine_id, allocated_gpus, utilization)
         )
@@ -101,12 +113,18 @@ class WorkerMonitor:
         if last is not None and time - last < self.progress_interval:
             return
         self._last_progress_time[job_id] = time
+        if self.tracer is not None:
+            self.tracer.count("monitor.progress_reports")
         self._progress.setdefault(job_id, []).append(
             ProgressReport(time, job_id, iterations_remaining, attained_service)
         )
 
     def report_fault(self, time: float, job_id: int) -> None:
         """Store a fault notification."""
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventCategory.JOB, "monitor.fault_report", time, job=job_id
+            )
         self._faults.append(FaultReport(time, job_id))
 
     # -- queries (what the scheduler asks the monitor) -----------------------

@@ -32,6 +32,9 @@ from repro.core.group import JobGroup
 from repro.core.ordering import group_iteration_time
 from repro.jobs.job import Job, JobSpec, JobStatus
 from repro.jobs.resources import NUM_RESOURCES
+from repro.observe.events import EventCategory
+from repro.observe.provenance import OutcomeRecord
+from repro.observe.tracer import Tracer, maybe_span
 from repro.schedulers.base import Scheduler, group_key
 from repro.sim.contention import DEFAULT_CONTENTION, ContentionModel
 from repro.sim.decisions import Decision, DecisionLog
@@ -123,6 +126,12 @@ class ClusterSimulator:
             descending / best-fit consolidation.
         decision_log: Optional audit log recording every scheduler
             invocation (kept/started/preempted/unplaced groups).
+        tracer: Optional :class:`~repro.observe.Tracer`.  When enabled,
+            the run emits job lifecycle events (arrival, start,
+            preemption, fault, finish), per-invocation scheduling
+            decisions, and group placement outcomes, and files
+            per-job :class:`~repro.observe.OutcomeRecord` provenance.
+            None (the default) costs the hot paths nothing.
         max_steps: Safety valve on simulator iterations.
     """
 
@@ -140,6 +149,7 @@ class ClusterSimulator:
         monitor: Optional["WorkerMonitor"] = None,
         placer: Optional[DescendingPlacer] = None,
         decision_log: Optional[DecisionLog] = None,
+        tracer: Optional[Tracer] = None,
         max_steps: Optional[int] = None,
     ) -> None:
         if scheduling_interval <= 0:
@@ -159,6 +169,7 @@ class ClusterSimulator:
         self.reschedule_on_arrival = reschedule_on_arrival
         self.monitor = monitor
         self.decision_log = decision_log
+        self.tracer = tracer
         self.max_steps = max_steps
         self.placer = placer if placer is not None else DescendingPlacer()
 
@@ -189,7 +200,20 @@ class ClusterSimulator:
             submit_times={spec.job_id: spec.submit_time for spec in specs},
         )
 
-        events = EventQueue()
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        if tracing:
+            tracer.emit(
+                EventCategory.SIM,
+                "sim.run.start",
+                0.0,
+                trace=trace_name,
+                scheduler=self.scheduler.name,
+                jobs=len(specs),
+                gpus=total_gpus,
+            )
+
+        events = EventQueue(tracer=tracer)
         for spec in specs:
             events.push(Event(spec.submit_time, EventKind.ARRIVAL, spec.job_id))
         first_arrival = min(spec.submit_time for spec in specs)
@@ -216,6 +240,14 @@ class ClusterSimulator:
             for event in events.pop_until(now + _EPS):
                 if event.kind == EventKind.ARRIVAL:
                     pending[event.payload] = jobs[event.payload]
+                    if tracing:
+                        tracer.emit(
+                            EventCategory.JOB,
+                            "job.arrival",
+                            event.time,
+                            job=event.payload,
+                            gpus=jobs[event.payload].num_gpus,
+                        )
                     if self.reschedule_on_arrival:
                         need_reschedule = True
                 elif event.kind == EventKind.TICK:
@@ -266,6 +298,17 @@ class ClusterSimulator:
             job_id: job.finish_time for job_id, job in jobs.items()
         }
         result.wall_clock = _time.monotonic() - started_wall
+        if tracing:
+            tracer.emit(
+                EventCategory.SIM,
+                "sim.run.end",
+                now,
+                trace=trace_name,
+                finished=finished,
+                makespan=now,
+                wall_clock=result.wall_clock,
+                steps=steps,
+            )
         return result
 
     # -- scheduling ---------------------------------------------------------------
@@ -279,6 +322,22 @@ class ClusterSimulator:
         result: SimulationResult,
         reason: str = "tick",
     ) -> None:
+        with maybe_span(self.tracer, "sim.reschedule", now, reason=reason):
+            self._reschedule_inner(
+                now, jobs, pending, running, result, reason
+            )
+
+    def _reschedule_inner(
+        self,
+        now: float,
+        jobs: Dict[int, Job],
+        pending: Dict[int, Job],
+        running: Dict[FrozenSet[int], _RunningGroup],
+        result: SimulationResult,
+        reason: str,
+    ) -> None:
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         active_jobs = [job for job in jobs.values() if not job.is_finished and (
             job.job_id in pending or self._is_running(job, running)
         )]
@@ -302,39 +361,101 @@ class ClusterSimulator:
         # Stop groups not in the plan.
         stopped = 0
         for key in [k for k in running if k not in keyset]:
-            self._stop_group(running.pop(key), pending)
+            rgroup = running.pop(key)
+            if tracing:
+                members = [job.job_id for job in rgroup.active]
+                tracer.emit(
+                    EventCategory.GROUP,
+                    "group.preempt",
+                    now,
+                    members=members,
+                )
+                for job_id in members:
+                    self._trace_outcome(job_id, now, "preempted")
+            self._stop_group(rgroup, pending)
             stopped += 1
 
         # Start new groups, priority order, best-effort placement.
         new_groups = [g for g in valid if group_key(g) not in running]
         started = 0
-        for group in new_groups:
-            plan = self.placer.plan_for(self.cluster, group.num_gpus)
-            if plan is None:
-                continue  # fragmentation; members stay pending
-            started += 1
-            key = group_key(group)
-            allocation = self.cluster.allocate(self._owner_id(key), plan)
-            members = [job for job in group.jobs]
-            deadlines: Dict[int, float] = {}
-            for job in members:
-                job.mark_started(now)
-                pending.pop(job.job_id, None)
-                delay = self.fault_injector.sample_fault_delay()
-                if delay is not None:
-                    deadlines[job.job_id] = delay
-            running[key] = _RunningGroup(
-                group=group,
-                allocation=allocation,
-                active=members,
-                offsets={
-                    job.job_id: offset
-                    for job, offset in zip(group.jobs, group.offsets)
-                },
-                penalty_remaining=self.restart_penalty,
-                fault_deadlines=deadlines,
+        unplaced_groups: List[JobGroup] = []
+        with maybe_span(
+            self.tracer, "sim.place", now, groups=len(new_groups)
+        ):
+            for group in new_groups:
+                plan = self.placer.plan_for(self.cluster, group.num_gpus)
+                if plan is None:
+                    # Fragmentation; members stay pending.
+                    if tracing:
+                        unplaced_groups.append(group)
+                    continue
+                started += 1
+                key = group_key(group)
+                allocation = self.cluster.allocate(self._owner_id(key), plan)
+                members = [job for job in group.jobs]
+                deadlines: Dict[int, float] = {}
+                for job in members:
+                    job.mark_started(now)
+                    pending.pop(job.job_id, None)
+                    delay = self.fault_injector.sample_fault_delay()
+                    if delay is not None:
+                        deadlines[job.job_id] = delay
+                running[key] = _RunningGroup(
+                    group=group,
+                    allocation=allocation,
+                    active=members,
+                    offsets={
+                        job.job_id: offset
+                        for job, offset in zip(group.jobs, group.offsets)
+                    },
+                    penalty_remaining=self.restart_penalty,
+                    fault_deadlines=deadlines,
+                )
+                result.total_restart_time += self.restart_penalty
+                if tracing:
+                    member_ids = [job.job_id for job in members]
+                    tracer.emit(
+                        EventCategory.GROUP,
+                        "group.start",
+                        now,
+                        members=member_ids,
+                        gpus=group.num_gpus,
+                        spans_machines=allocation.spans_machines,
+                    )
+                    detail = (
+                        f"group {member_ids}" if len(member_ids) > 1 else "solo"
+                    )
+                    for job_id in member_ids:
+                        self._trace_outcome(job_id, now, "started", detail)
+
+        if tracing:
+            for group in unplaced_groups:
+                member_ids = [job.job_id for job in group.jobs]
+                tracer.emit(
+                    EventCategory.GROUP,
+                    "group.unplaced",
+                    now,
+                    members=member_ids,
+                    gpus=group.num_gpus,
+                )
+                for job_id in member_ids:
+                    self._trace_outcome(
+                        job_id, now, "unplaced",
+                        f"needs {group.num_gpus} contiguous GPUs",
+                    )
+            tracer.emit(
+                EventCategory.SCHED,
+                "sched.decision",
+                now,
+                reason=reason,
+                proposed=len(valid),
+                kept=len(valid) - len(new_groups),
+                started=started,
+                preempted=stopped,
+                unplaced=len(new_groups) - started,
+                queue_length=len(pending),
+                free_gpus=self.cluster.free_gpus,
             )
-            result.total_restart_time += self.restart_penalty
 
         if self.decision_log is not None:
             self.decision_log.record(Decision(
@@ -348,6 +469,14 @@ class ClusterSimulator:
                 queue_length=len(pending),
                 free_gpus=self.cluster.free_gpus,
             ))
+
+    def _trace_outcome(
+        self, job_id: int, sim_time: float, outcome: str, detail: str = ""
+    ) -> None:
+        """File one provenance outcome record (call only when tracing)."""
+        self.tracer.provenance.record_outcome(
+            job_id, OutcomeRecord(sim_time, outcome, detail)
+        )
 
     def _stop_group(
         self,
@@ -380,6 +509,8 @@ class ClusterSimulator:
         """Advance all groups by ``span`` seconds; returns True when a
         job completed or faulted (capacity freed)."""
         changed = False
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         for key in list(running):
             rgroup = running[key]
             paid = min(rgroup.penalty_remaining, span)
@@ -406,12 +537,37 @@ class ClusterSimulator:
             for job in completed:
                 # The horizon was chosen as the earliest group event, so
                 # a completing member finishes exactly at span end.
-                job.mark_finished(self._advance_clock + span)
+                finish_time = self._advance_clock + span
+                job.mark_finished(finish_time)
                 rgroup.active.remove(job)
                 rgroup.fault_deadlines.pop(job.job_id, None)
                 changed = True
+                if tracing:
+                    tracer.emit(
+                        EventCategory.JOB,
+                        "job.finish",
+                        finish_time,
+                        job=job.job_id,
+                        jct=job.completion_time(),
+                    )
+                    self._trace_outcome(
+                        job.job_id, finish_time, "finished",
+                        f"JCT {job.completion_time():.1f}s",
+                    )
             for job in faulted:
                 if job in rgroup.active:
+                    fault_time = self._advance_clock + span
+                    if tracing:
+                        tracer.emit(
+                            EventCategory.JOB,
+                            "job.fault",
+                            fault_time,
+                            job=job.job_id,
+                        )
+                        self._trace_outcome(
+                            job.job_id, fault_time, "faulted",
+                            "requeued with checkpointed progress",
+                        )
                     if self.monitor is not None:
                         self.monitor.report_fault(
                             self._advance_clock + span, job.job_id

@@ -1,0 +1,139 @@
+"""Tests for the exporters: Chrome trace, JSONL, terminal renderings."""
+
+import json
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.observe import (
+    EventCategory,
+    Tracer,
+    format_explain,
+    trace_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.observe.export import to_chrome_trace, to_jsonl
+from repro.schedulers.registry import make_scheduler
+from repro.sim.simulator import ClusterSimulator
+from repro.trace.philly import generate_trace
+from repro.trace.workload import build_jobs
+
+#: Every ph the exporter may produce (all valid Trace Event Format).
+_VALID_PHS = {"M", "i", "X", "C"}
+
+
+def traced_run(num_jobs=30, scheduler="muri-s"):
+    trace = generate_trace("1", num_jobs=num_jobs, seed=3, at_time_zero=True)
+    specs = [s for s in build_jobs(trace, seed=3) if s.num_gpus <= 8]
+    tracer = Tracer()
+    simulator = ClusterSimulator(
+        make_scheduler(scheduler, tracer=tracer),
+        cluster=Cluster(1, 8),
+        tracer=tracer,
+    )
+    result = simulator.run(specs, trace.name)
+    return tracer, result
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        tracer = Tracer()
+        tracer.emit(EventCategory.JOB, "job.arrival", 1.5, job=3)
+        with tracer.span("work", 1.5):
+            pass
+        doc = to_chrome_trace(tracer)
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        for event in doc["traceEvents"]:
+            assert event["ph"] in _VALID_PHS
+            assert isinstance(event["name"], str)
+            assert "pid" in event and "tid" in event
+        # The whole document is JSON-serializable.
+        json.dumps(doc)
+
+    def test_instants_use_sim_clock_spans_wall_clock(self):
+        tracer = Tracer()
+        tracer.emit(EventCategory.JOB, "job.arrival", 2.0)
+        with tracer.span("work", 2.0):
+            pass
+        doc = to_chrome_trace(tracer)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert instants[0]["ts"] == pytest.approx(2.0 * 1e6)
+        assert instants[0]["pid"] != spans[0]["pid"]
+        assert spans[0]["dur"] >= 0
+
+    def test_decision_events_become_counters(self):
+        tracer = Tracer()
+        tracer.emit(
+            EventCategory.SCHED, "sched.decision", 5.0,
+            queue_length=4, free_gpus=2, started=1,
+        )
+        doc = to_chrome_trace(tracer)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert {c["name"] for c in counters} == {"queue_length", "free_gpus"}
+
+    def test_full_run_writes_loadable_file(self, tmp_path):
+        tracer, _result = traced_run()
+        out = tmp_path / "trace.json"
+        write_chrome_trace(tracer, out)
+        doc = json.loads(out.read_text())
+        assert len(doc["traceEvents"]) > 10
+        assert all(e["ph"] in _VALID_PHS for e in doc["traceEvents"])
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "sim.run.start" in names
+        assert "sched.decision" in names
+        assert "job.finish" in names
+
+    def test_non_json_args_are_stringified(self):
+        tracer = Tracer()
+        tracer.emit(EventCategory.SIM, "odd", 0.0, value=object())
+        json.dumps(to_chrome_trace(tracer))
+
+
+class TestJsonl:
+    def test_one_document_per_event(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit(EventCategory.JOB, "job.arrival", 1.0, job=3)
+        with tracer.span("work"):
+            pass
+        out = tmp_path / "trace.jsonl"
+        write_jsonl(tracer, out)
+        lines = out.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["name"] == "job.arrival"
+        assert first["args"] == {"job": 3}
+        assert second["category"] == "span"
+        assert "duration" in second
+
+    def test_to_jsonl_is_lazy(self):
+        tracer = Tracer()
+        tracer.emit(EventCategory.SIM, "tick", 0.0)
+        iterator = to_jsonl(tracer)
+        assert json.loads(next(iterator))["name"] == "tick"
+
+
+class TestSummaries:
+    def test_trace_summary_mentions_volumes_and_spans(self):
+        tracer, _ = traced_run()
+        text = trace_summary(tracer)
+        assert "events" in text
+        assert "hottest spans" in text
+        assert "counters" in text
+        assert "provenance" in text
+
+    def test_format_explain_full_run(self):
+        tracer, result = traced_run()
+        job_id = tracer.provenance.job_ids()[0]
+        text = format_explain(tracer, job_id, result)
+        assert f"job {job_id}" in text
+        assert "grouping decisions" in text
+        assert "outcomes" in text
+        assert "JCT" in text
+
+    def test_format_explain_without_provenance(self):
+        tracer = Tracer()
+        text = format_explain(tracer, 123)
+        assert "no provenance recorded" in text

@@ -1,0 +1,74 @@
+"""The zero-overhead contract: tracing off must cost (nearly) nothing.
+
+Two guarantees, in decreasing strictness:
+
+1. With no tracer (the default) or a disabled tracer, a simulation
+   records NO events, counters, or provenance — asserted exactly.
+2. A disabled tracer threaded through the whole stack slows a 200-job
+   simulation by only a few percent.  Wall-clock assertions are
+   noise-prone in CI, so the bound here is looser than the ~5%
+   acceptance target; each configuration takes the best of three runs.
+"""
+
+import time
+
+from repro.cluster.cluster import Cluster
+from repro.observe import Tracer
+from repro.schedulers.registry import make_scheduler
+from repro.sim.simulator import ClusterSimulator
+from repro.trace.philly import generate_trace
+from repro.trace.workload import build_jobs
+
+
+def build_specs(num_jobs=200):
+    trace = generate_trace("1", num_jobs=num_jobs, seed=11, at_time_zero=True)
+    return [s for s in build_jobs(trace, seed=11) if s.num_gpus <= 16]
+
+
+def run_once(specs, tracer):
+    simulator = ClusterSimulator(
+        make_scheduler("muri-s", tracer=tracer),
+        cluster=Cluster(2, 8),
+        tracer=tracer,
+    )
+    return simulator.run(specs, "overhead")
+
+
+class TestDisabledTracerRecordsNothing:
+    def test_disabled_tracer_stays_empty(self):
+        specs = build_specs(60)
+        tracer = Tracer(enabled=False)
+        run_once(specs, tracer)
+        assert len(tracer) == 0
+        assert tracer.counters == {}
+        assert len(tracer.provenance) == 0
+        assert tracer.dropped_events == 0
+
+    def test_enabled_tracer_records(self):
+        specs = build_specs(60)
+        tracer = Tracer()
+        run_once(specs, tracer)
+        assert len(tracer) > 0
+        assert len(tracer.provenance) > 0
+
+
+class TestDisabledTracerOverhead:
+    def test_disabled_tracer_wall_time(self):
+        specs = build_specs(200)
+
+        def best_of(tracer_factory, repeats=3):
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                run_once(specs, tracer_factory())
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        baseline = best_of(lambda: None)
+        disabled = best_of(lambda: Tracer(enabled=False))
+        # Headroom over the ~5% budget: CI machines are noisy and the
+        # absolute times are fractions of a second.
+        assert disabled <= baseline * 1.25 + 0.05, (
+            f"disabled tracer too slow: {disabled:.3f}s vs "
+            f"baseline {baseline:.3f}s"
+        )

@@ -1,0 +1,144 @@
+"""Tests for the provenance store and the grouping provenance it gets.
+
+Unit tests cover the store's capping and query semantics; the
+integration tests run the real grouper/scheduler with a tracer and
+check that the recorded decisions describe what actually happened.
+"""
+
+import pytest
+
+from repro.core.grouping import MultiRoundGrouper
+from repro.core.muri import MuriScheduler
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.stage import StageProfile
+from repro.observe import ProvenanceStore, Tracer
+from repro.observe.provenance import GroupingRecord, OutcomeRecord
+
+CPU = StageProfile((0.1, 0.7, 0.1, 0.1))
+GPU = StageProfile((0.1, 0.1, 0.7, 0.1))
+
+
+def record(sim_time=0.0, members=(1,), **kwargs):
+    defaults = dict(
+        reason="tick", efficiency=1.0, round_formed=0, seeded=False
+    )
+    defaults.update(kwargs)
+    return GroupingRecord(sim_time=sim_time, members=tuple(members), **defaults)
+
+
+class TestStore:
+    def test_explain_unknown_job_raises(self):
+        store = ProvenanceStore()
+        with pytest.raises(KeyError):
+            store.explain(42)
+        assert store.get(42) is None
+
+    def test_record_and_query(self):
+        store = ProvenanceStore()
+        store.record_grouping(1, record(0.0, (1, 2)))
+        store.record_outcome(1, OutcomeRecord(0.0, "started"))
+        assert 1 in store
+        assert len(store) == 1
+        provenance = store.explain(1)
+        assert provenance.latest_grouping().members == (1, 2)
+        assert provenance.outcomes[0].outcome == "started"
+
+    def test_cap_keeps_first_and_latest(self):
+        store = ProvenanceStore(max_groupings_per_job=3)
+        for t in range(6):
+            store.record_grouping(1, record(float(t)))
+        times = [g.sim_time for g in store.explain(1).groupings]
+        # The first record survives; the newest records fill the rest.
+        assert times[0] == 0.0
+        assert times[-1] == 5.0
+        assert len(times) == 3
+
+    def test_cap_validated(self):
+        with pytest.raises(ValueError):
+            ProvenanceStore(max_groupings_per_job=1)
+
+    def test_last_group_with_partners(self):
+        store = ProvenanceStore()
+        store.record_grouping(1, record(0.0, (1, 2)))
+        store.record_grouping(1, record(1.0, (1,)))
+        provenance = store.explain(1)
+        assert provenance.latest_grouping().members == (1,)
+        assert provenance.last_group_with_partners().members == (1, 2)
+
+    def test_partners_of(self):
+        rec = record(0.0, (1, 2, 3))
+        assert rec.partners_of(2) == (1, 3)
+        assert rec.partners_of(9) == (1, 2, 3)
+
+
+class TestGrouperProvenance:
+    def make_jobs(self, n=4):
+        profiles = [CPU, GPU] * (n // 2)
+        return [
+            Job(JobSpec(profile=p, num_iterations=100, job_id=i))
+            for i, p in enumerate(profiles[:n])
+        ]
+
+    def test_last_decisions_none_without_tracer(self):
+        grouper = MultiRoundGrouper()
+        grouper.group(self.make_jobs())
+        assert grouper.last_decisions is None
+
+    def test_last_decisions_none_with_disabled_tracer(self):
+        grouper = MultiRoundGrouper(tracer=Tracer(enabled=False))
+        grouper.group(self.make_jobs())
+        assert grouper.last_decisions is None
+
+    def test_decisions_cover_every_job(self):
+        grouper = MultiRoundGrouper(tracer=Tracer())
+        jobs = self.make_jobs(4)
+        result = grouper.group(jobs)
+        covered = sorted(
+            j for d in grouper.last_decisions for j in d.members
+        )
+        assert covered == [0, 1, 2, 3]
+        assert len(grouper.last_decisions) == len(result.groups)
+
+    def test_merged_groups_record_round_and_candidates(self):
+        grouper = MultiRoundGrouper(tracer=Tracer())
+        jobs = self.make_jobs(2)
+        grouper.group(jobs)  # no capacity: the pair merges
+        (decision,) = grouper.last_decisions
+        assert set(decision.members) == {0, 1}
+        assert decision.round_formed == 1
+        # Eq. 4 efficiency: 2 perfectly complementary jobs over k=4
+        # resources occupy half the interleaved period.
+        assert 0.0 < decision.efficiency <= 1.0
+        # Each member saw the other as a matched candidate.
+        for job_id in decision.members:
+            candidates = decision.candidates[job_id]
+            assert any(c.matched for c in candidates)
+
+    def test_tracing_matches_untraced_grouping(self):
+        jobs = self.make_jobs(6)
+        plain = MultiRoundGrouper().group(jobs)
+        traced = MultiRoundGrouper(tracer=Tracer()).group(jobs)
+        assert [
+            tuple(j.job_id for j in g.jobs) for g in plain.groups
+        ] == [tuple(j.job_id for j in g.jobs) for g in traced.groups]
+        assert plain.total_efficiency == traced.total_efficiency
+
+
+class TestSchedulerProvenance:
+    def test_decide_files_grouping_records(self):
+        tracer = Tracer()
+        scheduler = MuriScheduler(tracer=tracer)
+        jobs = [
+            Job(JobSpec(profile=p, num_iterations=100, job_id=i))
+            for i, p in enumerate((CPU, GPU))
+        ]
+        scheduler.decide(10.0, jobs, {}, total_gpus=1)
+        for job_id in (0, 1):
+            provenance = tracer.provenance.explain(job_id)
+            (grouping,) = provenance.groupings
+            assert grouping.sim_time == 10.0
+            assert grouping.reason == "tick"
+            assert set(grouping.members) == {0, 1}
+        formed = tracer.events_named("group.formed")
+        assert len(formed) == 1
+        assert set(formed[0].args["members"]) == {0, 1}

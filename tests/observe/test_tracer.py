@@ -1,0 +1,111 @@
+"""Tests for the Tracer: events, spans, counters, bounded storage."""
+
+import pytest
+
+from repro.observe import EventCategory, Tracer
+from repro.observe.tracer import NULL_SPAN, maybe_span
+
+
+class TestEmit:
+    def test_records_events_in_order(self):
+        tracer = Tracer()
+        tracer.emit(EventCategory.JOB, "job.arrival", 1.0, job=7)
+        tracer.emit(EventCategory.SCHED, "sched.decision", 2.0)
+        assert len(tracer) == 2
+        assert [e.name for e in tracer.events] == [
+            "job.arrival", "sched.decision",
+        ]
+        assert tracer.events[0].args == {"job": 7}
+        assert tracer.events[0].sim_time == 1.0
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit(EventCategory.JOB, "job.arrival", 1.0)
+        tracer.count("anything")
+        assert len(tracer) == 0
+        assert tracer.counters == {}
+
+    def test_events_filters(self):
+        tracer = Tracer()
+        tracer.emit(EventCategory.JOB, "job.arrival", 0.0, job=1)
+        tracer.emit(EventCategory.JOB, "job.finish", 5.0, job=1)
+        tracer.emit(EventCategory.GROUP, "group.formed", 2.0, members=[1, 2])
+        assert len(tracer.events_in(EventCategory.JOB)) == 2
+        assert len(tracer.events_named("job.finish")) == 1
+        # job_events matches both the "job" arg and "members" lists.
+        assert len(tracer.job_events(1)) == 3
+        assert len(tracer.job_events(2)) == 1
+
+    def test_max_events_drops_overflow(self):
+        tracer = Tracer(max_events=2)
+        for i in range(5):
+            tracer.emit(EventCategory.SIM, "tick", float(i))
+        assert len(tracer) == 2
+        assert tracer.dropped_events == 3
+
+    def test_max_events_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
+    def test_clear_resets_everything(self):
+        tracer = Tracer()
+        tracer.emit(EventCategory.SIM, "tick", 0.0)
+        tracer.count("c")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.counters == {}
+        assert len(tracer.provenance) == 0
+
+
+class TestSpans:
+    def test_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("work", 3.0, detail="x"):
+            pass
+        (event,) = tracer.events
+        assert event.is_span
+        assert event.name == "work"
+        assert event.sim_time == 3.0
+        assert event.duration >= 0.0
+        assert event.args == {"detail": "x"}
+
+    def test_nested_spans_record_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        # Inner exits first, so it is recorded first.
+        inner, outer = tracer.events
+        assert inner.name == "inner" and inner.depth == 1
+        assert outer.name == "outer" and outer.depth == 0
+
+    def test_disabled_span_is_null(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("work") is NULL_SPAN
+        with tracer.span("work"):
+            pass
+        assert len(tracer) == 0
+
+    def test_maybe_span_with_none_tracer(self):
+        assert maybe_span(None, "work") is NULL_SPAN
+
+    def test_maybe_span_with_enabled_tracer(self):
+        tracer = Tracer()
+        with maybe_span(tracer, "work", 1.0):
+            pass
+        assert len(tracer) == 1
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        tracer = Tracer()
+        tracer.count("hits")
+        tracer.count("hits", 4)
+        assert tracer.counters == {"hits": 5}
+
+    def test_counters_returns_copy(self):
+        tracer = Tracer()
+        tracer.count("hits")
+        snapshot = tracer.counters
+        snapshot["hits"] = 99
+        assert tracer.counters == {"hits": 1}

@@ -3,12 +3,16 @@
 import pytest
 
 from repro.core.muri import MuriScheduler
+from repro.observe import Tracer
 from repro.profiler.profiler import ResourceProfiler
+from repro.schedulers.classic import FifoScheduler
 from repro.schedulers.registry import (
     KNOWN_DURATION,
     SCHEDULERS,
     UNKNOWN_DURATION,
+    available_schedulers,
     make_scheduler,
+    register_scheduler,
 )
 
 
@@ -58,3 +62,55 @@ def test_duration_awareness_consistent_with_sets():
         assert make_scheduler(name).duration_aware
     for name in UNKNOWN_DURATION:
         assert not make_scheduler(name).duration_aware
+
+
+def test_available_schedulers_sorted_and_complete():
+    names = available_schedulers()
+    assert names == sorted(names)
+    assert {"fifo", "srsf", "muri-s", "muri-l"} <= set(names)
+
+
+def test_make_scheduler_forwards_tracer_to_muri():
+    tracer = Tracer()
+    scheduler = make_scheduler("muri-s", tracer=tracer)
+    assert scheduler.tracer is tracer
+    assert scheduler.grouper.tracer is tracer
+
+
+def test_register_scheduler():
+    register_scheduler("test-fifo", FifoScheduler)
+    try:
+        assert "test-fifo" in available_schedulers()
+        assert isinstance(make_scheduler("Test-FIFO"), FifoScheduler)
+    finally:
+        dict.pop(SCHEDULERS, "test-fifo")
+
+
+def test_register_scheduler_rejects_collision():
+    with pytest.raises(ValueError):
+        register_scheduler("fifo", FifoScheduler)
+
+
+def test_register_scheduler_replace():
+    original = SCHEDULERS.get("fifo")
+    register_scheduler("fifo", FifoScheduler, replace=True)
+    try:
+        assert SCHEDULERS.get("fifo") is FifoScheduler
+    finally:
+        dict.__setitem__(SCHEDULERS, "fifo", original)
+
+
+def test_direct_indexing_is_deprecated():
+    with pytest.warns(DeprecationWarning):
+        factory = SCHEDULERS["srsf"]
+    assert factory().name == "SRSF"
+
+
+def test_non_indexing_access_does_not_warn(recwarn):
+    assert "srsf" in SCHEDULERS
+    assert SCHEDULERS.get("srsf") is not None
+    assert list(SCHEDULERS)
+    deprecations = [
+        w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+    ]
+    assert not deprecations

@@ -51,6 +51,29 @@ class TestLogUnit:
         log.record(Decision(1.0, "tick", 1, 1, 0, 0, 0, 0, 2))
         assert len(log.idle_decisions()) == 1
 
+    def test_decision_to_dict(self):
+        decision = Decision(5.0, "completion", 2, 1, 1, 0, 0, 4, 3)
+        payload = decision.to_dict()
+        assert payload == {
+            "time": 5.0,
+            "reason": "completion",
+            "proposed_groups": 2,
+            "kept": 1,
+            "started": 1,
+            "preempted": 0,
+            "unplaced": 0,
+            "queue_length": 4,
+            "free_gpus": 3,
+        }
+
+    def test_log_to_dicts_preserves_order(self):
+        log = DecisionLog()
+        log.record(Decision(0.0, "tick", 1, 0, 1, 0, 0, 3, 2))
+        log.record(Decision(1.0, "completion", 1, 1, 0, 1, 0, 0, 2))
+        payloads = log.to_dicts()
+        assert [p["time"] for p in payloads] == [0.0, 1.0]
+        assert payloads[1]["preempted"] == 1
+
 
 class TestLogInSimulation:
     def test_records_every_invocation(self):

@@ -1,5 +1,7 @@
 """Tests for simulation metrics."""
 
+import json
+
 import pytest
 
 from repro.jobs.resources import Resource
@@ -35,6 +37,23 @@ class TestPercentile:
 
     def test_unsorted_input(self):
         assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+    def test_q0_and_q100_are_min_and_max(self):
+        values = [7.0, 2.0, 2.0, 11.0]
+        assert percentile(values, 0) == 2.0
+        assert percentile(values, 100) == 11.0
+
+    def test_presorted_skips_sorting(self):
+        values = [1.0, 3.0, 5.0, 9.0]
+        for q in (0, 25, 50, 75, 100):
+            assert percentile(values, q, presorted=True) == percentile(
+                sorted(values), q
+            )
+
+    def test_presorted_trusts_caller(self):
+        # With presorted=True the input is used as-is; an unsorted list
+        # gives a different (wrong) answer, proving no re-sort happens.
+        assert percentile([9.0, 1.0], 100, presorted=True) == 1.0
 
 
 def make_result():
@@ -100,6 +119,43 @@ class TestSimulationResult:
         assert speedups["avg_jct"] == pytest.approx(2.0)
         assert speedups["makespan"] == pytest.approx(3.0)
         assert speedups["p99_jct"] == pytest.approx(2.0)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        original = make_result()
+        original.total_preemptions = 4
+        original.total_restart_time = 12.5
+        original.wall_clock = 0.75
+        restored = SimulationResult.from_dict(original.to_dict())
+        assert restored.scheduler_name == original.scheduler_name
+        assert restored.trace_name == original.trace_name
+        assert restored.jcts == original.jcts
+        assert restored.finish_times == original.finish_times
+        assert restored.submit_times == original.submit_times
+        assert restored.total_preemptions == 4
+        assert restored.total_restart_time == 12.5
+        assert restored.wall_clock == 0.75
+        assert restored.timeseries == original.timeseries
+
+    def test_payload_is_json_compatible(self):
+        payload = make_result().to_dict()
+        assert payload["format_version"] == SimulationResult.FORMAT_VERSION
+        # Job-id keys are strings, as JSON object keys must be.
+        assert all(isinstance(k, str) for k in payload["jcts"])
+        json.dumps(payload)
+
+    def test_unknown_version_rejected(self):
+        payload = make_result().to_dict()
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            SimulationResult.from_dict(payload)
+
+    def test_missing_version_rejected(self):
+        payload = make_result().to_dict()
+        del payload["format_version"]
+        with pytest.raises(ValueError):
+            SimulationResult.from_dict(payload)
 
 
 class TestJctCdf:

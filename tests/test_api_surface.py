@@ -21,6 +21,7 @@ SUBPACKAGES = (
     "repro.trace",
     "repro.profiler",
     "repro.analysis",
+    "repro.observe",
     "repro.cli",
 )
 
@@ -59,6 +60,18 @@ TOP_LEVEL_NAMES = (
     "UniformNoise",
     "Scheduler",
     "make_scheduler",
+    "register_scheduler",
+    "available_schedulers",
+    "Decision",
+    "DecisionLog",
+    "Tracer",
+    "TraceEvent",
+    "EventCategory",
+    "ProvenanceStore",
+    "write_chrome_trace",
+    "write_jsonl",
+    "trace_summary",
+    "format_explain",
 )
 
 

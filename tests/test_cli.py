@@ -56,6 +56,53 @@ def test_simulate_drops_oversized_jobs(capsys):
     assert "dropped" in out
 
 
+def test_simulate_trace_out_chrome(capsys, tmp_path):
+    out_path = tmp_path / "trace.json"
+    code, out, _err = run(
+        capsys, "simulate", "--trace", "1", "--jobs", "30",
+        "--scheduler", "muri-s", "--machines", "2",
+        "--trace-out", str(out_path),
+    )
+    assert code == 0
+    doc = json.loads(out_path.read_text())
+    assert len(doc["traceEvents"]) > 10
+    assert all("ph" in e and "name" in e for e in doc["traceEvents"])
+    # The terminal summary rides along with the file.
+    assert "events" in out and "hottest spans" in out
+
+
+def test_simulate_trace_out_jsonl(capsys, tmp_path):
+    out_path = tmp_path / "trace.jsonl"
+    code, _out, _err = run(
+        capsys, "simulate", "--trace", "1", "--jobs", "30",
+        "--scheduler", "muri-s", "--machines", "2",
+        "--trace-out", str(out_path),
+    )
+    assert code == 0
+    lines = out_path.read_text().splitlines()
+    assert len(lines) > 10
+    assert all("name" in json.loads(line) for line in lines)
+
+
+def test_explain(capsys):
+    code, out, _err = run(
+        capsys, "explain", "0", "--trace", "1", "--jobs", "30",
+        "--scheduler", "muri-s", "--machines", "2",
+    )
+    assert code == 0
+    assert "job 0" in out
+    assert "grouping decisions" in out
+
+
+def test_explain_unknown_job(capsys):
+    code, _out, err = run(
+        capsys, "explain", "99999", "--trace", "1", "--jobs", "20",
+        "--scheduler", "muri-l", "--machines", "2",
+    )
+    assert code == 2
+    assert "no provenance" in err
+
+
 def test_compare(capsys):
     code, out, _err = run(
         capsys, "compare", "--trace", "1", "--jobs", "40",
