@@ -22,7 +22,12 @@ The package provides:
   zero-overhead-when-disabled :class:`Tracer` threaded through the
   simulator/scheduler stack, Chrome-trace/JSONL exporters, and the
   per-job grouping provenance behind ``repro explain``
-  (see ``docs/observability.md``).
+  (see ``docs/observability.md``);
+* ``repro.sweep`` — parallel, resumable experiment sweeps: declarative
+  run cells with stable hash-derived ids, a process-pool
+  :class:`SweepRunner` with per-run timeouts and bounded retries, a
+  JSONL :class:`ResultStore` for resume, and deterministic ``k/n``
+  sharding (see ``docs/experiments.md``).
 
 Quickstart::
 
@@ -73,6 +78,7 @@ from repro.sim import (
     FaultInjector,
     SimulationResult,
 )
+from repro.sweep import ResultStore, RunResult, RunSpec, SweepRunner
 from repro.trace import Trace, TraceRecord, build_jobs, generate_trace
 
 __version__ = "1.0.0"
@@ -120,6 +126,11 @@ __all__ = [
     "write_jsonl",
     "trace_summary",
     "format_explain",
+    # sweeps
+    "RunSpec",
+    "RunResult",
+    "SweepRunner",
+    "ResultStore",
     # traces & profiling
     "Trace",
     "TraceRecord",

@@ -8,6 +8,13 @@ there is exactly one implementation of each experiment.
 
 Sizes default to bench scale (hundreds of jobs) so the whole suite
 runs in minutes; pass ``num_jobs=None`` for paper-scale traces.
+
+Every multi-run experiment is expressed as a flat list of sweep cells
+(:mod:`repro.sweep.cells`) and submitted through a
+:class:`~repro.sweep.runner.SweepRunner`: pass ``runner=`` to any of
+them to execute the grid on a process pool (or resumably, or sharded);
+the default is the runner-free in-process serial path, which executes
+the identical cells in the identical order.
 """
 
 from __future__ import annotations
@@ -15,16 +22,23 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
-from repro.core.muri import MuriScheduler
 from repro.jobs.job import JobSpec
 from repro.jobs.resources import RESOURCE_ORDER, Resource
 from repro.models.zoo import DEFAULT_MODELS, MODEL_ZOO, get_model, models_for_bottlenecks
-from repro.profiler.noise import UniformNoise
-from repro.profiler.profiler import ResourceProfiler
 from repro.schedulers.base import Scheduler
 from repro.schedulers.registry import make_scheduler
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import ClusterSimulator
+from repro.sweep.cells import (
+    ablation_cells,
+    group_size_cells,
+    job_type_cells,
+    noise_cells,
+    simulation_cells,
+)
+from repro.sweep.execute import PrebuiltCell, execute_run
+from repro.sweep.runner import SweepError, SweepRunner
+from repro.sweep.spec import RunSpec
 from repro.trace.philly import generate_trace
 from repro.trace.workload import build_jobs
 
@@ -55,11 +69,51 @@ def _cluster() -> Cluster:
     return Cluster(machines, gpus)
 
 
+def _run_cells(
+    cells: Sequence[RunSpec],
+    runner: Optional[SweepRunner],
+) -> Dict[str, Tuple[RunSpec, SimulationResult]]:
+    """Execute declarative cells, serially in-process by default.
+
+    With ``runner=None`` each cell runs via
+    :func:`~repro.sweep.execute.execute_run` in submission order —
+    the exact serial path.  With a runner, the cells go through its
+    pool/store/retry machinery and the payloads are deserialized back.
+
+    Raises:
+        SweepError: When the runner failed a cell or did not return
+            one (e.g. it was configured with a shard — experiment
+            aggregation needs every cell).
+    """
+    if runner is None:
+        return {
+            cell.run_id: (cell, execute_run(cell)) for cell in cells
+        }
+    results = runner.run(cells)
+    out: Dict[str, Tuple[RunSpec, SimulationResult]] = {}
+    for cell in cells:
+        run = results.get(cell.run_id)
+        if run is None:
+            raise SweepError(
+                f"run {cell.run_id} ({cell.label}, trace {cell.trace_id}) "
+                "was not executed — experiment aggregation needs every "
+                "cell; drop the shard selector or merge shard stores first"
+            )
+        if not run.ok:
+            raise SweepError(
+                f"run {cell.run_id} ({cell.label}, trace {cell.trace_id}) "
+                f"failed:\n{run.error}"
+            )
+        out[cell.run_id] = (cell, run.simulation_result())
+    return out
+
+
 def run_schedulers(
     specs: Sequence[JobSpec],
     schedulers: Mapping[str, Scheduler],
     trace_name: str = "workload",
     cluster_factory=None,
+    runner: Optional[SweepRunner] = None,
     **sim_kwargs,
 ) -> Dict[str, SimulationResult]:
     """Run a workload under several schedulers, each on a fresh cluster.
@@ -70,14 +124,42 @@ def run_schedulers(
         trace_name: Label recorded in each result.
         cluster_factory: Zero-argument callable building a fresh
             cluster per run; defaults to the paper's 64-GPU shape.
+        runner: Optional :class:`SweepRunner`; with more than one
+            worker the per-scheduler runs execute concurrently as
+            prebuilt cells (results are identical to the serial path).
         **sim_kwargs: Extra :class:`ClusterSimulator` arguments.
+
+    Raises:
+        SweepError: When a pooled run fails.
     """
     factory = cluster_factory or _cluster
-    results: Dict[str, SimulationResult] = {}
-    for label, scheduler in schedulers.items():
-        simulator = ClusterSimulator(scheduler, cluster=factory(), **sim_kwargs)
-        results[label] = simulator.run(specs, trace_name)
-    return results
+    if runner is None or runner.max_workers <= 1:
+        results: Dict[str, SimulationResult] = {}
+        for label, scheduler in schedulers.items():
+            simulator = ClusterSimulator(
+                scheduler, cluster=factory(), **sim_kwargs
+            )
+            results[label] = simulator.run(specs, trace_name)
+        return results
+    cells = [
+        PrebuiltCell(
+            label=label,
+            specs=tuple(specs),
+            scheduler=scheduler,
+            cluster=factory(),
+            trace_name=trace_name,
+            sim_options=dict(sim_kwargs),
+        )
+        for label, scheduler in schedulers.items()
+    ]
+    runs = runner.run_prebuilt(cells)
+    out: Dict[str, SimulationResult] = {}
+    for label in schedulers:
+        run = runs[label]
+        if not run.ok:
+            raise SweepError(f"run {label!r} failed:\n{run.error}")
+        out[label] = run.simulation_result()
+    return out
 
 
 def normalized_metrics(
@@ -222,37 +304,39 @@ def simulation_comparison(
     trace_ids: Sequence[str] = ("1", "2", "3", "4", "1'", "2'", "3'", "4'"),
     num_jobs: Optional[int] = DEFAULT_NUM_JOBS,
     seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Figures 9 and 10: per-trace speedups of Muri over each baseline.
+
+    Args:
+        runner: Optional :class:`SweepRunner` to execute the
+            (trace x scheduler) grid concurrently and/or resumably.
 
     Returns:
         ``{trace_id: {baseline: {metric: speedup}}}`` where speedup > 1
         means Muri wins (the paper's normalized bars).
     """
     if duration_known:
-        baseline_names = {"SRTF": "srtf", "SRSF": "srsf"}
-        muri_key, muri_label = "muri-s", "Muri-S"
+        baseline_labels = ("SRTF", "SRSF")
+        muri_label = "Muri-S"
     else:
-        baseline_names = {
-            "Tiresias": "tiresias",
-            "AntMan": "antman",
-            "Themis": "themis",
-        }
-        muri_key, muri_label = "muri-l", "Muri-L"
+        baseline_labels = ("Tiresias", "AntMan", "Themis")
+        muri_label = "Muri-L"
+
+    cells = simulation_cells(
+        duration_known, trace_ids=trace_ids, num_jobs=num_jobs, seed=seed
+    )
+    by_trace: Dict[str, Dict[str, SimulationResult]] = {}
+    for cell, result in _run_cells(cells, runner).values():
+        by_trace.setdefault(cell.trace_id, {})[cell.label] = result
 
     sweep: Dict[str, Dict[str, Dict[str, float]]] = {}
     for trace_id in trace_ids:
-        trace = generate_trace(trace_id, num_jobs=num_jobs, seed=seed + int(trace_id[0]))
-        specs = build_jobs(trace, seed=seed + int(trace_id[0]))
-        schedulers = {
-            label: make_scheduler(key) for label, key in baseline_names.items()
-        }
-        schedulers[muri_label] = make_scheduler(muri_key)
-        results = run_schedulers(specs, schedulers, trace.name)
+        results = by_trace[trace_id]
         muri = results[muri_label]
         sweep[trace_id] = {
             label: muri.speedup_over(results[label])
-            for label in baseline_names
+            for label in baseline_labels
         }
     return sweep
 
@@ -265,25 +349,25 @@ def ablation_comparison(
     trace_ids: Sequence[str] = ("1", "2", "3", "4"),
     num_jobs: Optional[int] = DEFAULT_NUM_JOBS,
     seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Figure 11: Muri-L vs worst-ordering and no-Blossom variants.
+
+    Args:
+        runner: Optional :class:`SweepRunner` for the cell grid.
 
     Returns:
         ``{trace_id: {variant: {metric: value normalized to Muri-L}}}``
         — values above 1 mean the variant is worse.
     """
+    cells = ablation_cells(trace_ids=trace_ids, num_jobs=num_jobs, seed=seed)
+    by_trace: Dict[str, Dict[str, SimulationResult]] = {}
+    for cell, result in _run_cells(cells, runner).values():
+        by_trace.setdefault(cell.trace_id, {})[cell.label] = result
+
     sweep: Dict[str, Dict[str, Dict[str, float]]] = {}
     for trace_id in trace_ids:
-        trace = generate_trace(trace_id, num_jobs=num_jobs, seed=seed + int(trace_id[0]))
-        specs = build_jobs(trace, seed=seed + int(trace_id[0]))
-        schedulers = {
-            "Muri-L": MuriScheduler(policy="las2d"),
-            "Muri-L w/ worst ordering": MuriScheduler(
-                policy="las2d", ordering="worst"
-            ),
-            "Muri-L w/o Blossom": MuriScheduler(policy="las2d", matcher="greedy"),
-        }
-        results = run_schedulers(specs, schedulers, trace.name)
+        results = by_trace[trace_id]
         reference = results["Muri-L"]
         sweep[trace_id] = {
             label: {
@@ -303,25 +387,27 @@ def group_size_comparison(
     trace_ids: Sequence[str] = ("1", "2", "3", "4"),
     num_jobs: Optional[int] = DEFAULT_NUM_JOBS,
     seed: int = 0,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Figure 12: Muri-L with 2/3/4-job groups vs AntMan, all at t=0.
+
+    Args:
+        runner: Optional :class:`SweepRunner` for the cell grid.
 
     Returns:
         ``{trace_id: {scheduler: {metric: value normalized to AntMan}}}``
         — values below 1 beat AntMan.
     """
+    cells = group_size_cells(
+        trace_ids=trace_ids, num_jobs=num_jobs, seed=seed
+    )
+    by_trace: Dict[str, Dict[str, SimulationResult]] = {}
+    for cell, result in _run_cells(cells, runner).values():
+        by_trace.setdefault(cell.trace_id, {})[cell.label] = result
+
     sweep: Dict[str, Dict[str, Dict[str, float]]] = {}
     for trace_id in trace_ids:
-        trace = generate_trace(
-            trace_id, num_jobs=num_jobs, seed=seed + int(trace_id[0]), at_time_zero=True
-        )
-        specs = build_jobs(trace, seed=seed + int(trace_id[0]))
-        schedulers: Dict[str, Scheduler] = {"AntMan": make_scheduler("antman")}
-        for size in (2, 3, 4):
-            schedulers[f"Muri-L-{size}"] = MuriScheduler(
-                policy="las2d", max_group_size=size
-            )
-        results = run_schedulers(specs, schedulers, trace.name)
+        results = by_trace[trace_id]
         reference = results["AntMan"]
         sweep[trace_id] = {
             label: {
@@ -342,24 +428,27 @@ def job_type_sweep(
     num_jobs: Optional[int] = DEFAULT_NUM_JOBS,
     seed: int = 0,
     trace_id: str = "1",
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Figure 13: speedup vs the number of distinct bottleneck types.
 
     Returns:
         ``{num_types: {"Muri-S/SRTF": x, "Muri-L/Tiresias": y}}``.
     """
+    cells = job_type_cells(
+        num_types_values=num_types_values, num_jobs=num_jobs,
+        seed=seed, trace_id=trace_id,
+    )
+    # Cells of one num_types share a model pool; key on the label
+    # suffix ("Muri-S@3") since they all use the same trace id.
+    by_types: Dict[int, Dict[str, SimulationResult]] = {}
+    for cell, result in _run_cells(cells, runner).values():
+        label, num_types = cell.label.rsplit("@", 1)
+        by_types.setdefault(int(num_types), {})[label] = result
+
     sweep: Dict[int, Dict[str, float]] = {}
     for num_types in num_types_values:
-        models = models_for_bottlenecks(num_types=num_types)
-        trace = generate_trace(trace_id, num_jobs=num_jobs, seed=seed)
-        specs = build_jobs(trace, models=models, seed=seed)
-        schedulers = {
-            "SRTF": make_scheduler("srtf"),
-            "Muri-S": make_scheduler("muri-s"),
-            "Tiresias": make_scheduler("tiresias"),
-            "Muri-L": make_scheduler("muri-l"),
-        }
-        results = run_schedulers(specs, schedulers, trace.name)
+        results = by_types[num_types]
         sweep[num_types] = {
             "Muri-S/SRTF": results["Muri-S"].speedup_over(results["SRTF"])["avg_jct"],
             "Muri-L/Tiresias": results["Muri-L"].speedup_over(
@@ -378,6 +467,7 @@ def profiling_noise_sweep(
     num_jobs: Optional[int] = DEFAULT_NUM_JOBS,
     seed: int = 0,
     trace_id: str = "1",
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[float, Dict[str, float]]:
     """Figure 14: Muri-L under profiling noise n_p in [0, 1].
 
@@ -394,20 +484,13 @@ def profiling_noise_sweep(
         ``{noise: {"avg_jct": normalized, "makespan": normalized}}``
         normalized to the noise-free run.
     """
-    trace = generate_trace(trace_id, num_jobs=num_jobs, seed=seed)
-    specs = build_jobs(trace, seed=seed)
-
+    cells = noise_cells(
+        noise_levels=noise_levels, num_jobs=num_jobs,
+        seed=seed, trace_id=trace_id,
+    )
     runs: Dict[float, SimulationResult] = {}
-    for level in noise_levels:
-        profiler = ResourceProfiler(
-            noise=UniformNoise(level),
-            num_dry_runs=1,
-            seed=seed,
-            cache_by_model=False,
-        )
-        scheduler = MuriScheduler(policy="las2d", profiler=profiler)
-        simulator = ClusterSimulator(scheduler, cluster=_cluster())
-        runs[level] = simulator.run(specs, trace.name)
+    for cell, result in _run_cells(cells, runner).values():
+        runs[cell.noise_level] = result
 
     reference_level = min(noise_levels)
     reference = runs[reference_level]

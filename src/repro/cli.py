@@ -9,9 +9,12 @@ Drives the library from a shell::
     repro explain 17 --trace 1 --jobs 100 --scheduler muri-s
     repro compare  --trace 2' --jobs 300 --schedulers srsf,muri-s
     repro experiment table4                         # any paper artifact
+    repro sweep fig9 --workers 4 --out fig9.jsonl   # parallel sweep
+    repro sweep all --shard 1/3 --out shard1.jsonl  # one of 3 shards
     repro trace --trace 4 --jobs 500 --out trace.csv
 
-Every command is deterministic for a given ``--seed``.
+Every command is deterministic for a given ``--seed``; ``repro sweep``
+is deterministic per run id regardless of worker count or sharding.
 """
 
 from __future__ import annotations
@@ -44,6 +47,15 @@ from repro.observe import (
 from repro.schedulers.registry import SCHEDULERS, make_scheduler
 from repro.sim.io import save_comparison, save_result
 from repro.sim.simulator import ClusterSimulator
+from repro.sweep import (
+    SWEEPABLE_EXPERIMENTS,
+    ResultStore,
+    SweepRunner,
+    experiment_cells,
+    in_shard,
+    parse_shard,
+    summarize_runs,
+)
 from repro.trace.philly import generate_trace
 from repro.trace.workload import build_jobs
 
@@ -113,6 +125,33 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("artifact", choices=EXPERIMENTS)
     experiment.add_argument("--jobs", type=int, default=400)
     experiment.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment's cell grid in parallel, resumably, "
+             "optionally as one shard of a multi-machine partition",
+    )
+    sweep.add_argument("artifact", choices=SWEEPABLE_EXPERIMENTS + ("all",))
+    sweep.add_argument("--jobs", type=int, default=400,
+                       help="jobs per cell (0 = paper scale)")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="process-pool size (1 = serial in-process)")
+    sweep.add_argument("--shard",
+                       help="run only this shard, e.g. 1/3 (1-based)")
+    sweep.add_argument("--out", help="append results to this JSONL store")
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip run ids already completed in --out instead of "
+             "truncating it",
+    )
+    sweep.add_argument("--timeout", type=float,
+                       help="per-run wall-clock budget in seconds")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="retries for crashed or timed-out workers")
+    sweep.add_argument("--list", action="store_true",
+                       help="print the cell grid (with shard buckets) "
+                            "and exit without running")
 
     trace = sub.add_parser("trace", help="generate a synthetic trace")
     trace.add_argument("--trace", default="1")
@@ -355,6 +394,72 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    num_jobs = args.jobs if args.jobs > 0 else None
+    cells = experiment_cells(args.artifact, num_jobs=num_jobs, seed=args.seed)
+    shard = parse_shard(args.shard) if args.shard else None
+
+    if args.list:
+        rows = [
+            (cell.run_id, cell.experiment, cell.trace_id, cell.label,
+             cell.seed, "yes" if in_shard(cell.run_id, shard) else "no")
+            for cell in cells
+        ]
+        print(format_table(
+            ["Run id", "Experiment", "Trace", "Label", "Seed", "Selected"],
+            rows,
+            title=f"{args.artifact}: {len(cells)} cells"
+                  + (f", shard {args.shard}" if shard else ""),
+        ))
+        return 0
+
+    tracer = Tracer()
+    runner = SweepRunner(
+        max_workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        store=ResultStore(args.out) if args.out else None,
+        resume=args.resume,
+        shard=shard,
+        tracer=tracer,
+    )
+    results = runner.run(cells)
+
+    rows = []
+    for record in summarize_runs(results.values()):
+        rows.append((
+            record["run_id"], record["experiment"], record["trace_id"],
+            record["label"], record["status"],
+            record.get("avg_jct", float("nan")),
+            record.get("makespan", float("nan")),
+        ))
+    print(format_table(
+        ["Run id", "Experiment", "Trace", "Label", "Status",
+         "Avg JCT (s)", "Makespan (s)"],
+        rows,
+        title=f"sweep {args.artifact}: {len(results)} of {len(cells)} "
+              f"cells" + (f" (shard {args.shard})" if shard else ""),
+    ))
+    counters = tracer.counters
+    print(
+        "completed {completed}  resumed {resumed}  failed {failed}  "
+        "retried {retried}  timeouts {timeout}".format(
+            completed=counters.get("sweep.runs.completed", 0),
+            resumed=counters.get("sweep.runs.resumed", 0),
+            failed=counters.get("sweep.runs.failed", 0),
+            retried=counters.get("sweep.runs.retried", 0),
+            timeout=counters.get("sweep.runs.timeout", 0),
+        )
+    )
+    if args.out:
+        print(f"results appended to {args.out}")
+
+    failures = [run for run in results.values() if not run.ok]
+    for run in failures:
+        print(f"run {run.run_id} failed:\n{run.error}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_trace(args) -> int:
     trace = generate_trace(args.trace, num_jobs=args.jobs, seed=args.seed)
     trace.to_csv(args.out)
@@ -427,6 +532,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,
+    "sweep": _cmd_sweep,
     "trace": _cmd_trace,
     "capacity": _cmd_capacity,
     "reproduce": _cmd_reproduce,

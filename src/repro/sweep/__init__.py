@@ -1,0 +1,88 @@
+"""Parallel, resumable experiment sweeps.
+
+Every paper artifact is a grid of independent simulations (scheduler x
+seed x trace x config).  ``repro.sweep`` executes those grids as
+*cells*:
+
+* :class:`~repro.sweep.spec.RunSpec` — a declarative cell with a
+  stable run id (hash of its canonical JSON), so the same cell means
+  the same simulation on every machine;
+* :class:`~repro.sweep.runner.SweepRunner` — a process-pool executor
+  with per-run timeouts, bounded retry-with-backoff for crashed or
+  hung workers, and a bit-identical in-process serial mode at
+  ``max_workers=1``;
+* :class:`~repro.sweep.store.ResultStore` — an append-only JSONL store
+  whose completed run ids let a killed sweep resume, tolerating the
+  truncated final line an interrupted append leaves behind;
+* ``shard k/n`` — deterministic partition of a sweep by run-id hash,
+  so independent machines (or CI matrix shards) split the work with
+  no coordination;
+* :mod:`~repro.sweep.cells` / :mod:`~repro.sweep.aggregate` — the
+  paper experiments flattened into cells and reduced back into the
+  structures :mod:`repro.analysis.experiments` reports.
+
+Quickstart::
+
+    from repro.sweep import ResultStore, SweepRunner, experiment_cells
+
+    cells = experiment_cells("fig9", num_jobs=200)
+    runner = SweepRunner(max_workers=4, store=ResultStore("fig9.jsonl"))
+    results = runner.run(cells)          # resumes if fig9.jsonl exists
+
+See ``docs/experiments.md`` for the full model.
+"""
+
+from repro.sweep.aggregate import load_many, results_by_label, summarize_runs
+from repro.sweep.cells import (
+    SWEEPABLE_EXPERIMENTS,
+    ablation_cells,
+    experiment_cells,
+    group_size_cells,
+    job_type_cells,
+    noise_cells,
+    robustness_cells,
+    simulation_cells,
+)
+from repro.sweep.execute import (
+    PrebuiltCell,
+    build_scheduler,
+    build_workload,
+    execute_prebuilt,
+    execute_run,
+)
+from repro.sweep.runner import SweepError, SweepRunner
+from repro.sweep.spec import (
+    RunResult,
+    RunSpec,
+    canonical_json,
+    in_shard,
+    parse_shard,
+)
+from repro.sweep.store import ResultStore
+
+__all__ = [
+    "RunSpec",
+    "RunResult",
+    "SweepRunner",
+    "SweepError",
+    "ResultStore",
+    "PrebuiltCell",
+    "canonical_json",
+    "parse_shard",
+    "in_shard",
+    "build_workload",
+    "build_scheduler",
+    "execute_run",
+    "execute_prebuilt",
+    "SWEEPABLE_EXPERIMENTS",
+    "experiment_cells",
+    "simulation_cells",
+    "ablation_cells",
+    "group_size_cells",
+    "job_type_cells",
+    "noise_cells",
+    "robustness_cells",
+    "results_by_label",
+    "summarize_runs",
+    "load_many",
+]

@@ -1,0 +1,85 @@
+"""Reduce sweep results back into the structures experiments report.
+
+The sweep layer flattens every experiment into independent cells; this
+module puts them back together.  :func:`results_by_label` groups a
+result set for one experiment's aggregation step, and
+:func:`summarize_runs` extracts the headline metrics per run — the
+flat form consumed by ``repro sweep``'s terminal table and by
+``tools/diff_metrics.py``'s regression gate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.sim.metrics import SimulationResult
+from repro.sweep.spec import RunResult
+
+__all__ = ["results_by_label", "summarize_runs", "load_many"]
+
+
+def results_by_label(
+    results: Iterable[RunResult],
+    experiment: Optional[str] = None,
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Group results as ``{trace_id: {label: SimulationResult}}``.
+
+    Args:
+        results: Any mix of run results (failed or spec-less runs are
+            skipped).
+        experiment: When given, keep only this experiment's cells.
+    """
+    grouped: Dict[str, Dict[str, SimulationResult]] = {}
+    for result in results:
+        if not result.ok or result.spec is None:
+            continue
+        spec = result.spec
+        if experiment is not None and spec.experiment != experiment:
+            continue
+        grouped.setdefault(spec.trace_id, {})[spec.label] = (
+            result.simulation_result()
+        )
+    return grouped
+
+
+def summarize_runs(results: Iterable[RunResult]) -> List[Dict]:
+    """One flat record per run: identity plus headline metrics.
+
+    Each record carries ``run_id``, ``experiment``, ``trace_id``,
+    ``label``, ``scheduler``, ``seed``, ``status``, and — for
+    completed runs — ``avg_jct``, ``p99_jct``, and ``makespan``.
+    Sorted by (experiment, trace_id, label) for stable output.
+    """
+    records = []
+    for result in results:
+        spec = result.spec
+        record: Dict = {
+            "run_id": result.run_id,
+            "experiment": spec.experiment if spec else "",
+            "trace_id": spec.trace_id if spec else "",
+            "label": spec.label if spec else result.run_id,
+            "scheduler": spec.scheduler if spec else "",
+            "seed": spec.seed if spec else None,
+            "status": result.status,
+        }
+        if result.ok:
+            sim = result.simulation_result()
+            record["avg_jct"] = sim.avg_jct
+            record["p99_jct"] = sim.tail_jct(99.0)
+            record["makespan"] = sim.makespan
+        records.append(record)
+    records.sort(
+        key=lambda r: (r["experiment"], r["trace_id"], r["label"])
+    )
+    return records
+
+
+def load_many(paths: Iterable) -> List[RunResult]:
+    """Load and merge several JSONL stores (later files win per id)."""
+    from repro.sweep.store import ResultStore
+
+    by_id: Dict[str, RunResult] = {}
+    for path in paths:
+        for result in ResultStore(path).load():
+            by_id[result.run_id] = result
+    return list(by_id.values())

@@ -1,0 +1,233 @@
+"""Cell builders: each paper experiment as a flat list of RunSpecs.
+
+These mirror the loops inside :mod:`repro.analysis.experiments` — one
+:class:`~repro.sweep.spec.RunSpec` per (trace, scheduler, seed, config)
+combination, with identical seeds and construction — so a sweep over
+the cells reproduces the serial experiment exactly, run by run.  The
+experiment functions aggregate over these same cells; the ``repro
+sweep`` CLI and the CI shards execute them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.models.zoo import models_for_bottlenecks
+from repro.sweep.spec import RunSpec
+
+__all__ = [
+    "SWEEPABLE_EXPERIMENTS",
+    "simulation_cells",
+    "ablation_cells",
+    "group_size_cells",
+    "job_type_cells",
+    "noise_cells",
+    "robustness_cells",
+    "experiment_cells",
+]
+
+#: Default simulated trace set of Figs. 9/10.
+_SIM_TRACES = ("1", "2", "3", "4", "1'", "2'", "3'", "4'")
+
+#: Default trace set of the ablation-style figures (11-12).
+_ABLATION_TRACES = ("1", "2", "3", "4")
+
+
+def simulation_cells(
+    duration_known: bool,
+    trace_ids: Sequence[str] = _SIM_TRACES,
+    num_jobs: Optional[int] = 400,
+    seed: int = 0,
+) -> List[RunSpec]:
+    """Cells of Figs. 9 (known durations) / 10 (unknown durations)."""
+    experiment = "fig9" if duration_known else "fig10"
+    if duration_known:
+        schedulers = {"SRTF": "srtf", "SRSF": "srsf", "Muri-S": "muri-s"}
+    else:
+        schedulers = {
+            "Tiresias": "tiresias",
+            "AntMan": "antman",
+            "Themis": "themis",
+            "Muri-L": "muri-l",
+        }
+    cells = []
+    for trace_id in trace_ids:
+        for label, scheduler in schedulers.items():
+            cells.append(RunSpec(
+                experiment=experiment,
+                label=label,
+                scheduler=scheduler,
+                trace_id=trace_id,
+                seed=seed + int(trace_id[0]),
+                num_jobs=num_jobs,
+            ))
+    return cells
+
+
+def ablation_cells(
+    trace_ids: Sequence[str] = _ABLATION_TRACES,
+    num_jobs: Optional[int] = 400,
+    seed: int = 0,
+) -> List[RunSpec]:
+    """Cells of Fig. 11: Muri-L vs worst-ordering and greedy-matcher."""
+    variants: Dict[str, Dict[str, str]] = {
+        "Muri-L": {},
+        "Muri-L w/ worst ordering": {"ordering": "worst"},
+        "Muri-L w/o Blossom": {"matcher": "greedy"},
+    }
+    cells = []
+    for trace_id in trace_ids:
+        for label, options in variants.items():
+            cells.append(RunSpec(
+                experiment="fig11",
+                label=label,
+                scheduler="muri-l",
+                trace_id=trace_id,
+                seed=seed + int(trace_id[0]),
+                num_jobs=num_jobs,
+                scheduler_options=options,
+            ))
+    return cells
+
+
+def group_size_cells(
+    trace_ids: Sequence[str] = _ABLATION_TRACES,
+    num_jobs: Optional[int] = 400,
+    seed: int = 0,
+) -> List[RunSpec]:
+    """Cells of Fig. 12: 2/3/4-job Muri-L groups vs AntMan, at t=0."""
+    cells = []
+    for trace_id in trace_ids:
+        run_seed = seed + int(trace_id[0])
+        cells.append(RunSpec(
+            experiment="fig12",
+            label="AntMan",
+            scheduler="antman",
+            trace_id=trace_id,
+            seed=run_seed,
+            num_jobs=num_jobs,
+            at_time_zero=True,
+        ))
+        for size in (2, 3, 4):
+            cells.append(RunSpec(
+                experiment="fig12",
+                label=f"Muri-L-{size}",
+                scheduler="muri-l",
+                trace_id=trace_id,
+                seed=run_seed,
+                num_jobs=num_jobs,
+                at_time_zero=True,
+                scheduler_options={"max_group_size": size},
+            ))
+    return cells
+
+
+def job_type_cells(
+    num_types_values: Sequence[int] = (1, 2, 3, 4),
+    num_jobs: Optional[int] = 400,
+    seed: int = 0,
+    trace_id: str = "1",
+) -> List[RunSpec]:
+    """Cells of Fig. 13: sweep the number of bottleneck types."""
+    cells = []
+    for num_types in num_types_values:
+        models = tuple(models_for_bottlenecks(num_types=num_types))
+        for label, scheduler in (
+            ("SRTF", "srtf"), ("Muri-S", "muri-s"),
+            ("Tiresias", "tiresias"), ("Muri-L", "muri-l"),
+        ):
+            cells.append(RunSpec(
+                experiment="fig13",
+                label=f"{label}@{num_types}",
+                scheduler=scheduler,
+                trace_id=trace_id,
+                seed=seed,
+                num_jobs=num_jobs,
+                models=models,
+            ))
+    return cells
+
+
+def noise_cells(
+    noise_levels: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    num_jobs: Optional[int] = 400,
+    seed: int = 0,
+    trace_id: str = "1",
+) -> List[RunSpec]:
+    """Cells of Fig. 14: Muri-L under profiling noise levels."""
+    return [
+        RunSpec(
+            experiment="fig14",
+            label=f"noise={level:g}",
+            scheduler="muri-l",
+            trace_id=trace_id,
+            seed=seed,
+            num_jobs=num_jobs,
+            noise_level=level,
+        )
+        for level in noise_levels
+    ]
+
+
+def robustness_cells(
+    seeds: Sequence[int] = tuple(range(10)),
+    num_jobs: Optional[int] = 250,
+    trace_id: str = "1",
+) -> List[RunSpec]:
+    """Cells of the multi-seed robustness sweep (Muri-L vs Tiresias)."""
+    cells = []
+    for seed in seeds:
+        for label, scheduler in (("Tiresias", "tiresias"),
+                                 ("Muri-L", "muri-l")):
+            cells.append(RunSpec(
+                experiment="robustness",
+                label=f"{label}@{seed}",
+                scheduler=scheduler,
+                trace_id=trace_id,
+                seed=seed,
+                num_jobs=num_jobs,
+            ))
+    return cells
+
+
+#: Artifact names ``experiment_cells`` accepts (``"all"`` is their union).
+SWEEPABLE_EXPERIMENTS = (
+    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "robustness",
+)
+
+
+def experiment_cells(
+    artifact: str,
+    num_jobs: Optional[int] = 400,
+    seed: int = 0,
+) -> List[RunSpec]:
+    """Cells for one sweepable artifact, or ``"all"`` for their union.
+
+    The robustness artifact ignores ``seed`` (it *is* a seed sweep)
+    and caps its per-run size at 250 jobs, matching the benchmark.
+
+    Raises:
+        ValueError: For unknown artifact names.
+    """
+    builders = {
+        "fig9": lambda: simulation_cells(True, num_jobs=num_jobs, seed=seed),
+        "fig10": lambda: simulation_cells(False, num_jobs=num_jobs, seed=seed),
+        "fig11": lambda: ablation_cells(num_jobs=num_jobs, seed=seed),
+        "fig12": lambda: group_size_cells(num_jobs=num_jobs, seed=seed),
+        "fig13": lambda: job_type_cells(num_jobs=num_jobs, seed=seed),
+        "fig14": lambda: noise_cells(num_jobs=num_jobs, seed=seed),
+        "robustness": lambda: robustness_cells(
+            num_jobs=min(num_jobs, 250) if num_jobs else 250
+        ),
+    }
+    if artifact == "all":
+        cells = []
+        for name in SWEEPABLE_EXPERIMENTS:
+            cells.extend(builders[name]())
+        return cells
+    if artifact not in builders:
+        raise ValueError(
+            f"unknown sweep artifact {artifact!r}; expected one of "
+            f"{SWEEPABLE_EXPERIMENTS + ('all',)}"
+        )
+    return builders[artifact]()

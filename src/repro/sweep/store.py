@@ -1,0 +1,99 @@
+"""Resumable JSONL result store.
+
+One :class:`RunResult` per line, appended atomically (single write +
+flush + fsync per result), so a sweep killed mid-flight loses at most
+the line it was writing.  :meth:`ResultStore.load` tolerates exactly
+that failure mode: a truncated (unparseable) **final** line is counted
+and skipped, while corruption anywhere else raises — silent data loss
+in the middle of a store is a bug, a half-written tail is expected.
+
+The store is the resume protocol: a restarted sweep loads
+:meth:`ResultStore.completed_ids` and skips those cells.  Later lines
+win when a run id appears twice (e.g. a run recorded as an error and
+then retried by a fresh invocation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Set, Union
+
+from repro.sweep.spec import RunResult
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Append-only JSONL persistence for sweep results.
+
+    Args:
+        path: The JSONL file; created (with parent directories) on
+            first append.
+
+    Attributes:
+        truncated_lines: Unparseable final lines skipped by the last
+            :meth:`load` (0 or 1 per file read).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.truncated_lines = 0
+
+    def append(self, result: RunResult) -> None:
+        """Durably append one result as a single JSONL line."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(result.to_dict(), allow_nan=False) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def clear(self) -> None:
+        """Remove the store file (a non-resuming sweep starts fresh)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def load(self) -> List[RunResult]:
+        """Read every stored result, last write winning per run id.
+
+        Returns an empty list when the file does not exist.  A final
+        line that fails to parse is treated as the tail of an
+        interrupted append: skipped and counted in
+        :attr:`truncated_lines`.
+
+        Raises:
+            ValueError: When a line *before* the last is unparseable —
+                that is corruption, not an interrupted append.
+        """
+        self.truncated_lines = 0
+        if not self.path.exists():
+            return []
+        lines = [
+            (number, line)
+            for number, line in enumerate(
+                self.path.read_text(encoding="utf-8").splitlines(), start=1
+            )
+            if line.strip()
+        ]
+        by_id: Dict[str, RunResult] = {}
+        for position, (number, line) in enumerate(lines):
+            try:
+                payload = json.loads(line)
+                result = RunResult.from_dict(payload)
+            except (ValueError, KeyError, TypeError) as error:
+                if position == len(lines) - 1:
+                    self.truncated_lines += 1
+                    continue
+                raise ValueError(
+                    f"{self.path}:{number}: corrupt result line: {error}"
+                ) from error
+            by_id[result.run_id] = result
+        return list(by_id.values())
+
+    def completed_ids(self) -> Set[str]:
+        """Run ids whose latest stored entry completed successfully."""
+        return {result.run_id for result in self.load() if result.ok}

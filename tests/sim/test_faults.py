@@ -1,8 +1,95 @@
-"""Tests for the fault injector."""
+"""Tests for the fault injector.
+
+Beyond the sampling unit tests, this module pins the *accounting*:
+when a faulted job is requeued, exactly ``executed * progress_loss``
+iterations are added back to its remaining work — checked with a
+scripted injector and closed-form arithmetic on the ideal simulator.
+"""
 
 import pytest
 
+from repro.cluster.cluster import Cluster
+from repro.jobs.job import JobSpec
+from repro.jobs.stage import StageProfile
+from repro.schedulers.classic import FifoScheduler
+from repro.sim.contention import IDEAL_CONTENTION
 from repro.sim.faults import FaultInjector
+from repro.sim.simulator import ClusterSimulator
+
+UNIT = StageProfile((0.25, 0.25, 0.25, 0.25))  # 1 second per iteration
+
+
+class ScriptedInjector:
+    """Duck-typed FaultInjector firing at scripted productive offsets.
+
+    Each started (or restarted) job consumes the next delay; once the
+    script is exhausted no further faults fire, so tests can do exact
+    arithmetic on how much work each fault destroyed.
+    """
+
+    def __init__(self, delays, progress_loss=0.0):
+        self._delays = list(delays)
+        self.progress_loss = progress_loss
+
+    @property
+    def enabled(self):
+        return True
+
+    def sample_fault_delay(self):
+        if self._delays:
+            return self._delays.pop(0)
+        return None
+
+
+def _run_single(num_iterations, injector, interval=360.0):
+    job = JobSpec(profile=UNIT, num_gpus=1, num_iterations=num_iterations)
+    sim = ClusterSimulator(
+        FifoScheduler(),
+        cluster=Cluster(1, 1),
+        scheduling_interval=interval,
+        restart_penalty=0.0,
+        contention=IDEAL_CONTENTION,
+        fault_injector=injector,
+    )
+    return sim.run([job]).jcts[job.job_id]
+
+
+class TestProgressLossAccounting:
+    def test_lossless_requeue_keeps_all_progress(self):
+        # Fault after 100 of 300 iterations; the survivor restarts at
+        # the next tick (t=360) and needs exactly the remaining 200.
+        jct = _run_single(300, ScriptedInjector([100.0], progress_loss=0.0))
+        assert jct == pytest.approx(360.0 + 200.0)
+
+    def test_partial_loss_adds_back_executed_fraction(self):
+        # 100 iterations executed, half lost: remaining 200 -> 250.
+        jct = _run_single(300, ScriptedInjector([100.0], progress_loss=0.5))
+        assert jct == pytest.approx(360.0 + 250.0)
+
+    def test_full_loss_restarts_from_scratch(self):
+        # All 100 executed iterations lost: remaining back to 300,
+        # clamped exactly at the job's total.
+        jct = _run_single(300, ScriptedInjector([100.0], progress_loss=1.0))
+        assert jct == pytest.approx(360.0 + 300.0)
+
+    def test_loss_compounds_across_repeated_requeues(self):
+        # Fault 1 at t=100 (100 executed, 50 lost -> remaining 250),
+        # restart at t=360.  Fault 2 after 50 more productive seconds
+        # (t=410): total executed 100, remaining 200 -> 250 again,
+        # restart at t=720.  Finish 720 + 250.
+        jct = _run_single(
+            300, ScriptedInjector([100.0, 50.0], progress_loss=0.5)
+        )
+        assert jct == pytest.approx(720.0 + 250.0)
+
+    def test_loss_ordering_is_monotone(self):
+        """More checkpoint loss can never speed a workload up."""
+        jcts = [
+            _run_single(300, ScriptedInjector([100.0, 50.0], loss))
+            for loss in (0.0, 0.25, 0.5, 1.0)
+        ]
+        assert jcts == sorted(jcts)
+        assert jcts[0] < jcts[-1]
 
 
 def test_disabled_by_default():

@@ -1,0 +1,97 @@
+"""Acceptance tests from the sweep issue.
+
+1. A 4-worker sweep produces results identical (per run id) to the
+   serial path — parallelism must not change the science.
+2. A sweep killed mid-flight resumes from its JSONL store without
+   re-executing completed runs, even when the kill left a half-written
+   final line.
+"""
+
+import json
+import multiprocessing
+
+import repro.sweep.execute as execute_module
+import repro.sweep.runner as runner_module
+from repro.analysis.experiments import simulation_comparison
+from repro.sweep import ResultStore, SweepRunner, simulation_cells
+
+FORK = multiprocessing.get_context("fork")
+
+TRACE_IDS = ("1", "2")
+NUM_JOBS = 40
+
+
+def _payload_without_wall_clock(run):
+    payload = dict(run.result)
+    payload.pop("wall_clock", None)
+    return payload
+
+
+def test_four_worker_sweep_matches_serial_per_run_id():
+    cells = simulation_cells(
+        duration_known=True, trace_ids=TRACE_IDS, num_jobs=NUM_JOBS,
+    )
+    serial = SweepRunner(max_workers=1).run(cells)
+    pooled = SweepRunner(max_workers=4, mp_context=FORK).run(cells)
+
+    assert set(serial) == set(pooled) == {cell.run_id for cell in cells}
+    for run_id in serial:
+        assert serial[run_id].ok and pooled[run_id].ok
+        assert _payload_without_wall_clock(
+            serial[run_id]
+        ) == _payload_without_wall_clock(pooled[run_id])
+
+
+def test_simulation_comparison_identical_through_the_runner():
+    serial = simulation_comparison(
+        duration_known=True, trace_ids=TRACE_IDS, num_jobs=NUM_JOBS,
+    )
+    runner = SweepRunner(max_workers=2, mp_context=FORK)
+    pooled = simulation_comparison(
+        duration_known=True, trace_ids=TRACE_IDS, num_jobs=NUM_JOBS,
+        runner=runner,
+    )
+    # {trace_id: {baseline: {metric: speedup}}} — must match exactly.
+    assert serial == pooled
+
+
+def test_killed_sweep_resumes_without_reexecuting(tmp_path, monkeypatch):
+    cells = simulation_cells(
+        duration_known=True, trace_ids=("1",), num_jobs=20,
+    )
+    assert len(cells) >= 3
+    path = tmp_path / "runs.jsonl"
+
+    # First pass: complete the full sweep to get real persisted lines.
+    SweepRunner(store=ResultStore(path)).run(cells)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == len(cells)
+
+    # Simulate a kill mid-append: keep the first result intact and
+    # leave the second as a half-written line.
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(lines[0] + "\n")
+        handle.write(lines[1][: len(lines[1]) // 2])
+
+    executed = []
+    real_execute = execute_module.execute_run
+
+    def counting_execute(spec):
+        executed.append(spec.run_id)
+        return real_execute(spec)
+
+    monkeypatch.setattr(runner_module, "execute_run", counting_execute)
+    store = ResultStore(path)
+    results = SweepRunner(store=store, resume=True).run(cells)
+
+    # The truncated line was discarded, the intact run was reused, and
+    # everything else — including the half-written victim — re-ran.
+    survivor = json.loads(lines[0])["run_id"]
+    assert store.truncated_lines == 1
+    assert survivor not in executed
+    assert sorted(executed) == sorted(
+        cell.run_id for cell in cells if cell.run_id != survivor
+    )
+    assert results[survivor].resumed
+    assert set(results) == {cell.run_id for cell in cells}
+    assert all(run.ok for run in results.values())

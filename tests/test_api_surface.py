@@ -22,6 +22,7 @@ SUBPACKAGES = (
     "repro.profiler",
     "repro.analysis",
     "repro.observe",
+    "repro.sweep",
     "repro.cli",
 )
 
@@ -72,6 +73,10 @@ TOP_LEVEL_NAMES = (
     "write_jsonl",
     "trace_summary",
     "format_explain",
+    "RunSpec",
+    "RunResult",
+    "SweepRunner",
+    "ResultStore",
 )
 
 

@@ -202,3 +202,59 @@ def test_capacity_sweep(capsys):
     assert code == 0
     assert "capacity sweep" in out
     assert "Muri-S" in out
+
+
+def test_sweep_list(capsys):
+    code, out, _err = run(
+        capsys, "sweep", "fig9", "--jobs", "30", "--list",
+    )
+    assert code == 0
+    assert "cells" in out
+    assert "Muri-S" in out
+    # Every cell is selected when no shard is given.
+    assert "no" not in out.split()
+
+
+def test_sweep_list_with_shard(capsys):
+    code, out, _err = run(
+        capsys, "sweep", "fig9", "--jobs", "30", "--list",
+        "--shard", "1/2",
+    )
+    assert code == 0
+    assert "shard 1/2" in out
+    words = out.split()
+    assert "yes" in words and "no" in words
+
+
+def test_sweep_runs_and_persists(capsys, tmp_path):
+    out_path = tmp_path / "runs.jsonl"
+    code, out, _err = run(
+        capsys, "sweep", "fig11", "--jobs", "20", "--out", str(out_path),
+    )
+    assert code == 0
+    assert "sweep fig11" in out
+    assert "completed 12" in out
+    lines = out_path.read_text().splitlines()
+    assert len(lines) == 12
+    assert all(json.loads(line)["status"] == "ok" for line in lines)
+
+
+def test_sweep_resume_skips_completed(capsys, tmp_path):
+    out_path = tmp_path / "runs.jsonl"
+    argv = ("sweep", "fig11", "--jobs", "20", "--out", str(out_path),
+            "--resume")
+    code, out, _err = run(capsys, *argv)
+    assert code == 0
+    assert "completed 12" in out
+
+    code, out, _err = run(capsys, *argv)
+    assert code == 0
+    assert "resumed 12" in out
+    assert "completed 0" in out
+    # No duplicate lines were appended for resumed runs.
+    assert len(out_path.read_text().splitlines()) == 12
+
+
+def test_sweep_rejects_unknown_artifact():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "bogus"])

@@ -1,17 +1,19 @@
 #!/usr/bin/env python
-"""Docstring lint for the public observability API.
+"""Docstring lint for the public observability and sweep APIs.
 
-Walks every module under ``src/repro/observe/`` and fails (exit 1)
-if any *public* definition — module, class, function, or method whose
-name does not start with an underscore — lacks a docstring. Dunders
-(including ``__init__``) are exempt: constructor arguments are
-documented on the class.
+Walks every module under the default roots (``src/repro/observe/``
+and ``src/repro/sweep/``) and fails (exit 1) if any *public*
+definition — module, class, function, or method whose name does not
+start with an underscore — lacks a docstring. Dunders (including
+``__init__``) are exempt: constructor arguments are documented on the
+class.
 
 Usage::
 
     python tools/check_docstrings.py [package_dir ...]
 
-With no arguments, lints ``src/repro/observe``.
+With no arguments, lints ``src/repro/observe`` and
+``src/repro/sweep``.
 """
 
 from __future__ import annotations
@@ -65,7 +67,9 @@ def missing_docstrings(path: Path) -> List[str]:
 def main(argv: List[str]) -> int:
     """Lint the given package directories; print offenders, return 1
     if any public definition lacks a docstring."""
-    roots = [Path(a) for a in argv] or [Path("src/repro/observe")]
+    roots = [Path(a) for a in argv] or [
+        Path("src/repro/observe"), Path("src/repro/sweep"),
+    ]
     failures = 0
     checked = 0
     for root in roots:
