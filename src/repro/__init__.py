@@ -27,7 +27,12 @@ The package provides:
   run cells with stable hash-derived ids, a process-pool
   :class:`SweepRunner` with per-run timeouts and bounded retries, a
   JSONL :class:`ResultStore` for resume, and deterministic ``k/n``
-  sharding (see ``docs/experiments.md``).
+  sharding (see ``docs/experiments.md``);
+* ``repro.verify`` — the paper's model as executable checks: a runtime
+  :class:`InvariantChecker` that attaches through the ordinary
+  ``tracer=`` parameter, naive-reference and exact-matcher differential
+  oracles, and the seeded ``repro fuzz`` harness whose failures shrink
+  into replayable JSON repro files (see ``docs/verification.md``).
 
 Quickstart::
 
@@ -80,6 +85,14 @@ from repro.sim import (
 )
 from repro.sweep import ResultStore, RunResult, RunSpec, SweepRunner
 from repro.trace import Trace, TraceRecord, build_jobs, generate_trace
+from repro.verify import (
+    INVARIANT_CATALOG,
+    EpisodeSpec,
+    InvariantChecker,
+    InvariantViolation,
+    run_episode,
+    run_fuzz,
+)
 
 __version__ = "1.0.0"
 
@@ -131,6 +144,13 @@ __all__ = [
     "RunResult",
     "SweepRunner",
     "ResultStore",
+    # verification
+    "InvariantChecker",
+    "InvariantViolation",
+    "INVARIANT_CATALOG",
+    "EpisodeSpec",
+    "run_episode",
+    "run_fuzz",
     # traces & profiling
     "Trace",
     "TraceRecord",

@@ -12,6 +12,8 @@ Drives the library from a shell::
     repro sweep fig9 --workers 4 --out fig9.jsonl   # parallel sweep
     repro sweep all --shard 1/3 --out shard1.jsonl  # one of 3 shards
     repro trace --trace 4 --jobs 500 --out trace.csv
+    repro fuzz --episodes 50 --seed 0         # invariant fuzzing
+    repro fuzz --replay repro-failures/repro-seed0-ep3-....json
 
 Every command is deterministic for a given ``--seed``; ``repro sweep``
 is deterministic per run id regardless of worker count or sharding.
@@ -171,6 +173,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--machine-counts", default="2,4,6,8",
         help="comma-separated machine counts to sweep",
     )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="run seeded random simulation episodes with all runtime "
+             "invariants armed; failing seeds shrink into replayable "
+             "JSON repro files (see docs/verification.md)",
+    )
+    fuzz.add_argument("--episodes", type=int, default=50,
+                      help="number of random episodes to run")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="master seed fixing the episode sequence")
+    fuzz.add_argument("--max-jobs", type=int, default=12,
+                      help="largest workload size generated")
+    fuzz.add_argument("--out-dir", default="repro-failures",
+                      help="directory for repro files of failing episodes")
+    fuzz.add_argument("--invariants",
+                      help="comma-separated invariant subset (default: all)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="serialize failing episodes without shrinking")
+    fuzz.add_argument("--replay", metavar="REPRO_FILE",
+                      help="replay one repro file instead of fuzzing")
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate every paper artifact as one report"
@@ -504,6 +527,60 @@ def _cmd_capacity(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from pathlib import Path
+
+    from repro.verify import (
+        FuzzConfig,
+        load_repro,
+        run_episode,
+        run_fuzz,
+    )
+
+    if args.replay:
+        episode, recorded = load_repro(Path(args.replay))
+        outcome = run_episode(episode)
+        if outcome.ok:
+            print(
+                f"{args.replay}: episode ran clean "
+                f"(recorded violation: {recorded.get('invariant', '?')}) — "
+                f"the bug appears fixed"
+            )
+            return 0
+        violation = outcome.violation
+        print(f"{args.replay}: reproduced [{violation.invariant}] "
+              f"{violation.message}")
+        if violation.invariant != recorded.get("invariant"):
+            print(
+                f"note: recorded invariant was "
+                f"{recorded.get('invariant', '?')!r}"
+            )
+        return 1
+
+    invariants = None
+    if args.invariants:
+        invariants = [
+            name.strip() for name in args.invariants.split(",") if name.strip()
+        ]
+    config = FuzzConfig(
+        episodes=args.episodes,
+        seed=args.seed,
+        max_jobs=args.max_jobs,
+        out_dir=Path(args.out_dir),
+        invariants=invariants,
+        shrink=not args.no_shrink,
+    )
+    report = run_fuzz(config, progress=print)
+    print(
+        f"fuzz: {report.episodes_run} episodes, "
+        f"{len(report.failures)} violation(s)"
+    )
+    for path, violation in report.failures:
+        print(f"  [{violation.invariant}] {violation.message}")
+        print(f"  repro file: {path}")
+    return 1 if report.failures else 0
+
+
 def _cmd_reproduce(args) -> int:
     from pathlib import Path
 
@@ -535,6 +612,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
     "capacity": _cmd_capacity,
+    "fuzz": _cmd_fuzz,
     "reproduce": _cmd_reproduce,
 }
 

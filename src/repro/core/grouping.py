@@ -299,7 +299,9 @@ class MultiRoundGrouper:
 
         tracing = self.tracer is not None and self.tracer.enabled
         self.last_decisions = None
-        self._prov_candidates = {} if tracing else None
+        self._prov_candidates = (
+            {} if tracing and self.tracer.candidate_provenance else None
+        )
         self._trace_now = now
 
         with maybe_span(

@@ -118,7 +118,17 @@ class MuriScheduler(Scheduler):
             self.tracer, "sched.decide", now,
             scheduler=self.name, jobs=len(jobs), reason=reason,
         ):
-            return self._decide_inner(now, jobs, running, total_gpus, reason)
+            plan = self._decide_inner(now, jobs, running, total_gpus, reason)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.inspect(
+                "sched.order",
+                now,
+                plan=plan,
+                running=list(running),
+                policy=self.policy,
+            )
+        return plan
 
     def _decide_inner(
         self,

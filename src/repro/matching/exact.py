@@ -13,7 +13,7 @@ but serve two purposes:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "brute_force_matching",
@@ -84,6 +84,7 @@ def exact_hypergraph_matching(
     num_nodes: int,
     group_size: int,
     weight_fn,
+    max_nodes: Optional[int] = 20,
 ) -> Tuple[List[Tuple[int, ...]], float]:
     """Exact maximum weight k-uniform hypergraph matching.
 
@@ -96,12 +97,26 @@ def exact_hypergraph_matching(
         num_nodes: Number of nodes, labelled ``0..num_nodes-1``.
         group_size: Hyperedge cardinality k.
         weight_fn: Callable mapping a tuple of node ids to a weight.
+        max_nodes: Guard against accidental exponential blowups (the
+            search enumerates all C(n, k) hyperedges): inputs larger
+            than this raise instead of hanging.  Pass None to disable
+            when a long exact run is intended.
 
     Returns:
         ``(groups, total_weight)`` for the best disjoint selection.
+
+    Raises:
+        ValueError: When ``group_size < 1``, or ``num_nodes`` exceeds
+            ``max_nodes``.
     """
     if group_size < 1:
         raise ValueError("group_size must be >= 1")
+    if max_nodes is not None and num_nodes > max_nodes:
+        raise ValueError(
+            f"exact matching over {num_nodes} nodes would enumerate "
+            f"C({num_nodes}, {group_size}) hyperedges; pass "
+            f"max_nodes=None to force it"
+        )
     nodes = tuple(range(num_nodes))
     hyperedges = [
         (group, float(weight_fn(group)))

@@ -132,6 +132,11 @@ class Tracer:
         self.enabled = enabled
         self.max_events = max_events
         self.dropped_events = 0
+        #: When False, producers skip the most detailed provenance
+        #: (per-job candidate edges) while still filing grouping and
+        #: outcome records.  Verification layers turn this off to keep
+        #: armed-check overhead low.
+        self.candidate_provenance = True
         self.provenance = ProvenanceStore(max_groupings_per_job)
         self._events: List[TraceEvent] = []
         self._counters: Dict[str, int] = {}
@@ -175,6 +180,26 @@ class Tracer:
         if not self.enabled:
             return
         self._counters[name] = self._counters.get(name, 0) + amount
+
+    def inspect(self, point: str, sim_time: float = 0.0, **state: Any) -> None:
+        """Structural hook: expose live objects at a named check point.
+
+        Unlike :meth:`emit`, which records serializable *event* data,
+        ``inspect`` hands subclasses the actual in-flight objects
+        (proposed :class:`~repro.core.group.JobGroup` plans, the
+        cluster) at well-known points of the simulator/scheduler stack.
+        The base tracer ignores the call — it exists so verification
+        layers (``repro.verify``) can attach runtime invariant checks
+        through the same ``tracer=`` parameter every component already
+        threads, without new plumbing.  Call sites guard on
+        ``tracer.enabled`` like any other instrumentation.
+
+        Args:
+            point: Check-point name (e.g. ``"sim.plan"``,
+                ``"sched.order"``, ``"sim.cluster"``).
+            sim_time: Simulation time at the check point.
+            **state: Live objects the check point exposes.
+        """
 
     def _record(self, event: TraceEvent) -> None:
         if len(self._events) >= self.max_events:

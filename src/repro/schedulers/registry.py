@@ -130,8 +130,12 @@ def make_scheduler(
     Args:
         name: One of :func:`available_schedulers` (case-insensitive).
         profiler: Optional profiler, honoured by the Muri variants.
-        tracer: Optional :class:`~repro.observe.Tracer`, honoured by
-            the Muri variants (decision provenance and grouping spans).
+        tracer: Optional :class:`~repro.observe.Tracer`.  Muri variants
+            take it as a constructor argument (decision provenance and
+            grouping spans); for factory-built schedulers it is attached
+            after construction to any ``tracer`` attribute the scheduler
+            (and its grouper, if any) exposes, so registered policies
+            can be traced or invariant-checked without a custom factory.
         **kwargs: Extra constructor arguments for Muri variants
             (``max_group_size``, ``matcher``, ``ordering``...).
 
@@ -152,6 +156,11 @@ def make_scheduler(
             policy=policy, profiler=profiler, tracer=tracer, **kwargs
         )
     factory = SCHEDULERS.get(key)
-    if kwargs:
-        return factory(**kwargs)  # type: ignore[call-arg]
-    return factory()
+    scheduler = factory(**kwargs) if kwargs else factory()  # type: ignore[call-arg]
+    if tracer is not None:
+        if hasattr(scheduler, "tracer"):
+            scheduler.tracer = tracer
+        grouper = getattr(scheduler, "grouper", None)
+        if grouper is not None and hasattr(grouper, "tracer"):
+            grouper.tracer = tracer
+    return scheduler

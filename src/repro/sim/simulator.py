@@ -357,6 +357,13 @@ class ClusterSimulator:
             proposed_keys.append(key)
             valid.append(group)
         keyset = set(proposed_keys)
+        if tracing:
+            tracer.inspect(
+                "sim.plan",
+                now,
+                groups=valid,
+                total_gpus=self.cluster.total_gpus,
+            )
 
         # Stop groups not in the plan.
         stopped = 0
@@ -456,6 +463,7 @@ class ClusterSimulator:
                 queue_length=len(pending),
                 free_gpus=self.cluster.free_gpus,
             )
+            tracer.inspect("sim.cluster", now, cluster=self.cluster)
 
         if self.decision_log is not None:
             self.decision_log.record(Decision(
@@ -557,27 +565,32 @@ class ClusterSimulator:
             for job in faulted:
                 if job in rgroup.active:
                     fault_time = self._advance_clock + span
+                    if self.monitor is not None:
+                        self.monitor.report_fault(
+                            self._advance_clock + span, job.job_id
+                        )
+                    loss = self.fault_injector.progress_loss
+                    remaining_before = job.remaining_iterations
+                    if loss > 0:
+                        executed = job.spec.num_iterations - job.remaining_iterations
+                        job.remaining_iterations = min(
+                            float(job.spec.num_iterations),
+                            job.remaining_iterations + executed * loss,
+                        )
                     if tracing:
                         tracer.emit(
                             EventCategory.JOB,
                             "job.fault",
                             fault_time,
                             job=job.job_id,
+                            remaining_before=remaining_before,
+                            remaining_after=job.remaining_iterations,
+                            total_iterations=job.spec.num_iterations,
+                            progress_loss=loss,
                         )
                         self._trace_outcome(
                             job.job_id, fault_time, "faulted",
                             "requeued with checkpointed progress",
-                        )
-                    if self.monitor is not None:
-                        self.monitor.report_fault(
-                            self._advance_clock + span, job.job_id
-                        )
-                    loss = self.fault_injector.progress_loss
-                    if loss > 0:
-                        executed = job.spec.num_iterations - job.remaining_iterations
-                        job.remaining_iterations = min(
-                            float(job.spec.num_iterations),
-                            job.remaining_iterations + executed * loss,
                         )
                     job.mark_stopped()
                     rgroup.active.remove(job)

@@ -1,0 +1,238 @@
+"""Seeded episode fuzzing with shrinking repro files.
+
+:func:`run_fuzz` generates :class:`~repro.verify.repro_file.EpisodeSpec`
+episodes from a seeded RNG — random workloads, cluster shapes, fault
+schedules, and schedulers — and replays each with every invariant
+armed.  A failing episode is first *shrunk* (ddmin over the job list,
+then single-knob simplifications) so the repro file shows the smallest
+workload that still trips the same invariant, and then serialized with
+:func:`~repro.verify.save_repro`.
+
+The generation is fully determined by ``FuzzConfig.seed``: episode
+``i`` of seed ``s`` is the same on every machine, so CI failures
+reproduce locally with ``repro fuzz --episodes N --seed s`` and a
+written repro file replays forever after with ``repro fuzz --replay``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.verify.invariants import InvariantViolation
+from repro.verify.repro_file import (
+    EpisodeSpec,
+    JobSpecData,
+    run_episode,
+    save_repro,
+)
+
+__all__ = ["FuzzConfig", "FuzzReport", "random_episode", "shrink_episode", "run_fuzz"]
+
+#: Scheduler pool the fuzzer samples from: the Muri variants (the code
+#: under test) weighted heavily, plus representative baselines so the
+#: executor-side invariants see non-Muri plans too.
+_SCHEDULER_POOL: Tuple[str, ...] = (
+    "muri-s", "muri-s", "muri-s",
+    "muri-l", "muri-l",
+    "srsf", "tiresias", "antman", "tetris",
+)
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs of one fuzzing run.
+
+    Attributes:
+        episodes: Number of episodes to generate and run.
+        seed: Master seed; fixes the whole episode sequence.
+        max_jobs: Largest workload size generated.
+        out_dir: Directory repro files are written to.
+        invariants: Invariant names to arm (None = all).
+        shrink: Shrink failing episodes before serializing.
+    """
+
+    episodes: int = 50
+    seed: int = 0
+    max_jobs: int = 12
+    out_dir: Path = field(default_factory=lambda: Path("repro-failures"))
+    invariants: Optional[List[str]] = None
+    shrink: bool = True
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing run.
+
+    Attributes:
+        episodes_run: Episodes generated and replayed.
+        failures: One ``(repro_path, violation)`` per failing episode.
+    """
+
+    episodes_run: int = 0
+    failures: List[Tuple[Path, InvariantViolation]] = field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        """True when every episode ran clean."""
+        return not self.failures
+
+
+def random_episode(rng: random.Random, index: int, max_jobs: int = 12) -> EpisodeSpec:
+    """One random episode, fully determined by ``rng``'s state.
+
+    Workloads are small and episodes short (tens of iterations per
+    job), so a fuzz run of dozens of episodes stays in CI budget while
+    still crossing scheduler ticks, completions, preemptions, group
+    re-keying, backfill, and fault requeues.
+    """
+    num_machines = rng.randint(1, 3)
+    gpus_per_machine = rng.choice((2, 4, 8))
+    total_gpus = num_machines * gpus_per_machine
+
+    jobs: List[JobSpecData] = []
+    for _ in range(rng.randint(1, max_jobs)):
+        durations = [
+            round(rng.uniform(0.0, 8.0), 3) if rng.random() < 0.8 else 0.0
+            for _ in range(4)
+        ]
+        if not any(durations):
+            durations[rng.randrange(4)] = round(rng.uniform(0.5, 8.0), 3)
+        gpu_choices = [g for g in (1, 1, 1, 2, 4) if g <= total_gpus]
+        jobs.append(JobSpecData(
+            durations=tuple(durations),
+            num_gpus=rng.choice(gpu_choices),
+            submit_time=(
+                0.0 if rng.random() < 0.5
+                else round(rng.uniform(0.0, 720.0), 1)
+            ),
+            num_iterations=rng.randint(1, 60),
+        ))
+
+    inject_faults = rng.random() < 0.4
+    return EpisodeSpec(
+        seed=index,
+        scheduler=rng.choice(_SCHEDULER_POOL),
+        num_machines=num_machines,
+        gpus_per_machine=gpus_per_machine,
+        scheduling_interval=rng.choice((60.0, 180.0, 360.0)),
+        restart_penalty=rng.choice((0.0, 10.0, 30.0)),
+        backfill_on_completion=rng.random() < 0.5,
+        reschedule_on_arrival=rng.random() < 0.3,
+        fault_mtbf=rng.choice((120.0, 600.0, 3600.0)) if inject_faults else None,
+        fault_loss=round(rng.uniform(0.0, 1.0), 2) if inject_faults else 0.0,
+        fault_seed=rng.randrange(1 << 16),
+        jobs=jobs,
+    )
+
+
+def _still_fails(episode: EpisodeSpec, invariant: str) -> Optional[InvariantViolation]:
+    """Replay; return the violation if the same invariant still fires."""
+    outcome = run_episode(episode)
+    if outcome.violation is not None and outcome.violation.invariant == invariant:
+        return outcome.violation
+    return None
+
+
+def shrink_episode(
+    episode: EpisodeSpec,
+    violation: InvariantViolation,
+) -> Tuple[EpisodeSpec, InvariantViolation]:
+    """Minimize a failing episode while preserving its violation.
+
+    ddmin over the job list (drop halves, then quarters, ... then
+    single jobs), followed by one-knob simplifications: drop the fault
+    schedule, zero the restart penalty, disable the event-driven
+    scheduler modes.  Every accepted reduction must reproduce a
+    violation of the *same* invariant, so shrinking cannot wander onto
+    a different bug.
+
+    Returns:
+        The smallest failing episode found and its violation.
+    """
+    invariant = violation.invariant
+
+    # ddmin over jobs.
+    chunk = max(1, len(episode.jobs) // 2)
+    while chunk >= 1:
+        shrunk_this_pass = False
+        start = 0
+        while start < len(episode.jobs) and len(episode.jobs) > 1:
+            candidate_jobs = episode.jobs[:start] + episode.jobs[start + chunk:]
+            if not candidate_jobs:
+                start += chunk
+                continue
+            candidate = EpisodeSpec(**{
+                **episode.__dict__, "jobs": candidate_jobs,
+            })
+            result = _still_fails(candidate, invariant)
+            if result is not None:
+                episode, violation = candidate, result
+                shrunk_this_pass = True
+            else:
+                start += chunk
+        if chunk == 1 and not shrunk_this_pass:
+            break
+        chunk = max(1, chunk // 2) if chunk > 1 else 0
+
+    # One-knob simplifications.
+    for knob in (
+        {"fault_mtbf": None, "fault_loss": 0.0},
+        {"restart_penalty": 0.0},
+        {"backfill_on_completion": False},
+        {"reschedule_on_arrival": False},
+        {"scheduler_kwargs": {}},
+    ):
+        candidate = EpisodeSpec(**{**episode.__dict__, **knob})
+        result = _still_fails(candidate, invariant)
+        if result is not None:
+            episode, violation = candidate, result
+    return episode, violation
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run one fuzzing campaign; write a repro file per failure.
+
+    Args:
+        config: The campaign configuration.
+        progress: Optional line sink (e.g. ``print``) for per-failure
+            progress messages.
+
+    Returns:
+        The :class:`FuzzReport`; inspect :attr:`FuzzReport.ok`.
+    """
+    rng = random.Random(config.seed)
+    report = FuzzReport()
+    for index in range(config.episodes):
+        episode = random_episode(rng, index, max_jobs=config.max_jobs)
+        if config.invariants is not None:
+            episode.invariants = list(config.invariants)
+        outcome = run_episode(episode)
+        report.episodes_run += 1
+        if outcome.ok:
+            continue
+        violation = outcome.violation
+        if progress is not None:
+            progress(
+                f"episode {index}: {violation.invariant} violated "
+                f"({violation.message})"
+            )
+        if config.shrink:
+            episode, violation = shrink_episode(episode, violation)
+            if progress is not None:
+                progress(
+                    f"episode {index}: shrunk to {len(episode.jobs)} job(s)"
+                )
+        path = Path(config.out_dir) / (
+            f"repro-seed{config.seed}-ep{index}-{violation.invariant}.json"
+        )
+        save_repro(path, episode, violation)
+        report.failures.append((path, violation))
+    return report

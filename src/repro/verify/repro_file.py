@@ -1,0 +1,249 @@
+"""Replayable fuzz episodes and their on-disk repro files.
+
+An :class:`EpisodeSpec` is a complete, self-contained description of
+one short simulation: cluster shape, scheduler, workload (explicit
+per-job duration rows — no model-zoo dependency), fault schedule, and
+the invariants to arm.  The simulator is deterministic given that
+description, so a spec that violated an invariant once violates it
+every time: :func:`run_episode` replays it bit-for-bit.
+
+A failing episode is serialized with :func:`save_repro` into a small
+JSON *repro file* carrying both the shrunken episode and the structured
+violation (``repro fuzz`` writes these; ``repro fuzz --replay`` and the
+test suite read them back with :func:`load_repro`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.jobs.job import JobSpec
+from repro.jobs.stage import StageProfile
+from repro.schedulers.registry import make_scheduler
+from repro.sim.faults import FaultInjector
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import ClusterSimulator, SimulationError
+from repro.verify.invariants import InvariantChecker, InvariantViolation
+
+__all__ = [
+    "JobSpecData",
+    "EpisodeSpec",
+    "EpisodeOutcome",
+    "run_episode",
+    "save_repro",
+    "load_repro",
+    "REPRO_FORMAT_VERSION",
+]
+
+#: Version stamp of the repro-file JSON layout.
+REPRO_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class JobSpecData:
+    """One job of an episode, as plain replayable data.
+
+    Attributes:
+        durations: Per-resource stage durations (seconds).
+        num_gpus: GPUs the job requests.
+        submit_time: Arrival time in seconds.
+        num_iterations: Training iterations to run.
+    """
+
+    durations: Tuple[float, ...]
+    num_gpus: int = 1
+    submit_time: float = 0.0
+    num_iterations: int = 10
+
+    def to_spec(self, job_id: int) -> JobSpec:
+        """Materialize as a :class:`~repro.jobs.job.JobSpec`."""
+        return JobSpec(
+            profile=StageProfile(tuple(self.durations)),
+            num_gpus=self.num_gpus,
+            submit_time=self.submit_time,
+            num_iterations=self.num_iterations,
+            job_id=job_id,
+            name=f"fuzz-{job_id}",
+        )
+
+
+@dataclass
+class EpisodeSpec:
+    """Everything needed to replay one fuzz episode deterministically.
+
+    Attributes:
+        seed: The generator seed this episode came from (bookkeeping).
+        scheduler: Registry name for
+            :func:`~repro.schedulers.make_scheduler`.
+        scheduler_kwargs: Extra scheduler constructor arguments.
+        num_machines: Cluster machines.
+        gpus_per_machine: GPUs per machine.
+        scheduling_interval: Seconds between scheduler ticks.
+        restart_penalty: Group (re)start overhead in seconds.
+        backfill_on_completion: Re-invoke the scheduler on completions.
+        reschedule_on_arrival: Re-invoke the scheduler on arrivals.
+        fault_mtbf: Mean seconds between faults (None = no faults).
+        fault_loss: Fraction of progress lost per fault.
+        fault_seed: Fault RNG seed.
+        jobs: The workload, one :class:`JobSpecData` per job; job ids
+            are assigned 0..n-1 in list order on replay.
+        invariants: Invariant names to arm (None = all).
+    """
+
+    seed: int = 0
+    scheduler: str = "muri-s"
+    scheduler_kwargs: Dict[str, Any] = field(default_factory=dict)
+    num_machines: int = 2
+    gpus_per_machine: int = 4
+    scheduling_interval: float = 360.0
+    restart_penalty: float = 30.0
+    backfill_on_completion: bool = False
+    reschedule_on_arrival: bool = False
+    fault_mtbf: Optional[float] = None
+    fault_loss: float = 0.0
+    fault_seed: int = 0
+    jobs: List[JobSpecData] = field(default_factory=list)
+    invariants: Optional[List[str]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable copy."""
+        data = asdict(self)
+        data["jobs"] = [asdict(job) for job in self.jobs]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EpisodeSpec":
+        """Rebuild an episode parsed from JSON."""
+        payload = dict(data)
+        payload["jobs"] = [
+            JobSpecData(
+                durations=tuple(job["durations"]),
+                num_gpus=job.get("num_gpus", 1),
+                submit_time=job.get("submit_time", 0.0),
+                num_iterations=job.get("num_iterations", 10),
+            )
+            for job in payload.get("jobs", ())
+        ]
+        return cls(**payload)
+
+    def job_specs(self) -> List[JobSpec]:
+        """The workload as fresh :class:`~repro.jobs.job.JobSpec` s."""
+        return [job.to_spec(index) for index, job in enumerate(self.jobs)]
+
+
+@dataclass
+class EpisodeOutcome:
+    """What one episode replay produced.
+
+    Attributes:
+        violation: The first invariant violation, or None on a clean
+            run.  A :class:`~repro.sim.simulator.SimulationError` is
+            reported as a synthetic ``simulation_error`` violation —
+            a stuck or budget-exhausted run is a finding too.
+        result: The simulation result on a clean run, else None.
+        checker: The armed checker (counters, provenance, violations).
+    """
+
+    violation: Optional[InvariantViolation]
+    result: Optional[SimulationResult]
+    checker: InvariantChecker
+
+    @property
+    def ok(self) -> bool:
+        """True when the episode completed without any violation."""
+        return self.violation is None
+
+
+def run_episode(
+    episode: EpisodeSpec,
+    store_events: bool = False,
+) -> EpisodeOutcome:
+    """Replay one episode with its invariants armed.
+
+    Args:
+        episode: The episode to run.
+        store_events: Keep the full event log on the checker (slower;
+            useful when debugging a repro file).
+
+    Returns:
+        The outcome; never raises on invariant violations — they are
+        captured so fuzzing and replay handle them uniformly.
+    """
+    checker = InvariantChecker(
+        invariants=episode.invariants,
+        store_events=store_events,
+    )
+    # make_scheduler attaches the checker to the scheduler (and its
+    # grouper) for every registry name, not just the Muri variants.
+    scheduler = make_scheduler(
+        episode.scheduler, tracer=checker, **episode.scheduler_kwargs
+    )
+    fault_injector = None
+    if episode.fault_mtbf is not None:
+        fault_injector = FaultInjector(
+            mean_time_between_faults=episode.fault_mtbf,
+            seed=episode.fault_seed,
+            progress_loss=episode.fault_loss,
+        )
+    simulator = ClusterSimulator(
+        scheduler,
+        cluster=Cluster(episode.num_machines, episode.gpus_per_machine),
+        scheduling_interval=episode.scheduling_interval,
+        restart_penalty=episode.restart_penalty,
+        fault_injector=fault_injector,
+        backfill_on_completion=episode.backfill_on_completion,
+        reschedule_on_arrival=episode.reschedule_on_arrival,
+        tracer=checker,
+    )
+    try:
+        result = simulator.run(episode.job_specs(), trace_name="fuzz")
+    except InvariantViolation as violation:
+        return EpisodeOutcome(violation, None, checker)
+    except SimulationError as error:
+        violation = InvariantViolation(
+            "simulation_error",
+            str(error),
+            details={"exception": type(error).__name__},
+        )
+        return EpisodeOutcome(violation, None, checker)
+    return EpisodeOutcome(None, result, checker)
+
+
+def save_repro(
+    path: Path,
+    episode: EpisodeSpec,
+    violation: InvariantViolation,
+) -> None:
+    """Write one failing episode and its violation as a repro file."""
+    payload = {
+        "version": REPRO_FORMAT_VERSION,
+        "episode": episode.to_dict(),
+        "violation": violation.to_dict(),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_repro(path: Path) -> Tuple[EpisodeSpec, Dict[str, Any]]:
+    """Read a repro file back; returns the episode and the recorded
+    violation dict.
+
+    Raises:
+        ValueError: On an unknown repro-file version.
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("version")
+    if version != REPRO_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported repro file version {version!r} "
+            f"(expected {REPRO_FORMAT_VERSION})"
+        )
+    return (
+        EpisodeSpec.from_dict(payload["episode"]),
+        payload.get("violation", {}),
+    )

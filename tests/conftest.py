@@ -1,0 +1,34 @@
+"""Shared test configuration: Hypothesis profiles for dev and CI.
+
+Property tests must be reproducible in CI: the ``ci`` profile pins the
+example database off (no cross-run state), derandomizes generation so
+a red build replays locally from the printed seed, and disables the
+per-example deadline (shared CI runners have wild timing variance).
+The ``dev`` profile keeps default randomized exploration for local
+runs.  Selection: ``HYPOTHESIS_PROFILE`` env var wins, else the ``CI``
+env var (set by GitHub Actions) picks ``ci``, else ``dev``.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    database=None,
+    suppress_health_check=(HealthCheck.too_slow,),
+    print_blob=True,
+)
+
+settings.load_profile(
+    os.environ.get(
+        "HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev"
+    )
+)

@@ -1,0 +1,111 @@
+"""Metamorphic properties of the efficiency and ordering models.
+
+These are relations the paper's equations satisfy for *every* input,
+so they hold regardless of the vectorized kernels underneath:
+
+* gamma is symmetric in the group members (Eq. 4 sums over jobs, and
+  the ordering search tries every offset assignment);
+* scaling every stage duration by one constant scales Eq. 3's period
+  by the same constant and leaves gamma unchanged;
+* padding a group with a job that does (almost) nothing can never
+  raise the group's interleaving efficiency.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.efficiency import interleaving_efficiency
+from repro.core.ordering import best_ordering, group_iteration_time
+from repro.jobs.stage import StageProfile
+
+K = 4
+
+# Either exactly zero or comfortably normal: subnormal durations would
+# underflow to an all-zero profile under uniform down-scaling.
+durations = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-3, max_value=50.0,
+              allow_nan=False, allow_infinity=False),
+)
+row_strategy = st.tuples(durations, durations, durations, durations).filter(
+    lambda row: any(row)
+)
+
+
+def profiles_strategy(max_size=K):
+    return st.lists(row_strategy, min_size=1, max_size=max_size).map(
+        lambda rows: [StageProfile(row) for row in rows]
+    )
+
+
+def approx(value):
+    return pytest.approx(value, rel=1e-9, abs=1e-9)
+
+
+class TestPermutationInvariance:
+    @given(profiles=profiles_strategy(), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=60)
+    def test_gamma_invariant_under_member_order(self, profiles, seed):
+        shuffled = list(profiles)
+        random.Random(seed).shuffle(shuffled)
+        original = interleaving_efficiency(profiles)
+        assert interleaving_efficiency(shuffled) == approx(original)
+
+    @given(profiles=profiles_strategy(), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40)
+    def test_best_period_invariant_under_member_order(self, profiles, seed):
+        shuffled = list(profiles)
+        random.Random(seed).shuffle(shuffled)
+        _, period = best_ordering(profiles, K)
+        _, shuffled_period = best_ordering(shuffled, K)
+        assert shuffled_period == approx(period)
+
+
+class TestUniformScaling:
+    @given(
+        profiles=profiles_strategy(),
+        scale=st.sampled_from([0.25, 0.5, 2.0, 3.0, 10.0]),
+    )
+    @settings(max_examples=60)
+    def test_period_scales_linearly(self, profiles, scale):
+        scaled = [
+            StageProfile(tuple(d * scale for d in p.durations))
+            for p in profiles
+        ]
+        offsets, period = best_ordering(profiles, K)
+        assert group_iteration_time(scaled, offsets, K) == approx(
+            period * scale
+        )
+        _, best_scaled = best_ordering(scaled, K)
+        assert best_scaled == approx(period * scale)
+
+    @given(
+        profiles=profiles_strategy(),
+        scale=st.sampled_from([0.25, 0.5, 2.0, 3.0, 10.0]),
+    )
+    @settings(max_examples=40)
+    def test_gamma_invariant_under_scaling(self, profiles, scale):
+        scaled = [
+            StageProfile(tuple(d * scale for d in p.durations))
+            for p in profiles
+        ]
+        assert interleaving_efficiency(scaled) == approx(
+            interleaving_efficiency(profiles)
+        )
+
+
+class TestPadding:
+    @given(profiles=profiles_strategy(max_size=K - 1))
+    @settings(max_examples=60)
+    def test_near_idle_job_never_raises_gamma(self, profiles):
+        # A StageProfile must use at least one resource, so the padding
+        # job runs for one epsilon-long stage — as close to "does
+        # nothing" as the model admits.
+        epsilon_job = StageProfile((1e-9, 0.0, 0.0, 0.0))
+        padded = list(profiles) + [epsilon_job]
+        gamma = interleaving_efficiency(profiles)
+        padded_gamma = interleaving_efficiency(padded)
+        assert padded_gamma <= gamma + 1e-6

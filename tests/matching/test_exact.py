@@ -82,3 +82,15 @@ class TestHypergraph:
         groups, total = exact_hypergraph_matching(4, 2, weight)
         # (0,1)+(2,3)=20 beats (0,2)=15.
         assert total == 20.0
+
+    def test_max_nodes_guard(self):
+        with pytest.raises(ValueError, match="max_nodes=None"):
+            exact_hypergraph_matching(21, 2, lambda g: 1.0)
+
+    def test_max_nodes_guard_disabled(self):
+        # group_size == num_nodes keeps the forced run to one hyperedge.
+        groups, total = exact_hypergraph_matching(
+            21, 21, lambda g: 1.0, max_nodes=None
+        )
+        assert groups == [tuple(range(21))]
+        assert total == 1.0

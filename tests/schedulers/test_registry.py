@@ -77,6 +77,25 @@ def test_make_scheduler_forwards_tracer_to_muri():
     assert scheduler.grouper.tracer is tracer
 
 
+def test_make_scheduler_attaches_tracer_to_registered_factory():
+    # A registered factory takes no tracer argument, yet the built
+    # scheduler (and its grouper) still get one attached when the
+    # instances expose a ``tracer`` attribute.
+    register_scheduler("test-muri", lambda: MuriScheduler(policy="srsf"))
+    try:
+        tracer = Tracer()
+        scheduler = make_scheduler("test-muri", tracer=tracer)
+        assert scheduler.tracer is tracer
+        assert scheduler.grouper.tracer is tracer
+    finally:
+        dict.pop(SCHEDULERS, "test-muri")
+
+
+def test_make_scheduler_tracer_noop_for_baselines():
+    scheduler = make_scheduler("fifo", tracer=Tracer())
+    assert not hasattr(scheduler, "tracer")
+
+
 def test_register_scheduler():
     register_scheduler("test-fifo", FifoScheduler)
     try:

@@ -65,3 +65,52 @@ def test_payload_carried():
     queue = EventQueue()
     queue.push(Event(1.0, EventKind.ARRIVAL, payload={"job": 9}))
     assert queue.pop().payload == {"job": 9}
+
+
+# -- tie-breaking determinism ------------------------------------------------
+# Same-timestamp events are served strictly in insertion order, whatever
+# their kind.  The simulator's replay determinism (and therefore every
+# fuzz repro file) depends on this ordering being pinned.
+
+
+def test_same_time_ties_break_by_insertion_across_kinds():
+    queue = EventQueue()
+    order = [
+        (EventKind.TICK, "tick"),
+        (EventKind.FAULT, "fault"),
+        (EventKind.ARRIVAL, "arrival"),
+        (EventKind.TICK, "tick2"),
+    ]
+    for kind, payload in order:
+        queue.push(Event(7.0, kind, payload=payload))
+    assert [queue.pop().payload for _ in range(4)] == [
+        "tick", "fault", "arrival", "tick2",
+    ]
+
+
+def test_pop_until_preserves_insertion_order_among_ties():
+    queue = EventQueue()
+    queue.push(Event(1.0, EventKind.ARRIVAL, payload="a"))
+    queue.push(Event(2.0, EventKind.TICK, payload="b"))
+    queue.push(Event(1.0, EventKind.FAULT, payload="c"))
+    queue.push(Event(2.0, EventKind.ARRIVAL, payload="d"))
+    assert [e.payload for e in queue.pop_until(2.0)] == ["a", "c", "b", "d"]
+
+
+def test_ties_stay_fifo_across_interleaved_pops():
+    queue = EventQueue()
+    queue.push(Event(5.0, EventKind.TICK, payload=0))
+    queue.push(Event(5.0, EventKind.TICK, payload=1))
+    assert queue.pop().payload == 0
+    # A push after a pop of the same timestamp still queues behind the
+    # earlier insertion.
+    queue.push(Event(5.0, EventKind.TICK, payload=2))
+    assert queue.pop().payload == 1
+    assert queue.pop().payload == 2
+
+
+def test_many_ties_pop_in_exact_insertion_order():
+    queue = EventQueue()
+    for i in range(100):
+        queue.push(Event(3.0, EventKind.ARRIVAL, payload=i))
+    assert [queue.pop().payload for _ in range(100)] == list(range(100))

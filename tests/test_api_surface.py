@@ -23,6 +23,7 @@ SUBPACKAGES = (
     "repro.analysis",
     "repro.observe",
     "repro.sweep",
+    "repro.verify",
     "repro.cli",
 )
 
@@ -77,6 +78,12 @@ TOP_LEVEL_NAMES = (
     "RunResult",
     "SweepRunner",
     "ResultStore",
+    "InvariantChecker",
+    "InvariantViolation",
+    "INVARIANT_CATALOG",
+    "EpisodeSpec",
+    "run_episode",
+    "run_fuzz",
 )
 
 

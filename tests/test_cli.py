@@ -258,3 +258,19 @@ def test_sweep_resume_skips_completed(capsys, tmp_path):
 def test_sweep_rejects_unknown_artifact():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["sweep", "bogus"])
+
+
+def test_fuzz_smoke(capsys, tmp_path):
+    code, out, _err = run(
+        capsys, "fuzz", "--episodes", "3", "--seed", "0",
+        "--out-dir", str(tmp_path / "failures"),
+    )
+    assert code == 0
+    assert "3 episodes" in out
+    # A clean campaign writes no repro files.
+    assert not (tmp_path / "failures").exists()
+
+
+def test_fuzz_replay_missing_file(capsys):
+    with pytest.raises(FileNotFoundError):
+        run(capsys, "fuzz", "--replay", "does-not-exist.json")

@@ -1,0 +1,208 @@
+"""Seeded fuzzing: determinism, shrinking, repro files, and the CLI."""
+
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.verify import (
+    EpisodeSpec,
+    FuzzConfig,
+    InvariantViolation,
+    load_repro,
+    random_episode,
+    run_episode,
+    run_fuzz,
+    save_repro,
+    shrink_episode,
+)
+from repro.verify.repro_file import REPRO_FORMAT_VERSION, JobSpecData
+
+from tests.verify.test_mutation import broken_episode, broken_scheduler  # noqa: F401
+
+
+class TestEpisodeGeneration:
+    def test_same_seed_same_episodes(self):
+        a = [random_episode(random.Random(3), i) for i in range(10)]
+        b = [random_episode(random.Random(3), i) for i in range(10)]
+        # Episodes are plain dataclasses, so deep equality holds.
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [random_episode(random.Random(0), i) for i in range(10)]
+        b = [random_episode(random.Random(1), i) for i in range(10)]
+        assert a != b
+
+    def test_episodes_are_wellformed(self):
+        rng = random.Random(12)
+        for index in range(30):
+            episode = random_episode(rng, index)
+            assert 1 <= len(episode.jobs) <= 12
+            total = episode.num_machines * episode.gpus_per_machine
+            for job in episode.jobs:
+                assert any(job.durations)
+                assert job.num_gpus <= total
+                assert job.num_iterations >= 1
+
+
+class TestRunEpisode:
+    def test_clean_episode(self):
+        episode = EpisodeSpec(jobs=[
+            JobSpecData(durations=(1.0, 2.0, 1.0, 0.5)),
+            JobSpecData(durations=(0.5, 1.0, 2.0, 1.0)),
+        ])
+        outcome = run_episode(episode)
+        assert outcome.ok
+        assert outcome.result.num_jobs == 2
+        assert outcome.checker.violations == []
+
+    def test_episode_with_faults(self):
+        episode = EpisodeSpec(
+            fault_mtbf=120.0,
+            fault_loss=0.5,
+            jobs=[
+                JobSpecData(durations=(1.0, 2.0, 1.0, 0.5),
+                            num_iterations=50)
+                for _ in range(4)
+            ],
+        )
+        outcome = run_episode(episode)
+        assert outcome.ok
+
+    def test_replay_is_deterministic(self):
+        rng = random.Random(21)
+        episode = random_episode(rng, 0)
+        first = run_episode(episode)
+        second = run_episode(episode)
+        assert first.ok == second.ok
+        if first.ok:
+            assert first.result.jcts == second.result.jcts
+
+
+class TestShrinking:
+    def test_shrunk_episode_keeps_invariant(self, broken_scheduler):  # noqa: F811
+        episode = broken_episode()
+        violation = run_episode(episode).violation
+        assert violation is not None
+        shrunk, shrunk_violation = shrink_episode(episode, violation)
+        assert shrunk_violation.invariant == violation.invariant
+        assert 1 <= len(shrunk.jobs) <= len(episode.jobs)
+        # Double booking needs a multi-job group; on the 2-GPU cluster
+        # two jobs run solo, so three jobs is the smallest reproducer.
+        assert len(shrunk.jobs) <= 3
+        assert run_episode(shrunk).violation.invariant == violation.invariant
+
+
+class TestReproFiles:
+    def test_roundtrip(self, tmp_path):
+        episode = EpisodeSpec(
+            scheduler="muri-l",
+            fault_mtbf=600.0,
+            jobs=[JobSpecData(durations=(1.0, 0.0, 2.0, 0.5), num_gpus=2)],
+            invariants=["gpu_capacity"],
+        )
+        violation = InvariantViolation(
+            "gpu_capacity", "synthetic", 3.0, {"allocated": 9}
+        )
+        path = tmp_path / "x.json"
+        save_repro(path, episode, violation)
+        loaded, recorded = load_repro(path)
+        assert loaded == episode
+        assert recorded["invariant"] == "gpu_capacity"
+        assert recorded["details"] == {"allocated": 9}
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({
+            "version": REPRO_FORMAT_VERSION + 1, "episode": {},
+        }))
+        with pytest.raises(ValueError, match="version"):
+            load_repro(path)
+
+
+class TestRunFuzz:
+    def test_seeded_campaign_runs_clean(self, tmp_path):
+        config = FuzzConfig(episodes=12, seed=0, out_dir=tmp_path / "out")
+        report = run_fuzz(config)
+        assert report.ok
+        assert report.episodes_run == 12
+        assert not (tmp_path / "out").exists()
+
+    def test_failures_write_repro_files(self, broken_scheduler,  # noqa: F811
+                                        tmp_path, monkeypatch):
+        import repro.verify.fuzz as fuzz_module
+
+        monkeypatch.setattr(
+            fuzz_module, "_SCHEDULER_POOL", (broken_scheduler,)
+        )
+        config = FuzzConfig(
+            episodes=6, seed=0, out_dir=tmp_path / "failures"
+        )
+        report = run_fuzz(config)
+        assert not report.ok
+        for path, violation in report.failures:
+            assert path.exists()
+            episode, recorded = load_repro(path)
+            assert recorded["invariant"] == violation.invariant
+            replay = run_episode(episode)
+            assert not replay.ok
+            assert replay.violation.invariant == violation.invariant
+
+
+class TestCli:
+    def test_fuzz_command_clean(self, capsys, tmp_path):
+        code = main([
+            "fuzz", "--episodes", "5", "--seed", "0",
+            "--out-dir", str(tmp_path / "out"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "5 episodes" in out
+        assert "0 violation" in out
+
+    def test_fuzz_command_reports_failures(self, capsys, tmp_path,
+                                           broken_scheduler,  # noqa: F811
+                                           monkeypatch):
+        import repro.verify.fuzz as fuzz_module
+
+        monkeypatch.setattr(
+            fuzz_module, "_SCHEDULER_POOL", (broken_scheduler,)
+        )
+        code = main([
+            "fuzz", "--episodes", "6", "--seed", "0",
+            "--out-dir", str(tmp_path / "failures"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "exclusive_membership" in out
+
+    def test_fuzz_replay(self, capsys, tmp_path, broken_scheduler):  # noqa: F811
+        outcome = run_episode(broken_episode())
+        path = tmp_path / "repro.json"
+        save_repro(path, broken_episode(), outcome.violation)
+
+        code = main(["fuzz", "--replay", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "reproduced" in out
+
+    def test_fuzz_replay_of_fixed_bug(self, capsys, tmp_path):
+        episode = EpisodeSpec(jobs=[JobSpecData(durations=(1.0, 1.0, 1.0, 1.0))])
+        violation = InvariantViolation("gpu_capacity", "was broken once")
+        path = tmp_path / "fixed.json"
+        save_repro(path, episode, violation)
+
+        code = main(["fuzz", "--replay", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fixed" in out
+
+    def test_fuzz_unknown_invariant_errors(self, capsys, tmp_path):
+        code = main([
+            "fuzz", "--episodes", "1", "--invariants", "bogus",
+            "--out-dir", str(tmp_path / "out"),
+        ])
+        err = capsys.readouterr().err
+        assert code != 0
+        assert "unknown invariants" in err

@@ -1,0 +1,107 @@
+"""The scalar Eq. 3/4 reference vs the optimized ordering kernels."""
+
+import random
+
+import pytest
+
+from repro.core.efficiency import efficiency_for_period, interleaving_efficiency
+from repro.core.ordering import best_ordering, group_iteration_time
+from repro.jobs.stage import StageProfile
+from repro.verify.reference import (
+    reference_best_period,
+    reference_efficiency,
+    reference_period,
+    reference_slot_durations,
+)
+
+K = 4
+
+
+def random_rows(rng, n, zero_chance=0.2):
+    rows = []
+    for _ in range(n):
+        row = [
+            round(rng.uniform(0.1, 8.0), 3)
+            if rng.random() > zero_chance else 0.0
+            for _ in range(K)
+        ]
+        if not any(row):
+            row[rng.randrange(K)] = 1.0
+        rows.append(tuple(row))
+    return rows
+
+
+class TestSlotModel:
+    def test_paper_perfect_pair(self):
+        # Two jobs that tile each other exactly: every resource busy
+        # in every slot, so gamma is 1 (the paper's jobs A and B).
+        rows = [(1.0, 1.0), (1.0, 1.0)]
+        period = reference_period(rows, (0, 1), 2)
+        assert period == pytest.approx(2.0)
+        assert reference_efficiency(rows, period, 2) == pytest.approx(1.0)
+
+    def test_solo_job_identity(self):
+        rows = [(1.0, 2.0, 0.5, 0.0)]
+        assert reference_slot_durations(rows, (0,), K) == [1.0, 2.0, 0.5, 0.0]
+        assert reference_period(rows, (0,), K) == pytest.approx(3.5)
+
+    def test_colliding_offsets_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            reference_period([(1.0,) * K, (1.0,) * K], (0, 4), K)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            reference_period([], (), K)
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ValueError):
+            reference_efficiency([(0.0,) * K], 0.0, K)
+
+
+class TestAgainstOptimizedKernels:
+    def test_period_matches_group_iteration_time(self):
+        rng = random.Random(42)
+        for _ in range(50):
+            rows = random_rows(rng, rng.randint(1, K))
+            profiles = [StageProfile(row) for row in rows]
+            offsets = tuple(
+                rng.sample(range(K), len(rows))
+            )
+            assert reference_period(rows, offsets, K) == pytest.approx(
+                group_iteration_time(profiles, offsets, K)
+            )
+
+    def test_best_period_matches_best_ordering(self):
+        rng = random.Random(7)
+        for _ in range(30):
+            rows = random_rows(rng, rng.randint(1, K))
+            profiles = [StageProfile(row) for row in rows]
+            ref_offsets, ref_period = reference_best_period(rows, K)
+            opt_offsets, opt_period = best_ordering(profiles, K)
+            assert ref_period == pytest.approx(opt_period)
+            assert tuple(ref_offsets) == tuple(opt_offsets)
+
+    def test_efficiency_matches_eq4(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            rows = random_rows(rng, rng.randint(1, K))
+            profiles = [StageProfile(row) for row in rows]
+            gamma = interleaving_efficiency(profiles)
+            _offsets, period = reference_best_period(rows, K)
+            assert reference_efficiency(rows, period, K) == pytest.approx(gamma)
+            assert efficiency_for_period(profiles, period, K) == pytest.approx(
+                gamma
+            )
+
+    def test_gamma_stays_in_unit_interval(self):
+        rng = random.Random(11)
+        for _ in range(50):
+            rows = random_rows(rng, rng.randint(1, K))
+            _offsets, period = reference_best_period(rows, K)
+            gamma = reference_efficiency(rows, period, K)
+            assert 0.0 < gamma <= 1.0 + 1e-9
+
+    def test_too_many_jobs_rejected(self):
+        rows = random_rows(random.Random(0), K + 1)
+        with pytest.raises(ValueError, match="contention"):
+            reference_best_period(rows, K)
