@@ -12,6 +12,8 @@ Drives the library from a shell::
     repro sweep fig9 --workers 4 --out fig9.jsonl   # parallel sweep
     repro sweep all --shard 1/3 --out shard1.jsonl  # one of 3 shards
     repro trace --trace 4 --jobs 500 --out trace.csv
+    repro serve --socket /tmp/repro.sock            # scheduler daemon
+    repro serve --jobs 20 --drain --verify-incremental
     repro fuzz --episodes 50 --seed 0         # invariant fuzzing
     repro fuzz --replay repro-failures/repro-seed0-ep3-....json
 
@@ -172,6 +174,39 @@ def build_parser() -> argparse.ArgumentParser:
     capacity.add_argument(
         "--machine-counts", default="2,4,6,8",
         help="comma-separated machine counts to sweep",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the online scheduling service: event-driven "
+             "submission over a Unix socket, or a one-shot drained "
+             "run of the generated workload (see docs/service.md)",
+    )
+    add_workload_args(serve)
+    serve.add_argument("--scheduler", default="muri-l",
+                       choices=sorted(SCHEDULERS))
+    serve.add_argument("--socket",
+                       help="Unix-socket path to listen on (omit with "
+                            "--drain for an in-process run)")
+    serve.add_argument("--clock", default="virtual",
+                       choices=("virtual", "wall"),
+                       help="pacing driver: 'virtual' jumps between "
+                            "event horizons, 'wall' maps simulated "
+                            "seconds to real seconds")
+    serve.add_argument("--time-scale", type=float, default=1.0,
+                       help="real seconds per simulated second for "
+                            "--clock wall")
+    serve.add_argument("--interval", type=float, default=360.0,
+                       help="scheduling interval in simulated seconds")
+    serve.add_argument("--max-pending", type=int, default=1024,
+                       help="admission bound on the pending queue")
+    serve.add_argument("--drain", action="store_true",
+                       help="pre-submit the generated workload, drain, "
+                            "print the summary, and exit")
+    serve.add_argument(
+        "--verify-incremental", action="store_true",
+        help="check every incremental regrouping decision against a "
+             "cold full re-solve (slow; CI and debugging)",
     )
 
     fuzz = sub.add_parser(
@@ -527,6 +562,93 @@ def _cmd_capacity(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import (
+        SchedulerService,
+        ServiceServer,
+        VirtualClock,
+        WallClock,
+    )
+
+    if not args.drain and not args.socket:
+        print("error: pass --socket to serve clients, or --drain for a "
+              "one-shot run", file=sys.stderr)
+        return 2
+
+    tracer = Tracer()
+    scheduler = make_scheduler(args.scheduler, tracer=tracer)
+    # Baselines ignore the flag; Muri switches from the backfill
+    # reservoir to event-driven incremental regrouping.
+    if hasattr(scheduler, "event_regroup"):
+        scheduler.event_regroup = True
+    if args.verify_incremental:
+        from repro.verify import IncrementalOracle
+
+        def _cold_scheduler():
+            cold = make_scheduler(args.scheduler)
+            if hasattr(cold, "event_regroup"):
+                cold.event_regroup = True
+            return cold
+
+        scheduler = IncrementalOracle(scheduler, _cold_scheduler)
+    simulator = ClusterSimulator(
+        scheduler,
+        cluster=Cluster(args.machines, args.gpus_per_machine),
+        scheduling_interval=args.interval,
+        reschedule_on_arrival=True,
+        arrival_reason="arrival",
+        backfill_on_completion=True,
+        tracer=tracer,
+    )
+    clock = (WallClock(args.time_scale) if args.clock == "wall"
+             else VirtualClock())
+    trace, specs = _workload(args)
+    service = SchedulerService(
+        simulator, max_pending=args.max_pending, clock=clock,
+        trace_name=trace.name, tracer=tracer,
+    )
+
+    if args.drain:
+        for spec in sorted(specs, key=lambda s: s.submit_time):
+            service.submit(spec)
+        result = service.run_sync()
+    else:
+        print(f"serving on {args.socket} (scheduler {scheduler.name}, "
+              f"{args.clock} clock); submit jobs with ServiceClient, "
+              f"drain to finish")
+        server = ServiceServer(service, args.socket)
+        try:
+            result = asyncio.run(server.serve())
+        except KeyboardInterrupt:
+            print("interrupted; draining in-process")
+            result = service.run_sync()
+    summary = result.summary()
+    counters = tracer.counters
+    print(format_table(
+        ["Metric", "Value"],
+        [
+            ("scheduler", scheduler.name),
+            ("trace", trace.name),
+            ("jobs", summary.num_jobs),
+            ("avg JCT (s)", summary.avg_jct),
+            ("p99 JCT (s)", summary.p99_jct),
+            ("makespan (s)", summary.makespan),
+            ("submitted", counters.get("service.submitted", 0)),
+            ("cancelled", counters.get("service.cancelled", 0)),
+            ("regroups (arrival)", counters.get("sched.regroup.arrival", 0)),
+            ("regroups (completion)",
+             counters.get("sched.regroup.completion", 0)),
+        ],
+        title="service run",
+    ))
+    if args.verify_incremental:
+        print(f"incremental regrouping verified against a cold full "
+              f"re-solve on {scheduler.checks} decision(s)")
+    return 0
+
+
 def _cmd_fuzz(args) -> int:
     from pathlib import Path
 
@@ -612,6 +734,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
     "capacity": _cmd_capacity,
+    "serve": _cmd_serve,
     "fuzz": _cmd_fuzz,
     "reproduce": _cmd_reproduce,
 }

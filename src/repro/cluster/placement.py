@@ -67,14 +67,20 @@ class DescendingPlacer:
         indexed.sort(key=lambda item: (-item[1][1], item[0]))
 
         placed: List[Tuple[int, Allocation]] = []
-        unplaced: List[int] = []
-        for _original_index, (owner, num_gpus) in indexed:
+        unplaced: List[Tuple[int, int]] = []
+        for original_index, (owner, num_gpus) in indexed:
             plan = self.plan_for(cluster, num_gpus)
             if plan is None:
-                unplaced.append(owner)
+                unplaced.append((original_index, owner))
                 continue
             placed.append((owner, cluster.allocate(owner, plan)))
-        return PlacementPlan(tuple(placed), tuple(unplaced))
+        # Placement walks demands largest-first, but rejected owners are
+        # requeued by the caller, so report them in input (priority)
+        # order as the PlacementPlan contract promises.
+        unplaced.sort()
+        return PlacementPlan(
+            tuple(placed), tuple(owner for _, owner in unplaced)
+        )
 
     def plan_for(self, cluster: Cluster, num_gpus: int) -> Optional[Dict[int, int]]:
         """Compute a per-machine slot plan for one demand.

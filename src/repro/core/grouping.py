@@ -314,6 +314,19 @@ class MultiRoundGrouper:
         self._prov_candidates = None
         return result
 
+    def reset_caches(self) -> None:
+        """Forget every memoized decision.
+
+        Clears the weight, ordering, and per-bucket decision caches so
+        the next :meth:`group` call behaves exactly like a freshly
+        constructed grouper.  Differential oracles use this to obtain a
+        cold reference solve from a warm instance.
+        """
+        self._weight_cache.clear()
+        self._ordering_cache.clear()
+        self._decision_cache = {}
+        self._decision_cache_prev = {}
+
     def _group_inner(
         self,
         jobs: Sequence[Job],

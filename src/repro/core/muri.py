@@ -55,6 +55,14 @@ class MuriScheduler(Scheduler):
         cache_quantum: Duration grid for the grouper's decision cache
             keys; a positive value keeps cache hits alive under
             profiling noise.
+        event_regroup: When True, completion events re-run the full
+            grouping pass instead of serving the stale overflow cache
+            from the last tick.  The full pass stays cheap because the
+            grouper's per-bucket decision cache only re-matches the
+            GPU-count buckets the event actually changed, so every
+            decision is identical to a cold re-solve — the online
+            service's incremental mode (verified by
+            :class:`repro.verify.IncrementalOracle`).
         tracer: Optional :class:`~repro.observe.Tracer`.  When enabled,
             decide() calls are timed, group formations are emitted as
             events, and every grouping decision is filed per member job
@@ -74,6 +82,7 @@ class MuriScheduler(Scheduler):
         sparsify_threshold: Optional[int] = 128,
         max_degree: int = 8,
         cache_quantum: float = 0.0,
+        event_regroup: bool = False,
         tracer: Optional[Tracer] = None,
     ) -> None:
         self.policy: PriorityPolicy = (
@@ -82,6 +91,7 @@ class MuriScheduler(Scheduler):
         self.policy_name = policy if isinstance(policy, str) else "custom"
         self.profiler = profiler
         self.max_group_size = max_group_size
+        self.event_regroup = event_regroup
         self.tracer = tracer
         self.grouper = MultiRoundGrouper(
             max_group_size=max_group_size,
@@ -140,7 +150,7 @@ class MuriScheduler(Scheduler):
     ) -> List[JobGroup]:
         tracer = self.tracer
         tracing = tracer is not None and tracer.enabled
-        if reason == "completion":
+        if reason == "completion" and not self.event_regroup:
             plan = self._backfill_from_cache(jobs, running, total_gpus)
             if plan is not None:
                 if tracing:
@@ -152,6 +162,12 @@ class MuriScheduler(Scheduler):
                         cached_left=len(self._cached_overflow),
                     )
                 return plan
+
+        if tracing and reason != "tick":
+            # Event-driven full regroup (arrival/completion): cheap
+            # because unchanged GPU-count buckets hit the grouper's
+            # decision cache.
+            tracer.count(f"sched.regroup.{reason}")
 
         priority = {
             job.job_id: (self.policy(job, now), job.spec.submit_time, job.job_id)
@@ -272,6 +288,16 @@ class MuriScheduler(Scheduler):
                         candidates=decision.candidates.get(job_id, ()),
                     ),
                 )
+
+    def reset_caches(self) -> None:
+        """Drop every decision-affecting cache (overflow reservoir and
+        the grouper's weight/ordering/decision caches).
+
+        Differential oracles call this to turn a warm scheduler into a
+        cold one without rebuilding it.
+        """
+        self._cached_overflow: List[JobGroup] = []
+        self.grouper.reset_caches()
 
     # -- internals ---------------------------------------------------------------
 

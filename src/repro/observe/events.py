@@ -34,6 +34,9 @@ class EventCategory(Enum):
     SPAN = "span"
     #: Simulation-level bookkeeping (run start/end, event queue).
     SIM = "sim"
+    #: Online scheduling service: submissions, rejections, cancels,
+    #: drain transitions.
+    SERVICE = "service"
 
 
 @dataclass(frozen=True)

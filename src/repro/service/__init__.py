@@ -1,0 +1,37 @@
+"""Online scheduling service: a long-lived daemon over the simulator.
+
+The paper's prototype is an always-on scheduler — jobs arrive
+continuously and Muri regroups on scheduling events (section 5).  This
+package wraps the batch machinery (:class:`~repro.sim.ClusterSimulator`
++ any :class:`~repro.schedulers.base.Scheduler`) behind an event loop
+with an online submission path:
+
+* :class:`SchedulerService` — the daemon core: ``submit`` / ``status``
+  / ``cancel`` / ``drain`` with admission control and a graceful-drain
+  lifecycle, usable in-process or behind a socket;
+* :class:`VirtualClock` / :class:`WallClock` — deterministic
+  (test/CI) and real-time pacing drivers for the daemon loop;
+* :class:`ServiceServer` / :class:`ServiceClient` — a
+  newline-delimited-JSON protocol over a local Unix socket
+  (``repro serve``).
+
+See ``docs/service.md`` for the lifecycle and semantics.
+"""
+
+from repro.service.clock import VirtualClock, WallClock
+from repro.service.daemon import SchedulerService, SubmitRejected
+from repro.service.protocol import spec_from_dict, spec_to_dict
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "SchedulerService",
+    "SubmitRejected",
+    "VirtualClock",
+    "WallClock",
+    "ServiceServer",
+    "ServiceClient",
+    "ServiceClientError",
+    "spec_to_dict",
+    "spec_from_dict",
+]

@@ -1,0 +1,135 @@
+"""Blocking client for the scheduler daemon's Unix socket.
+
+A thin synchronous wrapper over the line protocol
+(:mod:`repro.service.protocol`): one request out, one response in.
+Suitable for scripts, tests, and the CI smoke test; anything needing
+concurrency should talk to the socket with its own asyncio streams.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional, Union
+
+from repro.jobs.job import JobSpec
+from repro.service.daemon import SubmitRejected
+from repro.service.protocol import decode_line, encode_line, spec_to_dict
+from repro.sim.metrics import SimulationResult
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(RuntimeError):
+    """The server answered with a non-admission error.
+
+    Attributes:
+        code: The structured error code from the response.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+#: Admission-control codes surfaced as :class:`SubmitRejected`.
+_REJECTION_CODES = ("queue_full", "draining", "too_large", "stopped")
+
+
+class ServiceClient:
+    """Talks to a :class:`~repro.service.server.ServiceServer` socket.
+
+    Args:
+        path: Unix-socket path the server listens on.
+        timeout: Per-response socket timeout in seconds.
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, path: str, timeout: float = 30.0) -> None:
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(path)
+        self._file = self._sock.makefile("rb")
+
+    # -- plumbing ----------------------------------------------------------
+
+    def call(self, **request: Any) -> Dict[str, Any]:
+        """Send one request dict; return the (successful) response.
+
+        Raises:
+            SubmitRejected: When the server rejected an admission.
+            ServiceClientError: For any other error response or a
+                closed connection.
+        """
+        self._sock.sendall(encode_line(request))
+        line = self._file.readline()
+        if not line:
+            raise ServiceClientError("closed", "server closed the connection")
+        response = decode_line(line)
+        if response.get("ok"):
+            return response
+        code = response.get("error", "unknown")
+        message = response.get("message", "")
+        if code in _REJECTION_CODES:
+            raise SubmitRejected(code, message)
+        raise ServiceClientError(code, message)
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        """Context-manager entry: the connected client itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()
+
+    # -- client API --------------------------------------------------------
+
+    def ping(self) -> bool:
+        """True when the server answers."""
+        return bool(self.call(op="ping").get("pong"))
+
+    def submit(self, spec: Union[JobSpec, Dict[str, Any]]) -> int:
+        """Submit one job (spec or already-serialized dict); returns its id."""
+        payload = spec_to_dict(spec) if isinstance(spec, JobSpec) else spec
+        return int(self.call(op="submit", spec=payload)["job_id"])
+
+    def status(self, job_id: Optional[int] = None) -> Dict[str, Any]:
+        """Service-wide status, or one job's when ``job_id`` is given."""
+        request: Dict[str, Any] = {"op": "status"}
+        if job_id is not None:
+            request["job_id"] = job_id
+        return self.call(**request)["status"]
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel one job; True when it existed and was cancelled."""
+        return bool(self.call(op="cancel", job_id=job_id)["cancelled"])
+
+    def drain(self) -> None:
+        """Ask the service to stop admitting and run down."""
+        self.call(op="drain")
+
+    def result(
+        self,
+        poll_interval: float = 0.05,
+        timeout: Optional[float] = 60.0,
+    ) -> SimulationResult:
+        """Poll until the drained result is flushed; return it.
+
+        Raises:
+            TimeoutError: When the result does not appear in time.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            response = self.call(op="result")
+            if response.get("done"):
+                return SimulationResult.from_dict(response["result"])
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("timed out waiting for the drained result")
+            time.sleep(poll_interval)

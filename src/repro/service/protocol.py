@@ -1,0 +1,85 @@
+"""The wire protocol: newline-delimited JSON over a local socket.
+
+Every request and response is one JSON object per line.  Requests
+carry an ``op`` — ``submit``, ``status``, ``cancel``, ``drain``,
+``result``, or ``ping`` — plus op-specific fields; responses carry
+``ok`` (bool) plus either the op's payload or ``error`` (a structured
+code, e.g. an admission-control rejection) and ``message``.
+
+Job specs cross the wire as plain dicts (:func:`spec_to_dict` /
+:func:`spec_from_dict`); only the scheduling-relevant fields travel —
+stage durations, GPU count, submit time, iterations, and labels.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.jobs.job import JobSpec
+from repro.jobs.stage import StageProfile
+
+__all__ = [
+    "spec_to_dict",
+    "spec_from_dict",
+    "encode_line",
+    "decode_line",
+    "error_response",
+]
+
+#: Ops a server accepts; anything else is a ``bad_request``.
+KNOWN_OPS = ("submit", "status", "cancel", "drain", "result", "ping")
+
+
+def spec_to_dict(spec: JobSpec) -> Dict[str, Any]:
+    """Serialize a :class:`JobSpec` for the wire (JSON-compatible)."""
+    return {
+        "durations": list(spec.profile.durations),
+        "num_gpus": spec.num_gpus,
+        "submit_time": spec.submit_time,
+        "num_iterations": spec.num_iterations,
+        "model": spec.model,
+        "name": spec.name,
+    }
+
+
+def spec_from_dict(payload: Dict[str, Any]) -> JobSpec:
+    """Rebuild a :class:`JobSpec` from :func:`spec_to_dict` output.
+
+    The job id is never taken from the wire: the service assigns ids so
+    two clients cannot collide.
+
+    Raises:
+        KeyError: When ``durations`` is missing.
+        ValueError: When a field fails :class:`JobSpec` validation.
+    """
+    return JobSpec(
+        profile=StageProfile(tuple(float(d) for d in payload["durations"])),
+        num_gpus=int(payload.get("num_gpus", 1)),
+        submit_time=float(payload.get("submit_time", 0.0)),
+        num_iterations=int(payload.get("num_iterations", 1)),
+        model=str(payload.get("model", "custom")),
+        name=payload.get("name"),
+    )
+
+
+def encode_line(message: Dict[str, Any]) -> bytes:
+    """One protocol message as a JSON line (UTF-8, trailing newline)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a message dict.
+
+    Raises:
+        ValueError: On malformed JSON or a non-object payload.
+    """
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError("protocol messages must be JSON objects")
+    return message
+
+
+def error_response(code: str, message: str) -> Dict[str, Any]:
+    """A failure response with a structured error code."""
+    return {"ok": False, "error": code, "message": message}

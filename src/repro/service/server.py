@@ -1,0 +1,153 @@
+"""Unix-socket front end for the scheduler daemon.
+
+One asyncio task drives :meth:`SchedulerService.run`; a Unix-socket
+server shares the same event loop and dispatches protocol requests
+(see :mod:`repro.service.protocol`) into the service's synchronous
+client API.  Because both run on one loop, no locking is needed: a
+request is handled between simulator steps, never during one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from typing import Any, Dict
+
+from repro.service.daemon import SchedulerService, SubmitRejected
+from repro.service.protocol import (
+    KNOWN_OPS,
+    decode_line,
+    encode_line,
+    error_response,
+    spec_from_dict,
+)
+from repro.sim.metrics import SimulationResult
+
+__all__ = ["ServiceServer"]
+
+
+class ServiceServer:
+    """Serves one :class:`SchedulerService` on a Unix socket.
+
+    Args:
+        service: The daemon to expose.
+        path: Filesystem path of the Unix socket; created on
+            :meth:`serve` and removed on exit.
+        linger: Grace period (real seconds) after the drain completes
+            during which connected clients can still fetch the final
+            result before the server hangs up on them.
+    """
+
+    def __init__(
+        self,
+        service: SchedulerService,
+        path: str,
+        linger: float = 5.0,
+    ) -> None:
+        self.service = service
+        self.path = path
+        self.linger = linger
+        self._writers: set = set()
+
+    async def serve(self) -> SimulationResult:
+        """Run the daemon and the socket server until drained.
+
+        Returns:
+            The final flushed result once the service drains (a client
+            ``drain`` op, or a drain requested before the call).
+        """
+        server = await asyncio.start_unix_server(
+            self._handle_client, path=self.path
+        )
+        try:
+            async with server:
+                result = await self.service.run()
+            # The run is drained but connected clients may still be
+            # polling for the final result: linger until they hang up
+            # (or the grace period passes), then close any stragglers
+            # so handler tasks end via EOF instead of being cancelled
+            # at loop teardown (which asyncio logs as an error).
+            deadline = time.monotonic() + self.linger
+            while self._writers and time.monotonic() < deadline:
+                await asyncio.sleep(0.01)
+            for writer in list(self._writers):
+                writer.close()
+            for _ in range(100):
+                if not self._writers:
+                    break
+                await asyncio.sleep(0)
+            return result
+        finally:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One client connection: a request/response line loop."""
+        self._writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = decode_line(line)
+                except ValueError as error:
+                    response = error_response("bad_request", str(error))
+                else:
+                    response = self.dispatch(request)
+                writer.write(encode_line(response))
+                await writer.drain()
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply one protocol request to the service; never raises."""
+        op = request.get("op")
+        if op not in KNOWN_OPS:
+            return error_response("bad_request", f"unknown op {op!r}")
+        try:
+            return self._dispatch_known(op, request)
+        except SubmitRejected as rejection:
+            return error_response(rejection.code, str(rejection))
+        except KeyError as error:
+            return error_response("unknown_job", str(error))
+        except (TypeError, ValueError) as error:
+            return error_response("bad_request", str(error))
+
+    def _dispatch_known(
+        self, op: str, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        service = self.service
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "submit":
+            spec = spec_from_dict(request["spec"])
+            return {"ok": True, "job_id": service.submit(spec)}
+        if op == "status":
+            job_id = request.get("job_id")
+            payload = service.status(
+                None if job_id is None else int(job_id)
+            )
+            return {"ok": True, "status": payload}
+        if op == "cancel":
+            cancelled = service.cancel(int(request["job_id"]))
+            return {"ok": True, "cancelled": cancelled}
+        if op == "drain":
+            service.drain()
+            return {"ok": True, "draining": True}
+        # op == "result": poll for the drained result.
+        if service.result is None:
+            return {"ok": True, "done": False}
+        return {
+            "ok": True,
+            "done": True,
+            "result": service.result.to_dict(),
+        }

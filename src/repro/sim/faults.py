@@ -10,6 +10,7 @@ resumes from the last checkpointed iteration), and requeues it.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Optional
@@ -35,8 +36,15 @@ class FaultInjector:
     progress_loss: float = 0.0
 
     def __post_init__(self) -> None:
+        # NaN slips through ordering comparisons (``nan <= 0`` is
+        # False), which would arm the injector and poison the event
+        # queue with NaN fault delays — reject it explicitly.
+        if math.isnan(self.mean_time_between_faults):
+            raise ValueError("mean_time_between_faults must not be NaN")
         if self.mean_time_between_faults <= 0:
             raise ValueError("mean_time_between_faults must be > 0")
+        if math.isnan(self.progress_loss):
+            raise ValueError("progress_loss must not be NaN")
         if not 0 <= self.progress_loss <= 1:
             raise ValueError("progress_loss must be in [0, 1]")
         self._rng = random.Random(self.seed)

@@ -43,7 +43,18 @@ def percentile(
     ordered = values if presorted else sorted(values)
     if len(ordered) == 1:
         return ordered[0]
-    rank = (len(ordered) - 1) * q / 100.0
+    last = len(ordered) - 1
+    # The float rank can land outside [0, last] when q arrives as a
+    # reduced-precision real (e.g. a numpy float32 from an aggregation
+    # pipeline): the product then rounds past the end and indexing
+    # would raise IndexError.  Clamp before indexing — through float(),
+    # because comparing a float32 rank against an int demotes the int
+    # to float32 and can hide the overshoot.
+    rank = float(last * q / 100.0)
+    if rank < 0:
+        rank = 0.0
+    elif rank > last:
+        rank = float(last)
     low = math.floor(rank)
     high = math.ceil(rank)
     if low == high:

@@ -43,7 +43,7 @@ from repro.sim.faults import FaultInjector
 from repro.sim.metrics import SimulationResult, TimePoint
 from repro.sim.monitor import WorkerMonitor
 
-__all__ = ["ClusterSimulator", "SimulationError"]
+__all__ = ["ClusterSimulator", "SimulationError", "SimulationState"]
 
 _EPS = 1e-9
 #: Iterations below this count as "finished" (guards float drift).
@@ -94,6 +94,57 @@ class _RunningGroup:
         return self.penalty_remaining + horizon
 
 
+@dataclass
+class SimulationState:
+    """Live state of an in-progress simulation.
+
+    Produced by :meth:`ClusterSimulator.begin`, advanced by
+    :meth:`ClusterSimulator.step`, and closed by
+    :meth:`ClusterSimulator.finalize`.  ``run()`` is exactly this
+    sequence; long-lived drivers (``repro.service``) hold the state
+    open and feed it new jobs with :meth:`ClusterSimulator.inject`.
+
+    Attributes:
+        jobs: Every job the simulation knows, by id.
+        pending: Arrived jobs not currently running.
+        running: Executing groups keyed by member-id frozenset.
+        events: The external event queue (arrivals, ticks, faults).
+        result: The result being accumulated.
+        now: Current simulation time.
+        steps: Simulator iterations executed so far.
+        step_budget: Safety valve on iterations.
+        need_reschedule: A scheduler invocation is owed next step.
+        reschedule_reason: The ``reason`` label that invocation will
+            carry ("completion" unless a driver overrides it).
+        tick_scheduled: A TICK event has been queued at least once.
+        started_wall: ``time.monotonic()`` at :meth:`begin`.
+        finalized: :meth:`finalize` has run.
+    """
+
+    jobs: Dict[int, Job]
+    pending: Dict[int, Job]
+    running: Dict[FrozenSet[int], _RunningGroup]
+    events: EventQueue
+    result: SimulationResult
+    trace_name: str
+    now: float = 0.0
+    steps: int = 0
+    step_budget: int = 0
+    need_reschedule: bool = False
+    reschedule_reason: str = "completion"
+    tick_scheduled: bool = False
+    started_wall: float = 0.0
+    finalized: bool = False
+
+    @property
+    def unfinished(self) -> int:
+        """Jobs not yet in a terminal state (finished or cancelled)."""
+        return sum(
+            1 for job in self.jobs.values()
+            if job.status not in (JobStatus.FINISHED, JobStatus.FAILED)
+        )
+
+
 class ClusterSimulator:
     """Runs one scheduler over one workload on a simulated cluster.
 
@@ -119,6 +170,12 @@ class ClusterSimulator:
             re-invokes the scheduler instead of waiting for the next
             tick (section 3 mentions arrival events; the prototype's
             fixed interval is the default).
+        arrival_reason: The ``reason`` label arrival-triggered
+            reschedules pass to :meth:`Scheduler.decide`.  The default
+            ("completion") preserves the historical batch behaviour;
+            the online service passes "arrival" so event-aware
+            schedulers regroup instead of serving a stale backfill
+            cache.
         monitor: Optional worker monitor (Fig. 3) fed machine-level
             utilization samples, job progress reports, and fault
             notifications during the run.
@@ -146,6 +203,7 @@ class ClusterSimulator:
         fault_injector: Optional[FaultInjector] = None,
         backfill_on_completion: bool = False,
         reschedule_on_arrival: bool = False,
+        arrival_reason: str = "completion",
         monitor: Optional["WorkerMonitor"] = None,
         placer: Optional[DescendingPlacer] = None,
         decision_log: Optional[DecisionLog] = None,
@@ -167,6 +225,7 @@ class ClusterSimulator:
         self.fault_injector = fault_injector or FaultInjector()
         self.backfill_on_completion = backfill_on_completion
         self.reschedule_on_arrival = reschedule_on_arrival
+        self.arrival_reason = arrival_reason
         self.monitor = monitor
         self.decision_log = decision_log
         self.tracer = tracer
@@ -178,9 +237,37 @@ class ClusterSimulator:
     def run(self, specs: Sequence[JobSpec], trace_name: str = "workload") -> SimulationResult:
         """Simulate the workload to completion.
 
+        Equivalent to :meth:`begin` + :meth:`step` until every job is
+        terminal + :meth:`finalize`.
+
         Raises:
             SimulationError: If a job can never fit the cluster or the
                 step budget is exhausted.
+        """
+        state = self.begin(specs, trace_name)
+        while state.unfinished:
+            self.step(state)
+        return self.finalize(state)
+
+    def begin(
+        self,
+        specs: Sequence[JobSpec],
+        trace_name: str = "workload",
+        allow_empty: bool = False,
+    ) -> SimulationState:
+        """Open a simulation over ``specs`` without driving it.
+
+        Args:
+            specs: Initial workload; more jobs may be added later via
+                :meth:`inject`.
+            trace_name: Workload label for the result.
+            allow_empty: Permit starting with no jobs (the online
+                service begins idle and injects arrivals as clients
+                submit); :meth:`run` keeps rejecting empty workloads.
+
+        Raises:
+            SimulationError: If a job can never fit the cluster, or
+                ``specs`` is empty and ``allow_empty`` is False.
         """
         started_wall = _time.monotonic()
         total_gpus = self.cluster.total_gpus
@@ -190,7 +277,7 @@ class ClusterSimulator:
                     f"{spec.name} needs {spec.num_gpus} GPUs but the "
                     f"cluster has {total_gpus}"
                 )
-        if not specs:
+        if not specs and not allow_empty:
             raise SimulationError("workload is empty")
 
         jobs: Dict[int, Job] = {spec.job_id: Job(spec) for spec in specs}
@@ -201,8 +288,7 @@ class ClusterSimulator:
         )
 
         tracer = self.tracer
-        tracing = tracer is not None and tracer.enabled
-        if tracing:
+        if tracer is not None and tracer.enabled:
             tracer.emit(
                 EventCategory.SIM,
                 "sim.run.start",
@@ -216,98 +302,218 @@ class ClusterSimulator:
         events = EventQueue(tracer=tracer)
         for spec in specs:
             events.push(Event(spec.submit_time, EventKind.ARRIVAL, spec.job_id))
-        first_arrival = min(spec.submit_time for spec in specs)
-        events.push(Event(first_arrival, EventKind.TICK))
+        state = SimulationState(
+            jobs=jobs,
+            pending={},
+            running={},
+            events=events,
+            result=result,
+            trace_name=trace_name,
+            step_budget=self.max_steps or (500 * len(specs) + 100_000),
+            started_wall=started_wall,
+        )
+        if specs:
+            first_arrival = min(spec.submit_time for spec in specs)
+            events.push(Event(first_arrival, EventKind.TICK))
+            state.tick_scheduled = True
+        return state
 
-        pending: Dict[int, Job] = {}
-        running: Dict[FrozenSet[int], _RunningGroup] = {}
-        now = 0.0
-        finished = 0
-        need_reschedule = False
-        step_budget = self.max_steps or (500 * len(specs) + 100_000)
-        steps = 0
+    def inject(self, state: SimulationState, spec: JobSpec) -> Job:
+        """Add one job to an open simulation.
 
-        while finished < len(jobs):
-            steps += 1
-            if steps > step_budget:
-                raise SimulationError(
-                    f"step budget exhausted at t={now:.0f}s with "
-                    f"{len(jobs) - finished} jobs unfinished"
-                )
+        The arrival fires at ``max(state.now, spec.submit_time)``
+        (virtual time cannot run backwards).  The first injected job of
+        an initially empty simulation also anchors the scheduling-tick
+        cadence at its arrival time, mirroring :meth:`begin`.
 
-            # 1. Fire due external events.
-            tick_due = False
-            for event in events.pop_until(now + _EPS):
-                if event.kind == EventKind.ARRIVAL:
-                    pending[event.payload] = jobs[event.payload]
-                    if tracing:
-                        tracer.emit(
-                            EventCategory.JOB,
-                            "job.arrival",
-                            event.time,
-                            job=event.payload,
-                            gpus=jobs[event.payload].num_gpus,
-                        )
-                    if self.reschedule_on_arrival:
-                        need_reschedule = True
-                elif event.kind == EventKind.TICK:
-                    tick_due = True
+        Raises:
+            SimulationError: If the job cannot fit the cluster, its id
+                is already known, or the state is finalized.
+        """
+        if state.finalized:
+            raise SimulationError("cannot inject into a finalized simulation")
+        if spec.num_gpus > self.cluster.total_gpus:
+            raise SimulationError(
+                f"{spec.name} needs {spec.num_gpus} GPUs but the "
+                f"cluster has {self.cluster.total_gpus}"
+            )
+        if spec.job_id in state.jobs:
+            raise SimulationError(f"job id {spec.job_id} already submitted")
+        job = Job(spec)
+        state.jobs[spec.job_id] = job
+        state.result.submit_times[spec.job_id] = spec.submit_time
+        arrival = max(state.now, spec.submit_time)
+        state.events.push(Event(arrival, EventKind.ARRIVAL, spec.job_id))
+        if not state.tick_scheduled:
+            state.events.push(Event(arrival, EventKind.TICK))
+            state.tick_scheduled = True
+        state.step_budget += 500
+        return job
 
-            # 2. Invoke the scheduler.
-            if tick_due or need_reschedule:
-                reason = "tick" if tick_due else "completion"
-                self._reschedule(now, jobs, pending, running, result, reason)
-                need_reschedule = False
-                if tick_due:
-                    events.push(
-                        Event(now + self.scheduling_interval, EventKind.TICK)
+    def cancel(self, state: SimulationState, job_id: int) -> bool:
+        """Remove a job from an open simulation.
+
+        A pending (queued or not-yet-arrived) job is dropped directly;
+        a running job's group is stopped so its partners requeue and a
+        reschedule is owed.  Cancelled jobs end in
+        :attr:`JobStatus.FAILED` and never contribute a JCT.
+
+        Returns:
+            True when the job existed and was cancelled; False for
+            unknown ids and jobs already in a terminal state.
+        """
+        job = state.jobs.get(job_id)
+        if job is None or job.status in (JobStatus.FINISHED, JobStatus.FAILED):
+            return False
+        for key, rgroup in list(state.running.items()):
+            if any(member.job_id == job_id for member in rgroup.active):
+                del state.running[key]
+                self._stop_group(rgroup, state.pending)
+                state.need_reschedule = True
+                state.reschedule_reason = "completion"
+                break
+        state.pending.pop(job_id, None)
+        job.status = JobStatus.FAILED
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                EventCategory.JOB,
+                "job.cancel",
+                state.now,
+                job=job_id,
+            )
+        return True
+
+    def next_event_time(self, state: SimulationState) -> Optional[float]:
+        """Earliest future simulation time anything happens, or None.
+
+        The same horizon :meth:`step` would advance to: the next queued
+        external event or the next running-group completion/fault.
+        Wall-clock drivers sleep until this time.
+        """
+        horizon = state.events.peek_time()
+        for rgroup in state.running.values():
+            candidate = state.now + rgroup.time_to_next_event(
+                self.contention, self.uncoordinated_penalty
+            )
+            if horizon is None or candidate < horizon:
+                horizon = candidate
+        return horizon
+
+    def step(self, state: SimulationState) -> None:
+        """Advance an open simulation by one simulator iteration.
+
+        Fires due events, invokes the scheduler when owed, and advances
+        every running group to the next horizon.
+
+        Raises:
+            SimulationError: When nothing can ever happen again (no
+                events, nothing running) or the step budget is
+                exhausted.
+        """
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        jobs, pending, running = state.jobs, state.pending, state.running
+        events, result, now = state.events, state.result, state.now
+
+        state.steps += 1
+        if state.steps > state.step_budget:
+            raise SimulationError(
+                f"step budget exhausted at t={now:.0f}s with "
+                f"{state.unfinished} jobs unfinished"
+            )
+
+        # 1. Fire due external events.
+        tick_due = False
+        for event in events.pop_until(now + _EPS):
+            if event.kind == EventKind.ARRIVAL:
+                job = jobs[event.payload]
+                if job.status is JobStatus.FAILED:
+                    continue  # cancelled before it arrived
+                pending[event.payload] = job
+                if tracing:
+                    tracer.emit(
+                        EventCategory.JOB,
+                        "job.arrival",
+                        event.time,
+                        job=event.payload,
+                        gpus=job.num_gpus,
                     )
+                if self.reschedule_on_arrival:
+                    state.need_reschedule = True
+                    state.reschedule_reason = self.arrival_reason
+            elif event.kind == EventKind.TICK:
+                tick_due = True
 
-            # 3. Find the advance horizon.
-            horizon = events.peek_time()
-            for rgroup in running.values():
-                candidate = now + rgroup.time_to_next_event(
-                    self.contention, self.uncoordinated_penalty
+        # 2. Invoke the scheduler.
+        if tick_due or state.need_reschedule:
+            reason = "tick" if tick_due else state.reschedule_reason
+            self._reschedule(now, jobs, pending, running, result, reason)
+            state.need_reschedule = False
+            state.reschedule_reason = "completion"
+            if tick_due:
+                events.push(
+                    Event(now + self.scheduling_interval, EventKind.TICK)
                 )
-                if horizon is None or candidate < horizon:
-                    horizon = candidate
-            if horizon is None:
-                raise SimulationError(
-                    f"no events and nothing running at t={now:.0f}s with "
-                    f"{len(pending)} pending jobs"
-                )
-            horizon = max(horizon, now)
 
-            # 4. Advance every running group and record the span.
-            span = horizon - now
-            if span > 0:
-                self._record_timepoint(now, span, pending, running, result)
-                completed_any = self._advance(
-                    span, jobs, pending, running, result
-                )
-                if completed_any and self.backfill_on_completion:
-                    need_reschedule = True
-            now = horizon
-            finished = sum(1 for job in jobs.values() if job.is_finished)
+        # 3. Find the advance horizon.
+        horizon = self.next_event_time(state)
+        if horizon is None:
+            raise SimulationError(
+                f"no events and nothing running at t={now:.0f}s with "
+                f"{len(pending)} pending jobs"
+            )
+        horizon = max(horizon, now)
 
-        result.total_preemptions = sum(job.preemptions for job in jobs.values())
+        # 4. Advance every running group and record the span.
+        span = horizon - now
+        if span > 0:
+            self._record_timepoint(now, span, pending, running, result)
+            completed_any = self._advance(
+                span, jobs, pending, running, result
+            )
+            if completed_any and self.backfill_on_completion:
+                state.need_reschedule = True
+                state.reschedule_reason = "completion"
+        state.now = horizon
+
+    def finalize(self, state: SimulationState) -> SimulationResult:
+        """Close an open simulation and return its result.
+
+        Idempotent: a second call returns the same result object.
+        Cancelled jobs appear in ``submit_times`` but contribute no
+        JCT or finish time.
+        """
+        result = state.result
+        if state.finalized:
+            return result
+        state.finalized = True
+        jobs = state.jobs
+        result.total_preemptions = sum(
+            job.preemptions for job in jobs.values()
+        )
         result.jcts = {
-            job_id: job.completion_time() for job_id, job in jobs.items()
+            job_id: job.completion_time()
+            for job_id, job in jobs.items()
+            if job.is_finished
         }
         result.finish_times = {
-            job_id: job.finish_time for job_id, job in jobs.items()
+            job_id: job.finish_time
+            for job_id, job in jobs.items()
+            if job.is_finished
         }
-        result.wall_clock = _time.monotonic() - started_wall
-        if tracing:
+        result.wall_clock = _time.monotonic() - state.started_wall
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
             tracer.emit(
                 EventCategory.SIM,
                 "sim.run.end",
-                now,
-                trace=trace_name,
-                finished=finished,
-                makespan=now,
+                state.now,
+                trace=state.trace_name,
+                finished=sum(1 for job in jobs.values() if job.is_finished),
+                makespan=state.now,
                 wall_clock=result.wall_clock,
-                steps=steps,
+                steps=state.steps,
             )
         return result
 

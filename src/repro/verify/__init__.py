@@ -16,10 +16,12 @@ Three layers (see ``docs/verification.md``):
 """
 
 from repro.verify.differential import (
+    IncrementalOracle,
     compare_cold_cached,
     compare_dense_sparse,
     compare_groups_exact,
     compare_pairs_exact,
+    plan_signature,
 )
 from repro.verify.fuzz import (
     FuzzConfig,
@@ -62,6 +64,8 @@ __all__ = [
     "compare_cold_cached",
     "compare_pairs_exact",
     "compare_groups_exact",
+    "IncrementalOracle",
+    "plan_signature",
     "EpisodeSpec",
     "EpisodeOutcome",
     "JobSpecData",

@@ -30,8 +30,18 @@ spec violations and optimization bugs uniformly.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from repro.core.group import JobGroup
 from repro.core.grouping import GroupingResult, MultiRoundGrouper
 from repro.jobs.job import Job, JobSpec
 from repro.jobs.resources import NUM_RESOURCES
@@ -40,15 +50,18 @@ from repro.matching.blossom import matching_pairs
 from repro.matching.exact import brute_force_matching, exact_hypergraph_matching
 from repro.core.efficiency import efficiency_for_period
 from repro.core.ordering import best_ordering
+from repro.schedulers.base import Scheduler
 from repro.verify.invariants import InvariantViolation, check_group_wellformed
 
 __all__ = [
     "jobs_from_rows",
     "group_sets",
+    "plan_signature",
     "compare_dense_sparse",
     "compare_cold_cached",
     "compare_pairs_exact",
     "compare_groups_exact",
+    "IncrementalOracle",
 ]
 
 
@@ -90,6 +103,96 @@ def _check_result(result: GroupingResult, label: str) -> None:
                     details={"path": label, "job": job.job_id},
                 )
             seen.add(job.job_id)
+
+
+def plan_signature(
+    plan: Sequence[JobGroup],
+) -> Tuple[Tuple[Tuple[int, ...], Tuple[int, ...]], ...]:
+    """Order-sensitive identity of a scheduling plan.
+
+    Per proposed group, in plan order: the member job ids (in group
+    order) and the chosen stage offsets.  Two plans with equal
+    signatures start the same jobs together with the same interleaving
+    phases, in the same priority order.
+    """
+    return tuple(
+        (
+            tuple(job.job_id for job in group.jobs),
+            tuple(group.offsets),
+        )
+        for group in plan
+    )
+
+
+class IncrementalOracle(Scheduler):
+    """Differentially checks a warm scheduler against cold re-solves.
+
+    Wraps an (incrementally cached) scheduler; every :meth:`decide`
+    call is replayed through a freshly built scheduler from
+    ``factory`` — whose caches are necessarily cold — on the *same*
+    inputs, and the two plans must agree exactly.  This is the service
+    loop's guarantee that incremental regrouping (the per-bucket
+    decision cache plus ``event_regroup``) never changes a decision,
+    extended from single grouper calls
+    (:func:`compare_cold_cached`) to a whole event stream.
+
+    Args:
+        inner: The scheduler under test; its decisions are the ones
+            actually returned.
+        factory: Builds an identically configured scheduler.  Called
+            once per decision; the instance is used for one cold solve
+            and discarded.
+
+    Attributes:
+        checks: Number of decisions verified so far.
+    """
+
+    def __init__(
+        self,
+        inner: Scheduler,
+        factory: Callable[[], Scheduler],
+    ) -> None:
+        self.inner = inner
+        self.factory = factory
+        self.checks = 0
+        self.name = inner.name
+        self.duration_aware = inner.duration_aware
+        self.preemptive = inner.preemptive
+
+    def decide(
+        self,
+        now: float,
+        jobs: Sequence[Job],
+        running: Dict[FrozenSet[int], JobGroup],
+        total_gpus: int,
+        reason: str = "tick",
+    ) -> List[JobGroup]:
+        """Decide via the warm scheduler, then verify against a cold one.
+
+        Raises:
+            InvariantViolation: With invariant
+                ``differential.incremental`` when the warm plan
+                diverges from the cold re-solve.
+        """
+        cold = self.factory()
+        cold_plan = cold.decide(now, jobs, running, total_gpus, reason)
+        plan = self.inner.decide(now, jobs, running, total_gpus, reason)
+        warm_sig = plan_signature(plan)
+        cold_sig = plan_signature(cold_plan)
+        if warm_sig != cold_sig:
+            raise InvariantViolation(
+                "differential.incremental",
+                f"incremental decision at t={now:.0f}s ({reason}) "
+                f"diverged from a cold full re-solve",
+                details={
+                    "now": now,
+                    "reason": reason,
+                    "warm": [list(members) for members, _ in warm_sig],
+                    "cold": [list(members) for members, _ in cold_sig],
+                },
+            )
+        self.checks += 1
+        return plan
 
 
 def compare_dense_sparse(

@@ -120,3 +120,64 @@ class TestRandomPlacer:
         from repro.cluster.placement import RandomPlacer
 
         assert RandomPlacer().plan_for(Cluster(1, 2), 3) is None
+
+
+# -- unplaced ordering and the placed/unplaced partition -------------------
+
+from hypothesis import given, strategies as st
+
+from repro.cluster.placement import RandomPlacer, SpreadPlacer
+
+#: All placement policies share DescendingPlacer.place, so contract
+#: tests run against each of them.
+PLACERS = [DescendingPlacer, SpreadPlacer, lambda: RandomPlacer(seed=0)]
+PLACER_IDS = ["descending", "spread", "random"]
+
+
+def test_unplaced_keeps_input_order():
+    # Regression: unplaced owners came back in descending-GPU visit
+    # order, not the input (priority) order the docstring promises.
+    cluster = Cluster(1, 4)
+    cluster.allocate(owner=99, slot_plan={0: 4})
+    plan = DescendingPlacer().place(cluster, [(9, 1), (1, 2)])
+    assert plan.placed == ()
+    assert plan.unplaced == (9, 1)
+
+
+def test_unplaced_input_order_with_partial_placement():
+    cluster = Cluster(1, 4)
+    plan = DescendingPlacer().place(cluster, [(1, 2), (2, 4), (3, 3)])
+    assert [owner for owner, _ in plan.placed] == [2]
+    assert plan.unplaced == (1, 3)
+
+
+@pytest.mark.parametrize("make_placer", PLACERS, ids=PLACER_IDS)
+def test_backfills_past_unfit_group(make_placer):
+    cluster = Cluster(1, 4)
+    plan = make_placer().place(cluster, [(1, 3), (2, 3), (3, 1)])
+    assert {owner for owner, _ in plan.placed} == {1, 3}
+    assert plan.unplaced == (2,)
+
+
+@pytest.mark.parametrize("make_placer", PLACERS, ids=PLACER_IDS)
+@given(
+    gpu_counts=st.lists(st.integers(1, 12), max_size=8),
+    machines=st.integers(1, 3),
+    gpus_per_machine=st.integers(1, 8),
+)
+def test_place_partitions_demands(
+    make_placer, gpu_counts, machines, gpus_per_machine
+):
+    # Every owner comes back exactly once — either placed or unplaced —
+    # and the unplaced tuple preserves the input order.
+    cluster = Cluster(machines, gpus_per_machine)
+    demands = list(enumerate(gpu_counts, start=1))
+    plan = make_placer().place(cluster, demands)
+    placed_owners = [owner for owner, _ in plan.placed]
+    assert sorted(placed_owners + list(plan.unplaced)) == sorted(
+        owner for owner, _ in demands
+    )
+    unplaced = set(plan.unplaced)
+    assert list(plan.unplaced) == [
+        owner for owner, _ in demands if owner in unplaced
+    ]

@@ -1,0 +1,1 @@
+"""Tests for the online scheduling service (repro.service)."""

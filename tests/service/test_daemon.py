@@ -1,0 +1,277 @@
+"""Unit tests for the scheduler daemon (SchedulerService)."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.muri import MuriScheduler
+from repro.jobs.job import JobSpec
+from repro.jobs.stage import StageProfile
+from repro.observe.tracer import Tracer
+from repro.schedulers.classic import FifoScheduler
+from repro.service import SchedulerService, SubmitRejected, WallClock
+from repro.sim.contention import IDEAL_CONTENTION
+from repro.sim.simulator import ClusterSimulator
+
+UNIT = StageProfile((0.25, 0.25, 0.25, 0.25))  # 1 second per iteration
+
+
+def spec(iters, gpus=1, submit=0.0, name=None):
+    return JobSpec(profile=UNIT, num_gpus=gpus, submit_time=submit,
+                   num_iterations=iters, name=name)
+
+
+def make_service(scheduler=None, cluster=None, tracer=None, **kwargs):
+    simulator = ClusterSimulator(
+        scheduler or FifoScheduler(),
+        cluster=cluster or Cluster(1, 2),
+        restart_penalty=0.0,
+        contention=IDEAL_CONTENTION,
+        uncoordinated_penalty=1.0,
+        tracer=tracer,
+    )
+    return SchedulerService(simulator, tracer=tracer, **kwargs)
+
+
+class TestSubmitAndStatus:
+    def test_submit_returns_distinct_ids(self):
+        service = make_service()
+        ids = [service.submit(spec(10)), service.submit(spec(10))]
+        assert len(set(ids)) == 2
+
+    def test_job_status_lifecycle(self):
+        service = make_service()
+        job_id = service.submit(spec(10))
+        assert service.status(job_id)["status"] == "pending"
+        result = service.run_sync()
+        assert service.status(job_id)["status"] == "finished"
+        assert result.jcts[job_id] == pytest.approx(10.0)
+
+    def test_unknown_job_raises(self):
+        with pytest.raises(KeyError):
+            make_service().status(12345)
+
+    def test_service_status_counts(self):
+        service = make_service()
+        service.submit(spec(5))
+        service.submit(spec(5))
+        status = service.status()
+        assert status["jobs"] == 2
+        assert status["pending"] == 2
+        assert status["draining"] is False
+        service.run_sync()
+        status = service.status()
+        assert status["finished"] == 2
+        assert status["done"] is True
+
+
+class TestAdmissionControl:
+    def test_too_large_rejected(self):
+        service = make_service(cluster=Cluster(1, 2))
+        with pytest.raises(SubmitRejected) as excinfo:
+            service.submit(spec(10, gpus=4))
+        assert excinfo.value.code == "too_large"
+
+    def test_queue_full_rejected(self):
+        service = make_service(max_pending=2)
+        service.submit(spec(10))
+        service.submit(spec(10))
+        with pytest.raises(SubmitRejected) as excinfo:
+            service.submit(spec(10))
+        assert excinfo.value.code == "queue_full"
+
+    def test_draining_rejected(self):
+        service = make_service()
+        service.drain()
+        with pytest.raises(SubmitRejected) as excinfo:
+            service.submit(spec(10))
+        assert excinfo.value.code == "draining"
+
+    def test_stopped_rejected(self):
+        service = make_service()
+        service.submit(spec(10))
+        service.run_sync()
+        with pytest.raises(SubmitRejected) as excinfo:
+            service.submit(spec(10))
+        assert excinfo.value.code == "stopped"
+
+    def test_rejection_counters(self):
+        tracer = Tracer()
+        service = make_service(cluster=Cluster(1, 2), tracer=tracer)
+        with pytest.raises(SubmitRejected):
+            service.submit(spec(10, gpus=4))
+        assert tracer.counters.get("service.rejected.too_large") == 1
+
+    def test_max_pending_validation(self):
+        with pytest.raises(ValueError):
+            make_service(max_pending=0)
+
+
+class TestCancel:
+    def test_cancel_pending_job(self):
+        service = make_service()
+        keep = service.submit(spec(10))
+        drop = service.submit(spec(1000))
+        assert service.cancel(drop) is True
+        result = service.run_sync()
+        assert service.status(drop)["status"] == "failed"
+        assert drop not in result.jcts
+        assert result.jcts[keep] == pytest.approx(10.0)
+
+    def test_cancel_unknown_is_false(self):
+        assert make_service().cancel(999) is False
+
+    def test_cancel_terminal_is_false(self):
+        service = make_service()
+        job_id = service.submit(spec(5))
+        service.run_sync()
+        assert service.cancel(job_id) is False
+
+    def test_cancel_running_requeues_group_partners(self):
+        # Two 1-GPU jobs run as one Muri group on a 2-GPU machine;
+        # cancelling one must not strand the partner.
+        service = make_service(
+            scheduler=MuriScheduler(policy="srsf"), cluster=Cluster(1, 2)
+        )
+        victim = service.submit(spec(500))
+        partner = service.submit(spec(500))
+        while service.status(victim)["status"] == "pending":
+            service.step()
+        assert service.cancel(victim) is True
+        result = service.run_sync()
+        assert service.status(partner)["status"] == "finished"
+        assert partner in result.jcts
+
+    def test_cancelled_never_contributes_jct(self):
+        service = make_service()
+        dropped = service.submit(spec(50, submit=1000.0))
+        service.submit(spec(10))
+        service.cancel(dropped)
+        result = service.run_sync()
+        assert dropped not in result.jcts
+        assert dropped not in result.finish_times
+
+
+class TestDrain:
+    def test_drain_is_idempotent(self):
+        service = make_service()
+        service.drain()
+        service.drain()
+        assert service.draining is True
+
+    def test_run_sync_flushes_result_once(self):
+        service = make_service()
+        service.submit(spec(10))
+        first = service.run_sync()
+        assert service.finish() is first
+
+    def test_empty_drain_yields_empty_result(self):
+        result = make_service().run_sync()
+        assert result.jcts == {}
+        assert result.finish_times == {}
+
+    def test_tracer_records_service_events(self):
+        tracer = Tracer()
+        service = make_service(tracer=tracer)
+        service.submit(spec(5))
+        service.run_sync()
+        names = {event.name for event in tracer.events}
+        assert {"service.submit", "service.drain", "service.drained"} <= names
+        assert tracer.counters.get("service.submitted") == 1
+
+
+class TestAsyncRun:
+    def test_async_run_matches_run_sync(self):
+        specs = [spec(20), spec(10, submit=5.0), spec(5, submit=30.0)]
+
+        sync_service = make_service()
+        for s in specs:
+            sync_service.submit(s)
+        expected = sync_service.run_sync()
+
+        async def drive():
+            service = make_service()
+            runner = asyncio.ensure_future(service.run())
+            await asyncio.sleep(0)  # let the loop start idle
+            for s in specs:
+                service.submit(s)
+            service.drain()
+            return await runner
+
+        result = asyncio.run(drive())
+        assert result.jcts == expected.jcts
+        assert result.makespan == expected.makespan
+
+    def test_idle_loop_waits_without_stepping(self):
+        async def drive():
+            service = make_service()
+            runner = asyncio.ensure_future(service.run())
+            for _ in range(5):
+                await asyncio.sleep(0)
+            steps_while_idle = service.state.steps
+            service.submit(spec(10))
+            service.drain()
+            result = await runner
+            return steps_while_idle, result
+
+        steps_while_idle, result = asyncio.run(drive())
+        assert steps_while_idle == 0
+        assert len(result.jcts) == 1
+
+    def test_wall_clock_paces_the_loop(self):
+        # 1 simulated second = 1 real millisecond: the run must take
+        # at least makespan milliseconds of wall time.
+        import time
+
+        async def drive():
+            service = make_service(clock=WallClock(time_scale=0.001))
+            service.submit(spec(100))  # 100 s simulated
+            service.drain()
+            return await service.run()
+
+        started = time.monotonic()
+        result = asyncio.run(drive())
+        elapsed = time.monotonic() - started
+        assert result.makespan == pytest.approx(100.0)
+        assert elapsed >= 0.05
+
+    def test_wall_clock_sleep_interrupted_by_submit(self):
+        # A submission during a long wall-clock sleep wakes the loop;
+        # the whole run stays far below the uninterrupted sleep time.
+        import time
+
+        async def drive():
+            service = make_service(clock=WallClock(time_scale=1.0))
+            job_id = service.submit(spec(2, submit=100.0))  # horizon 100 s away
+            runner = asyncio.ensure_future(service.run())
+            await asyncio.sleep(0.05)
+            service.cancel(job_id)  # wake + empty the queue
+            service.drain()
+            return await runner
+
+        started = time.monotonic()
+        asyncio.run(drive())
+        assert time.monotonic() - started < 5.0
+
+
+class TestWallClockUnit:
+    def test_time_scale_validation(self):
+        with pytest.raises(ValueError):
+            WallClock(time_scale=0.0)
+
+    def test_past_deadline_does_not_sleep(self):
+        import time
+
+        clock = WallClock(time_scale=100.0)
+
+        async def drive():
+            await clock.pause(0.0, 0.0)   # anchors the epoch
+            await clock.pause(0.0, -1.0)  # already in the past
+
+        started = time.monotonic()
+        asyncio.run(drive())
+        assert time.monotonic() - started < 1.0
+
+    def test_none_deadline_does_not_sleep(self):
+        asyncio.run(WallClock(time_scale=1000.0).pause(0.0, None))

@@ -1,0 +1,149 @@
+"""Tests for the wire protocol and the server's request dispatch."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.jobs.job import JobSpec
+from repro.jobs.stage import StageProfile
+from repro.schedulers.classic import FifoScheduler
+from repro.service import SchedulerService, ServiceServer
+from repro.service.protocol import (
+    decode_line,
+    encode_line,
+    error_response,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.sim.contention import IDEAL_CONTENTION
+from repro.sim.simulator import ClusterSimulator
+
+UNIT = StageProfile((0.25, 0.25, 0.25, 0.25))
+
+
+def make_spec(**kwargs):
+    defaults = dict(profile=UNIT, num_gpus=2, submit_time=3.5,
+                    num_iterations=40, model="resnet50", name="probe")
+    defaults.update(kwargs)
+    return JobSpec(**defaults)
+
+
+class TestSpecSerialization:
+    def test_round_trip_preserves_scheduling_fields(self):
+        original = make_spec()
+        rebuilt = spec_from_dict(spec_to_dict(original))
+        assert rebuilt.profile.durations == original.profile.durations
+        assert rebuilt.num_gpus == original.num_gpus
+        assert rebuilt.submit_time == original.submit_time
+        assert rebuilt.num_iterations == original.num_iterations
+        assert rebuilt.model == original.model
+        assert rebuilt.name == original.name
+
+    def test_job_id_never_taken_from_the_wire(self):
+        payload = spec_to_dict(make_spec())
+        payload["job_id"] = 7
+        first = spec_from_dict(payload)
+        second = spec_from_dict(payload)
+        assert first.job_id != second.job_id
+
+    def test_defaults_applied(self):
+        spec = spec_from_dict({"durations": [1.0, 0.0, 0.0, 0.0]})
+        assert spec.num_gpus == 1
+        assert spec.submit_time == 0.0
+
+    def test_missing_durations_raises(self):
+        with pytest.raises(KeyError):
+            spec_from_dict({"num_gpus": 2})
+
+
+class TestLineCodec:
+    def test_round_trip(self):
+        message = {"op": "submit", "spec": {"durations": [1, 2]}}
+        line = encode_line(message)
+        assert line.endswith(b"\n")
+        assert decode_line(line) == message
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            decode_line(b"[1, 2]\n")
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ValueError):
+            decode_line(b"{nope\n")
+
+    def test_error_response_shape(self):
+        response = error_response("queue_full", "the queue is full")
+        assert response == {
+            "ok": False, "error": "queue_full",
+            "message": "the queue is full",
+        }
+
+
+def make_server(cluster=None, **kwargs):
+    simulator = ClusterSimulator(
+        FifoScheduler(),
+        cluster=cluster or Cluster(1, 2),
+        restart_penalty=0.0,
+        contention=IDEAL_CONTENTION,
+        uncoordinated_penalty=1.0,
+    )
+    service = SchedulerService(simulator, **kwargs)
+    return ServiceServer(service, path="/unused.sock")
+
+
+class TestDispatch:
+    def test_unknown_op(self):
+        response = make_server().dispatch({"op": "reboot"})
+        assert response["ok"] is False
+        assert response["error"] == "bad_request"
+
+    def test_missing_op(self):
+        assert make_server().dispatch({})["error"] == "bad_request"
+
+    def test_ping(self):
+        assert make_server().dispatch({"op": "ping"})["pong"] is True
+
+    def test_submit_and_status(self):
+        server = make_server()
+        response = server.dispatch(
+            {"op": "submit", "spec": spec_to_dict(make_spec(num_gpus=1))}
+        )
+        assert response["ok"] is True
+        job_id = response["job_id"]
+        status = server.dispatch({"op": "status", "job_id": job_id})
+        assert status["status"]["status"] == "pending"
+
+    def test_submit_rejection_carries_code(self):
+        server = make_server(cluster=Cluster(1, 2))
+        response = server.dispatch(
+            {"op": "submit", "spec": spec_to_dict(make_spec(num_gpus=8))}
+        )
+        assert response["ok"] is False
+        assert response["error"] == "too_large"
+
+    def test_unknown_job_status(self):
+        response = make_server().dispatch({"op": "status", "job_id": 999})
+        assert response["error"] == "unknown_job"
+
+    def test_malformed_spec_is_bad_request(self):
+        response = make_server().dispatch(
+            {"op": "submit", "spec": {"durations": "nope"}}
+        )
+        assert response["ok"] is False
+        assert response["error"] == "bad_request"
+
+    def test_cancel_and_drain_and_result(self):
+        server = make_server()
+        job_id = server.dispatch(
+            {"op": "submit", "spec": spec_to_dict(make_spec(num_gpus=1))}
+        )["job_id"]
+        assert server.dispatch({"op": "cancel", "job_id": job_id}) == {
+            "ok": True, "cancelled": True,
+        }
+        assert server.dispatch({"op": "result"}) == {
+            "ok": True, "done": False,
+        }
+        assert server.dispatch({"op": "drain"})["draining"] is True
+        server.service.run_sync(drain=False)
+        response = server.dispatch({"op": "result"})
+        assert response["done"] is True
+        assert response["result"]["jcts"] == {}

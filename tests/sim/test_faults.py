@@ -124,3 +124,17 @@ def test_validation():
         FaultInjector(mean_time_between_faults=0.0)
     with pytest.raises(ValueError):
         FaultInjector(progress_loss=1.5)
+
+
+def test_nan_mean_rejected():
+    # Regression: NaN slipped through the `<= 0` check (every NaN
+    # comparison is False) and poisoned every sampled fault delay.
+    with pytest.raises(ValueError, match="must not be NaN"):
+        FaultInjector(mean_time_between_faults=float("nan"))
+
+
+def test_nan_progress_loss_rejected():
+    with pytest.raises(ValueError, match="must not be NaN"):
+        FaultInjector(
+            mean_time_between_faults=100.0, progress_loss=float("nan")
+        )

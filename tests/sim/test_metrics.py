@@ -178,3 +178,49 @@ class TestJctCdf:
         empty = SimulationResult("X", "t")
         with pytest.raises(ValueError):
             empty.jct_cdf()
+
+
+class _LazyAscending:
+    """A presorted sample of ``n`` ascending floats, never materialized.
+
+    Stands in for the large JCT arrays aggregation pipelines hand to
+    :func:`percentile`: big enough to expose float-rank rounding
+    without allocating tens of millions of floats.
+    """
+
+    def __init__(self, n):
+        self._n = n
+
+    def __len__(self):
+        return self._n
+
+    def __getitem__(self, index):
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError(index)
+        return float(index)
+
+
+class TestPercentileRankClamp:
+    # Regression: with a reduced-precision q (numpy float32, the dtype
+    # aggregation pipelines produce), `last * q / 100.0` promotes to
+    # float32 under NEP 50 and rounds past the last index, so the
+    # ceil'd high index raised IndexError.
+
+    def test_float32_q_near_100(self):
+        numpy = pytest.importorskip("numpy")
+        values = _LazyAscending(16_777_236)
+        q = numpy.float32(99.99999237060547)  # largest float32 < 100
+        assert percentile(values, q, presorted=True) == float(len(values) - 1)
+
+    def test_float32_q_exactly_100(self):
+        numpy = pytest.importorskip("numpy")
+        values = _LazyAscending(16_777_220)
+        q = numpy.float32(100.0)
+        assert percentile(values, q, presorted=True) == float(len(values) - 1)
+
+    def test_plain_float_boundaries_unchanged(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 100.0) == 4.0
+        assert percentile(values, 0.0) == 1.0

@@ -252,3 +252,87 @@ class TestArrivalRescheduling:
             reschedule_on_arrival=True,
         ).run([early, late])
         assert result.finish_times[late.job_id] == pytest.approx(110.0)
+
+
+class TestLifecycleApi:
+    """The begin/step/finalize decomposition behind repro.service."""
+
+    def test_manual_loop_matches_run(self):
+        specs = [spec(100), spec(50, submit=5.0), spec(25, submit=40.0)]
+        batch = ideal_sim(FifoScheduler()).run(specs)
+
+        simulator = ideal_sim(FifoScheduler())
+        state = simulator.begin(specs)
+        while state.unfinished:
+            simulator.step(state)
+        manual = simulator.finalize(state)
+
+        assert manual.jcts == batch.jcts
+        assert manual.finish_times == batch.finish_times
+
+    def test_begin_requires_jobs_unless_allowed(self):
+        simulator = ideal_sim(FifoScheduler())
+        with pytest.raises(SimulationError):
+            simulator.begin([])
+        state = simulator.begin([], allow_empty=True)
+        assert state.unfinished == 0
+
+    def test_inject_mid_run(self):
+        simulator = ideal_sim(FifoScheduler(), backfill_on_completion=True)
+        state = simulator.begin([spec(10)])
+        simulator.step(state)  # first job done at t=10
+        late = simulator.inject(state, spec(10, submit=0.0))
+        while state.unfinished:
+            simulator.step(state)
+        result = simulator.finalize(state)
+        # The late job arrives at the current clock, never in the past.
+        assert result.finish_times[late.job_id] >= 10.0
+
+    def test_inject_oversized_rejected(self):
+        simulator = ideal_sim(FifoScheduler())
+        state = simulator.begin([spec(10)])
+        with pytest.raises(SimulationError):
+            simulator.inject(state, spec(10, gpus=64))
+
+    def test_inject_after_finalize_rejected(self):
+        simulator = ideal_sim(FifoScheduler())
+        state = simulator.begin([spec(1)])
+        while state.unfinished:
+            simulator.step(state)
+        simulator.finalize(state)
+        with pytest.raises(SimulationError):
+            simulator.inject(state, spec(1))
+
+    def test_cancel_pending_job_before_arrival(self):
+        simulator = ideal_sim(FifoScheduler())
+        a, b = spec(10), spec(10, submit=500.0)
+        state = simulator.begin([a, b])
+        assert simulator.cancel(state, b.job_id) is True
+        while state.unfinished:
+            simulator.step(state)
+        result = simulator.finalize(state)
+        assert b.job_id not in result.jcts
+        assert result.jcts[a.job_id] == pytest.approx(10.0)
+
+    def test_cancel_unknown_or_terminal_is_false(self):
+        simulator = ideal_sim(FifoScheduler())
+        a = spec(1)
+        state = simulator.begin([a])
+        assert simulator.cancel(state, 9999) is False
+        while state.unfinished:
+            simulator.step(state)
+        assert simulator.cancel(state, a.job_id) is False
+
+    def test_finalize_is_idempotent(self):
+        simulator = ideal_sim(FifoScheduler())
+        state = simulator.begin([spec(1)])
+        while state.unfinished:
+            simulator.step(state)
+        assert simulator.finalize(state) is simulator.finalize(state)
+
+    def test_step_after_budget_exhaustion_raises(self):
+        simulator = ideal_sim(FifoScheduler(), max_steps=1)
+        state = simulator.begin([spec(10), spec(10, submit=100.0)])
+        simulator.step(state)
+        with pytest.raises(SimulationError):
+            simulator.step(state)

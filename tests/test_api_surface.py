@@ -24,6 +24,7 @@ SUBPACKAGES = (
     "repro.observe",
     "repro.sweep",
     "repro.verify",
+    "repro.service",
     "repro.cli",
 )
 

@@ -69,7 +69,7 @@ def main(argv: List[str]) -> int:
     if any public definition lacks a docstring."""
     roots = [Path(a) for a in argv] or [
         Path("src/repro/observe"), Path("src/repro/sweep"),
-        Path("src/repro/verify"),
+        Path("src/repro/verify"), Path("src/repro/service"),
     ]
     failures = 0
     checked = 0
