@@ -1,0 +1,43 @@
+"""The pinned performance benchmark suite behind ``repro bench``.
+
+Perf claims in this repo are not prose — they are committed numbers.
+``repro bench`` runs a fixed suite (cold grouping at several queue
+sizes, warm event-regroup latency percentiles, the service loop's
+submit-to-decision latency, sweep throughput) and writes the results
+to ``BENCH_grouping.json`` / ``BENCH_service.json`` at the repo root.
+Those files are committed; CI re-runs the quick suite and fails when a
+gated metric regresses more than the tolerance
+(``tools/diff_metrics.py --bench``).
+
+Raw seconds are machine-speed dependent, so every benchmark also
+reports a *normalized* value: its time divided by the time of a fixed
+interpreter-bound calibration workload measured in the same process
+(:func:`~repro.bench.suite.calibrate`).  Gating happens on the
+normalized numbers, which transfer across machines to first order.
+See ``docs/performance.md`` for the model and the re-baselining
+procedure.
+"""
+
+from repro.bench.suite import (
+    GROUPING_BENCH_FILE,
+    SCHEMA_VERSION,
+    SERVICE_BENCH_FILE,
+    calibrate,
+    gated_metrics,
+    load_bench,
+    run_grouping_suite,
+    run_service_suite,
+    write_bench,
+)
+
+__all__ = [
+    "GROUPING_BENCH_FILE",
+    "SERVICE_BENCH_FILE",
+    "SCHEMA_VERSION",
+    "calibrate",
+    "gated_metrics",
+    "load_bench",
+    "run_grouping_suite",
+    "run_service_suite",
+    "write_bench",
+]

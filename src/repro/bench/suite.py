@@ -1,0 +1,485 @@
+"""Benchmark implementations for ``repro bench``.
+
+Two suites, each writing one JSON document:
+
+* the **grouping** suite (``BENCH_grouping.json``) times Algorithm 1
+  itself — cold :class:`~repro.core.grouping.MultiRoundGrouper` runs
+  at pinned queue sizes, and the warm ``event_regroup`` decision
+  latency of a :class:`~repro.core.muri.MuriScheduler` fed a stream of
+  queue-perturbing events (the per-bucket decision cache and the
+  whole-plan memo are both on this path);
+* the **service** suite (``BENCH_service.json``) times the scheduler
+  embedded in its consumers — per-``decide`` latency during a drained
+  service-style simulation (arrival events are the service's
+  submit-to-decision path), and the serial throughput of the sweep
+  runner on a small experiment grid.
+
+Every benchmark entry carries raw ``*_seconds`` plus machine-speed
+normalized ``*_normalized`` values (seconds divided by the
+:func:`calibrate` workload's time).  Only the normalized values are
+gated by ``tools/diff_metrics.py --bench``; gating raw seconds would
+tie the baseline to one machine.  Workload generation is fully seeded,
+so the *work* benchmarked is identical everywhere — only the clock
+differs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import statistics
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.muri import MuriScheduler
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.stage import StageProfile
+from repro.jobs.resources import NUM_RESOURCES
+
+__all__ = [
+    "GROUPING_BENCH_FILE",
+    "SERVICE_BENCH_FILE",
+    "SCHEMA_VERSION",
+    "calibrate",
+    "gated_metrics",
+    "load_bench",
+    "run_grouping_suite",
+    "run_service_suite",
+    "write_bench",
+]
+
+#: File names the suites write at the repo root (committed baselines).
+GROUPING_BENCH_FILE = "BENCH_grouping.json"
+SERVICE_BENCH_FILE = "BENCH_service.json"
+
+#: Bumped whenever the benchmark workloads change incompatibly; the
+#: diff gate refuses to compare documents with different schemas.
+SCHEMA_VERSION = 1
+
+#: Progress callback: one short human-readable line per benchmark.
+Progress = Optional[Callable[[str], None]]
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Time the fixed calibration workload; return the best of ``repeats``.
+
+    The workload mirrors the instruction mix of the benchmarks —
+    interpreter-bound loops over small tuples and dicts, the same mix
+    the blossom and grouping inner loops execute — so dividing a
+    benchmark's seconds by this time cancels machine speed to first
+    order.  Taking the minimum of several runs discards scheduling
+    jitter, which only ever adds time.
+    """
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        acc = 0
+        table: Dict[int, int] = {}
+        row = (3, 1, 4, 1, 5, 9, 2, 6)
+        for i in range(120_000):
+            key = i & 1023
+            table[key] = table.get(key, 0) + 1
+            acc += row[i & 7] * (i & 15)
+            if acc > 1 << 30:
+                acc >>= 8
+        pairs = sorted((v, k) for k, v in table.items())
+        acc += pairs[0][1]
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _make_jobs(
+    count: int,
+    seed: int,
+    gpu_choices: Sequence[int] = (1, 1, 2, 4, 8),
+) -> List[Job]:
+    """A seeded mixed-GPU job queue for the grouping benchmarks.
+
+    Stage durations are drawn uniformly per resource, giving the
+    matcher a realistic spread of bottlenecks; the GPU-count choices
+    weight small jobs the way the paper's traces do.
+    """
+    rng = random.Random(seed)
+    jobs = []
+    for _ in range(count):
+        rows = tuple(
+            round(rng.uniform(0.05, 5.0), 3) for _ in range(NUM_RESOURCES)
+        )
+        jobs.append(
+            Job(
+                JobSpec(
+                    profile=StageProfile(rows),
+                    num_gpus=rng.choice(list(gpu_choices)),
+                    num_iterations=100,
+                )
+            )
+        )
+    return jobs
+
+
+def _attach_normalized(
+    benchmarks: Dict[str, Dict[str, float]], fallback: float
+) -> None:
+    """Fill in ``*_normalized`` next to every ``*_seconds`` metric.
+
+    Each benchmark entry that recorded its own adjacent
+    ``calibration`` sample (taken interleaved with its repeats) is
+    normalized by that; entries without one fall back to the suite
+    calibration.  Adjacent calibration matters on shared machines:
+    background load drifts on minute timescales, and dividing a
+    benchmark by the machine speed measured *around it* cancels that
+    drift far better than one suite-wide sample.
+    """
+    for entry in benchmarks.values():
+        calibration = entry.get("calibration", fallback)
+        for name in list(entry):
+            if name == "seconds":
+                entry["normalized"] = entry[name] / calibration
+            elif name.endswith("_seconds"):
+                stem = name[: -len("_seconds")]
+                entry[f"{stem}_normalized"] = entry[name] / calibration
+
+
+def _percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1])."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _cold_group(size: int, seed: int, repeats: int) -> Dict[str, float]:
+    """Time a cold grouping of ``size`` jobs; best of ``repeats`` runs.
+
+    Every repeat uses a freshly built grouper, so no cache survives
+    between runs — this is the from-scratch decision latency the
+    paper's "1,000 jobs in a few seconds" claim is about.  Jobs come
+    from the repo's own trace generator (trace "1", the same workload
+    ``repro simulate`` runs), whose model-zoo profiles repeat across
+    jobs — the duplicate-heavy regime the weight cache is built for.
+    """
+    from repro.trace.philly import generate_trace
+    from repro.trace.workload import build_jobs
+
+    specs = build_jobs(generate_trace("1", num_jobs=size, seed=seed), seed=seed)
+    jobs = [Job(spec) for spec in specs]
+    best = float("inf")
+    calibration = float("inf")
+    groups = 0
+    total_efficiency = 0.0
+    for _ in range(max(1, repeats)):
+        calibration = min(calibration, calibrate(repeats=1))
+        scheduler = MuriScheduler()
+        start = time.perf_counter()
+        result = scheduler.grouper.group(jobs, capacity=None)
+        best = min(best, time.perf_counter() - start)
+        groups = len(result.groups)
+        total_efficiency = result.total_efficiency
+    calibration = min(calibration, calibrate(repeats=1))
+    return {
+        "jobs": len(jobs),
+        "seconds": best,
+        "groups": groups,
+        "total_efficiency": total_efficiency,
+        "calibration": calibration,
+    }
+
+
+def _warm_regroup(
+    size: int, events: int, seed: int, repeats: int = 3
+) -> Dict[str, float]:
+    """Latency distribution of warm ``event_regroup`` decisions.
+
+    The whole event stream is replayed ``repeats`` times (fresh
+    scheduler and queue each time — the stream consumes the queue) and
+    the best percentile across replays is reported: the work is
+    deterministic, so differences between replays are pure scheduler
+    jitter, which only ever inflates the tail.
+
+    A :class:`MuriScheduler` with ``event_regroup=True`` is warmed with
+    one cold decide, then fed ``events`` queue perturbations in the
+    scheduler's own priority order: removals from the priority *tail*
+    (completions past the dequeue budget — the whole-plan memo's case)
+    alternating with removals from the priority *head* (batch-changing
+    events, served by the per-bucket decision cache).  Reported p50/p99
+    therefore cover both warm paths, with p99 dominated by the
+    cache-assisted regroups.
+
+    The queue draws GPU counts uniformly from (1, 2, 4, 8) so no
+    single GPU-count bucket dominates the dequeued batch: a
+    batch-changing event then re-matches a bucket of a few dozen
+    nodes, which is the service-loop regime the <10 ms p99 target is
+    pinned for (priority-weighted mixes concentrate 1-GPU jobs at the
+    queue head and grow that bucket past 100 nodes, where a single
+    dense blossom rematch alone exceeds the budget — that regime is
+    covered by the cold benchmarks instead).
+    """
+    capacity = 64
+    best_p50 = float("inf")
+    best_p99 = float("inf")
+    calibration = float("inf")
+    observed = 0
+    for _ in range(max(1, repeats)):
+        calibration = min(calibration, calibrate(repeats=1))
+        scheduler = MuriScheduler(event_regroup=True)
+        queue = _make_jobs(size, seed, gpu_choices=(1, 2, 4, 8))
+        scheduler.decide(0.0, queue, {}, capacity, reason="arrival")
+        # The scheduler's queue order: priority tuple, then submit
+        # time, then id — removing from this list's tail leaves the
+        # dequeued batch untouched, removing from its head perturbs it.
+        ranked = sorted(
+            queue,
+            key=lambda job: (
+                scheduler.policy(job, 0.0),
+                job.spec.submit_time,
+                job.job_id,
+            ),
+        )
+        latencies: List[float] = []
+        now = 1.0
+        for event in range(events):
+            if len(ranked) < 8:
+                break
+            victim = ranked.pop() if event % 2 == 0 else ranked.pop(0)
+            queue = [job for job in queue if job is not victim]
+            start = time.perf_counter()
+            scheduler.decide(now, queue, {}, capacity, reason="completion")
+            latencies.append(time.perf_counter() - start)
+            now += 1.0
+        observed = len(latencies)
+        best_p50 = min(best_p50, _percentile(latencies, 0.50))
+        best_p99 = min(best_p99, _percentile(latencies, 0.99))
+    calibration = min(calibration, calibrate(repeats=1))
+    return {
+        "jobs": size,
+        "events": observed,
+        "p50_seconds": best_p50,
+        "p99_seconds": best_p99,
+        "calibration": calibration,
+    }
+
+
+def _environment() -> Dict[str, object]:
+    """Context recorded alongside the numbers (never gated)."""
+    import os
+
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def run_grouping_suite(
+    quick: bool = False, seed: int = 0, progress: Progress = None
+) -> Dict[str, object]:
+    """Run the grouping suite; return the ``BENCH_grouping.json`` document.
+
+    Args:
+        quick: Skip the largest cold size (the CI configuration).
+            Every benchmark quick mode *does* run uses the exact full
+            workload, so quick results are a strict, comparable subset
+            of full results and gate cleanly against a committed full
+            baseline.
+        seed: Workload seed; the default is what the committed
+            baselines use.
+        progress: Optional callback receiving one line per benchmark.
+    """
+
+    def note(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    calibration = calibrate()
+    note(f"calibration {calibration * 1e3:.1f} ms")
+    sizes = (512, 1024) if quick else (512, 1024, 4096)
+    benchmarks: Dict[str, Dict[str, float]] = {}
+    for size in sizes:
+        entry = _cold_group(size, seed, repeats=2)
+        benchmarks[f"cold_group_{size}"] = entry
+        note(
+            f"cold_group_{size}: {entry['seconds']:.3f} s "
+            f"({entry['groups']} groups)"
+        )
+    warm = _warm_regroup(128, 100, seed)
+    benchmarks["warm_regroup"] = warm
+    note(
+        f"warm_regroup: p50 {warm['p50_seconds'] * 1e3:.2f} ms, "
+        f"p99 {warm['p99_seconds'] * 1e3:.2f} ms over {warm['events']} events"
+    )
+    calibration = min(calibration, calibrate())
+    _attach_normalized(benchmarks, calibration)
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "grouping",
+        "quick": quick,
+        "seed": seed,
+        "calibration_seconds": calibration,
+        "env": _environment(),
+        "benchmarks": benchmarks,
+    }
+
+
+def run_service_suite(
+    quick: bool = False, seed: int = 0, progress: Progress = None
+) -> Dict[str, object]:
+    """Run the service suite; return the ``BENCH_service.json`` document.
+
+    Args:
+        quick: Accepted for CLI symmetry with the grouping suite; the
+            service workloads are already cheap, and shrinking them
+            would make quick-run metrics incomparable with the
+            committed full baseline, so the flag changes nothing here.
+        seed: Workload seed for the trace generator and sweep cells.
+        progress: Optional callback receiving one line per benchmark.
+    """
+    from repro.cluster.cluster import Cluster
+    from repro.sim.simulator import ClusterSimulator
+    from repro.sweep import SweepRunner, experiment_cells
+    from repro.trace.philly import generate_trace
+    from repro.trace.workload import build_jobs
+
+    def note(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    calibration = calibrate()
+    note(f"calibration {calibration * 1e3:.1f} ms")
+
+    # Submit-to-decision: a drained service-style run (arrivals
+    # reschedule immediately, completions regroup incrementally) with
+    # every scheduler.decide call timed.  Arrival-reason latencies are
+    # exactly what a service client waits between submit and decision.
+    # The simulation is deterministic, so each repeat times identical
+    # work; taking the best percentile over repeats discards scheduler
+    # jitter, which only ever inflates the tail.
+    num_jobs = 200
+    repeats = 3
+    trace = generate_trace("1", num_jobs=num_jobs, seed=seed)
+    specs = build_jobs(trace, seed=seed)
+    cluster = Cluster(8, 8)
+    specs = [s for s in specs if s.num_gpus <= cluster.total_gpus]
+    best_p50 = float("inf")
+    best_p99 = float("inf")
+    submit_cal = float("inf")
+    decisions = 0
+    arrival_count = 0
+    for _ in range(repeats):
+        submit_cal = min(submit_cal, calibrate(repeats=1))
+        scheduler = MuriScheduler(event_regroup=True)
+        latencies: Dict[str, List[float]] = {}
+        inner_decide = scheduler.decide
+
+        def timed_decide(now, jobs, running, total_gpus, reason="tick"):
+            """Record per-reason wall time around the real decide call."""
+            start = time.perf_counter()
+            plan = inner_decide(now, jobs, running, total_gpus, reason)
+            latencies.setdefault(reason, []).append(
+                time.perf_counter() - start
+            )
+            return plan
+
+        scheduler.decide = timed_decide  # type: ignore[method-assign]
+        simulator = ClusterSimulator(
+            scheduler,
+            cluster=Cluster(8, 8),
+            reschedule_on_arrival=True,
+            arrival_reason="arrival",
+            backfill_on_completion=True,
+        )
+        simulator.run(specs, trace.name)
+        arrivals = latencies.get("arrival", [0.0])
+        decisions = sum(len(samples) for samples in latencies.values())
+        arrival_count = len(arrivals)
+        best_p50 = min(best_p50, _percentile(arrivals, 0.50))
+        best_p99 = min(best_p99, _percentile(arrivals, 0.99))
+    submit_cal = min(submit_cal, calibrate(repeats=1))
+    submit = {
+        "jobs": len(specs),
+        "decisions": decisions,
+        "arrivals": arrival_count,
+        "p50_seconds": best_p50,
+        "p99_seconds": best_p99,
+        "calibration": submit_cal,
+    }
+    note(
+        f"submit_decide: p50 {submit['p50_seconds'] * 1e3:.2f} ms, "
+        f"p99 {submit['p99_seconds'] * 1e3:.2f} ms "
+        f"over {submit['arrivals']} arrivals"
+    )
+
+    # Sweep throughput: the serial runner on a pinned slice of the
+    # fig11 ablation grid, best of a few repeats.  Gated as
+    # seconds-per-cell so the direction matches every other metric
+    # (higher = regression).
+    cells = experiment_cells("fig11", num_jobs=40, seed=seed)[:4]
+    elapsed = float("inf")
+    sweep_cal = float("inf")
+    results: Dict[str, object] = {}
+    for _ in range(repeats):
+        sweep_cal = min(sweep_cal, calibrate(repeats=1))
+        runner = SweepRunner(max_workers=1)
+        start = time.perf_counter()
+        results = runner.run(cells)
+        elapsed = min(elapsed, time.perf_counter() - start)
+    sweep_cal = min(sweep_cal, calibrate(repeats=1))
+    failed = sum(1 for run in results.values() if not run.ok)
+    per_cell = elapsed / max(1, len(results))
+    sweep = {
+        "cells": len(results),
+        "failed": failed,
+        "cell_seconds": per_cell,
+        "calibration": sweep_cal,
+    }
+    note(
+        f"sweep_serial: {len(results)} cells in {elapsed:.2f} s "
+        f"({per_cell:.2f} s/cell)"
+    )
+    benchmarks = {"submit_decide": submit, "sweep_serial": sweep}
+    calibration = min(calibration, calibrate())
+    _attach_normalized(benchmarks, calibration)
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "service",
+        "quick": quick,
+        "seed": seed,
+        "calibration_seconds": calibration,
+        "env": _environment(),
+        "benchmarks": benchmarks,
+    }
+
+
+def write_bench(document: Dict[str, object], path: Path) -> None:
+    """Write one suite document as stable, diff-friendly JSON."""
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_bench(path: Path) -> Dict[str, object]:
+    """Read a suite document written by :func:`write_bench`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def gated_metrics(document: Dict[str, object]) -> Dict[str, float]:
+    """Flatten a suite document to its gated (normalized) metrics.
+
+    Returns ``{"benchmark.metric": value}`` for every metric named
+    ``normalized`` or ending in ``_normalized``, except medians:
+    ``p50_*`` values are recorded for humans but never gated, because
+    the warm paths are bimodal (memo hit vs cache-assisted regroup)
+    and a sub-millisecond median sitting on that boundary jitters far
+    beyond any honest tolerance — the tail (p99) is the latency
+    contract.  The gated values are machine-speed invariant to first
+    order, and all of them are lower-is-better.
+    """
+    flat: Dict[str, float] = {}
+    for bench_name, entry in sorted(document.get("benchmarks", {}).items()):
+        for metric, value in sorted(entry.items()):
+            if metric.startswith("p50"):
+                continue
+            if metric == "normalized" or metric.endswith("_normalized"):
+                flat[f"{bench_name}.{metric}"] = float(value)
+    return flat

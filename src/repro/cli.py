@@ -16,6 +16,8 @@ Drives the library from a shell::
     repro serve --jobs 20 --drain --verify-incremental
     repro fuzz --episodes 50 --seed 0         # invariant fuzzing
     repro fuzz --replay repro-failures/repro-seed0-ep3-....json
+    repro bench                               # pinned perf suite
+    repro bench --quick --out-dir bench-out   # the CI configuration
 
 Every command is deterministic for a given ``--seed``; ``repro sweep``
 is deterministic per run id regardless of worker count or sharding.
@@ -229,6 +231,24 @@ def build_parser() -> argparse.ArgumentParser:
                       help="serialize failing episodes without shrinking")
     fuzz.add_argument("--replay", metavar="REPRO_FILE",
                       help="replay one repro file instead of fuzzing")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned performance benchmark suite and write "
+             "BENCH_grouping.json / BENCH_service.json (the committed "
+             "perf baselines; see docs/performance.md)",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="the CI configuration: skip the largest "
+                            "cold size and shorten the event streams")
+    bench.add_argument("--suite", default="all",
+                       choices=("grouping", "service", "all"),
+                       help="which suite(s) to run")
+    bench.add_argument("--out-dir", default=".",
+                       help="directory the BENCH_*.json files are "
+                            "written to (default: current directory)")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="workload seed (baselines use 0)")
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate every paper artifact as one report"
@@ -703,6 +723,40 @@ def _cmd_fuzz(args) -> int:
     return 1 if report.failures else 0
 
 
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.bench import (
+        GROUPING_BENCH_FILE,
+        SERVICE_BENCH_FILE,
+        gated_metrics,
+        run_grouping_suite,
+        run_service_suite,
+        write_bench,
+    )
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    suites = []
+    if args.suite in ("grouping", "all"):
+        suites.append((GROUPING_BENCH_FILE, run_grouping_suite))
+    if args.suite in ("service", "all"):
+        suites.append((SERVICE_BENCH_FILE, run_service_suite))
+    for filename, run_suite in suites:
+        print(f"== {filename} ==")
+        document = run_suite(
+            quick=args.quick, seed=args.seed,
+            progress=lambda line: print(f"   {line}"),
+        )
+        path = out_dir / filename
+        write_bench(document, path)
+        rows = sorted(gated_metrics(document).items())
+        print(format_table(
+            ["Gated metric", "Normalized"], rows, title=str(path)
+        ))
+    return 0
+
+
 def _cmd_reproduce(args) -> int:
     from pathlib import Path
 
@@ -736,6 +790,7 @@ _COMMANDS = {
     "capacity": _cmd_capacity,
     "serve": _cmd_serve,
     "fuzz": _cmd_fuzz,
+    "bench": _cmd_bench,
     "reproduce": _cmd_reproduce,
 }
 

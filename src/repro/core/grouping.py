@@ -62,12 +62,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.efficiency import efficiency_for_period
 from repro.core.group import JobGroup
 from repro.core.ordering import (
+    batched_best_periods,
     best_ordering,
     best_period_for_rows,
     group_iteration_time,
     identity_ordering,
     worst_ordering,
 )
+from repro.core.parallel import BucketPool, bucket_payload
 from repro.jobs.job import Job
 from repro.jobs.resources import NUM_RESOURCES
 from repro.jobs.stage import StageProfile
@@ -180,6 +182,15 @@ class MultiRoundGrouper:
             snap durations to.  ``0`` keys on exact durations; a
             positive quantum trades a little decision quality for cache
             hits that survive profiling noise.
+        workers: Process-pool width for per-bucket matchings.  GPU-count
+            buckets never interact (Algorithm 1 groups within a bucket
+            only), so with ``workers > 1`` the blossom matchings of
+            large buckets that missed the decision cache are dispatched
+            over a :class:`~repro.core.parallel.BucketPool` and merged
+            back in bucket order — plans are bit-identical to the
+            serial path (``workers=1``), which also remains the
+            fallback whenever the pool fails or tracing needs in-process
+            provenance.
         tracer: Optional :class:`~repro.observe.Tracer`.  When enabled,
             the grouper times its matching rounds, counts weight /
             decision cache hits, and publishes per-group
@@ -189,6 +200,10 @@ class MultiRoundGrouper:
 
     #: Candidate edges kept per job in provenance records.
     PROVENANCE_CANDIDATE_CAP = 6
+
+    #: Buckets smaller than this are always matched in-process — the
+    #: IPC round-trip would cost more than the matching itself.
+    PARALLEL_MIN_NODES = 16
 
     def __init__(
         self,
@@ -202,6 +217,7 @@ class MultiRoundGrouper:
         max_degree: int = 8,
         probe_limit: Optional[int] = None,
         cache_quantum: float = 0.0,
+        workers: int = 1,
         tracer: Optional[Tracer] = None,
     ) -> None:
         if max_group_size < 1:
@@ -217,6 +233,8 @@ class MultiRoundGrouper:
             raise ValueError(f"unknown ordering policy {ordering!r}")
         if cache_quantum < 0:
             raise ValueError("cache_quantum must be >= 0")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.max_group_size = max_group_size
         self.num_resources = num_resources
         self.matcher = matcher
@@ -244,7 +262,13 @@ class MultiRoundGrouper:
         # between scheduling intervals skips matching entirely.
         self._decision_cache: Dict[Tuple, List[_MatchedPair]] = {}
         self._decision_cache_prev: Dict[Tuple, List[_MatchedPair]] = {}
+        self.workers = workers
+        self._pool: Optional[BucketPool] = None
         self.tracer = tracer
+        #: Whether the in-flight group() call is tracing — hoisted to a
+        #: single flag so the weight/ordering inner loops pay zero
+        #: tracer overhead when tracing is off.
+        self._tracing = False
         #: Provenance of the most recent :meth:`group` call (a tuple of
         #: :class:`~repro.observe.GroupDecision`), or None when the
         #: tracer was absent/disabled for that call.
@@ -298,6 +322,7 @@ class MultiRoundGrouper:
             raise ValueError("need one believed profile per job")
 
         tracing = self.tracer is not None and self.tracer.enabled
+        self._tracing = tracing
         self.last_decisions = None
         self._prov_candidates = (
             {} if tracing and self.tracer.candidate_provenance else None
@@ -326,6 +351,16 @@ class MultiRoundGrouper:
         self._ordering_cache.clear()
         self._decision_cache = {}
         self._decision_cache_prev = {}
+
+    def close(self) -> None:
+        """Shut down the per-bucket worker pool, if one was started.
+
+        Safe to call any number of times; the next parallel
+        :meth:`group` call lazily recreates the pool.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     def _group_inner(
         self,
@@ -462,9 +497,12 @@ class MultiRoundGrouper:
         ``buckets[gpus]`` at call time.  Matchings are memoized per
         bucket against the node-key sequence, so a bucket unchanged
         since the previous ``group()`` call reuses its pairs without
-        rebuilding edges or rerunning the matcher.
+        rebuilding edges or rerunning the matcher.  With ``workers >
+        1`` the cache-missing large buckets are matched in parallel
+        (:meth:`_match_buckets_parallel`) before the in-order merge.
         """
         candidates: List[Tuple[float, int, int, int]] = []
+        entries: List[list] = []
         for gpus in bucket_order:
             nodes = buckets[gpus]
             if len(nodes) < 2:
@@ -474,7 +512,18 @@ class MultiRoundGrouper:
                 tuple(self._node_cache_key(node) for node in nodes),
             )
             matched = self._decision_cache_prev.get(bucket_key)
-            cache_hit = matched is not None
+            # entry: [gpus, nodes, bucket_key, matched, cache_hit]
+            entries.append([gpus, nodes, bucket_key, matched, matched is not None])
+
+        dispatch = self._parallel_dispatch(entries)
+        if dispatch:
+            parallel_results = self._match_buckets_parallel(
+                [entry[1] for entry in dispatch]
+            )
+            for entry, matched in zip(dispatch, parallel_results):
+                entry[3] = matched
+
+        for gpus, nodes, bucket_key, matched, cache_hit in entries:
             if matched is None:
                 with maybe_span(
                     self.tracer, "grouping.match", self._trace_now,
@@ -482,8 +531,8 @@ class MultiRoundGrouper:
                 ):
                     matched = self._match_bucket(nodes)
             self._decision_cache[bucket_key] = matched
-            tracer = self.tracer
-            if tracer is not None and tracer.enabled:
+            if self._tracing:
+                tracer = self.tracer
                 kind = "hit" if cache_hit else "miss"
                 tracer.count(f"grouping.decision_cache.{kind}")
                 tracer.emit(
@@ -506,6 +555,66 @@ class MultiRoundGrouper:
             # ablation packs jobs in descending priority.
             candidates.sort(key=lambda c: c[1])
         return candidates
+
+    def _parallel_dispatch(self, entries: List[list]) -> List[list]:
+        """The cache-missing buckets worth sending to the pool.
+
+        Parallel dispatch needs ``workers > 1``, the blossom matcher
+        (greedy is O(n) and exact is capped at 12 nodes), no active
+        tracing (matching spans and candidate provenance are collected
+        in-process), and at least two sufficiently large miss buckets —
+        one bucket has nothing to overlap with.
+        """
+        if self.workers < 2 or self.matcher != "blossom" or self._tracing:
+            return []
+        eligible = [
+            entry
+            for entry in entries
+            if entry[3] is None and len(entry[1]) >= self.PARALLEL_MIN_NODES
+        ]
+        return eligible if len(eligible) >= 2 else []
+
+    def _worker_config(self) -> Dict[str, object]:
+        """Constructor kwargs reproducing this grouper in a worker."""
+        config: Dict[str, object] = {
+            "max_group_size": self.max_group_size,
+            "num_resources": self.num_resources,
+            "matcher": self.matcher,
+            "ordering": self.ordering,
+            "min_efficiency": self.min_efficiency,
+            "gpu_memory_gb": self.gpu_memory_gb,
+            "sparsify_threshold": self.sparsify_threshold,
+            "cache_quantum": self.cache_quantum,
+        }
+        if self._sparsify_config is not None:
+            config["max_degree"] = self._sparsify_config.max_degree
+            config["probe_limit"] = self._sparsify_config.probe_limit
+        return config
+
+    def _match_buckets_parallel(
+        self, node_lists: List[List[_Node]]
+    ) -> List[Optional[List[_MatchedPair]]]:
+        """Match several buckets on the worker pool.
+
+        Returns one pair list per bucket, aligned with ``node_lists``;
+        ``None`` marks a bucket the pool could not match (broken pool
+        beyond its rebuild budget, or a deterministic worker error) —
+        the caller re-runs those serially, which is bit-identical and
+        reproduces any real exception in the parent process.
+        """
+        if self._pool is None:
+            self._pool = BucketPool(self.workers)
+        with_memory = self.gpu_memory_gb is not None
+        payloads = [
+            bucket_payload(nodes, with_memory) for nodes in node_lists
+        ]
+        try:
+            return self._pool.match_buckets(self._worker_config(), payloads)
+        except Exception:
+            # Pool machinery failed outright (e.g. no process support):
+            # degrade to the serial path rather than lose the decision.
+            self.close()
+            return [None] * len(node_lists)
 
     def _match_bucket(self, nodes: List[_Node]) -> List[_MatchedPair]:
         """One matching over a bucket; pairs as (weight, i, j), i < j.
@@ -569,14 +678,22 @@ class MultiRoundGrouper:
                 config,
                 tracer=self.tracer,
                 sim_time=self._trace_now,
+                batch_weight_fn=lambda pairs: self._pair_weights_batch(
+                    subset, pairs
+                ),
             )
         else:
-            edges = []
-            for a in range(len(subset)):
-                for b in range(a + 1, len(subset)):
-                    weight = self._pair_weight(subset[a], subset[b])
-                    if weight is not None:
-                        edges.append((a, b, weight))
+            all_pairs = [
+                (a, b)
+                for a in range(len(subset))
+                for b in range(a + 1, len(subset))
+            ]
+            weights = self._pair_weights_batch(subset, all_pairs)
+            edges = [
+                (a, b, weight)
+                for (a, b), weight in zip(all_pairs, weights)
+                if weight is not None
+            ]
         if not edges:
             return []
         weight_of = {(u, v): w for u, v, w in edges}
@@ -603,6 +720,75 @@ class MultiRoundGrouper:
         if weight < self.min_efficiency:
             return None
         return weight
+
+    def _pair_weights_batch(
+        self,
+        subset: List[_Node],
+        pairs: Sequence[Tuple[int, int]],
+    ) -> List[Optional[float]]:
+        """Vectorized :meth:`_pair_weight` over many candidate pairs.
+
+        Feasibility checks and the weight cache are walked pair-by-pair
+        in order (so cache hit/miss counters and cache contents match
+        the scalar path exactly); the uncached weights are then
+        evaluated in one :func:`batched_best_periods` numpy batch per
+        merged-group size.  Results are bit-identical to calling
+        ``_pair_weight`` per pair: the batched kernel reproduces the
+        scalar slot-max/period arithmetic exactly.
+        """
+        results: List[Optional[float]] = [None] * len(pairs)
+        min_efficiency = self.min_efficiency
+        tracing = self._tracing
+        tracer = self.tracer
+        cache = self._weight_cache
+        # pending: cache key -> [slots, profiles] for uncached weights.
+        pending: Dict[Tuple, list] = {}
+        for slot, (a, b) in enumerate(pairs):
+            u = subset[a]
+            v = subset[b]
+            if u.size + v.size > self.max_group_size:
+                continue
+            if not self._memory_feasible(u, v):
+                continue
+            key = tuple(sorted(u.keys + v.keys))
+            cached = cache.get(key)
+            if cached is not None:
+                if tracing:
+                    tracer.count("grouping.weight_cache.hit")
+                if cached >= min_efficiency:
+                    results[slot] = cached
+                continue
+            entry = pending.get(key)
+            if entry is None:
+                if tracing:
+                    tracer.count("grouping.weight_cache.miss")
+                pending[key] = [[slot], u.profiles + v.profiles]
+            else:
+                # Another pair with the same quantized key: the scalar
+                # path would have found it in the cache by now.
+                if tracing:
+                    tracer.count("grouping.weight_cache.hit")
+                entry[0].append(slot)
+        if not pending:
+            return results
+        by_size: Dict[int, List[Tuple]] = {}
+        for key, (_slots, profiles) in pending.items():
+            by_size.setdefault(len(profiles), []).append(key)
+        for _size, keys in by_size.items():
+            groups = [
+                tuple(p.durations for p in pending[key][1]) for key in keys
+            ]
+            periods = batched_best_periods(groups, self.num_resources)
+            for key, period in zip(keys, periods):
+                slots, profiles = pending[key]
+                weight = efficiency_for_period(
+                    profiles, period, self.num_resources
+                )
+                cache[key] = weight
+                if weight >= min_efficiency:
+                    for slot in slots:
+                        results[slot] = weight
+        return results
 
     def _aggregate_durations(self, node: _Node) -> List[float]:
         k = self.num_resources
@@ -807,13 +993,13 @@ class MultiRoundGrouper:
     ) -> float:
         key = tuple(sorted(keys))
         cached = self._weight_cache.get(key)
-        tracer = self.tracer
+        tracing = self._tracing
         if cached is not None:
-            if tracer is not None:
-                tracer.count("grouping.weight_cache.hit")
+            if tracing:
+                self.tracer.count("grouping.weight_cache.hit")
             return cached
-        if tracer is not None:
-            tracer.count("grouping.weight_cache.miss")
+        if tracing:
+            self.tracer.count("grouping.weight_cache.miss")
         rows = tuple(profile.durations for profile in profiles)
         _offsets, period = best_period_for_rows(rows, self.num_resources)
         weight = efficiency_for_period(profiles, period, self.num_resources)
@@ -825,7 +1011,7 @@ class MultiRoundGrouper:
         key = tuple(node.keys)
         offsets = self._ordering_cache.get(key)
         if offsets is None:
-            if self.tracer is not None:
+            if self._tracing:
                 self.tracer.count("grouping.ordering_cache.miss")
             ordering_fn = _ORDERING_FNS[self.ordering]
             with maybe_span(
@@ -834,7 +1020,7 @@ class MultiRoundGrouper:
             ):
                 offsets, _period = ordering_fn(profiles, self.num_resources)
             self._ordering_cache[key] = offsets
-        elif self.tracer is not None:
+        elif self._tracing:
             self.tracer.count("grouping.ordering_cache.hit")
         return JobGroup(
             jobs=tuple(node.jobs),

@@ -1,0 +1,198 @@
+"""Process-pool execution of independent per-bucket matchings.
+
+Algorithm 1 never groups jobs across GPU-count buckets, so the
+per-bucket matchings of one grouping round are embarrassingly
+parallel.  :class:`BucketPool` dispatches them over a persistent
+:class:`concurrent.futures.ProcessPoolExecutor`, applying the same
+resilience pattern as :class:`repro.sweep.runner.SweepRunner`: a
+worker crash (``BrokenProcessPool``) tears the pool down, rebuilds it
+once, and re-dispatches the unfinished buckets; buckets that still
+fail are surfaced as ``None`` so the caller can fall back to the
+bit-identical serial path instead of losing a scheduling decision.
+
+Determinism: each bucket's matching depends only on its own payload —
+the member profiles, cache keys and grouper knobs — so a bucket
+matched in a worker returns exactly the pairs the parent would have
+computed serially.  The parent merges results in ``bucket_order``, so
+parallel and serial grouping plans are identical by construction
+(enforced by :func:`repro.verify.compare_parallel_serial`).
+
+Workers keep one grouper instance alive per configuration, so the
+weight/ordering caches stay warm across consecutive dispatches just
+like the serial grouper's do.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["BucketPool", "bucket_payload"]
+
+#: One serialized bucket: per node ``(rows, keys, memories)`` where
+#: ``rows`` are the member profiles' duration tuples, ``keys`` their
+#: cache keys and ``memories`` the per-member memory footprints (or
+#: None when the feasibility check is off).
+BucketPayload = List[Tuple[tuple, tuple, Optional[tuple]]]
+
+
+def bucket_payload(nodes: Sequence[Any], with_memory: bool) -> BucketPayload:
+    """Serialize a bucket's nodes for worker-side reconstruction."""
+    payload: BucketPayload = []
+    for node in nodes:
+        rows = tuple(profile.durations for profile in node.profiles)
+        keys = tuple(node.keys)
+        memories = (
+            tuple(job.spec.memory for job in node.jobs) if with_memory else None
+        )
+        payload.append((rows, keys, memories))
+    return payload
+
+
+class _WorkerSpec:
+    """Stub job spec carrying only the memory footprint."""
+
+    __slots__ = ("memory",)
+
+    def __init__(self, memory: Any) -> None:
+        self.memory = memory
+
+
+class _WorkerJob:
+    """Stub job: exactly the surface ``_match_bucket`` touches."""
+
+    __slots__ = ("spec",)
+
+    def __init__(self, memory: Any) -> None:
+        self.spec = _WorkerSpec(memory)
+
+
+#: Worker-side grouper reuse: ``(config_key, grouper)`` of the last
+#: configuration seen, so weight/ordering caches survive dispatches.
+_WORKER_STATE: List[Any] = [None, None]
+
+
+def _match_bucket_worker(
+    config: Dict[str, Any], payload: BucketPayload
+) -> Dict[str, Any]:
+    """Process-pool entry point: match one bucket, never raise.
+
+    Deterministic exceptions come back as ``status="error"`` payloads;
+    the parent re-runs the bucket serially, which reproduces the same
+    exception where the caller can see it.  Only process death
+    surfaces as a pool failure.
+    """
+    try:
+        from repro.core.grouping import MultiRoundGrouper, _Node
+        from repro.jobs.stage import StageProfile
+
+        config_key = tuple(sorted(config.items(), key=lambda kv: kv[0]))
+        if _WORKER_STATE[0] != config_key:
+            _WORKER_STATE[0] = config_key
+            _WORKER_STATE[1] = MultiRoundGrouper(**config)
+        grouper = _WORKER_STATE[1]
+        nodes = []
+        for rows, keys, memories in payload:
+            if memories is None:
+                jobs = [_WorkerJob(None) for _ in rows]
+            else:
+                jobs = [_WorkerJob(memory) for memory in memories]
+            nodes.append(
+                _Node(
+                    jobs,
+                    [StageProfile(tuple(row)) for row in rows],
+                    list(keys),
+                )
+            )
+        return {"status": "ok", "matched": grouper._match_bucket(nodes)}
+    except BaseException:
+        return {"status": "error", "error": traceback.format_exc()}
+
+
+class BucketPool:
+    """A persistent process pool for per-bucket matchings.
+
+    Args:
+        workers: Number of worker processes (>= 2; ``workers=1`` is the
+            serial path and never constructs a pool).
+        max_rebuilds: How many times a broken pool is rebuilt before
+            the remaining buckets are handed back for serial fallback.
+    """
+
+    def __init__(self, workers: int, max_rebuilds: int = 1) -> None:
+        if workers < 2:
+            raise ValueError("BucketPool needs workers >= 2")
+        self.workers = workers
+        self.max_rebuilds = max_rebuilds
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def _rebuild(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+        self._executor = ProcessPoolExecutor(max_workers=self.workers)
+
+    def match_buckets(
+        self,
+        config: Dict[str, Any],
+        payloads: Sequence[BucketPayload],
+    ) -> List[Optional[list]]:
+        """Match every bucket; ``None`` marks a bucket needing serial fallback.
+
+        Buckets are submitted together and collected in order.  A
+        ``BrokenProcessPool`` rebuilds the pool (up to ``max_rebuilds``
+        times) and re-dispatches the buckets that were lost with it;
+        deterministic worker errors and buckets that outlive the
+        rebuild budget come back as ``None``.
+        """
+        results: List[Optional[list]] = [None] * len(payloads)
+        pending = list(range(len(payloads)))
+        rebuilds = 0
+        while pending:
+            executor = self._ensure_executor()
+            futures = {
+                index: executor.submit(
+                    _match_bucket_worker, config, payloads[index]
+                )
+                for index in pending
+            }
+            broken = False
+            still_pending: List[int] = []
+            for index, future in futures.items():
+                if broken:
+                    still_pending.append(index)
+                    continue
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    still_pending.append(index)
+                    continue
+                if outcome["status"] == "ok":
+                    results[index] = outcome["matched"]
+                # status == "error": leave None; the serial fallback
+                # reproduces the deterministic exception in the parent.
+            if not broken:
+                break
+            if rebuilds >= self.max_rebuilds:
+                break
+            rebuilds += 1
+            self._rebuild()
+            pending = still_pending
+        return results
+
+    def close(self) -> None:
+        """Shut the worker pool down; the next dispatch recreates it."""
+        if self._executor is not None:
+            # Blocking shutdown: every future has been collected by the
+            # time close() runs, so this returns promptly and avoids
+            # leaving a half-torn-down executor behind at interpreter
+            # exit.
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None

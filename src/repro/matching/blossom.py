@@ -13,6 +13,27 @@ searching for augmenting paths in an alternating forest; odd cycles
 ("blossoms") are shrunk into super-nodes, and dual variables are
 adjusted when the search saturates.
 
+The inner loops are the grouping hot path, so the matcher is written
+as flat-array kernels (see docs/performance.md for the measurements
+behind each choice):
+
+* All per-edge state lives in preallocated parallel arrays — endpoint
+  vertices ``_edge_u``/``_edge_v``, doubled weights ``_edge_two_w``,
+  and a per-vertex adjacency of ``(endpoint, edge, neighbour)``
+  triples — never in per-edge tuples or dicts, and slack is computed
+  inline from those arrays in the BFS scan.
+* Per-stage resets reuse preallocated template arrays via slice
+  assignment instead of reallocating.
+* Blossom leaf traversal is an iterative preorder walk returning a
+  list (the recursive generator dominated profiles), and
+  ``_add_blossom`` folds its best-edge scan over a dict keyed by
+  neighbouring blossom with memoized slacks, preserving the exact
+  ascending-index tie-break of the original full-array scan.
+
+Results are bit-identical to the retained reference implementation
+(:mod:`repro.matching.blossom_reference`), which the test-suite
+enforces on random dense graphs.
+
 Entry points:
 
 ``max_weight_matching(edges, max_cardinality=False)``
@@ -124,6 +145,12 @@ class _Matcher:
         max_weight = max((w for (_u, _v, w) in edges), default=0)
         self.max_weight = max(0, max_weight)
 
+        # Flat per-edge arrays: endpoints and doubled weight.  The hot
+        # loops index these instead of unpacking (u, v, w) tuples.
+        self._edge_u = [u for (u, _v, _w) in edges]
+        self._edge_v = [v for (_u, v, _w) in edges]
+        self._edge_two_w = [2 * w for (_u, _v, w) in edges]
+
         # endpoint[p] is the vertex at endpoint p of edge p//2.
         self.endpoint = [edges[p // 2][p % 2] for p in range(2 * nedge)]
 
@@ -132,6 +159,14 @@ class _Matcher:
         for k, (u, v, _w) in enumerate(edges):
             self.neighbend[u].append(2 * k + 1)
             self.neighbend[v].append(2 * k)
+
+        # _adjacent[v] unpacks neighbend for the BFS scan: one
+        # (remote endpoint, edge id, remote vertex) triple per incident
+        # edge, in the same order as neighbend[v].
+        self._adjacent: List[List[Tuple[int, int, int]]] = [
+            [(p, p // 2, self.endpoint[p]) for p in plist]
+            for plist in self.neighbend
+        ]
 
         # mate[v] is the remote endpoint of v's matched edge, or -1.
         self.mate = [_NONE] * nvertex
@@ -168,45 +203,61 @@ class _Matcher:
         self.allowedge = [False] * nedge
         self.queue: List[int] = []
 
+        # Per-stage reset templates, copied in with slice assignment.
+        self._label_template = [0] * (2 * nvertex)
+        self._bestedge_template = [_NONE] * (2 * nvertex)
+        self._allowedge_template = [False] * nedge
+
     # -- slack -----------------------------------------------------------
 
     def _slack(self, k: int) -> float:
         """Return 2 * slack of edge k (keeps integer weights integral)."""
-        (u, v, w) = self.edges[k]
-        return self.dualvar[u] + self.dualvar[v] - 2 * w
+        dualvar = self.dualvar
+        return (
+            dualvar[self._edge_u[k]]
+            + dualvar[self._edge_v[k]]
+            - self._edge_two_w[k]
+        )
 
     # -- blossom traversal ----------------------------------------------
 
-    def _blossom_leaves(self, b: int) -> Iterable[int]:
-        """Yield the leaf vertices of (sub-)blossom b."""
-        if b < self.nvertex:
-            yield b
-            return
-        for child in self.blossomchilds[b]:
-            if child < self.nvertex:
-                yield child
+    def _blossom_leaves(self, b: int) -> List[int]:
+        """Leaf vertices of (sub-)blossom b, in cycle preorder."""
+        nvertex = self.nvertex
+        if b < nvertex:
+            return [b]
+        blossomchilds = self.blossomchilds
+        leaves: List[int] = []
+        stack = [b]
+        while stack:
+            t = stack.pop()
+            if t < nvertex:
+                leaves.append(t)
             else:
-                yield from self._blossom_leaves(child)
+                stack.extend(reversed(blossomchilds[t]))
+        return leaves
 
     # -- labels ----------------------------------------------------------
 
     def _assign_label(self, w: int, t: int, p: int) -> None:
         """Assign label t to the top-level blossom containing vertex w."""
-        b = self.inblossom[w]
-        assert self.label[w] == 0 and self.label[b] == 0
-        self.label[w] = self.label[b] = t
-        self.labelend[w] = self.labelend[b] = p
-        self.bestedge[w] = self.bestedge[b] = _NONE
-        if t == 1:
-            # b became an S-blossom; scan its vertices.
-            self.queue.extend(self._blossom_leaves(b))
-        elif t == 2:
+        label = self.label
+        labelend = self.labelend
+        bestedge = self.bestedge
+        while True:
+            b = self.inblossom[w]
+            label[w] = label[b] = t
+            labelend[w] = labelend[b] = p
+            bestedge[w] = bestedge[b] = _NONE
+            if t == 1:
+                # b became an S-blossom; scan its vertices.
+                self.queue.extend(self._blossom_leaves(b))
+                return
             # b became a T-blossom; label its mate an S-blossom.
-            base = self.blossombase[b]
-            assert self.mate[base] >= 0
-            self._assign_label(
-                self.endpoint[self.mate[base]], 1, self.mate[base] ^ 1
-            )
+            base_mate = self.mate[self.blossombase[b]]
+            w = self.endpoint[base_mate]
+            t = 1
+            p = base_mate ^ 1
 
     def _scan_blossom(self, v: int, w: int) -> int:
         """Trace back from v and w to find a common ancestor base vertex.
@@ -214,40 +265,44 @@ class _Matcher:
         Returns the base vertex if the paths connect (forming a blossom),
         or -1 if an augmenting path was discovered instead.
         """
+        label = self.label
+        labelend = self.labelend
+        inblossom = self.inblossom
+        endpoint = self.endpoint
         path = []
         base = _NONE
         while v != _NONE or w != _NONE:
             if v != _NONE:
-                b = self.inblossom[v]
-                if self.label[b] & 4:
+                b = inblossom[v]
+                if label[b] & 4:
                     base = self.blossombase[b]
                     break
-                assert self.label[b] == 1
                 path.append(b)
-                self.label[b] = 5
-                assert self.labelend[b] == self.mate[self.blossombase[b]]
-                if self.labelend[b] == _NONE:
+                label[b] = 5
+                if labelend[b] == _NONE:
                     v = _NONE
                 else:
-                    v = self.endpoint[self.labelend[b]]
-                    b = self.inblossom[v]
-                    assert self.label[b] == 2
-                    assert self.labelend[b] >= 0
-                    v = self.endpoint[self.labelend[b]]
+                    v = endpoint[labelend[b]]
+                    b = inblossom[v]
+                    v = endpoint[labelend[b]]
             if w != _NONE:
                 v, w = w, v
         for b in path:
-            self.label[b] = 1
+            label[b] = 1
         return base
 
     # -- blossom shrink / expand ------------------------------------------
 
     def _add_blossom(self, base: int, k: int) -> None:
         """Construct a blossom with the given base over edge k = (v, w)."""
-        (v, w, _wt) = self.edges[k]
-        bb = self.inblossom[base]
-        bv = self.inblossom[v]
-        bw = self.inblossom[w]
+        v = self._edge_u[k]
+        w = self._edge_v[k]
+        inblossom = self.inblossom
+        labelend = self.labelend
+        endpoint = self.endpoint
+        bb = inblossom[base]
+        bv = inblossom[v]
+        bw = inblossom[w]
         b = self.unusedblossoms.pop()
         self.blossombase[b] = base
         self.blossomparent[b] = _NONE
@@ -260,14 +315,9 @@ class _Matcher:
         while bv != bb:
             self.blossomparent[bv] = b
             path.append(bv)
-            endps.append(self.labelend[bv])
-            assert self.label[bv] == 2 or (
-                self.label[bv] == 1
-                and self.labelend[bv] == self.mate[self.blossombase[bv]]
-            )
-            assert self.labelend[bv] >= 0
-            v = self.endpoint[self.labelend[bv]]
-            bv = self.inblossom[v]
+            endps.append(labelend[bv])
+            v = endpoint[labelend[bv]]
+            bv = inblossom[v]
         path.append(bb)
         path.reverse()
         endps.reverse()
@@ -276,56 +326,67 @@ class _Matcher:
         while bw != bb:
             self.blossomparent[bw] = b
             path.append(bw)
-            endps.append(self.labelend[bw] ^ 1)
-            assert self.label[bw] == 2 or (
-                self.label[bw] == 1
-                and self.labelend[bw] == self.mate[self.blossombase[bw]]
-            )
-            assert self.labelend[bw] >= 0
-            w = self.endpoint[self.labelend[bw]]
-            bw = self.inblossom[w]
-        assert self.label[bb] == 1
-        self.label[b] = 1
-        self.labelend[b] = self.labelend[bb]
+            endps.append(labelend[bw] ^ 1)
+            w = endpoint[labelend[bw]]
+            bw = inblossom[w]
+        label = self.label
+        label[b] = 1
+        labelend[b] = labelend[bb]
         self.dualvar[b] = 0
+        queue = self.queue
         for leaf in self._blossom_leaves(b):
-            if self.label[self.inblossom[leaf]] == 2:
-                self.queue.append(leaf)
-            self.inblossom[leaf] = b
-        # Recompute best-edge caches.
-        bestedgeto = [_NONE] * (2 * self.nvertex)
+            if label[inblossom[leaf]] == 2:
+                queue.append(leaf)
+            inblossom[leaf] = b
+        # Recompute best-edge caches.  bestedgeto maps a neighbouring
+        # S-blossom to its least-slack edge with the slack memoized;
+        # duals are frozen inside this call, so memoizing is exact.
+        # Emitting the surviving edges in ascending-blossom order below
+        # reproduces the original full-array scan's tie-breaking.
+        dualvar = self.dualvar
+        edge_u = self._edge_u
+        edge_v = self._edge_v
+        edge_two_w = self._edge_two_w
+        neighbend = self.neighbend
+        blossombestedges = self.blossombestedges
+        bestedgeto: dict = {}
         for bv in path:
-            if self.blossombestedges[bv] is None:
+            cached = blossombestedges[bv]
+            if cached is None:
                 nblists: Iterable[List[int]] = (
-                    [p // 2 for p in self.neighbend[leaf]]
+                    [p // 2 for p in neighbend[leaf]]
                     for leaf in self._blossom_leaves(bv)
                 )
             else:
-                nblists = [self.blossombestedges[bv]]
+                nblists = [cached]
             for nblist in nblists:
                 for kk in nblist:
-                    (i, j, _wt2) = self.edges[kk]
-                    if self.inblossom[j] == b:
-                        i, j = j, i
-                    bj = self.inblossom[j]
-                    if (
-                        bj != b
-                        and self.label[bj] == 1
-                        and (
-                            bestedgeto[bj] == _NONE
-                            or self._slack(kk) < self._slack(bestedgeto[bj])
+                    i = edge_u[kk]
+                    j = edge_v[kk]
+                    if inblossom[j] == b:
+                        j = i
+                    bj = inblossom[j]
+                    if bj != b and label[bj] == 1:
+                        slack = (
+                            dualvar[edge_u[kk]]
+                            + dualvar[edge_v[kk]]
+                            - edge_two_w[kk]
                         )
-                    ):
-                        bestedgeto[bj] = kk
-            self.blossombestedges[bv] = None
+                        entry = bestedgeto.get(bj)
+                        if entry is None or slack < entry[0]:
+                            bestedgeto[bj] = (slack, kk)
+            blossombestedges[bv] = None
             self.bestedge[bv] = _NONE
-        self.blossombestedges[b] = [kk for kk in bestedgeto if kk != _NONE]
-        self.bestedge[b] = _NONE
-        for kk in self.blossombestedges[b]:
-            if self.bestedge[b] == _NONE or self._slack(kk) < self._slack(
-                self.bestedge[b]
-            ):
-                self.bestedge[b] = kk
+        best_k = _NONE
+        best_slack = 0.0
+        keep: List[int] = []
+        for _bj, (slack, kk) in sorted(bestedgeto.items()):
+            keep.append(kk)
+            if best_k == _NONE or slack < best_slack:
+                best_k = kk
+                best_slack = slack
+        blossombestedges[b] = keep
+        self.bestedge[b] = best_k
 
     def _expand_blossom(self, b: int, endstage: bool) -> None:
         """Expand blossom b, moving its children to the top level."""
@@ -340,7 +401,6 @@ class _Matcher:
                     self.inblossom[leaf] = s
         if (not endstage) and self.label[b] == 2:
             # Relabel the path through the blossom that the T-label took.
-            assert self.labelend[b] >= 0
             entrychild = self.inblossom[self.endpoint[self.labelend[b] ^ 1]]
             j = self.blossomchilds[b].index(entrychild)
             if j & 1:
@@ -382,8 +442,6 @@ class _Matcher:
                 else:
                     v = _NONE
                 if v != _NONE:
-                    assert self.label[v] == 2
-                    assert self.inblossom[v] == bv
                     self.label[v] = 0
                     self.label[
                         self.endpoint[self.mate[self.blossombase[bv]]]
@@ -433,28 +491,24 @@ class _Matcher:
             self.blossomendps[b][i:] + self.blossomendps[b][:i]
         )
         self.blossombase[b] = self.blossombase[self.blossomchilds[b][0]]
-        assert self.blossombase[b] == v
 
     def _augment_matching(self, k: int) -> None:
         """Augment the matching along the path through edge k."""
-        (v, w, _wt) = self.edges[k]
+        v = self._edge_u[k]
+        w = self._edge_v[k]
+        endpoint = self.endpoint
         for (s, p) in ((v, 2 * k + 1), (w, 2 * k)):
             while True:
                 bs = self.inblossom[s]
-                assert self.label[bs] == 1
-                assert self.labelend[bs] == self.mate[self.blossombase[bs]]
                 if bs >= self.nvertex:
                     self._augment_blossom(bs, s)
                 self.mate[s] = p
                 if self.labelend[bs] == _NONE:
                     break
-                t = self.endpoint[self.labelend[bs]]
+                t = endpoint[self.labelend[bs]]
                 bt = self.inblossom[t]
-                assert self.label[bt] == 2
-                assert self.labelend[bt] >= 0
-                s = self.endpoint[self.labelend[bt]]
-                j = self.endpoint[self.labelend[bt] ^ 1]
-                assert self.blossombase[bt] == t
+                s = endpoint[self.labelend[bt]]
+                j = endpoint[self.labelend[bt] ^ 1]
                 if bt >= self.nvertex:
                     self._augment_blossom(bt, j)
                 self.mate[j] = self.labelend[bt]
@@ -465,38 +519,60 @@ class _Matcher:
     def solve(self) -> List[int]:
         """Run the primal-dual stages and return the mate array."""
         nvertex = self.nvertex
+        # Hot-loop locals: every name below is an alias of the instance
+        # state, mutated only in place so the helpers see each update.
+        label = self.label
+        bestedge = self.bestedge
+        allowedge = self.allowedge
+        inblossom = self.inblossom
+        mate = self.mate
+        dualvar = self.dualvar
+        adjacent = self._adjacent
+        edge_u = self._edge_u
+        edge_v = self._edge_v
+        edge_two_w = self._edge_two_w
+        blossombestedges = self.blossombestedges
+        blossomparent = self.blossomparent
+        blossombase = self.blossombase
+        queue = self.queue
+
         for _stage in range(nvertex):
-            self.label = [0] * (2 * nvertex)
-            self.bestedge = [_NONE] * (2 * nvertex)
+            label[:] = self._label_template
+            bestedge[:] = self._bestedge_template
             for b in range(nvertex, 2 * nvertex):
-                self.blossombestedges[b] = None  # type: ignore[assignment]
-            self.allowedge = [False] * len(self.edges)
-            self.queue = []
+                blossombestedges[b] = None  # type: ignore[assignment]
+            allowedge[:] = self._allowedge_template
+            del queue[:]
+            labelend = self.labelend
             for v in range(nvertex):
-                if (
-                    self.mate[v] == _NONE
-                    and self.label[self.inblossom[v]] == 0
-                ):
-                    self._assign_label(v, 1, _NONE)
+                if mate[v] == _NONE and label[inblossom[v]] == 0:
+                    # Free singletons (the common case) take the
+                    # _assign_label(v, 1, _NONE) fast path inline.
+                    if inblossom[v] == v:
+                        label[v] = 1
+                        labelend[v] = _NONE
+                        queue.append(v)
+                    else:
+                        self._assign_label(v, 1, _NONE)
 
             augmented = False
             while True:
-                while self.queue and not augmented:
-                    v = self.queue.pop()
-                    assert self.label[self.inblossom[v]] == 1
-                    for p in self.neighbend[v]:
-                        k = p // 2
-                        w = self.endpoint[p]
-                        if self.inblossom[v] == self.inblossom[w]:
+                while queue and not augmented:
+                    v = queue.pop()
+                    dual_v = dualvar[v]
+                    for p, k, w in adjacent[v]:
+                        bw = inblossom[w]
+                        if inblossom[v] == bw:
                             continue
-                        if not self.allowedge[k]:
-                            kslack = self._slack(k)
+                        if not allowedge[k]:
+                            kslack = dual_v + dualvar[w] - edge_two_w[k]
                             if kslack <= 0:
-                                self.allowedge[k] = True
-                        if self.allowedge[k]:
-                            if self.label[self.inblossom[w]] == 0:
+                                allowedge[k] = True
+                        if allowedge[k]:
+                            label_bw = label[bw]
+                            if label_bw == 0:
                                 self._assign_label(w, 2, p ^ 1)
-                            elif self.label[self.inblossom[w]] == 1:
+                            elif label_bw == 1:
                                 base = self._scan_blossom(v, w)
                                 if base >= 0:
                                     self._add_blossom(base, k)
@@ -504,24 +580,26 @@ class _Matcher:
                                     self._augment_matching(k)
                                     augmented = True
                                     break
-                            elif self.label[w] == 0:
-                                assert self.label[self.inblossom[w]] == 2
-                                self.label[w] = 2
+                            elif label[w] == 0:
+                                label[w] = 2
                                 self.labelend[w] = p ^ 1
-                        elif self.label[self.inblossom[w]] == 1:
-                            b = self.inblossom[v]
-                            if (
-                                self.bestedge[b] == _NONE
-                                or kslack
-                                < self._slack(self.bestedge[b])
+                        elif label[bw] == 1:
+                            b = inblossom[v]
+                            be = bestedge[b]
+                            if be == _NONE or kslack < (
+                                dualvar[edge_u[be]]
+                                + dualvar[edge_v[be]]
+                                - edge_two_w[be]
                             ):
-                                self.bestedge[b] = k
-                        elif self.label[w] == 0:
-                            if (
-                                self.bestedge[w] == _NONE
-                                or kslack < self._slack(self.bestedge[w])
+                                bestedge[b] = k
+                        elif label[w] == 0:
+                            be = bestedge[w]
+                            if be == _NONE or kslack < (
+                                dualvar[edge_u[be]]
+                                + dualvar[edge_v[be]]
+                                - edge_two_w[be]
                             ):
-                                self.bestedge[w] = k
+                                bestedge[w] = k
                 if augmented:
                     break
 
@@ -530,73 +608,76 @@ class _Matcher:
                 delta = deltaedge = deltablossom = None
                 if not self.max_cardinality:
                     deltatype = 1
-                    delta = min(self.dualvar[:nvertex], default=0)
+                    delta = min(dualvar[:nvertex], default=0)
                 for v in range(nvertex):
-                    if (
-                        self.label[self.inblossom[v]] == 0
-                        and self.bestedge[v] != _NONE
-                    ):
-                        d = self._slack(self.bestedge[v])
+                    be = bestedge[v]
+                    if label[inblossom[v]] == 0 and be != _NONE:
+                        d = (
+                            dualvar[edge_u[be]]
+                            + dualvar[edge_v[be]]
+                            - edge_two_w[be]
+                        )
                         if deltatype == -1 or d < delta:
                             delta = d
                             deltatype = 2
-                            deltaedge = self.bestedge[v]
+                            deltaedge = be
                 for b in range(2 * nvertex):
+                    be = bestedge[b]
                     if (
-                        self.blossomparent[b] == _NONE
-                        and self.label[b] == 1
-                        and self.bestedge[b] != _NONE
+                        blossomparent[b] == _NONE
+                        and label[b] == 1
+                        and be != _NONE
                     ):
-                        kslack = self._slack(self.bestedge[b])
+                        kslack = (
+                            dualvar[edge_u[be]]
+                            + dualvar[edge_v[be]]
+                            - edge_two_w[be]
+                        )
                         d = kslack / 2
                         if deltatype == -1 or d < delta:
                             delta = d
                             deltatype = 3
-                            deltaedge = self.bestedge[b]
+                            deltaedge = be
                 for b in range(nvertex, 2 * nvertex):
                     if (
-                        self.blossombase[b] >= 0
-                        and self.blossomparent[b] == _NONE
-                        and self.label[b] == 2
-                        and (deltatype == -1 or self.dualvar[b] < delta)
+                        blossombase[b] >= 0
+                        and blossomparent[b] == _NONE
+                        and label[b] == 2
+                        and (deltatype == -1 or dualvar[b] < delta)
                     ):
-                        delta = self.dualvar[b]
+                        delta = dualvar[b]
                         deltatype = 4
                         deltablossom = b
                 if deltatype == -1:
                     # No further improvement possible (max-cardinality).
-                    assert self.max_cardinality
                     deltatype = 1
-                    delta = max(0, min(self.dualvar[:nvertex]))
+                    delta = max(0, min(dualvar[:nvertex]))
 
                 # Apply delta to duals.
                 for v in range(nvertex):
-                    lbl = self.label[self.inblossom[v]]
+                    lbl = label[inblossom[v]]
                     if lbl == 1:
-                        self.dualvar[v] -= delta
+                        dualvar[v] -= delta
                     elif lbl == 2:
-                        self.dualvar[v] += delta
+                        dualvar[v] += delta
                 for b in range(nvertex, 2 * nvertex):
-                    if self.blossombase[b] >= 0 and self.blossomparent[b] == _NONE:
-                        if self.label[b] == 1:
-                            self.dualvar[b] += delta
-                        elif self.label[b] == 2:
-                            self.dualvar[b] -= delta
+                    if blossombase[b] >= 0 and blossomparent[b] == _NONE:
+                        if label[b] == 1:
+                            dualvar[b] += delta
+                        elif label[b] == 2:
+                            dualvar[b] -= delta
 
                 if deltatype == 1:
                     break
                 elif deltatype == 2:
-                    self.allowedge[deltaedge] = True
-                    (i, j, _wt) = self.edges[deltaedge]
-                    if self.label[self.inblossom[i]] == 0:
-                        i, j = j, i
-                    assert self.label[self.inblossom[i]] == 1
-                    self.queue.append(i)
+                    allowedge[deltaedge] = True
+                    i = edge_u[deltaedge]
+                    if label[inblossom[i]] == 0:
+                        i = edge_v[deltaedge]
+                    queue.append(i)
                 elif deltatype == 3:
-                    self.allowedge[deltaedge] = True
-                    (i, _j, _wt) = self.edges[deltaedge]
-                    assert self.label[self.inblossom[i]] == 1
-                    self.queue.append(i)
+                    allowedge[deltaedge] = True
+                    queue.append(edge_u[deltaedge])
                 elif deltatype == 4:
                     self._expand_blossom(deltablossom, False)
 
@@ -606,17 +687,16 @@ class _Matcher:
             # End of a successful stage: expand spent blossoms.
             for b in range(nvertex, 2 * nvertex):
                 if (
-                    self.blossomparent[b] == _NONE
-                    and self.blossombase[b] >= 0
-                    and self.label[b] == 1
-                    and self.dualvar[b] == 0
+                    blossomparent[b] == _NONE
+                    and blossombase[b] >= 0
+                    and label[b] == 1
+                    and dualvar[b] == 0
                 ):
                     self._expand_blossom(b, True)
 
         # Translate endpoints back to vertices.
+        endpoint = self.endpoint
         for v in range(nvertex):
-            if self.mate[v] >= 0:
-                self.mate[v] = self.endpoint[self.mate[v]]
-        for v in range(nvertex):
-            assert self.mate[v] == _NONE or self.mate[self.mate[v]] == v
-        return self.mate
+            if mate[v] >= 0:
+                mate[v] = endpoint[mate[v]]
+        return mate

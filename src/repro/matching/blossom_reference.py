@@ -1,0 +1,573 @@
+"""Reference blossom matcher (slow, assertion-heavy, trusted).
+
+This is the original straight-from-the-survey implementation of the
+O(V^3) primal-dual blossom algorithm (Galil 1986) that
+:mod:`repro.matching.blossom` shipped before its inner loops were
+restructured for speed.  It is kept verbatim — per-stage invariant
+assertions included — as the trusted oracle for the optimized kernel:
+:mod:`repro.verify` and the matching test-suite compare the two
+implementations edge-for-edge on random dense graphs, so any
+tie-breaking or correctness drift in the fast kernel is caught as a
+hard mismatch rather than a silent plan change.
+
+Entry point:
+
+``reference_max_weight_matching(edges, max_cardinality=False)``
+    Returns the mate array for an edge list of ``(u, v, weight)``
+    triples, bit-identical to what the optimized matcher must produce.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["reference_max_weight_matching"]
+
+#: Sentinel for "no mate / no label end".
+_NONE = -1
+
+
+def reference_max_weight_matching(
+    edges: Sequence[Tuple[int, int, float]],
+    max_cardinality: bool = False,
+) -> List[int]:
+    """Compute a maximum weight matching with the reference matcher.
+
+    Same contract as
+    :func:`repro.matching.blossom.max_weight_matching`, which the
+    optimized kernel must reproduce bit-identically: a list ``mate``
+    such that ``mate[v]`` is the vertex matched to ``v``, or ``-1`` if
+    ``v`` is unmatched.
+    """
+    matcher = _Matcher(edges, max_cardinality)
+    return matcher.solve()
+
+
+class _Matcher:
+    """State machine for one maximum weight matching computation.
+
+    Vertices are ``0..nvertex-1``.  Blossoms are numbered
+    ``nvertex..2*nvertex-1``.  Edge ``k`` has endpoints ``2k`` and
+    ``2k+1``; endpoint ``p`` corresponds to vertex ``endpoint[p]``.
+    """
+
+    def __init__(
+        self,
+        edges: Sequence[Tuple[int, int, float]],
+        max_cardinality: bool,
+    ) -> None:
+        edges = list(edges)
+        for (u, v, _w) in edges:
+            if u == v:
+                raise ValueError(f"self-loop edge ({u}, {v}) is not allowed")
+            if u < 0 or v < 0:
+                raise ValueError("vertex ids must be non-negative")
+        self.edges = edges
+        self.max_cardinality = max_cardinality
+
+        if edges:
+            nvertex = 1 + max(max(u, v) for (u, v, _w) in edges)
+        else:
+            nvertex = 0
+        self.nvertex = nvertex
+        nedge = len(edges)
+
+        max_weight = max((w for (_u, _v, w) in edges), default=0)
+        self.max_weight = max(0, max_weight)
+
+        # endpoint[p] is the vertex at endpoint p of edge p//2.
+        self.endpoint = [edges[p // 2][p % 2] for p in range(2 * nedge)]
+
+        # neighbend[v] lists the remote endpoints of edges incident to v.
+        self.neighbend: List[List[int]] = [[] for _ in range(nvertex)]
+        for k, (u, v, _w) in enumerate(edges):
+            self.neighbend[u].append(2 * k + 1)
+            self.neighbend[v].append(2 * k)
+
+        # mate[v] is the remote endpoint of v's matched edge, or -1.
+        self.mate = [_NONE] * nvertex
+
+        # label[b] in {0: free, 1: S, 2: T} for top-level blossom b.
+        self.label = [0] * (2 * nvertex)
+        # labelend[b] is the endpoint through which b obtained its label.
+        self.labelend = [_NONE] * (2 * nvertex)
+
+        # inblossom[v] is the top-level blossom containing vertex v.
+        self.inblossom = list(range(nvertex))
+        # blossomparent[b] is the immediate parent blossom, or -1.
+        self.blossomparent = [_NONE] * (2 * nvertex)
+        # blossomchilds[b] lists sub-blossoms of b in cycle order.
+        self.blossomchilds: List[List[int]] = [None] * (2 * nvertex)  # type: ignore[list-item]
+        # blossombase[b] is the base vertex of blossom b.
+        self.blossombase = list(range(nvertex)) + [_NONE] * nvertex
+        # blossomendps[b] lists connecting endpoints around b's cycle.
+        self.blossomendps: List[List[int]] = [None] * (2 * nvertex)  # type: ignore[list-item]
+
+        # bestedge[b] is the least-slack edge to a different S-blossom.
+        self.bestedge = [_NONE] * (2 * nvertex)
+        # blossombestedges[b] caches least-slack edges per S-blossom.
+        self.blossombestedges: List[List[int]] = [None] * (2 * nvertex)  # type: ignore[list-item]
+
+        self.unusedblossoms = list(range(nvertex, 2 * nvertex))
+
+        # Dual variables: vertices start at max_weight/2, blossoms at 0.
+        self.dualvar = (
+            [self.max_weight] * nvertex + [0] * nvertex
+        )
+
+        # allowedge[k] is true if edge k has zero slack.
+        self.allowedge = [False] * nedge
+        self.queue: List[int] = []
+
+    # -- slack -----------------------------------------------------------
+
+    def _slack(self, k: int) -> float:
+        """Return 2 * slack of edge k (keeps integer weights integral)."""
+        (u, v, w) = self.edges[k]
+        return self.dualvar[u] + self.dualvar[v] - 2 * w
+
+    # -- blossom traversal ----------------------------------------------
+
+    def _blossom_leaves(self, b: int) -> Iterable[int]:
+        """Yield the leaf vertices of (sub-)blossom b."""
+        if b < self.nvertex:
+            yield b
+            return
+        for child in self.blossomchilds[b]:
+            if child < self.nvertex:
+                yield child
+            else:
+                yield from self._blossom_leaves(child)
+
+    # -- labels ----------------------------------------------------------
+
+    def _assign_label(self, w: int, t: int, p: int) -> None:
+        """Assign label t to the top-level blossom containing vertex w."""
+        b = self.inblossom[w]
+        assert self.label[w] == 0 and self.label[b] == 0
+        self.label[w] = self.label[b] = t
+        self.labelend[w] = self.labelend[b] = p
+        self.bestedge[w] = self.bestedge[b] = _NONE
+        if t == 1:
+            # b became an S-blossom; scan its vertices.
+            self.queue.extend(self._blossom_leaves(b))
+        elif t == 2:
+            # b became a T-blossom; label its mate an S-blossom.
+            base = self.blossombase[b]
+            assert self.mate[base] >= 0
+            self._assign_label(
+                self.endpoint[self.mate[base]], 1, self.mate[base] ^ 1
+            )
+
+    def _scan_blossom(self, v: int, w: int) -> int:
+        """Trace back from v and w to find a common ancestor base vertex.
+
+        Returns the base vertex if the paths connect (forming a blossom),
+        or -1 if an augmenting path was discovered instead.
+        """
+        path = []
+        base = _NONE
+        while v != _NONE or w != _NONE:
+            if v != _NONE:
+                b = self.inblossom[v]
+                if self.label[b] & 4:
+                    base = self.blossombase[b]
+                    break
+                assert self.label[b] == 1
+                path.append(b)
+                self.label[b] = 5
+                assert self.labelend[b] == self.mate[self.blossombase[b]]
+                if self.labelend[b] == _NONE:
+                    v = _NONE
+                else:
+                    v = self.endpoint[self.labelend[b]]
+                    b = self.inblossom[v]
+                    assert self.label[b] == 2
+                    assert self.labelend[b] >= 0
+                    v = self.endpoint[self.labelend[b]]
+            if w != _NONE:
+                v, w = w, v
+        for b in path:
+            self.label[b] = 1
+        return base
+
+    # -- blossom shrink / expand ------------------------------------------
+
+    def _add_blossom(self, base: int, k: int) -> None:
+        """Construct a blossom with the given base over edge k = (v, w)."""
+        (v, w, _wt) = self.edges[k]
+        bb = self.inblossom[base]
+        bv = self.inblossom[v]
+        bw = self.inblossom[w]
+        b = self.unusedblossoms.pop()
+        self.blossombase[b] = base
+        self.blossomparent[b] = _NONE
+        self.blossomparent[bb] = b
+        path: List[int] = []
+        endps: List[int] = []
+        self.blossomchilds[b] = path
+        self.blossomendps[b] = endps
+        # Trace from v back to base.
+        while bv != bb:
+            self.blossomparent[bv] = b
+            path.append(bv)
+            endps.append(self.labelend[bv])
+            assert self.label[bv] == 2 or (
+                self.label[bv] == 1
+                and self.labelend[bv] == self.mate[self.blossombase[bv]]
+            )
+            assert self.labelend[bv] >= 0
+            v = self.endpoint[self.labelend[bv]]
+            bv = self.inblossom[v]
+        path.append(bb)
+        path.reverse()
+        endps.reverse()
+        endps.append(2 * k)
+        # Trace from w back to base.
+        while bw != bb:
+            self.blossomparent[bw] = b
+            path.append(bw)
+            endps.append(self.labelend[bw] ^ 1)
+            assert self.label[bw] == 2 or (
+                self.label[bw] == 1
+                and self.labelend[bw] == self.mate[self.blossombase[bw]]
+            )
+            assert self.labelend[bw] >= 0
+            w = self.endpoint[self.labelend[bw]]
+            bw = self.inblossom[w]
+        assert self.label[bb] == 1
+        self.label[b] = 1
+        self.labelend[b] = self.labelend[bb]
+        self.dualvar[b] = 0
+        for leaf in self._blossom_leaves(b):
+            if self.label[self.inblossom[leaf]] == 2:
+                self.queue.append(leaf)
+            self.inblossom[leaf] = b
+        # Recompute best-edge caches.
+        bestedgeto = [_NONE] * (2 * self.nvertex)
+        for bv in path:
+            if self.blossombestedges[bv] is None:
+                nblists: Iterable[List[int]] = (
+                    [p // 2 for p in self.neighbend[leaf]]
+                    for leaf in self._blossom_leaves(bv)
+                )
+            else:
+                nblists = [self.blossombestedges[bv]]
+            for nblist in nblists:
+                for kk in nblist:
+                    (i, j, _wt2) = self.edges[kk]
+                    if self.inblossom[j] == b:
+                        i, j = j, i
+                    bj = self.inblossom[j]
+                    if (
+                        bj != b
+                        and self.label[bj] == 1
+                        and (
+                            bestedgeto[bj] == _NONE
+                            or self._slack(kk) < self._slack(bestedgeto[bj])
+                        )
+                    ):
+                        bestedgeto[bj] = kk
+            self.blossombestedges[bv] = None
+            self.bestedge[bv] = _NONE
+        self.blossombestedges[b] = [kk for kk in bestedgeto if kk != _NONE]
+        self.bestedge[b] = _NONE
+        for kk in self.blossombestedges[b]:
+            if self.bestedge[b] == _NONE or self._slack(kk) < self._slack(
+                self.bestedge[b]
+            ):
+                self.bestedge[b] = kk
+
+    def _expand_blossom(self, b: int, endstage: bool) -> None:
+        """Expand blossom b, moving its children to the top level."""
+        for s in self.blossomchilds[b]:
+            self.blossomparent[s] = _NONE
+            if s < self.nvertex:
+                self.inblossom[s] = s
+            elif endstage and self.dualvar[s] == 0:
+                self._expand_blossom(s, endstage)
+            else:
+                for leaf in self._blossom_leaves(s):
+                    self.inblossom[leaf] = s
+        if (not endstage) and self.label[b] == 2:
+            # Relabel the path through the blossom that the T-label took.
+            assert self.labelend[b] >= 0
+            entrychild = self.inblossom[self.endpoint[self.labelend[b] ^ 1]]
+            j = self.blossomchilds[b].index(entrychild)
+            if j & 1:
+                # Odd index: go forward around the cycle.
+                j -= len(self.blossomchilds[b])
+                jstep = 1
+                endptrick = 0
+            else:
+                jstep = -1
+                endptrick = 1
+            p = self.labelend[b]
+            while j != 0:
+                self.label[self.endpoint[p ^ 1]] = 0
+                self.label[
+                    self.endpoint[
+                        self.blossomendps[b][j - endptrick] ^ endptrick ^ 1
+                    ]
+                ] = 0
+                self._assign_label(self.endpoint[p ^ 1], 2, p)
+                self.allowedge[self.blossomendps[b][j - endptrick] // 2] = True
+                j += jstep
+                p = self.blossomendps[b][j - endptrick] ^ endptrick
+                self.allowedge[p // 2] = True
+                j += jstep
+            bv = self.blossomchilds[b][j]
+            self.label[self.endpoint[p ^ 1]] = self.label[bv] = 2
+            self.labelend[self.endpoint[p ^ 1]] = self.labelend[bv] = p
+            self.bestedge[bv] = _NONE
+            # Leave the base child labelled; unlabel the rest.
+            j += jstep
+            while self.blossomchilds[b][j] != entrychild:
+                bv = self.blossomchilds[b][j]
+                if self.label[bv] == 1:
+                    j += jstep
+                    continue
+                for v in self._blossom_leaves(bv):
+                    if self.label[v] != 0:
+                        break
+                else:
+                    v = _NONE
+                if v != _NONE:
+                    assert self.label[v] == 2
+                    assert self.inblossom[v] == bv
+                    self.label[v] = 0
+                    self.label[
+                        self.endpoint[self.mate[self.blossombase[bv]]]
+                    ] = 0
+                    self._assign_label(v, 2, self.labelend[v])
+                j += jstep
+        self.label[b] = self.labelend[b] = _NONE
+        self.blossomchilds[b] = None  # type: ignore[assignment]
+        self.blossomendps[b] = None  # type: ignore[assignment]
+        self.blossombase[b] = _NONE
+        self.blossombestedges[b] = None  # type: ignore[assignment]
+        self.bestedge[b] = _NONE
+        self.unusedblossoms.append(b)
+
+    def _augment_blossom(self, b: int, v: int) -> None:
+        """Swap matched/unmatched edges over the path from v to b's base."""
+        t = v
+        while self.blossomparent[t] != b:
+            t = self.blossomparent[t]
+        if t >= self.nvertex:
+            self._augment_blossom(t, v)
+        i = j = self.blossomchilds[b].index(t)
+        if i & 1:
+            j -= len(self.blossomchilds[b])
+            jstep = 1
+            endptrick = 0
+        else:
+            jstep = -1
+            endptrick = 1
+        while j != 0:
+            j += jstep
+            t = self.blossomchilds[b][j]
+            p = self.blossomendps[b][j - endptrick] ^ endptrick
+            if t >= self.nvertex:
+                self._augment_blossom(t, self.endpoint[p])
+            j += jstep
+            t = self.blossomchilds[b][j]
+            if t >= self.nvertex:
+                self._augment_blossom(t, self.endpoint[p ^ 1])
+            self.mate[self.endpoint[p]] = p ^ 1
+            self.mate[self.endpoint[p ^ 1]] = p
+        # Rotate the child list so the new base is first.
+        self.blossomchilds[b] = (
+            self.blossomchilds[b][i:] + self.blossomchilds[b][:i]
+        )
+        self.blossomendps[b] = (
+            self.blossomendps[b][i:] + self.blossomendps[b][:i]
+        )
+        self.blossombase[b] = self.blossombase[self.blossomchilds[b][0]]
+        assert self.blossombase[b] == v
+
+    def _augment_matching(self, k: int) -> None:
+        """Augment the matching along the path through edge k."""
+        (v, w, _wt) = self.edges[k]
+        for (s, p) in ((v, 2 * k + 1), (w, 2 * k)):
+            while True:
+                bs = self.inblossom[s]
+                assert self.label[bs] == 1
+                assert self.labelend[bs] == self.mate[self.blossombase[bs]]
+                if bs >= self.nvertex:
+                    self._augment_blossom(bs, s)
+                self.mate[s] = p
+                if self.labelend[bs] == _NONE:
+                    break
+                t = self.endpoint[self.labelend[bs]]
+                bt = self.inblossom[t]
+                assert self.label[bt] == 2
+                assert self.labelend[bt] >= 0
+                s = self.endpoint[self.labelend[bt]]
+                j = self.endpoint[self.labelend[bt] ^ 1]
+                assert self.blossombase[bt] == t
+                if bt >= self.nvertex:
+                    self._augment_blossom(bt, j)
+                self.mate[j] = self.labelend[bt]
+                p = self.labelend[bt] ^ 1
+
+    # -- main loop ---------------------------------------------------------
+
+    def solve(self) -> List[int]:
+        """Run the primal-dual stages and return the mate array."""
+        nvertex = self.nvertex
+        for _stage in range(nvertex):
+            self.label = [0] * (2 * nvertex)
+            self.bestedge = [_NONE] * (2 * nvertex)
+            for b in range(nvertex, 2 * nvertex):
+                self.blossombestedges[b] = None  # type: ignore[assignment]
+            self.allowedge = [False] * len(self.edges)
+            self.queue = []
+            for v in range(nvertex):
+                if (
+                    self.mate[v] == _NONE
+                    and self.label[self.inblossom[v]] == 0
+                ):
+                    self._assign_label(v, 1, _NONE)
+
+            augmented = False
+            while True:
+                while self.queue and not augmented:
+                    v = self.queue.pop()
+                    assert self.label[self.inblossom[v]] == 1
+                    for p in self.neighbend[v]:
+                        k = p // 2
+                        w = self.endpoint[p]
+                        if self.inblossom[v] == self.inblossom[w]:
+                            continue
+                        if not self.allowedge[k]:
+                            kslack = self._slack(k)
+                            if kslack <= 0:
+                                self.allowedge[k] = True
+                        if self.allowedge[k]:
+                            if self.label[self.inblossom[w]] == 0:
+                                self._assign_label(w, 2, p ^ 1)
+                            elif self.label[self.inblossom[w]] == 1:
+                                base = self._scan_blossom(v, w)
+                                if base >= 0:
+                                    self._add_blossom(base, k)
+                                else:
+                                    self._augment_matching(k)
+                                    augmented = True
+                                    break
+                            elif self.label[w] == 0:
+                                assert self.label[self.inblossom[w]] == 2
+                                self.label[w] = 2
+                                self.labelend[w] = p ^ 1
+                        elif self.label[self.inblossom[w]] == 1:
+                            b = self.inblossom[v]
+                            if (
+                                self.bestedge[b] == _NONE
+                                or kslack
+                                < self._slack(self.bestedge[b])
+                            ):
+                                self.bestedge[b] = k
+                        elif self.label[w] == 0:
+                            if (
+                                self.bestedge[w] == _NONE
+                                or kslack < self._slack(self.bestedge[w])
+                            ):
+                                self.bestedge[w] = k
+                if augmented:
+                    break
+
+                # Dual update.
+                deltatype = -1
+                delta = deltaedge = deltablossom = None
+                if not self.max_cardinality:
+                    deltatype = 1
+                    delta = min(self.dualvar[:nvertex], default=0)
+                for v in range(nvertex):
+                    if (
+                        self.label[self.inblossom[v]] == 0
+                        and self.bestedge[v] != _NONE
+                    ):
+                        d = self._slack(self.bestedge[v])
+                        if deltatype == -1 or d < delta:
+                            delta = d
+                            deltatype = 2
+                            deltaedge = self.bestedge[v]
+                for b in range(2 * nvertex):
+                    if (
+                        self.blossomparent[b] == _NONE
+                        and self.label[b] == 1
+                        and self.bestedge[b] != _NONE
+                    ):
+                        kslack = self._slack(self.bestedge[b])
+                        d = kslack / 2
+                        if deltatype == -1 or d < delta:
+                            delta = d
+                            deltatype = 3
+                            deltaedge = self.bestedge[b]
+                for b in range(nvertex, 2 * nvertex):
+                    if (
+                        self.blossombase[b] >= 0
+                        and self.blossomparent[b] == _NONE
+                        and self.label[b] == 2
+                        and (deltatype == -1 or self.dualvar[b] < delta)
+                    ):
+                        delta = self.dualvar[b]
+                        deltatype = 4
+                        deltablossom = b
+                if deltatype == -1:
+                    # No further improvement possible (max-cardinality).
+                    assert self.max_cardinality
+                    deltatype = 1
+                    delta = max(0, min(self.dualvar[:nvertex]))
+
+                # Apply delta to duals.
+                for v in range(nvertex):
+                    lbl = self.label[self.inblossom[v]]
+                    if lbl == 1:
+                        self.dualvar[v] -= delta
+                    elif lbl == 2:
+                        self.dualvar[v] += delta
+                for b in range(nvertex, 2 * nvertex):
+                    if self.blossombase[b] >= 0 and self.blossomparent[b] == _NONE:
+                        if self.label[b] == 1:
+                            self.dualvar[b] += delta
+                        elif self.label[b] == 2:
+                            self.dualvar[b] -= delta
+
+                if deltatype == 1:
+                    break
+                elif deltatype == 2:
+                    self.allowedge[deltaedge] = True
+                    (i, j, _wt) = self.edges[deltaedge]
+                    if self.label[self.inblossom[i]] == 0:
+                        i, j = j, i
+                    assert self.label[self.inblossom[i]] == 1
+                    self.queue.append(i)
+                elif deltatype == 3:
+                    self.allowedge[deltaedge] = True
+                    (i, _j, _wt) = self.edges[deltaedge]
+                    assert self.label[self.inblossom[i]] == 1
+                    self.queue.append(i)
+                elif deltatype == 4:
+                    self._expand_blossom(deltablossom, False)
+
+            if not augmented:
+                break
+
+            # End of a successful stage: expand spent blossoms.
+            for b in range(nvertex, 2 * nvertex):
+                if (
+                    self.blossomparent[b] == _NONE
+                    and self.blossombase[b] >= 0
+                    and self.label[b] == 1
+                    and self.dualvar[b] == 0
+                ):
+                    self._expand_blossom(b, True)
+
+        # Translate endpoints back to vertices.
+        for v in range(nvertex):
+            if self.mate[v] >= 0:
+                self.mate[v] = self.endpoint[self.mate[v]]
+        for v in range(nvertex):
+            assert self.mate[v] == _NONE or self.mate[self.mate[v]] == v
+        return self.mate

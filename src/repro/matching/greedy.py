@@ -20,11 +20,18 @@ def greedy_matching(
     """Match edges greedily in descending weight order.
 
     Guarantees at least half the optimal matched weight for
-    non-negative weights.
+    non-negative weights.  Equal-weight edges tie-break on the
+    *normalized* endpoint pair ``(min(u, v), max(u, v))``, so the
+    result is independent of both input order and the orientation each
+    edge happens to be written in.
     """
     matched: Set[int] = set()
     pairs: Set[Tuple[int, int]] = set()
-    for u, v, w in sorted(edges, key=lambda e: (-e[2], e[0], e[1])):
+    ranked = sorted(
+        edges,
+        key=lambda e: (-e[2], min(e[0], e[1]), max(e[0], e[1])),
+    )
+    for u, v, w in ranked:
         if w <= 0:
             break
         if u in matched or v in matched or u == v:

@@ -46,6 +46,11 @@ __all__ = [
 #: ``None`` when the pair is infeasible (size cap, memory, threshold).
 WeightFn = Callable[[int, int], Optional[float]]
 
+#: Vectorized oracle: one optional weight per ``(i, j)`` pair, in order.
+BatchWeightFn = Callable[
+    [Sequence[Tuple[int, int]]], Sequence[Optional[float]]
+]
+
 Signature = Tuple[int, int]
 
 
@@ -107,32 +112,23 @@ def _bucket_preference(
     return (same_bottleneck, abs(other[1] - own[1]), other[0])
 
 
-def sparse_candidate_edges(
+def _probe_plan(
     signatures: Sequence[Signature],
-    weight_fn: WeightFn,
-    config: SparsifyConfig = SparsifyConfig(),
-    tracer: Optional[Tracer] = None,
-    sim_time: float = 0.0,
-) -> List[Tuple[int, int, float]]:
-    """Build a bounded-degree edge list over ``len(signatures)`` nodes.
+    config: SparsifyConfig,
+) -> Tuple[List[List[Tuple[int, int]]], List[Tuple[int, int]], int, int]:
+    """Plan every probe without evaluating a single weight.
 
-    Args:
-        signatures: One :func:`node_signature` per node, in node order.
-        weight_fn: Edge weight oracle; ``None`` marks an infeasible
-            pair.  Called at most ``probe_limit`` times per node, with
-            ``i < j``.
-        config: Degree / probe bounds.
-        tracer: Optional :class:`~repro.observe.Tracer`; when enabled,
-            probe/memo-hit counters are bumped and one ``CACHE``
-            summary event describes the build.
-        sim_time: Simulation time stamped on that summary event.
+    The probe sequence depends only on the signatures — never on the
+    weights — so it can be laid out up front and the weights evaluated
+    afterwards, one by one or in a single vectorized batch.
 
-    Returns:
-        Edges ``(i, j, weight)`` with ``i < j``, each in the top
-        ``max_degree`` of at least one endpoint, sorted by node index.
+    Returns ``(per_node, unique_pairs, total_probes, memo_hits)``:
+    the ordered probe list of each node, the distinct pairs in
+    first-discovery order (the exact order the interleaved evaluation
+    used to call the weight oracle in), and the probe/memo counters
+    the tracer reports.
     """
     n = len(signatures)
-    tracing = tracer is not None and tracer.enabled
     total_probes = 0
     memo_hits = 0
     buckets: Dict[Signature, List[int]] = {}
@@ -154,8 +150,9 @@ def sparse_candidate_edges(
         for signature in bucket_keys
     }
 
-    weights: Dict[Tuple[int, int], float] = {}
-    top: List[List[Tuple[float, int, int]]] = [[] for _ in range(n)]
+    seen: Dict[Tuple[int, int], None] = {}
+    unique_pairs: List[Tuple[int, int]] = []
+    per_node: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
     for i in range(n):
         probes = 0
         partners = bucket_preference[signatures[i]]
@@ -182,31 +179,91 @@ def sparse_candidate_edges(
                 pair = (i, j) if i < j else (j, i)
                 probes += 1
                 total_probes += 1
-                if pair in weights:
+                if pair in seen:
+                    # The mirrored probe from the other endpoint: the
+                    # evaluation is memoized, feasibility included.
                     memo_hits += 1
-                    weight: Optional[float] = weights[pair]
                 else:
-                    weight = weight_fn(*pair)
-                    if weight is None:
-                        # Remember infeasibility so the mirrored probe
-                        # from the other endpoint skips the pair too.
-                        weight = float("-inf")
-                    weights[pair] = weight
-                if weight == float("-inf"):
-                    continue
-                top[i].append((weight, pair[0], pair[1]))
+                    seen[pair] = None
+                    unique_pairs.append(pair)
+                per_node[i].append(pair)
             if not advanced and depth >= max(len(m) for m in partners):
                 break
             depth += 1
+    return per_node, unique_pairs, total_probes, memo_hits
+
+
+def sparse_candidate_edges(
+    signatures: Sequence[Signature],
+    weight_fn: Optional[WeightFn],
+    config: SparsifyConfig = SparsifyConfig(),
+    tracer: Optional[Tracer] = None,
+    sim_time: float = 0.0,
+    batch_weight_fn: Optional[BatchWeightFn] = None,
+) -> List[Tuple[int, int, float]]:
+    """Build a bounded-degree edge list over ``len(signatures)`` nodes.
+
+    Args:
+        signatures: One :func:`node_signature` per node, in node order.
+        weight_fn: Edge weight oracle; ``None`` marks an infeasible
+            pair.  Called at most ``probe_limit`` times per node, with
+            ``i < j``.  May be None when ``batch_weight_fn`` is given.
+        config: Degree / probe bounds.
+        tracer: Optional :class:`~repro.observe.Tracer`; when enabled,
+            probe/memo-hit counters are bumped and one ``CACHE``
+            summary event describes the build.
+        sim_time: Simulation time stamped on that summary event.
+        batch_weight_fn: Optional vectorized oracle taking the distinct
+            pairs in first-discovery order and returning one optional
+            weight per pair.  When given it replaces ``weight_fn``;
+            results must match what per-pair evaluation would produce
+            (the grouper's batched kernel is bit-identical by
+            construction).
+
+    Returns:
+        Edges ``(i, j, weight)`` with ``i < j``, each in the top
+        ``max_degree`` of at least one endpoint, sorted by node index.
+    """
+    n = len(signatures)
+    tracing = tracer is not None and tracer.enabled
+    per_node, unique_pairs, total_probes, memo_hits = _probe_plan(
+        signatures, config
+    )
+
+    # Evaluate distinct pairs in first-discovery order — exactly the
+    # order the interleaved probe loop would have called the oracle in,
+    # so stateful weight functions (caches) see an identical sequence.
+    if batch_weight_fn is not None:
+        evaluated = batch_weight_fn(unique_pairs)
+        if len(evaluated) != len(unique_pairs):
+            raise ValueError("batch_weight_fn must return one weight per pair")
+    else:
+        if weight_fn is None:
+            raise ValueError("need weight_fn or batch_weight_fn")
+        evaluated = [weight_fn(*pair) for pair in unique_pairs]
+    neg_inf = float("-inf")
+    weights: Dict[Tuple[int, int], float] = {
+        pair: (neg_inf if weight is None else weight)
+        for pair, weight in zip(unique_pairs, evaluated)
+    }
+
+    top: List[List[Tuple[float, int, int]]] = [[] for _ in range(n)]
+    for i in range(n):
+        entries = top[i]
+        for pair in per_node[i]:
+            weight = weights[pair]
+            if weight == neg_inf:
+                continue
+            entries.append((weight, pair[0], pair[1]))
         # Deterministic top-m: heaviest first.  Ties keep discovery
         # order (stable sort), which the rotation already spreads over
         # each bucket — tie-breaking on node index instead would point
         # every node's kept edges at the same low-indexed partners.
-        top[i].sort(key=lambda e: -e[0])
-        del top[i][config.max_degree :]
+        entries.sort(key=lambda e: -e[0])
+        del entries[config.max_degree :]
 
     kept = {
-        (u, v) for per_node in top for (_w, u, v) in per_node
+        (u, v) for per_node_top in top for (_w, u, v) in per_node_top
     }
     if tracing:
         tracer.count("sparsify.probes", total_probes)

@@ -21,6 +21,7 @@ from repro.verify.differential import (
     compare_dense_sparse,
     compare_groups_exact,
     compare_pairs_exact,
+    compare_parallel_serial,
     plan_signature,
 )
 from repro.verify.fuzz import (
@@ -62,6 +63,7 @@ __all__ = [
     "reference_best_period",
     "compare_dense_sparse",
     "compare_cold_cached",
+    "compare_parallel_serial",
     "compare_pairs_exact",
     "compare_groups_exact",
     "IncrementalOracle",

@@ -133,3 +133,74 @@ class TestProfilerIntegration:
         truths = {job.profile.durations for job in group.jobs}
         believed = set(p.durations for p in group.believed_profiles)
         assert not (believed & truths)
+
+
+class TestPlanMemo:
+    """The whole-plan memo on the event_regroup warm path."""
+
+    def _jobs(self):
+        return [make_job(p, gpus=g) for p in (STORAGE, CPU, GPU, NETWORK)
+                for g in (1, 2)]
+
+    def test_identical_state_skips_grouping(self):
+        jobs = self._jobs()
+        scheduler = MuriScheduler(event_regroup=True)
+        first = scheduler.decide(0.0, jobs, {}, total_gpus=4,
+                                 reason="completion")
+
+        def boom(*args, **kwargs):
+            raise AssertionError("grouper.group called on a memo hit")
+
+        scheduler.grouper.group = boom
+        second = scheduler.decide(1.0, jobs, {}, total_gpus=4,
+                                  reason="completion")
+        assert [group_key(g) for g in first] == [group_key(g) for g in second]
+
+    def test_queue_change_invalidates(self):
+        jobs = self._jobs()
+        scheduler = MuriScheduler(event_regroup=True)
+        scheduler.decide(0.0, jobs, {}, total_gpus=4, reason="completion")
+
+        called = []
+        inner = scheduler.grouper.group
+
+        def spy(*args, **kwargs):
+            called.append(True)
+            return inner(*args, **kwargs)
+
+        scheduler.grouper.group = spy
+        scheduler.decide(1.0, jobs[1:], {}, total_gpus=4, reason="completion")
+        assert called
+
+    def test_reset_caches_clears_memo(self):
+        jobs = self._jobs()
+        scheduler = MuriScheduler(event_regroup=True)
+        scheduler.decide(0.0, jobs, {}, total_gpus=4, reason="completion")
+        scheduler.reset_caches()
+
+        called = []
+        inner = scheduler.grouper.group
+
+        def spy(*args, **kwargs):
+            called.append(True)
+            return inner(*args, **kwargs)
+
+        scheduler.grouper.group = spy
+        scheduler.decide(1.0, jobs, {}, total_gpus=4, reason="completion")
+        assert called
+
+    def test_memo_gated_on_event_regroup(self):
+        jobs = self._jobs()
+        scheduler = MuriScheduler()
+        scheduler.decide(0.0, jobs, {}, total_gpus=4, reason="completion")
+
+        called = []
+        inner = scheduler.grouper.group
+
+        def spy(*args, **kwargs):
+            called.append(True)
+            return inner(*args, **kwargs)
+
+        scheduler.grouper.group = spy
+        scheduler.decide(1.0, jobs, {}, total_gpus=4, reason="completion")
+        assert called

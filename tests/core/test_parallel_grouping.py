@@ -1,0 +1,77 @@
+"""Parallel grouping must be bit-identical to the serial path.
+
+The process-pool dispatch in ``MultiRoundGrouper`` only changes *who*
+runs each bucket's matching, never *what* is computed: payloads carry
+the full decision-relevant state and results merge in ``bucket_order``.
+These seeded property tests pin that equivalence with the
+``differential.parallel`` oracle across worker counts, queue sizes
+straddling the sparsification threshold, and both the single-bucket
+(no dispatch) and multi-bucket (dispatch active) regimes.
+"""
+
+import random
+
+import pytest
+
+from repro.core.grouping import MultiRoundGrouper
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.stage import StageProfile
+from repro.verify.differential import compare_parallel_serial, group_sets
+
+
+def _mixed_jobs(rng, count, gpu_choices=(1, 2, 4, 8)):
+    """A seeded mixed-GPU queue: several buckets, random durations."""
+    jobs = []
+    for _ in range(count):
+        row = tuple(round(rng.uniform(0.05, 5.0), 3) for _ in range(4))
+        jobs.append(
+            Job(JobSpec(
+                profile=StageProfile(row),
+                num_gpus=rng.choice(list(gpu_choices)),
+                num_iterations=rng.randint(1, 500),
+            ))
+        )
+    return jobs
+
+
+# Ten seeds; the (size, workers) pairing cycles so that every queue
+# size in {127, 128, 129} (straddling the default sparsify threshold
+# of 128) meets every pool width in {2, 4}.
+CASES = [
+    (seed, (127, 128, 129)[seed % 3], (2, 4)[seed % 2])
+    for seed in range(10)
+]
+
+
+@pytest.mark.parametrize("seed,size,workers", CASES)
+def test_parallel_matches_serial_mixed(seed, size, workers):
+    """Mixed-GPU queues with a low sparsify threshold: dispatch active."""
+    rng = random.Random(seed)
+    jobs = _mixed_jobs(rng, size)
+    # A ~size/4 bucket comfortably exceeds the dispatch floor.
+    assert size // 4 >= MultiRoundGrouper.PARALLEL_MIN_NODES
+    serial, parallel = compare_parallel_serial(
+        jobs, capacity=None, workers=workers, sparsify_threshold=64
+    )
+    assert group_sets(serial) == group_sets(parallel)
+    assert serial.total_efficiency == parallel.total_efficiency
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_parallel_matches_serial_single_bucket(seed):
+    """Single-GPU-only queues: one bucket, the pool is bypassed."""
+    rng = random.Random(100 + seed)
+    jobs = _mixed_jobs(rng, 128 + seed - 1, gpu_choices=(1,))
+    serial, parallel = compare_parallel_serial(jobs, capacity=None, workers=2)
+    assert group_sets(serial) == group_sets(parallel)
+
+
+def test_parallel_matches_serial_with_capacity():
+    """Capacity-limited dequeue must survive the round trip too."""
+    rng = random.Random(42)
+    jobs = _mixed_jobs(rng, 128)
+    serial, parallel = compare_parallel_serial(
+        jobs, capacity=64, workers=2, sparsify_threshold=64
+    )
+    assert group_sets(serial) == group_sets(parallel)
+    assert serial.total_gpu_demand == parallel.total_gpu_demand

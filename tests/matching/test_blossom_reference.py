@@ -1,0 +1,90 @@
+"""Differential test: optimized blossom vs the verbatim reference.
+
+``repro.matching.blossom`` is a flat-array optimization of Galil's
+primal-dual algorithm; ``repro.matching.blossom_reference`` keeps the
+textbook dict-based structure.  Both must produce matchings of equal
+weight (and equal cardinality under ``max_cardinality``) on every
+graph — the matching itself may differ when optima tie, so the check
+compares objective values, which is what grouping consumes.
+"""
+
+import random
+
+import pytest
+
+from repro.matching.blossom import matching_weight, max_weight_matching
+from repro.matching.blossom_reference import reference_max_weight_matching
+
+
+def _as_pairs(mate):
+    """Canonical pair set from a mate list/dict."""
+    pairs = set()
+    for u, v in enumerate(mate):
+        if v >= 0 and u < v:
+            pairs.add((u, v))
+    return pairs
+
+
+def _random_graph(rng, n, integer_weights, density=1.0):
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() > density:
+                continue
+            if integer_weights:
+                weight = rng.randint(0, 20)
+            else:
+                weight = round(rng.uniform(0.0, 1.0), 6)
+            edges.append((u, v, weight))
+    return edges
+
+
+@pytest.mark.parametrize("integer_weights", [True, False])
+@pytest.mark.parametrize("max_cardinality", [False, True])
+def test_optimized_matches_reference_weight(integer_weights, max_cardinality):
+    rng = random.Random(7 if integer_weights else 8)
+    for trial in range(30):
+        n = rng.randint(2, 12)
+        edges = _random_graph(rng, n, integer_weights, density=0.8)
+        fast = max_weight_matching(edges, max_cardinality=max_cardinality)
+        slow = reference_max_weight_matching(
+            edges, max_cardinality=max_cardinality
+        )
+        # The optimized kernel is a data-layout refactor of the same
+        # algorithm, so the whole mate array — not just the objective —
+        # must be identical.
+        assert list(fast) == list(slow), (trial, edges)
+
+
+def test_tied_weights_agree():
+    """All-equal weights: maximum tie-break ambiguity, still identical."""
+    rng = random.Random(99)
+    for _ in range(10):
+        n = rng.randint(4, 10)
+        edges = _random_graph(rng, n, integer_weights=False, density=1.0)
+        edges = [(u, v, 1.0) for u, v, _ in edges]
+        fast = max_weight_matching(edges)
+        slow = reference_max_weight_matching(edges)
+        assert list(fast) == list(slow)
+        assert matching_weight(edges, _as_pairs(fast)) == matching_weight(
+            edges, _as_pairs(slow)
+        )
+
+
+def test_dense_efficiency_style_weights():
+    """The grouping regime: dense graphs, float weights in (0, 1]."""
+    rng = random.Random(5)
+    for n in (16, 24):
+        edges = _random_graph(rng, n, integer_weights=False, density=1.0)
+        assert list(max_weight_matching(edges)) == list(
+            reference_max_weight_matching(edges)
+        )
+
+
+def test_empty_and_trivial():
+    assert _as_pairs(max_weight_matching([])) == set()
+    assert _as_pairs(reference_max_weight_matching([])) == set()
+    single = [(0, 1, 3.0)]
+    assert _as_pairs(max_weight_matching(single)) == _as_pairs(
+        reference_max_weight_matching(single)
+    )

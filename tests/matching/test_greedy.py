@@ -80,3 +80,25 @@ class TestSequentialPairing:
     def test_empty_and_single(self):
         assert sequential_pair_matching([]) == []
         assert sequential_pair_matching([7]) == []
+
+
+class TestOrientationIndependence:
+    def test_shuffled_and_flipped_edges_agree(self):
+        """The ranking key is orientation- and input-order-free."""
+        import random
+
+        rng = random.Random(3)
+        n = 9
+        edges = [
+            (u, v, rng.choice([1.0, 2.0, 3.0]))
+            for u in range(n)
+            for v in range(u + 1, n)
+        ]
+        expected = greedy_matching(edges)
+        for trial in range(10):
+            mutated = [
+                (v, u, w) if rng.random() < 0.5 else (u, v, w)
+                for u, v, w in edges
+            ]
+            rng.shuffle(mutated)
+            assert greedy_matching(mutated) == expected, trial

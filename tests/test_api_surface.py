@@ -25,6 +25,7 @@ SUBPACKAGES = (
     "repro.sweep",
     "repro.verify",
     "repro.service",
+    "repro.bench",
     "repro.cli",
 )
 

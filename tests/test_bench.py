@@ -1,0 +1,125 @@
+"""Unit tests for the ``repro.bench`` suite plumbing.
+
+The timing suites themselves run in CI's ``bench`` job; here we pin
+the cheap, deterministic parts: workload seeding, percentile math,
+document round-tripping, and exactly which metrics the regression
+gate sees.
+"""
+
+from pathlib import Path
+
+from repro.bench import (
+    GROUPING_BENCH_FILE,
+    SCHEMA_VERSION,
+    SERVICE_BENCH_FILE,
+    calibrate,
+    gated_metrics,
+    load_bench,
+    write_bench,
+)
+from repro.bench.suite import _make_jobs, _percentile
+
+
+class TestWorkloads:
+    def test_make_jobs_is_seeded(self):
+        first = _make_jobs(32, seed=5)
+        second = _make_jobs(32, seed=5)
+        assert [j.spec.profile.durations for j in first] == [
+            j.spec.profile.durations for j in second
+        ]
+        assert [j.num_gpus for j in first] == [j.num_gpus for j in second]
+
+    def test_make_jobs_respects_gpu_choices(self):
+        jobs = _make_jobs(64, seed=0, gpu_choices=(2, 4))
+        assert {j.num_gpus for j in jobs} <= {2, 4}
+
+    def test_calibrate_is_positive(self):
+        assert calibrate(repeats=1) > 0
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert _percentile(samples, 0.0) == 1.0
+        assert _percentile(samples, 0.5) == 3.0
+        assert _percentile(samples, 0.99) == 5.0
+
+    def test_single_sample(self):
+        assert _percentile([7.0], 0.5) == 7.0
+
+
+def _document():
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "grouping",
+        "benchmarks": {
+            "cold_group_64": {
+                "jobs": 64,
+                "seconds": 0.5,
+                "normalized": 25.0,
+                "calibration": 0.02,
+            },
+            "warm_regroup": {
+                "p50_seconds": 0.001,
+                "p50_normalized": 0.05,
+                "p99_seconds": 0.008,
+                "p99_normalized": 0.4,
+            },
+        },
+    }
+
+
+class TestGatedMetrics:
+    def test_flattens_normalized_only(self):
+        flat = gated_metrics(_document())
+        assert flat == {
+            "cold_group_64.normalized": 25.0,
+            "warm_regroup.p99_normalized": 0.4,
+        }
+
+    def test_p50_is_never_gated(self):
+        assert not any(
+            ".p50" in name for name in gated_metrics(_document())
+        )
+
+    def test_raw_seconds_and_counts_are_not_gated(self):
+        flat = gated_metrics(_document())
+        assert "cold_group_64.seconds" not in flat
+        assert "cold_group_64.jobs" not in flat
+        assert "cold_group_64.calibration" not in flat
+
+    def test_empty_document(self):
+        assert gated_metrics({}) == {}
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / GROUPING_BENCH_FILE
+        write_bench(_document(), path)
+        assert load_bench(path) == _document()
+
+    def test_file_constants_are_distinct(self):
+        assert GROUPING_BENCH_FILE != SERVICE_BENCH_FILE
+
+
+class TestCommittedBaselines:
+    """The repo-root BENCH files must stay loadable and acceptable."""
+
+    REPO_ROOT = Path(__file__).resolve().parent.parent
+
+    def test_grouping_baseline(self):
+        doc = load_bench(self.REPO_ROOT / GROUPING_BENCH_FILE)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["suite"] == "grouping"
+        cold = doc["benchmarks"]["cold_group_1024"]
+        # The PR acceptance bar: >= 3x faster than the ~2.5 s PR-1
+        # baseline for a 1,024-job cold grouping.
+        assert cold["seconds"] <= 0.83
+        warm = doc["benchmarks"]["warm_regroup"]
+        assert warm["p99_seconds"] < 0.010
+
+    def test_service_baseline(self):
+        doc = load_bench(self.REPO_ROOT / SERVICE_BENCH_FILE)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["suite"] == "service"
+        assert gated_metrics(doc)

@@ -1,8 +1,9 @@
 #!/usr/bin/env python
-"""Docstring lint for the public observability and sweep APIs.
+"""Docstring lint for the public observability/sweep/verify/bench APIs.
 
-Walks every module under the default roots (``src/repro/observe/``
-and ``src/repro/sweep/``) and fails (exit 1) if any *public*
+Walks every module under the default roots (``src/repro/observe/``,
+``src/repro/sweep/``, ``src/repro/verify/``, ``src/repro/service/``
+and ``src/repro/bench/``) and fails (exit 1) if any *public*
 definition — module, class, function, or method whose name does not
 start with an underscore — lacks a docstring. Dunders (including
 ``__init__``) are exempt: constructor arguments are documented on the
@@ -12,8 +13,7 @@ Usage::
 
     python tools/check_docstrings.py [package_dir ...]
 
-With no arguments, lints ``src/repro/observe`` and
-``src/repro/sweep``.
+With no arguments, lints the default roots above.
 """
 
 from __future__ import annotations
@@ -70,6 +70,7 @@ def main(argv: List[str]) -> int:
     roots = [Path(a) for a in argv] or [
         Path("src/repro/observe"), Path("src/repro/sweep"),
         Path("src/repro/verify"), Path("src/repro/service"),
+        Path("src/repro/bench"),
     ]
     failures = 0
     checked = 0
