@@ -32,7 +32,14 @@ The package provides:
   :class:`InvariantChecker` that attaches through the ordinary
   ``tracer=`` parameter, naive-reference and exact-matcher differential
   oracles, and the seeded ``repro fuzz`` harness whose failures shrink
-  into replayable JSON repro files (see ``docs/verification.md``).
+  into replayable JSON repro files (see ``docs/verification.md``);
+* ``repro.service`` — the online scheduling daemon: submission over a
+  Unix socket speaking a versioned typed protocol, admission control,
+  and a typed :class:`ServiceClient` (see ``docs/service.md``);
+* ``repro.fleet`` — the multi-tenant sharded fleet: virtual-cluster
+  partitioning, per-tenant quotas and fair-share credits, one
+  scheduler shard per VC behind a deterministic routing front-end
+  (see ``docs/fleet.md``).
 
 Quickstart::
 
@@ -82,6 +89,19 @@ from repro.sim import (
     DecisionLog,
     FaultInjector,
     SimulationResult,
+)
+from repro.fleet import (
+    FleetFrontEnd,
+    FleetTopology,
+    TenantQuota,
+    VirtualCluster,
+    partition_cluster,
+)
+from repro.service import (
+    PROTOCOL_VERSION,
+    SchedulerService,
+    ServiceClient,
+    SubmitRejected,
 )
 from repro.sweep import ResultStore, RunResult, RunSpec, SweepRunner
 from repro.trace import Trace, TraceRecord, build_jobs, generate_trace
@@ -163,4 +183,15 @@ __all__ = [
     "make_scheduler",
     "register_scheduler",
     "available_schedulers",
+    # service
+    "SchedulerService",
+    "ServiceClient",
+    "SubmitRejected",
+    "PROTOCOL_VERSION",
+    # fleet
+    "FleetFrontEnd",
+    "FleetTopology",
+    "VirtualCluster",
+    "TenantQuota",
+    "partition_cluster",
 ]

@@ -3,8 +3,10 @@
 Perf claims in this repo are not prose — they are committed numbers.
 ``repro bench`` runs a fixed suite (cold grouping at several queue
 sizes, warm event-regroup latency percentiles, the service loop's
-submit-to-decision latency, sweep throughput) and writes the results
-to ``BENCH_grouping.json`` / ``BENCH_service.json`` at the repo root.
+submit-to-decision latency, sweep throughput, the fleet front-end's
+admission latency and drain throughput) and writes the results to
+``BENCH_grouping.json`` / ``BENCH_service.json`` / ``BENCH_fleet.json``
+at the repo root.
 Those files are committed; CI re-runs the quick suite and fails when a
 gated metric regresses more than the tolerance
 (``tools/diff_metrics.py --bench``).
@@ -19,24 +21,28 @@ procedure.
 """
 
 from repro.bench.suite import (
+    FLEET_BENCH_FILE,
     GROUPING_BENCH_FILE,
     SCHEMA_VERSION,
     SERVICE_BENCH_FILE,
     calibrate,
     gated_metrics,
     load_bench,
+    run_fleet_suite,
     run_grouping_suite,
     run_service_suite,
     write_bench,
 )
 
 __all__ = [
+    "FLEET_BENCH_FILE",
     "GROUPING_BENCH_FILE",
     "SERVICE_BENCH_FILE",
     "SCHEMA_VERSION",
     "calibrate",
     "gated_metrics",
     "load_bench",
+    "run_fleet_suite",
     "run_grouping_suite",
     "run_service_suite",
     "write_bench",

@@ -12,7 +12,12 @@ Two suites, each writing one JSON document:
   embedded in its consumers — per-``decide`` latency during a drained
   service-style simulation (arrival events are the service's
   submit-to-decision path), and the serial throughput of the sweep
-  runner on a small experiment grid.
+  runner on a small experiment grid;
+* the **fleet** suite (``BENCH_fleet.json``) times the multi-tenant
+  front-end of :mod:`repro.fleet` — per-submission admission+routing
+  wall latency (tenant ledger, deterministic routing, shard
+  admission) over a seeded multi-tenant stream, and the aggregate
+  drain throughput of the sharded run as seconds per job.
 
 Every benchmark entry carries raw ``*_seconds`` plus machine-speed
 normalized ``*_normalized`` values (seconds divided by the
@@ -39,12 +44,14 @@ from repro.jobs.stage import StageProfile
 from repro.jobs.resources import NUM_RESOURCES
 
 __all__ = [
+    "FLEET_BENCH_FILE",
     "GROUPING_BENCH_FILE",
     "SERVICE_BENCH_FILE",
     "SCHEMA_VERSION",
     "calibrate",
     "gated_metrics",
     "load_bench",
+    "run_fleet_suite",
     "run_grouping_suite",
     "run_service_suite",
     "write_bench",
@@ -53,6 +60,7 @@ __all__ = [
 #: File names the suites write at the repo root (committed baselines).
 GROUPING_BENCH_FILE = "BENCH_grouping.json"
 SERVICE_BENCH_FILE = "BENCH_service.json"
+FLEET_BENCH_FILE = "BENCH_fleet.json"
 
 #: Bumped whenever the benchmark workloads change incompatibly; the
 #: diff gate refuses to compare documents with different schemas.
@@ -442,6 +450,113 @@ def run_service_suite(
     return {
         "schema": SCHEMA_VERSION,
         "suite": "service",
+        "quick": quick,
+        "seed": seed,
+        "calibration_seconds": calibration,
+        "env": _environment(),
+        "benchmarks": benchmarks,
+    }
+
+
+def run_fleet_suite(
+    quick: bool = False, seed: int = 0, progress: Progress = None
+) -> Dict[str, object]:
+    """Run the fleet suite; return the ``BENCH_fleet.json`` document.
+
+    A seeded three-tenant stream is submitted through a four-shard
+    fleet (``partition_cluster(8, 8, 4)``), measuring what the fleet
+    layer itself adds:
+
+    * **fleet_submit** — per-submission admission+routing wall
+      latency (ledger charge, open-job sweep, deterministic routing,
+      shard admission), pooled across tenants; best p50/p99 over
+      repeats since the seeded stream makes every repeat identical
+      work;
+    * **fleet_drain** — aggregate drain throughput of ``run_sync``
+      over all shards, gated as seconds per job.
+
+    Shards run FIFO: scheduler cost is the *service* suite's subject,
+    and a cheap ``decide`` keeps this suite sensitive to the plumbing
+    (routing, tenancy, merge) rather than re-measuring grouping.
+
+    Args:
+        quick: Accepted for CLI symmetry; the fleet workload is
+            already cheap, so the flag changes nothing here.
+        seed: Workload seed for the job stream.
+        progress: Optional callback receiving one line per benchmark.
+    """
+    from repro.fleet import FleetFrontEnd, partition_cluster
+
+    def note(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    calibration = calibrate()
+    note(f"calibration {calibration * 1e3:.1f} ms")
+
+    num_jobs = 400
+    repeats = 3
+    tenants = ("alice", "bob", "carol")
+    topology = partition_cluster(8, 8, 4)
+    # VCs are 2x8 = 16 GPUs, so every choice fits every shard and the
+    # routing decision is always a genuine least-pending comparison.
+    specs = [
+        job.spec
+        for job in _make_jobs(num_jobs, seed, gpu_choices=(1, 1, 2, 4, 8))
+    ]
+
+    best_p50 = float("inf")
+    best_p99 = float("inf")
+    best_drain = float("inf")
+    submit_cal = float("inf")
+    finished = 0
+    for _ in range(repeats):
+        submit_cal = min(submit_cal, calibrate(repeats=1))
+        frontend = FleetFrontEnd.build(topology, scheduler="fifo")
+        for index, spec in enumerate(specs):
+            frontend.submit(spec, tenant=tenants[index % len(tenants)])
+        pooled = [
+            value
+            for samples in frontend.submit_latencies.values()
+            for value in samples
+        ]
+        best_p50 = min(best_p50, _percentile(pooled, 0.50))
+        best_p99 = min(best_p99, _percentile(pooled, 0.99))
+        start = time.perf_counter()
+        result = frontend.run_sync()
+        best_drain = min(best_drain, time.perf_counter() - start)
+        finished = len(result.jcts)
+    submit_cal = min(submit_cal, calibrate(repeats=1))
+
+    submit = {
+        "jobs": num_jobs,
+        "shards": len(topology.vcs),
+        "tenants": len(tenants),
+        "p50_seconds": best_p50,
+        "p99_seconds": best_p99,
+        "calibration": submit_cal,
+    }
+    note(
+        f"fleet_submit: p50 {submit['p50_seconds'] * 1e6:.1f} us, "
+        f"p99 {submit['p99_seconds'] * 1e6:.1f} us "
+        f"over {num_jobs} submissions"
+    )
+    drain = {
+        "jobs": num_jobs,
+        "finished": finished,
+        "job_seconds": best_drain / max(1, finished),
+        "calibration": submit_cal,
+    }
+    note(
+        f"fleet_drain: {finished} jobs in {best_drain:.2f} s "
+        f"({drain['job_seconds'] * 1e3:.2f} ms/job)"
+    )
+    benchmarks = {"fleet_submit": submit, "fleet_drain": drain}
+    calibration = min(calibration, calibrate())
+    _attach_normalized(benchmarks, calibration)
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "fleet",
         "quick": quick,
         "seed": seed,
         "calibration_seconds": calibration,

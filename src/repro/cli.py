@@ -14,6 +14,8 @@ Drives the library from a shell::
     repro trace --trace 4 --jobs 500 --out trace.csv
     repro serve --socket /tmp/repro.sock            # scheduler daemon
     repro serve --jobs 20 --drain --verify-incremental
+    repro fleet --jobs 200 --shards 4 --tenants 3   # sharded fleet
+    repro fleet --jobs 100 --shards 4 --verify-shards
     repro fuzz --episodes 50 --seed 0         # invariant fuzzing
     repro fuzz --replay repro-failures/repro-seed0-ep3-....json
     repro bench                               # pinned perf suite
@@ -211,6 +213,35 @@ def build_parser() -> argparse.ArgumentParser:
              "cold full re-solve (slow; CI and debugging)",
     )
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a multi-tenant sharded fleet: partition the cluster "
+             "into virtual clusters, route a seeded tenant stream "
+             "through one scheduler shard per VC, and drain to a "
+             "merged result (see docs/fleet.md)",
+    )
+    add_workload_args(fleet)
+    fleet.add_argument("--scheduler", default="fifo",
+                       choices=sorted(SCHEDULERS),
+                       help="scheduler each shard runs")
+    fleet.add_argument("--shards", type=int, default=4,
+                       help="number of virtual clusters the machines "
+                            "are partitioned into")
+    fleet.add_argument("--tenants", type=int, default=3,
+                       help="number of synthetic tenants the stream "
+                            "round-robins over")
+    fleet.add_argument("--max-pending", type=int, default=1024,
+                       help="per-shard admission bound")
+    fleet.add_argument("--socket",
+                       help="serve the fleet on this Unix socket "
+                            "instead of a one-shot drained run")
+    fleet.add_argument(
+        "--verify-shards", action="store_true",
+        help="after draining, replay each VC's routed stream on a "
+             "fresh standalone shard and demand bit-identical results "
+             "(repro.verify.compare_fleet_serial; CI and debugging)",
+    )
+
     fuzz = sub.add_parser(
         "fuzz",
         help="run seeded random simulation episodes with all runtime "
@@ -235,14 +266,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench",
         help="run the pinned performance benchmark suite and write "
-             "BENCH_grouping.json / BENCH_service.json (the committed "
-             "perf baselines; see docs/performance.md)",
+             "BENCH_grouping.json / BENCH_service.json / "
+             "BENCH_fleet.json (the committed perf baselines; see "
+             "docs/performance.md)",
     )
     bench.add_argument("--quick", action="store_true",
                        help="the CI configuration: skip the largest "
                             "cold size and shorten the event streams")
     bench.add_argument("--suite", default="all",
-                       choices=("grouping", "service", "all"),
+                       choices=("grouping", "service", "fleet", "all"),
                        help="which suite(s) to run")
     bench.add_argument("--out-dir", default=".",
                        help="directory the BENCH_*.json files are "
@@ -598,21 +630,18 @@ def _cmd_serve(args) -> int:
         return 2
 
     tracer = Tracer()
-    scheduler = make_scheduler(args.scheduler, tracer=tracer)
-    # Baselines ignore the flag; Muri switches from the backfill
+    # Baselines ignore event_regroup; Muri switches from the backfill
     # reservoir to event-driven incremental regrouping.
-    if hasattr(scheduler, "event_regroup"):
-        scheduler.event_regroup = True
+    scheduler = make_scheduler(
+        args.scheduler, tracer=tracer, event_regroup=True
+    )
     if args.verify_incremental:
         from repro.verify import IncrementalOracle
 
-        def _cold_scheduler():
-            cold = make_scheduler(args.scheduler)
-            if hasattr(cold, "event_regroup"):
-                cold.event_regroup = True
-            return cold
-
-        scheduler = IncrementalOracle(scheduler, _cold_scheduler)
+        scheduler = IncrementalOracle(
+            scheduler,
+            lambda: make_scheduler(args.scheduler, event_regroup=True),
+        )
     simulator = ClusterSimulator(
         scheduler,
         cluster=Cluster(args.machines, args.gpus_per_machine),
@@ -666,6 +695,90 @@ def _cmd_serve(args) -> int:
     if args.verify_incremental:
         print(f"incremental regrouping verified against a cold full "
               f"re-solve on {scheduler.checks} decision(s)")
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    import asyncio
+
+    from repro.fleet import FleetFrontEnd, FleetServer, partition_cluster
+    from repro.service.daemon import SubmitRejected
+
+    topology = partition_cluster(
+        args.machines, args.gpus_per_machine, args.shards
+    )
+    tracer = Tracer()
+    frontend = FleetFrontEnd.build(
+        topology,
+        scheduler=args.scheduler,
+        tracer=tracer,
+        max_pending=args.max_pending,
+    )
+    trace, specs = _workload(args)
+    largest = max(vc.total_gpus for vc in topology.vcs)
+    runnable = [s for s in specs if s.num_gpus <= largest]
+    skipped = len(specs) - len(runnable)
+    tenants = [f"tenant{i}" for i in range(max(1, args.tenants))]
+    rejected: dict = {}
+    for index, spec in enumerate(
+        sorted(runnable, key=lambda s: s.submit_time)
+    ):
+        try:
+            frontend.submit(spec, tenant=tenants[index % len(tenants)])
+        except SubmitRejected as rejection:
+            rejected[rejection.code] = rejected.get(rejection.code, 0) + 1
+
+    if args.socket:
+        print(f"serving fleet on {args.socket} ({args.shards} shards, "
+              f"scheduler {args.scheduler}); submit jobs with "
+              f"ServiceClient, drain to finish")
+        server = FleetServer(frontend, args.socket)
+        try:
+            result = asyncio.run(server.serve())
+        except KeyboardInterrupt:
+            print("interrupted; draining in-process")
+            result = frontend.run_sync()
+    else:
+        result = frontend.run_sync()
+
+    summary = result.summary()
+    p50, p99 = frontend.latency_percentiles()
+    counters = tracer.counters
+    rows = [
+        ("scheduler", args.scheduler),
+        ("trace", trace.name),
+        ("shards", len(topology.vcs)),
+        ("tenants", len(tenants)),
+        ("admitted", counters.get("fleet.submitted", 0)),
+        ("rejected", sum(rejected.values())),
+        ("skipped (too large)", skipped),
+        ("avg JCT (s)", summary.avg_jct),
+        ("p99 JCT (s)", summary.p99_jct),
+        ("makespan (s)", summary.makespan),
+        ("submit p50 (us)", p50 * 1e6),
+        ("submit p99 (us)", p99 * 1e6),
+    ]
+    for name in topology.names:
+        rows.append(
+            (f"routed to {name}", counters.get(f"fleet.routed.{name}", 0))
+        )
+    for code in sorted(rejected):
+        rows.append((f"rejected [{code}]", rejected[code]))
+    print(format_table(["Metric", "Value"], rows, title="fleet run"))
+
+    if args.verify_shards:
+        from repro.fleet import make_shard
+        from repro.verify import compare_fleet_serial
+
+        compare_fleet_serial(
+            frontend,
+            lambda vc: make_shard(
+                vc, scheduler=args.scheduler, max_pending=args.max_pending
+            ),
+        )
+        print(f"shard results verified bit-identical against serial "
+              f"per-VC replays ({len(topology.vcs)} shards, "
+              f"{len(frontend.routed)} jobs)")
     return 0
 
 
@@ -727,9 +840,11 @@ def _cmd_bench(args) -> int:
     from pathlib import Path
 
     from repro.bench import (
+        FLEET_BENCH_FILE,
         GROUPING_BENCH_FILE,
         SERVICE_BENCH_FILE,
         gated_metrics,
+        run_fleet_suite,
         run_grouping_suite,
         run_service_suite,
         write_bench,
@@ -742,6 +857,8 @@ def _cmd_bench(args) -> int:
         suites.append((GROUPING_BENCH_FILE, run_grouping_suite))
     if args.suite in ("service", "all"):
         suites.append((SERVICE_BENCH_FILE, run_service_suite))
+    if args.suite in ("fleet", "all"):
+        suites.append((FLEET_BENCH_FILE, run_fleet_suite))
     for filename, run_suite in suites:
         print(f"== {filename} ==")
         document = run_suite(
@@ -789,6 +906,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "capacity": _cmd_capacity,
     "serve": _cmd_serve,
+    "fleet": _cmd_fleet,
     "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,
     "reproduce": _cmd_reproduce,

@@ -124,6 +124,36 @@ class MuriScheduler(Scheduler):
         if max_group_size != NUM_RESOURCES:
             self.name += f" [{max_group_size}-job]"
 
+    def configure(
+        self,
+        tracer: Optional[Tracer] = None,
+        event_regroup: Optional[bool] = None,
+        workers: Optional[int] = None,
+    ) -> "MuriScheduler":
+        """Apply the uniform options, threading them into the grouper.
+
+        The grouper's process pool is created lazily on first parallel
+        dispatch, so adjusting ``workers`` here (before any decide())
+        is equivalent to having passed it to the constructor.
+
+        Args:
+            tracer: Tracer for decide() spans, group events, and
+                per-job provenance; also attached to the grouper.
+            event_regroup: Toggle the full-pass-on-event mode.
+            workers: Grouper process-pool width.
+
+        Returns:
+            ``self``.
+        """
+        if tracer is not None:
+            self.tracer = tracer
+            self.grouper.tracer = tracer
+        if event_regroup is not None:
+            self.event_regroup = event_regroup
+        if workers is not None:
+            self.grouper.workers = workers
+        return self
+
     # -- scheduling -----------------------------------------------------------
 
     def decide(

@@ -1,0 +1,48 @@
+"""Multi-tenant sharded scheduling fleet.
+
+Production GPU clusters are partitioned into *virtual clusters* with
+per-tenant quotas; this package scales the single daemon of
+:mod:`repro.service` out the same way:
+
+* :class:`VirtualCluster` / :class:`FleetTopology` /
+  :func:`partition_cluster` — the fleet layout and tenant-access map;
+* :class:`TenantQuota` / :class:`TenantLedger` — per-tenant pending
+  quotas and fair-share credit buckets enforced at admission;
+* :class:`SchedulerShard` / :func:`make_shard` — one independent
+  daemon per VC (own simulator, scheduler, grouping cache, clock),
+  built with :func:`~repro.schedulers.make_scheduler`'s keyword
+  signature;
+* :class:`FleetFrontEnd` — tenant-aware deterministic routing,
+  structured rejects, latency/counter aggregation, and a merged
+  drain via :func:`merge_results`;
+* :class:`FleetServer` — the whole fleet behind one Unix socket,
+  speaking the versioned protocol of :mod:`repro.service.protocol`.
+
+Shards share nothing, so per-shard results are bit-identical to
+serial per-VC runs — :func:`repro.verify.compare_fleet_serial` is the
+oracle.  See ``docs/fleet.md``.
+"""
+
+from repro.fleet.topology import (
+    FleetTopology,
+    VirtualCluster,
+    partition_cluster,
+)
+from repro.fleet.tenancy import TenantLedger, TenantQuota
+from repro.fleet.shard import SchedulerShard, make_shard
+from repro.fleet.frontend import FleetFrontEnd, RoutedJob, merge_results
+from repro.fleet.server import FleetServer
+
+__all__ = [
+    "VirtualCluster",
+    "FleetTopology",
+    "partition_cluster",
+    "TenantQuota",
+    "TenantLedger",
+    "SchedulerShard",
+    "make_shard",
+    "FleetFrontEnd",
+    "RoutedJob",
+    "merge_results",
+    "FleetServer",
+]

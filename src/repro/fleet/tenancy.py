@@ -1,0 +1,228 @@
+"""Per-tenant admission control: quotas and fair-share credits.
+
+The fleet front-end charges every submission against its tenant's
+:class:`TenantQuota` before any shard sees the job:
+
+* **Pending quota** — a cap on the tenant's *open* (non-terminal) jobs
+  across the whole fleet; exceeding it rejects with
+  ``"quota_exceeded"``.
+* **Fair-share credits** — a token bucket in GPU-credits: a
+  submission costs its GPU demand, the bucket refills at
+  ``credit_rate`` GPU-credits per (virtual) second up to
+  ``credit_burst``.  An empty bucket rejects with
+  ``"credits_exhausted"``.  This is the admission-side analogue of
+  cluster-wide share fairness (cf. Pollux, arXiv 2008.12260): a tenant
+  bursting past its share is throttled at the door instead of
+  squeezing other tenants' queues.
+
+Both rejects raise :class:`~repro.service.daemon.SubmitRejected` with
+the tenant and structured details attached, extending the PR-5 codes
+(the full list is :data:`repro.service.protocol.REJECTION_CODES`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Set
+
+from repro.service.daemon import SubmitRejected
+
+__all__ = ["TenantQuota", "TenantAccount", "TenantLedger"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant.
+
+    Attributes:
+        max_pending: Cap on the tenant's open (non-terminal) jobs
+            fleet-wide; None is unlimited.
+        credit_rate: GPU-credits earned per virtual second; None
+            disables credit metering for the tenant.
+        credit_burst: Token-bucket capacity (and initial balance) in
+            GPU-credits; only meaningful with a ``credit_rate``.
+    """
+
+    max_pending: Optional[int] = None
+    credit_rate: Optional[float] = None
+    credit_burst: float = 0.0
+
+    def __post_init__(self) -> None:
+        """Validate the limits.
+
+        Raises:
+            ValueError: For non-positive caps/rates or a metered quota
+                with no burst capacity.
+        """
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None)")
+        if self.credit_rate is not None:
+            if self.credit_rate < 0:
+                raise ValueError("credit_rate must be >= 0")
+            if self.credit_burst <= 0:
+                raise ValueError(
+                    "a metered tenant needs credit_burst > 0 "
+                    "(the bucket would otherwise never admit anything)"
+                )
+
+
+#: Tenants with no explicit quota (when the ledger allows them).
+UNLIMITED = TenantQuota()
+
+
+@dataclass
+class TenantAccount:
+    """Mutable per-tenant admission state.
+
+    Attributes:
+        quota: The tenant's limits.
+        credits: Current token-bucket balance (GPU-credits).
+        last_refill: Virtual timestamp of the last bucket refill.
+        open_jobs: Ids of this tenant's jobs not yet observed terminal;
+            swept lazily against shard state on each admission check,
+            so each finished job is dropped exactly once.
+        submitted: Total submissions admitted.
+        rejected: Total submissions refused.
+    """
+
+    quota: TenantQuota
+    credits: float = 0.0
+    last_refill: float = 0.0
+    open_jobs: Set[int] = field(default_factory=set)
+    submitted: int = 0
+    rejected: int = 0
+
+
+class TenantLedger:
+    """Fleet-wide tenant accounting: one :class:`TenantAccount` each.
+
+    Args:
+        quotas: Per-tenant limits.
+        default_quota: Limits applied to tenants absent from
+            ``quotas``; None together with ``strict=True`` makes
+            unknown tenants a structured ``"unknown_tenant"`` reject,
+            while the default (non-strict) admits them unmetered.
+        strict: Reject tenants that have no quota entry.
+    """
+
+    def __init__(
+        self,
+        quotas: Optional[Mapping[str, TenantQuota]] = None,
+        default_quota: Optional[TenantQuota] = None,
+        strict: bool = False,
+    ) -> None:
+        self._quotas = dict(quotas or {})
+        self._default = default_quota
+        self._strict = strict
+        self.accounts: Dict[str, TenantAccount] = {}
+
+    def account(self, tenant: str) -> TenantAccount:
+        """The tenant's account, created on first use.
+
+        Raises:
+            SubmitRejected: Code ``"unknown_tenant"`` in strict mode
+                for tenants without a quota entry.
+        """
+        existing = self.accounts.get(tenant)
+        if existing is not None:
+            return existing
+        quota = self._quotas.get(tenant)
+        if quota is None:
+            if self._strict:
+                raise SubmitRejected(
+                    "unknown_tenant",
+                    f"tenant {tenant!r} is not registered with this fleet",
+                    tenant=tenant,
+                    details={"known_tenants": sorted(self._quotas)},
+                )
+            quota = self._default if self._default is not None else UNLIMITED
+        account = TenantAccount(
+            quota=quota,
+            credits=quota.credit_burst,
+        )
+        self.accounts[tenant] = account
+        return account
+
+    def charge(
+        self,
+        tenant: str,
+        now: float,
+        cost: float,
+        open_jobs: int,
+    ) -> TenantAccount:
+        """Charge one submission against the tenant's limits.
+
+        Checks run in a fixed order so rejects are deterministic:
+        pending quota first, then credits.  On success the bucket is
+        debited and the admission counted.
+
+        Args:
+            tenant: Tenant the submission is accounted to.
+            now: Virtual time of the admission check; the bucket
+                refills over the interval since the last charge (clock
+                regressions are clamped to no-op).
+            cost: GPU-credits the submission costs (its GPU demand).
+            open_jobs: The tenant's current open-job count, supplied
+                by the front-end's lazy sweep.
+
+        Returns:
+            The tenant's account (so the caller can record the job).
+
+        Raises:
+            SubmitRejected: ``"unknown_tenant"`` (strict mode),
+                ``"quota_exceeded"``, or ``"credits_exhausted"``, each
+                with structured details.
+        """
+        account = self.account(tenant)
+        quota = account.quota
+        if (
+            quota.max_pending is not None
+            and open_jobs >= quota.max_pending
+        ):
+            account.rejected += 1
+            raise SubmitRejected(
+                "quota_exceeded",
+                f"tenant {tenant!r} has {open_jobs} open jobs, "
+                f"at its quota of {quota.max_pending}",
+                tenant=tenant,
+                details={
+                    "open_jobs": open_jobs,
+                    "max_pending": quota.max_pending,
+                },
+            )
+        if quota.credit_rate is not None:
+            elapsed = max(0.0, now - account.last_refill)
+            account.credits = min(
+                quota.credit_burst,
+                account.credits + elapsed * quota.credit_rate,
+            )
+            account.last_refill = max(account.last_refill, now)
+            if account.credits < cost:
+                account.rejected += 1
+                raise SubmitRejected(
+                    "credits_exhausted",
+                    f"tenant {tenant!r} needs {cost:g} GPU-credits but "
+                    f"has {account.credits:g}",
+                    tenant=tenant,
+                    details={
+                        "balance": account.credits,
+                        "cost": cost,
+                        "rate": quota.credit_rate,
+                        "burst": quota.credit_burst,
+                    },
+                )
+            account.credits -= cost
+        account.submitted += 1
+        return account
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Per-tenant admission counters for status reporting."""
+        return {
+            tenant: {
+                "submitted": account.submitted,
+                "rejected": account.rejected,
+                "open_jobs": len(account.open_jobs),
+                "credits": account.credits,
+            }
+            for tenant, account in sorted(self.accounts.items())
+        }

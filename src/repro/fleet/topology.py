@@ -1,0 +1,166 @@
+"""Virtual-cluster topology: how one GPU fleet is partitioned.
+
+Production clusters (the Philly traces the repo models) are carved
+into *virtual clusters* (VCs): disjoint machine sets with their own
+queues and schedulers.  A :class:`VirtualCluster` names one such
+partition; a :class:`FleetTopology` is the full layout plus the
+tenant-access map (which tenants may run on which VCs).  The fleet
+front-end (:class:`repro.fleet.FleetFrontEnd`) runs one scheduler
+shard per VC and routes submissions with these rules.
+
+:func:`partition_cluster` splits a flat machine count into N VCs the
+way the fleet acceptance harness does — as evenly as possible, earlier
+VCs taking the remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+
+__all__ = ["VirtualCluster", "FleetTopology", "partition_cluster"]
+
+
+@dataclass(frozen=True)
+class VirtualCluster:
+    """One named partition of the fleet.
+
+    Attributes:
+        name: Unique VC identifier (the wire protocol's ``vc`` field).
+        machines: Number of machines in the partition.
+        gpus_per_machine: GPU slots per machine.
+    """
+
+    name: str
+    machines: int
+    gpus_per_machine: int
+
+    def __post_init__(self) -> None:
+        """Validate the partition shape.
+
+        Raises:
+            ValueError: For an empty name or non-positive sizes.
+        """
+        if not self.name:
+            raise ValueError("a virtual cluster needs a name")
+        if self.machines < 1:
+            raise ValueError(f"VC {self.name!r} needs at least one machine")
+        if self.gpus_per_machine < 1:
+            raise ValueError(f"VC {self.name!r} needs at least one GPU/machine")
+
+    @property
+    def total_gpus(self) -> int:
+        """GPU capacity of the partition."""
+        return self.machines * self.gpus_per_machine
+
+    def build_cluster(self) -> Cluster:
+        """A fresh :class:`Cluster` with this partition's shape."""
+        return Cluster(self.machines, self.gpus_per_machine)
+
+
+class FleetTopology:
+    """The fleet layout: ordered VCs plus the tenant-access map.
+
+    VC declaration order is load-bearing — the front-end breaks
+    routing ties by it — so the topology preserves it.
+
+    Args:
+        vcs: The virtual clusters, in routing-priority order.
+        tenant_access: Optional mapping of tenant id to the VC names
+            that tenant may run on (in routing order).  Tenants absent
+            from the map may run on every VC.
+
+    Raises:
+        ValueError: For an empty fleet, duplicate VC names, or a
+            tenant-access entry naming an unknown VC.
+    """
+
+    def __init__(
+        self,
+        vcs: Sequence[VirtualCluster],
+        tenant_access: Optional[Mapping[str, Sequence[str]]] = None,
+    ) -> None:
+        if not vcs:
+            raise ValueError("a fleet needs at least one virtual cluster")
+        names = [vc.name for vc in vcs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate VC names in {names}")
+        self.vcs: Tuple[VirtualCluster, ...] = tuple(vcs)
+        self._by_name: Dict[str, VirtualCluster] = {
+            vc.name: vc for vc in self.vcs
+        }
+        access: Dict[str, Tuple[VirtualCluster, ...]] = {}
+        for tenant, allowed in (tenant_access or {}).items():
+            unknown = [name for name in allowed if name not in self._by_name]
+            if unknown:
+                raise ValueError(
+                    f"tenant {tenant!r} references unknown VCs {unknown}"
+                )
+            access[tenant] = tuple(self._by_name[name] for name in allowed)
+        self._access = access
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """VC names in declaration (routing-priority) order."""
+        return tuple(vc.name for vc in self.vcs)
+
+    @property
+    def total_gpus(self) -> int:
+        """GPU capacity of the whole fleet."""
+        return sum(vc.total_gpus for vc in self.vcs)
+
+    def get(self, name: str) -> Optional[VirtualCluster]:
+        """The VC with ``name``, or None."""
+        return self._by_name.get(name)
+
+    def allowed_vcs(self, tenant: str) -> Tuple[VirtualCluster, ...]:
+        """The VCs ``tenant`` may run on, in routing order.
+
+        Tenants without an explicit access entry may use every VC.
+        """
+        return self._access.get(tenant, self.vcs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FleetTopology {', '.join(self.names)}>"
+
+
+def partition_cluster(
+    num_machines: int,
+    gpus_per_machine: int,
+    num_vcs: int,
+    prefix: str = "vc",
+) -> FleetTopology:
+    """Split a flat cluster into ``num_vcs`` virtual clusters.
+
+    Machines are divided as evenly as possible; when the count does
+    not divide, earlier VCs take one extra machine (so ``vc0`` is
+    never the smallest).
+
+    Args:
+        num_machines: Total machines in the fleet.
+        gpus_per_machine: GPU slots per machine (homogeneous fleet).
+        num_vcs: Number of partitions; must not exceed the machine
+            count.
+        prefix: VC names are ``f"{prefix}{i}"``.
+
+    Raises:
+        ValueError: When ``num_vcs`` < 1 or exceeds ``num_machines``.
+    """
+    if num_vcs < 1:
+        raise ValueError("num_vcs must be >= 1")
+    if num_vcs > num_machines:
+        raise ValueError(
+            f"cannot split {num_machines} machines into {num_vcs} VCs"
+        )
+    base, extra = divmod(num_machines, num_vcs)
+    vcs = [
+        VirtualCluster(
+            name=f"{prefix}{i}",
+            machines=base + (1 if i < extra else 0),
+            gpus_per_machine=gpus_per_machine,
+        )
+        for i in range(num_vcs)
+    ]
+    return FleetTopology(vcs)

@@ -11,10 +11,13 @@ progress.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, FrozenSet, List, Sequence
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence
 
 from repro.core.group import JobGroup
 from repro.jobs.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.tracer import Tracer
 
 __all__ = ["Scheduler", "group_key", "fill_singletons"]
 
@@ -37,11 +40,46 @@ class Scheduler(ABC):
             (SRTF/SRSF/Muri-S); False for LAS-family policies.
         preemptive: False for policies that never stop a running job
             (FIFO, AntMan).
+        tracer: Optional :class:`~repro.observe.Tracer` set via
+            :meth:`configure`; None means untraced.
     """
 
     name: str = "scheduler"
     duration_aware: bool = False
     preemptive: bool = True
+    tracer: Optional["Tracer"] = None
+
+    def configure(
+        self,
+        tracer: Optional["Tracer"] = None,
+        event_regroup: Optional[bool] = None,
+        workers: Optional[int] = None,
+    ) -> "Scheduler":
+        """Apply the uniform post-construction options and return self.
+
+        This is the one signature :func:`~repro.schedulers.make_scheduler`
+        and the fleet shard factory share: every scheduler accepts the
+        same keywords, and policies that have no use for an option
+        simply ignore it (a FIFO queue has nothing to regroup, so
+        ``event_regroup`` is a no-op there).  Subclasses with more
+        machinery — Muri's grouper — override this to thread the
+        options through.
+
+        Args:
+            tracer: Tracer to attach; None leaves the current one.
+            event_regroup: Run the full decision pass on
+                arrival/completion events (Muri); ignored by policies
+                without incremental state.
+            workers: Process-pool width for policies with parallel
+                internals (Muri's grouper); ignored elsewhere.
+
+        Returns:
+            ``self``, so construction chains:
+            ``factory().configure(tracer=t)``.
+        """
+        if tracer is not None:
+            self.tracer = tracer
+        return self
 
     @abstractmethod
     def decide(

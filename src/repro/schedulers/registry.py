@@ -37,17 +37,17 @@ __all__ = [
     "UNKNOWN_DURATION",
 ]
 
-def _muri(policy: str) -> Callable[[], Scheduler]:
-    def factory() -> Scheduler:
+def _muri(policy: str) -> Callable[..., Scheduler]:
+    def factory(**kwargs) -> Scheduler:
         # Imported lazily: core.muri itself depends on schedulers.base.
         from repro.core.muri import MuriScheduler
 
-        return MuriScheduler(policy=policy)
+        return MuriScheduler(policy=policy, **kwargs)
 
     return factory
 
 
-class _Registry(Dict[str, Callable[[], Scheduler]]):
+class _Registry(Dict[str, Callable[..., Scheduler]]):
     """The scheduler-name -> factory table.
 
     Direct indexing for construction (``SCHEDULERS["srsf"]()``) is the
@@ -56,7 +56,7 @@ class _Registry(Dict[str, Callable[[], Scheduler]]):
     how the factory itself and the CLI inspect the table.
     """
 
-    def __getitem__(self, key: str) -> Callable[[], Scheduler]:
+    def __getitem__(self, key: str) -> Callable[..., Scheduler]:
         warnings.warn(
             "constructing schedulers via SCHEDULERS[name]() is deprecated; "
             "use repro.make_scheduler(name, ...) instead",
@@ -66,7 +66,7 @@ class _Registry(Dict[str, Callable[[], Scheduler]]):
         return super().__getitem__(key)
 
 
-SCHEDULERS: Dict[str, Callable[[], Scheduler]] = _Registry({
+SCHEDULERS: Dict[str, Callable[..., Scheduler]] = _Registry({
     "fifo": FifoScheduler,
     "sjf": SjfScheduler,
     "srtf": SrtfScheduler,
@@ -93,14 +93,17 @@ def available_schedulers() -> List[str]:
 
 def register_scheduler(
     name: str,
-    factory: Callable[[], Scheduler],
+    factory: Callable[..., Scheduler],
     replace: bool = False,
 ) -> None:
     """Add a scheduler factory under ``name`` (case-insensitive).
 
     Args:
         name: Registry name for :func:`make_scheduler`.
-        factory: Zero-argument callable returning a new scheduler.
+        factory: Callable returning a new scheduler; extra
+            ``make_scheduler`` kwargs are forwarded to it, and the
+            uniform options (tracer, event_regroup, workers) are
+            applied afterwards via ``Scheduler.configure``.
         replace: Allow overwriting an existing registration.
 
     Raises:
@@ -120,22 +123,33 @@ def make_scheduler(
     name: str,
     profiler: Optional[ResourceProfiler] = None,
     tracer: Optional[Tracer] = None,
+    event_regroup: Optional[bool] = None,
+    workers: Optional[int] = None,
     **kwargs,
 ) -> Scheduler:
     """Instantiate a scheduler by registry name.
 
     The single supported construction path: every built-in policy and
     anything added via :func:`register_scheduler` is available here.
+    Every name — built-in or registered — is built the same way: the
+    factory receives the constructor ``kwargs``, then
+    :meth:`~repro.schedulers.base.Scheduler.configure` applies the
+    uniform options (``tracer``, ``event_regroup``, ``workers``).  The
+    fleet shard factory (:func:`repro.fleet.make_shard`) shares this
+    exact keyword signature.
 
     Args:
         name: One of :func:`available_schedulers` (case-insensitive).
-        profiler: Optional profiler, honoured by the Muri variants.
-        tracer: Optional :class:`~repro.observe.Tracer`.  Muri variants
-            take it as a constructor argument (decision provenance and
-            grouping spans); for factory-built schedulers it is attached
-            after construction to any ``tracer`` attribute the scheduler
-            (and its grouper, if any) exposes, so registered policies
-            can be traced or invariant-checked without a custom factory.
+        profiler: Optional profiler, honoured by the Muri variants
+            (forwarded to their factory when given).
+        tracer: Optional :class:`~repro.observe.Tracer`; applied via
+            ``configure`` so registered policies can be traced or
+            invariant-checked without a custom factory.
+        event_regroup: Run the full decision pass on arrival and
+            completion events; ignored by policies without incremental
+            state (see ``Scheduler.configure``).
+        workers: Parallel-internals width (Muri's grouper pool);
+            ignored elsewhere.
         **kwargs: Extra constructor arguments for Muri variants
             (``max_group_size``, ``matcher``, ``ordering``...).
 
@@ -148,19 +162,10 @@ def make_scheduler(
             f"unknown scheduler {name!r}; available: "
             f"{', '.join(available_schedulers())}"
         )
-    if key in ("muri-s", "muri-l"):
-        from repro.core.muri import MuriScheduler
-
-        policy = "srsf" if key == "muri-s" else "las2d"
-        return MuriScheduler(
-            policy=policy, profiler=profiler, tracer=tracer, **kwargs
-        )
     factory = SCHEDULERS.get(key)
+    if profiler is not None:
+        kwargs["profiler"] = profiler
     scheduler = factory(**kwargs) if kwargs else factory()  # type: ignore[call-arg]
-    if tracer is not None:
-        if hasattr(scheduler, "tracer"):
-            scheduler.tracer = tracer
-        grouper = getattr(scheduler, "grouper", None)
-        if grouper is not None and hasattr(grouper, "tracer"):
-            grouper.tracer = tracer
-    return scheduler
+    return scheduler.configure(
+        tracer=tracer, event_regroup=event_regroup, workers=workers
+    )

@@ -11,27 +11,67 @@ with an online submission path:
   lifecycle, usable in-process or behind a socket;
 * :class:`VirtualClock` / :class:`WallClock` — deterministic
   (test/CI) and real-time pacing drivers for the daemon loop;
-* :class:`ServiceServer` / :class:`ServiceClient` — a
-  newline-delimited-JSON protocol over a local Unix socket
-  (``repro serve``).
+* :class:`ServiceServer` / :class:`ServiceClient` — a versioned,
+  typed newline-delimited-JSON protocol over a local Unix socket
+  (``repro serve``); client methods return typed results
+  (:class:`SubmitResult` and friends), and the PR-5 dict format stays
+  decodable as protocol version 1.
 
-See ``docs/service.md`` for the lifecycle and semantics.
+The sharded multi-tenant front-end built on top of this daemon lives
+in :mod:`repro.fleet`.  See ``docs/service.md`` and ``docs/fleet.md``
+for lifecycle, semantics, and wire-versioning notes.
 """
 
 from repro.service.clock import VirtualClock, WallClock
 from repro.service.daemon import SchedulerService, SubmitRejected
-from repro.service.protocol import spec_from_dict, spec_to_dict
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    REJECTION_CODES,
+    CancelRequest,
+    CancelResult,
+    DrainRequest,
+    DrainResult,
+    PingRequest,
+    PingResult,
+    Request,
+    Response,
+    ResultPoll,
+    ResultRequest,
+    StatusRequest,
+    StatusResult,
+    SubmitRequest,
+    SubmitResult,
+    spec_from_dict,
+    spec_to_dict,
+)
 from repro.service.client import ServiceClient, ServiceClientError
-from repro.service.server import ServiceServer
+from repro.service.server import LineServer, ServiceServer
 
 __all__ = [
     "SchedulerService",
     "SubmitRejected",
     "VirtualClock",
     "WallClock",
+    "LineServer",
     "ServiceServer",
     "ServiceClient",
     "ServiceClientError",
+    "PROTOCOL_VERSION",
+    "REJECTION_CODES",
+    "Request",
+    "Response",
+    "SubmitRequest",
+    "StatusRequest",
+    "CancelRequest",
+    "DrainRequest",
+    "ResultRequest",
+    "PingRequest",
+    "SubmitResult",
+    "StatusResult",
+    "CancelResult",
+    "DrainResult",
+    "ResultPoll",
+    "PingResult",
     "spec_to_dict",
     "spec_from_dict",
 ]

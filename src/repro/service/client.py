@@ -2,19 +2,43 @@
 
 A thin synchronous wrapper over the line protocol
 (:mod:`repro.service.protocol`): one request out, one response in.
-Suitable for scripts, tests, and the CI smoke test; anything needing
-concurrency should talk to the socket with its own asyncio streams.
+This is the stable public client surface — :meth:`ServiceClient.submit`,
+:meth:`~ServiceClient.cancel`, :meth:`~ServiceClient.status`, and
+:meth:`~ServiceClient.drain` return the protocol's typed result
+objects (:class:`~repro.service.protocol.SubmitResult` and friends)
+rather than raw dicts.  Suitable for scripts, tests, and the CI smoke
+test; anything needing concurrency should talk to the socket with its
+own asyncio streams.
 """
 
 from __future__ import annotations
 
 import socket
 import time
+import warnings
 from typing import Any, Dict, Optional, Union
 
 from repro.jobs.job import JobSpec
 from repro.service.daemon import SubmitRejected
-from repro.service.protocol import decode_line, encode_line, spec_to_dict
+from repro.service.protocol import (
+    DEFAULT_TENANT,
+    REJECTION_CODES,
+    CancelRequest,
+    CancelResult,
+    DrainRequest,
+    DrainResult,
+    PingRequest,
+    Request,
+    ResultRequest,
+    StatusRequest,
+    StatusResult,
+    SubmitRequest,
+    SubmitResult,
+    decode_line,
+    encode_line,
+    response_from_wire,
+    spec_from_dict,
+)
 from repro.sim.metrics import SimulationResult
 
 __all__ = ["ServiceClient", "ServiceClientError"]
@@ -30,9 +54,6 @@ class ServiceClientError(RuntimeError):
     def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
         self.code = code
-
-#: Admission-control codes surfaced as :class:`SubmitRejected`.
-_REJECTION_CODES = ("queue_full", "draining", "too_large", "stopped")
 
 
 class ServiceClient:
@@ -54,7 +75,11 @@ class ServiceClient:
     # -- plumbing ----------------------------------------------------------
 
     def call(self, **request: Any) -> Dict[str, Any]:
-        """Send one request dict; return the (successful) response.
+        """Send one raw request dict; return the (successful) response.
+
+        The low-level escape hatch under the typed methods; it speaks
+        wire dicts directly, so version-1 payloads pass through
+        unchanged.
 
         Raises:
             SubmitRejected: When the server rejected an admission.
@@ -70,9 +95,23 @@ class ServiceClient:
             return response
         code = response.get("error", "unknown")
         message = response.get("message", "")
-        if code in _REJECTION_CODES:
-            raise SubmitRejected(code, message)
+        if code in REJECTION_CODES:
+            raise SubmitRejected(
+                code,
+                message,
+                tenant=response.get("tenant"),
+                details=response.get("details"),
+            )
         raise ServiceClientError(code, message)
+
+    def request(self, message: Request) -> Dict[str, Any]:
+        """Send one typed request; return the successful wire response.
+
+        Raises:
+            SubmitRejected: When the server rejected an admission.
+            ServiceClientError: For any other error response.
+        """
+        return self.call(**message.to_wire())
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -93,27 +132,69 @@ class ServiceClient:
 
     def ping(self) -> bool:
         """True when the server answers."""
-        return bool(self.call(op="ping").get("pong"))
+        return bool(self.request(PingRequest()).get("pong"))
 
-    def submit(self, spec: Union[JobSpec, Dict[str, Any]]) -> int:
-        """Submit one job (spec or already-serialized dict); returns its id."""
-        payload = spec_to_dict(spec) if isinstance(spec, JobSpec) else spec
-        return int(self.call(op="submit", spec=payload)["job_id"])
+    def submit(
+        self,
+        spec: Union[JobSpec, Dict[str, Any]],
+        tenant: Optional[str] = None,
+        vc: Optional[str] = None,
+    ) -> SubmitResult:
+        """Submit one job; returns the typed submission result.
 
-    def status(self, job_id: Optional[int] = None) -> Dict[str, Any]:
-        """Service-wide status, or one job's when ``job_id`` is given."""
-        request: Dict[str, Any] = {"op": "status"}
-        if job_id is not None:
-            request["job_id"] = job_id
-        return self.call(**request)["status"]
+        Args:
+            spec: The job to submit.  Passing an already-serialized
+                dict is the deprecated version-1 idiom and warns; build
+                a :class:`JobSpec` instead.
+            tenant: Tenant to account the submission to; defaults to
+                the protocol's default tenant.
+            vc: Optional virtual-cluster routing hint (fleet only).
 
-    def cancel(self, job_id: int) -> bool:
-        """Cancel one job; True when it existed and was cancelled."""
-        return bool(self.call(op="cancel", job_id=job_id)["cancelled"])
+        Returns:
+            :class:`SubmitResult` with the assigned ``job_id`` (its
+            ``int()`` is the id, for terse call sites) and where the
+            fleet routed the job.
 
-    def drain(self) -> None:
+        Raises:
+            SubmitRejected: When admission control refused the job.
+        """
+        if not isinstance(spec, JobSpec):
+            warnings.warn(
+                "submitting raw spec dicts is deprecated; "
+                "pass a JobSpec (see repro.service.protocol.spec_from_dict)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            spec = spec_from_dict(spec)
+        message = SubmitRequest(
+            spec=spec,
+            tenant=DEFAULT_TENANT if tenant is None else tenant,
+            vc=vc,
+        )
+        return SubmitResult.from_wire(self.request(message))
+
+    def status(self, job_id: Optional[int] = None) -> StatusResult:
+        """Service-wide status, or one job's when ``job_id`` is given.
+
+        Returns:
+            :class:`StatusResult`; index it like the underlying
+            snapshot mapping (``status["pending"]``).
+        """
+        response = self.request(StatusRequest(job_id=job_id))
+        return StatusResult.from_wire(response)
+
+    def cancel(self, job_id: int) -> CancelResult:
+        """Cancel one job.
+
+        Returns:
+            :class:`CancelResult`; truthy when the job existed and was
+            cancelled.
+        """
+        return CancelResult.from_wire(self.request(CancelRequest(job_id)))
+
+    def drain(self) -> DrainResult:
         """Ask the service to stop admitting and run down."""
-        self.call(op="drain")
+        return DrainResult.from_wire(self.request(DrainRequest()))
 
     def result(
         self,
@@ -127,9 +208,9 @@ class ServiceClient:
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
-            response = self.call(op="result")
-            if response.get("done"):
-                return SimulationResult.from_dict(response["result"])
+            poll = response_from_wire("result", self.request(ResultRequest()))
+            if poll.done and poll.result is not None:
+                return poll.result
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError("timed out waiting for the drained result")
             time.sleep(poll_interval)

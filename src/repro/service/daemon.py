@@ -42,13 +42,28 @@ class SubmitRejected(Exception):
     """Admission control refused a submission.
 
     Attributes:
-        code: Machine-readable rejection reason — ``"queue_full"``,
-            ``"draining"``, ``"too_large"``, or ``"stopped"``.
+        code: Machine-readable rejection reason.  Single-daemon codes
+            are ``"queue_full"``, ``"draining"``, ``"too_large"``, and
+            ``"stopped"``; the fleet front-end adds the tenant-scoped
+            codes ``"unknown_tenant"``, ``"quota_exceeded"``,
+            ``"credits_exhausted"``, and ``"no_shard"`` (the full list
+            is :data:`repro.service.protocol.REJECTION_CODES`).
+        tenant: Tenant whose submission was refused, when known.
+        details: Structured context for the refusal (e.g. the quota
+            bound that was hit); empty for plain daemon rejects.
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        tenant: Optional[str] = None,
+        details: Optional[Dict[str, Any]] = None,
+    ) -> None:
         super().__init__(message)
         self.code = code
+        self.tenant = tenant
+        self.details = details or {}
 
 
 class SchedulerService:
@@ -207,11 +222,18 @@ class SchedulerService:
 
     @property
     def pending_count(self) -> int:
-        """Jobs currently occupying pending-queue slots."""
-        return sum(
-            1 for job in self.state.jobs.values()
-            if job.status is JobStatus.PENDING
+        """Jobs currently occupying pending-queue slots.
+
+        Every non-terminal job is either RUNNING (a member of a live
+        group) or PENDING (queued, not-yet-arrived, or preempted), so
+        the count is derived from the simulator's maintained active
+        counter minus the running members — O(groups), not O(jobs),
+        which keeps admission control flat on long streams.
+        """
+        running = sum(
+            len(rgroup.active) for rgroup in self.state.running.values()
         )
+        return self.state.unfinished - running
 
     @property
     def is_done(self) -> bool:

@@ -5,6 +5,11 @@ server shares the same event loop and dispatches protocol requests
 (see :mod:`repro.service.protocol`) into the service's synchronous
 client API.  Because both run on one loop, no locking is needed: a
 request is handled between simulator steps, never during one.
+
+The connection plumbing lives in :class:`LineServer`, which the fleet
+front-end (:class:`repro.fleet.server.FleetServer`) reuses: a subclass
+implements :meth:`LineServer.dispatch` and inherits the line loop, the
+post-drain linger, and socket cleanup.
 """
 
 from __future__ import annotations
@@ -16,53 +21,74 @@ from typing import Any, Dict
 
 from repro.service.daemon import SchedulerService, SubmitRejected
 from repro.service.protocol import (
-    KNOWN_OPS,
+    CancelRequest,
+    CancelResult,
+    DrainRequest,
+    DrainResult,
+    PingRequest,
+    PingResult,
+    Request,
+    Response,
+    ResultPoll,
+    ResultRequest,
+    StatusRequest,
+    StatusResult,
+    SubmitRequest,
+    SubmitResult,
     decode_line,
     encode_line,
     error_response,
-    spec_from_dict,
+    request_from_wire,
 )
 from repro.sim.metrics import SimulationResult
 
-__all__ = ["ServiceServer"]
+__all__ = ["LineServer", "ServiceServer"]
 
 
-class ServiceServer:
-    """Serves one :class:`SchedulerService` on a Unix socket.
+class LineServer:
+    """Newline-JSON request/response loop on a Unix socket.
+
+    The transport shared by the single-daemon server and the fleet
+    front-end: accepts connections, reads one request per line,
+    answers one response per line, and — after the served workload
+    drains — lingers briefly so connected clients can still fetch the
+    final result before the socket goes away.
 
     Args:
-        service: The daemon to expose.
-        path: Filesystem path of the Unix socket; created on
-            :meth:`serve` and removed on exit.
+        path: Filesystem path of the Unix socket; created by
+            :meth:`serve_sockets` and removed on exit.
         linger: Grace period (real seconds) after the drain completes
-            during which connected clients can still fetch the final
-            result before the server hangs up on them.
+            during which connected clients can still poll before the
+            server hangs up on them.
     """
 
-    def __init__(
-        self,
-        service: SchedulerService,
-        path: str,
-        linger: float = 5.0,
-    ) -> None:
-        self.service = service
+    def __init__(self, path: str, linger: float = 5.0) -> None:
         self.path = path
         self.linger = linger
         self._writers: set = set()
 
-    async def serve(self) -> SimulationResult:
-        """Run the daemon and the socket server until drained.
+    def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply one wire request; return the wire response.
 
-        Returns:
-            The final flushed result once the service drains (a client
-            ``drain`` op, or a drain requested before the call).
+        Subclasses implement this; it must never raise (protocol
+        errors become ``error_response`` dicts).
+        """
+        raise NotImplementedError
+
+    async def serve_sockets(self, run) -> SimulationResult:
+        """Accept connections while awaiting ``run``; then wind down.
+
+        Args:
+            run: Awaitable driving the served workload (the daemon's
+                or fleet's main loop); its result is returned once the
+                linger period ends.
         """
         server = await asyncio.start_unix_server(
             self._handle_client, path=self.path
         )
         try:
             async with server:
-                result = await self.service.run()
+                result = await run
             # The run is drained but connected clients may still be
             # polling for the final result: linger until they hang up
             # (or the grace period passes), then close any stragglers
@@ -108,46 +134,86 @@ class ServiceServer:
             self._writers.discard(writer)
             writer.close()
 
+
+class ServiceServer(LineServer):
+    """Serves one :class:`SchedulerService` on a Unix socket.
+
+    Args:
+        service: The daemon to expose.
+        path: Filesystem path of the Unix socket; created on
+            :meth:`serve` and removed on exit.
+        linger: Grace period (real seconds) after the drain completes
+            during which connected clients can still fetch the final
+            result before the server hangs up on them.
+    """
+
+    def __init__(
+        self,
+        service: SchedulerService,
+        path: str,
+        linger: float = 5.0,
+    ) -> None:
+        super().__init__(path, linger)
+        self.service = service
+
+    async def serve(self) -> SimulationResult:
+        """Run the daemon and the socket server until drained.
+
+        Returns:
+            The final flushed result once the service drains (a client
+            ``drain`` op, or a drain requested before the call).
+        """
+        return await self.serve_sockets(self.service.run())
+
     def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Apply one protocol request to the service; never raises."""
-        op = request.get("op")
-        if op not in KNOWN_OPS:
-            return error_response("bad_request", f"unknown op {op!r}")
+        """Apply one wire request to the service; never raises.
+
+        Version-1 dicts (no ``version`` field) and version-2 messages
+        both decode through :func:`request_from_wire`; the response is
+        the typed handler's wire form.
+        """
         try:
-            return self._dispatch_known(op, request)
+            message = request_from_wire(request)
+        except ValueError as error:
+            return error_response("bad_request", str(error))
+        except KeyError as error:
+            return error_response("bad_request", f"missing field {error}")
+        try:
+            return self.handle(message).to_wire()
         except SubmitRejected as rejection:
-            return error_response(rejection.code, str(rejection))
+            wire = error_response(rejection.code, str(rejection))
+            if rejection.tenant is not None:
+                wire["tenant"] = rejection.tenant
+            if rejection.details:
+                wire["details"] = rejection.details
+            return wire
         except KeyError as error:
             return error_response("unknown_job", str(error))
         except (TypeError, ValueError) as error:
             return error_response("bad_request", str(error))
 
-    def _dispatch_known(
-        self, op: str, request: Dict[str, Any]
-    ) -> Dict[str, Any]:
+    def handle(self, message: Request) -> Response:
+        """Apply one typed request to the service; returns the result.
+
+        Raises:
+            SubmitRejected: When admission control refuses a submit.
+            KeyError: For a status/cancel naming an unknown job.
+        """
         service = self.service
-        if op == "ping":
-            return {"ok": True, "pong": True}
-        if op == "submit":
-            spec = spec_from_dict(request["spec"])
-            return {"ok": True, "job_id": service.submit(spec)}
-        if op == "status":
-            job_id = request.get("job_id")
-            payload = service.status(
-                None if job_id is None else int(job_id)
-            )
-            return {"ok": True, "status": payload}
-        if op == "cancel":
-            cancelled = service.cancel(int(request["job_id"]))
-            return {"ok": True, "cancelled": cancelled}
-        if op == "drain":
+        if isinstance(message, PingRequest):
+            return PingResult()
+        if isinstance(message, SubmitRequest):
+            job_id = service.submit(message.spec)
+            return SubmitResult(job_id=job_id, tenant=message.tenant)
+        if isinstance(message, StatusRequest):
+            return StatusResult(data=service.status(message.job_id))
+        if isinstance(message, CancelRequest):
+            return CancelResult(cancelled=service.cancel(message.job_id))
+        if isinstance(message, DrainRequest):
             service.drain()
-            return {"ok": True, "draining": True}
-        # op == "result": poll for the drained result.
-        if service.result is None:
-            return {"ok": True, "done": False}
-        return {
-            "ok": True,
-            "done": True,
-            "result": service.result.to_dict(),
-        }
+            return DrainResult()
+        if isinstance(message, ResultRequest):
+            if service.result is None:
+                return ResultPoll(done=False)
+            return ResultPoll(done=True, result=service.result)
+        raise ValueError(f"unhandled request type {type(message).__name__}")

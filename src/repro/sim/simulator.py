@@ -135,14 +135,17 @@ class SimulationState:
     tick_scheduled: bool = False
     started_wall: float = 0.0
     finalized: bool = False
+    active: int = 0
 
     @property
     def unfinished(self) -> int:
-        """Jobs not yet in a terminal state (finished or cancelled)."""
-        return sum(
-            1 for job in self.jobs.values()
-            if job.status not in (JobStatus.FINISHED, JobStatus.FAILED)
-        )
+        """Jobs not yet in a terminal state (finished or cancelled).
+
+        Maintained incrementally (``active``) so the run loops and the
+        service's ``is_done`` poll stay O(1) per step — a recount over
+        ``jobs`` would make long online streams quadratic.
+        """
+        return self.active
 
 
 class ClusterSimulator:
@@ -311,6 +314,7 @@ class ClusterSimulator:
             trace_name=trace_name,
             step_budget=self.max_steps or (500 * len(specs) + 100_000),
             started_wall=started_wall,
+            active=len(jobs),
         )
         if specs:
             first_arrival = min(spec.submit_time for spec in specs)
@@ -341,6 +345,7 @@ class ClusterSimulator:
             raise SimulationError(f"job id {spec.job_id} already submitted")
         job = Job(spec)
         state.jobs[spec.job_id] = job
+        state.active += 1
         state.result.submit_times[spec.job_id] = spec.submit_time
         arrival = max(state.now, spec.submit_time)
         state.events.push(Event(arrival, EventKind.ARRIVAL, spec.job_id))
@@ -374,6 +379,7 @@ class ClusterSimulator:
                 break
         state.pending.pop(job_id, None)
         job.status = JobStatus.FAILED
+        state.active -= 1
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer.emit(
@@ -470,7 +476,7 @@ class ClusterSimulator:
         if span > 0:
             self._record_timepoint(now, span, pending, running, result)
             completed_any = self._advance(
-                span, jobs, pending, running, result
+                span, jobs, pending, running, result, state
             )
             if completed_any and self.backfill_on_completion:
                 state.need_reschedule = True
@@ -719,6 +725,7 @@ class ClusterSimulator:
         pending: Dict[int, Job],
         running: Dict[FrozenSet[int], _RunningGroup],
         result: SimulationResult,
+        state: SimulationState,
     ) -> bool:
         """Advance all groups by ``span`` seconds; returns True when a
         job completed or faulted (capacity freed)."""
@@ -753,6 +760,7 @@ class ClusterSimulator:
                 # a completing member finishes exactly at span end.
                 finish_time = self._advance_clock + span
                 job.mark_finished(finish_time)
+                state.active -= 1
                 rgroup.active.remove(job)
                 rgroup.fault_deadlines.pop(job.job_id, None)
                 changed = True

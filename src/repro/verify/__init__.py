@@ -10,6 +10,8 @@ Three layers (see ``docs/verification.md``):
 * :mod:`repro.verify.reference` + :mod:`repro.verify.differential` —
   naive scalar re-implementations of Eq. 3/4 and exact matchers used
   as differential oracles against the optimized hot paths;
+  :mod:`repro.verify.fleet` extends the pattern to the sharded fleet
+  (:func:`compare_fleet_serial`: shard results vs serial VC replays);
 * :mod:`repro.verify.fuzz` + :mod:`repro.verify.repro_file` — seeded
   episode fuzzing (``repro fuzz``) whose failures shrink into
   replayable JSON repro files.
@@ -24,6 +26,7 @@ from repro.verify.differential import (
     compare_parallel_serial,
     plan_signature,
 )
+from repro.verify.fleet import compare_fleet_serial
 from repro.verify.fuzz import (
     FuzzConfig,
     FuzzReport,
@@ -64,6 +67,7 @@ __all__ = [
     "compare_dense_sparse",
     "compare_cold_cached",
     "compare_parallel_serial",
+    "compare_fleet_serial",
     "compare_pairs_exact",
     "compare_groups_exact",
     "IncrementalOracle",

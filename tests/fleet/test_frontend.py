@@ -1,0 +1,171 @@
+"""Fleet front-end: routing, admission, aggregation, and the merge."""
+
+import pytest
+
+from repro.fleet import (
+    FleetFrontEnd,
+    FleetTopology,
+    TenantQuota,
+    partition_cluster,
+)
+from repro.jobs.job import JobSpec
+from repro.jobs.stage import StageProfile
+from repro.observe import Tracer
+from repro.service import SubmitRejected
+
+UNIT = StageProfile((0.25, 0.25, 0.25, 0.25))
+
+
+def spec(iters=4, gpus=1, submit=0.0):
+    return JobSpec(profile=UNIT, num_gpus=gpus, submit_time=submit,
+                   num_iterations=iters)
+
+
+def build_fleet(num_machines=4, gpus=4, shards=2, **options):
+    topology = partition_cluster(num_machines, gpus, shards)
+    return FleetFrontEnd.build(topology, scheduler="fifo", **options)
+
+
+def test_least_pending_routing_with_topology_order_ties():
+    frontend = build_fleet()
+    vcs = [frontend.submit(spec()).vc for _ in range(4)]
+    # Empty fleet: tie resolves to vc0; then alternation by queue depth.
+    assert vcs == ["vc0", "vc1", "vc0", "vc1"]
+
+
+def test_vc_hint_honoured_and_validated():
+    frontend = build_fleet()
+    assert frontend.submit(spec(), vc="vc1").vc == "vc1"
+    with pytest.raises(SubmitRejected) as excinfo:
+        frontend.submit(spec(), vc="nope")
+    assert excinfo.value.code == "no_shard"
+    assert excinfo.value.details["vc"] == "nope"
+
+
+def test_no_shard_when_nothing_fits():
+    frontend = build_fleet()  # two VCs of 8 GPUs each
+    with pytest.raises(SubmitRejected) as excinfo:
+        frontend.submit(spec(gpus=9))
+    assert excinfo.value.code == "no_shard"
+    assert excinfo.value.details["gpus"] == 9
+
+
+def test_tenant_access_scopes_routing():
+    topology = partition_cluster(4, 4, 2)
+    scoped = FleetTopology(topology.vcs, tenant_access={"alice": ["vc1"]})
+    frontend = FleetFrontEnd.build(scoped, scheduler="fifo")
+    for _ in range(3):
+        assert frontend.submit(spec(), tenant="alice").vc == "vc1"
+    with pytest.raises(SubmitRejected) as excinfo:
+        frontend.submit(spec(gpus=8), tenant="alice", vc="vc0")
+    assert excinfo.value.code == "no_shard"
+    assert excinfo.value.details["allowed"] == ["vc1"]
+
+
+def test_submit_result_and_status_carry_tenant_and_vc():
+    frontend = build_fleet()
+    submitted = frontend.submit(spec(), tenant="alice")
+    assert submitted.tenant == "alice"
+    status = frontend.status(submitted.job_id)
+    assert status["tenant"] == "alice"
+    assert status["vc"] == submitted.vc
+    fleet_status = frontend.status()
+    assert set(fleet_status["shards"]) == {"vc0", "vc1"}
+    assert fleet_status["tenants"]["alice"]["submitted"] == 1
+    with pytest.raises(KeyError):
+        frontend.status(424242)
+
+
+def test_cancel_routes_to_the_owning_shard():
+    frontend = build_fleet()
+    job_id = frontend.submit(spec()).job_id
+    assert frontend.cancel(job_id) is True
+    assert frontend.cancel(job_id) is False
+    assert frontend.cancel(424242) is False
+
+
+def test_shard_rejects_propagate_with_tenant_and_roll_back():
+    frontend = build_fleet(max_pending=1)
+    frontend.submit(spec(), tenant="alice")
+    frontend.submit(spec(), tenant="alice")
+    with pytest.raises(SubmitRejected) as excinfo:
+        frontend.submit(spec(), tenant="alice")
+    assert excinfo.value.code == "queue_full"
+    assert excinfo.value.tenant == "alice"
+    snap = frontend.ledger.snapshot()["alice"]
+    assert snap["submitted"] == 2  # the refused charge was rolled back
+    assert snap["rejected"] == 1
+
+
+def test_run_sync_merges_disjoint_shard_results():
+    tracer = Tracer()
+    frontend = build_fleet(tracer=tracer)
+    ids = [frontend.submit(spec(iters=2 + i)).job_id for i in range(6)]
+    result = frontend.run_sync()
+    assert sorted(result.jcts) == sorted(ids)
+    assert frontend.result is result
+    assert frontend.is_done
+    per_shard = [
+        shard.service.result for shard in frontend.shards.values()
+    ]
+    assert sum(len(r.jcts) for r in per_shard) == len(ids)
+    assert result.makespan == max(r.makespan for r in per_shard)
+    assert tracer.counters["fleet.submitted"] == 6
+    routed = sum(
+        tracer.counters[f"fleet.routed.{name}"]
+        for name in frontend.topology.names
+    )
+    assert routed == 6
+    # The merged timeseries is time-sorted across shards.
+    times = [point.time for point in result.timeseries]
+    assert times == sorted(times)
+
+
+def test_burst_tenant_is_rejected_while_others_stay_responsive():
+    """One tenant floods past its quota; the fleet answers everyone.
+
+    The flooding tenant gets structured ``quota_exceeded`` rejects
+    (with its open-job count pinned in the details) and never occupies
+    more than its quota; the steady tenant's submissions are all
+    admitted and its p99 submit->decision latency stays bounded — the
+    admission path is O(open jobs), not O(flood size).
+    """
+    quotas = {"flood": TenantQuota(max_pending=5)}
+    frontend = build_fleet(quotas=quotas)
+    flood_rejects = []
+    for i in range(60):
+        # Interleave: the flood hammers while the steady tenant works.
+        try:
+            frontend.submit(spec(), tenant="flood")
+        except SubmitRejected as rejection:
+            flood_rejects.append(rejection)
+        if i % 2 == 0:
+            frontend.submit(spec(), tenant="steady")
+
+    assert len(flood_rejects) == 55  # everything past the 5-job quota
+    assert all(r.code == "quota_exceeded" for r in flood_rejects)
+    assert all(r.tenant == "flood" for r in flood_rejects)
+    assert all(
+        r.details == {"open_jobs": 5, "max_pending": 5}
+        for r in flood_rejects
+    )
+    snap = frontend.ledger.snapshot()
+    assert snap["flood"]["open_jobs"] == 5
+    assert snap["steady"]["submitted"] == 30
+    assert snap["steady"]["rejected"] == 0
+    _p50, p99 = frontend.latency_percentiles("steady")
+    assert 0.0 < p99 < 0.25  # seconds; admission is microseconds
+    result = frontend.run_sync()
+    # Every admitted job (both tenants) finishes in the merged drain.
+    assert len(result.jcts) == 35
+
+
+def test_credit_exhaustion_uses_virtual_time():
+    quotas = {"m": TenantQuota(credit_rate=1.0, credit_burst=2.0)}
+    frontend = build_fleet(quotas=quotas)
+    frontend.submit(spec(gpus=2), tenant="m")
+    with pytest.raises(SubmitRejected) as excinfo:
+        frontend.submit(spec(gpus=1), tenant="m")
+    assert excinfo.value.code == "credits_exhausted"
+    # A later virtual submit_time refills the bucket.
+    frontend.submit(spec(gpus=1, submit=10.0), tenant="m")

@@ -1,0 +1,93 @@
+"""FleetServer socket round-trips: one socket, many tenants."""
+
+import asyncio
+import os
+import threading
+import time
+
+import pytest
+
+from repro.fleet import FleetFrontEnd, FleetServer, partition_cluster
+from repro.jobs.job import JobSpec
+from repro.jobs.stage import StageProfile
+from repro.service import ServiceClient, SubmitRejected
+from repro.fleet import TenantQuota
+
+UNIT = StageProfile((0.25, 0.25, 0.25, 0.25))
+
+
+def spec(iters=4, gpus=1, submit=0.0):
+    return JobSpec(profile=UNIT, num_gpus=gpus, submit_time=submit,
+                   num_iterations=iters)
+
+
+@pytest.fixture
+def fleet_client(tmp_path):
+    """A 2-shard fleet served on a temp socket; yields a client."""
+    path = str(tmp_path / "fleet.sock")
+    topology = partition_cluster(4, 4, 2)
+    # The capped tenant's bucket never refills (rate 0), so its second
+    # submission rejects deterministically even though the virtual
+    # clock may have already finished its first job.
+    frontend = FleetFrontEnd.build(
+        topology,
+        scheduler="fifo",
+        quotas={"capped": TenantQuota(credit_rate=0.0, credit_burst=1.0)},
+    )
+    server = FleetServer(frontend, path, linger=2.0)
+    thread = threading.Thread(
+        target=lambda: asyncio.run(server.serve()), daemon=True
+    )
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while not os.path.exists(path):
+        if time.monotonic() > deadline:
+            raise RuntimeError("fleet socket never appeared")
+        time.sleep(0.01)
+    client = ServiceClient(path, timeout=30.0)
+    try:
+        yield client, server, thread
+    finally:
+        try:
+            client.drain()
+        except Exception:
+            pass
+        client.close()
+        thread.join(timeout=10.0)
+
+
+def test_multi_tenant_session_over_one_socket(fleet_client):
+    client, server, thread = fleet_client
+    assert client.ping() is True
+    a = client.submit(spec(10), tenant="alice")
+    b = client.submit(spec(20), tenant="bob", vc="vc1")
+    assert a.tenant == "alice"
+    assert b.vc == "vc1"
+    status = client.status(a.job_id)
+    assert status["tenant"] == "alice"
+    fleet_status = client.status()
+    assert set(fleet_status["shards"]) == {"vc0", "vc1"}
+    client.drain()
+    result = client.result(timeout=30.0)
+    assert sorted(result.jcts) == sorted([a.job_id, b.job_id])
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    assert not os.path.exists(server.path)
+
+
+def test_tenant_rejects_cross_the_socket(fleet_client):
+    client, _server, _thread = fleet_client
+    client.submit(spec(50), tenant="capped")
+    with pytest.raises(SubmitRejected) as excinfo:
+        client.submit(spec(), tenant="capped")
+    rejection = excinfo.value
+    assert rejection.code == "credits_exhausted"
+    assert rejection.tenant == "capped"
+    assert rejection.details["burst"] == 1.0
+
+
+def test_no_shard_crosses_the_socket(fleet_client):
+    client, _server, _thread = fleet_client
+    with pytest.raises(SubmitRejected) as excinfo:
+        client.submit(spec(gpus=9))
+    assert excinfo.value.code == "no_shard"

@@ -1,0 +1,91 @@
+"""Tenant quotas and fair-share credit buckets."""
+
+import pytest
+
+from repro.fleet import TenantLedger, TenantQuota
+from repro.service import SubmitRejected
+
+
+def test_quota_validation():
+    with pytest.raises(ValueError):
+        TenantQuota(max_pending=0)
+    with pytest.raises(ValueError):
+        TenantQuota(credit_rate=-1.0, credit_burst=1.0)
+    with pytest.raises(ValueError):
+        # A metered bucket with no capacity could never admit anything.
+        TenantQuota(credit_rate=1.0, credit_burst=0.0)
+
+
+def test_unlimited_by_default():
+    ledger = TenantLedger()
+    for i in range(100):
+        ledger.charge("anyone", now=0.0, cost=64.0, open_jobs=i)
+    assert ledger.accounts["anyone"].submitted == 100
+
+
+def test_pending_quota_rejects_with_details():
+    ledger = TenantLedger({"t": TenantQuota(max_pending=3)})
+    account = ledger.charge("t", now=0.0, cost=1.0, open_jobs=2)
+    assert account.submitted == 1
+    with pytest.raises(SubmitRejected) as excinfo:
+        ledger.charge("t", now=0.0, cost=1.0, open_jobs=3)
+    rejection = excinfo.value
+    assert rejection.code == "quota_exceeded"
+    assert rejection.tenant == "t"
+    assert rejection.details == {"open_jobs": 3, "max_pending": 3}
+    assert ledger.accounts["t"].rejected == 1
+
+
+def test_credit_bucket_drains_and_refills_over_virtual_time():
+    ledger = TenantLedger(
+        {"t": TenantQuota(credit_rate=1.0, credit_burst=4.0)}
+    )
+    # The bucket starts full (= burst) and each charge costs its GPUs.
+    ledger.charge("t", now=0.0, cost=4.0, open_jobs=0)
+    with pytest.raises(SubmitRejected) as excinfo:
+        ledger.charge("t", now=0.0, cost=1.0, open_jobs=1)
+    assert excinfo.value.code == "credits_exhausted"
+    assert excinfo.value.details["balance"] == 0.0
+    assert excinfo.value.details["cost"] == 1.0
+    # Two virtual seconds at rate 1.0 earn exactly two credits back.
+    ledger.charge("t", now=2.0, cost=2.0, open_jobs=1)
+    assert ledger.accounts["t"].credits == 0.0
+
+
+def test_credit_refill_caps_at_burst_and_clamps_regressions():
+    ledger = TenantLedger(
+        {"t": TenantQuota(credit_rate=10.0, credit_burst=5.0)}
+    )
+    ledger.charge("t", now=100.0, cost=1.0, open_jobs=0)
+    account = ledger.accounts["t"]
+    assert account.credits == 4.0  # refill capped at burst, then -1
+    # A clock regression must not mint credits or move last_refill back.
+    ledger.charge("t", now=50.0, cost=1.0, open_jobs=1)
+    assert account.credits == 3.0
+    assert account.last_refill == 100.0
+
+
+def test_strict_mode_rejects_unknown_tenants():
+    ledger = TenantLedger({"known": TenantQuota()}, strict=True)
+    ledger.charge("known", now=0.0, cost=1.0, open_jobs=0)
+    with pytest.raises(SubmitRejected) as excinfo:
+        ledger.charge("stranger", now=0.0, cost=1.0, open_jobs=0)
+    assert excinfo.value.code == "unknown_tenant"
+    assert excinfo.value.details == {"known_tenants": ["known"]}
+
+
+def test_default_quota_applies_to_unlisted_tenants():
+    ledger = TenantLedger(default_quota=TenantQuota(max_pending=1))
+    ledger.charge("new", now=0.0, cost=1.0, open_jobs=0)
+    with pytest.raises(SubmitRejected):
+        ledger.charge("new", now=0.0, cost=1.0, open_jobs=1)
+
+
+def test_snapshot():
+    ledger = TenantLedger({"t": TenantQuota(max_pending=1)})
+    ledger.charge("t", now=0.0, cost=2.0, open_jobs=0)
+    with pytest.raises(SubmitRejected):
+        ledger.charge("t", now=0.0, cost=1.0, open_jobs=1)
+    snap = ledger.snapshot()
+    assert snap["t"]["submitted"] == 1
+    assert snap["t"]["rejected"] == 1

@@ -1,0 +1,67 @@
+"""Virtual-cluster topology and partitioning."""
+
+import pytest
+
+from repro.fleet import FleetTopology, VirtualCluster, partition_cluster
+
+
+def test_even_partition():
+    topology = partition_cluster(8, 8, 4)
+    assert topology.names == ("vc0", "vc1", "vc2", "vc3")
+    assert [vc.machines for vc in topology.vcs] == [2, 2, 2, 2]
+    assert topology.total_gpus == 64
+    assert all(vc.total_gpus == 16 for vc in topology.vcs)
+
+
+def test_remainder_goes_to_earlier_vcs():
+    topology = partition_cluster(10, 4, 4)
+    assert [vc.machines for vc in topology.vcs] == [3, 3, 2, 2]
+    assert topology.total_gpus == 40
+
+
+def test_partition_validation():
+    with pytest.raises(ValueError):
+        partition_cluster(4, 8, 0)
+    with pytest.raises(ValueError):
+        partition_cluster(2, 8, 3)
+
+
+def test_vc_validation():
+    with pytest.raises(ValueError):
+        VirtualCluster(name="", machines=1, gpus_per_machine=1)
+    with pytest.raises(ValueError):
+        VirtualCluster(name="vc", machines=0, gpus_per_machine=1)
+    with pytest.raises(ValueError):
+        VirtualCluster(name="vc", machines=1, gpus_per_machine=0)
+
+
+def test_build_cluster_shape():
+    vc = VirtualCluster(name="vc0", machines=3, gpus_per_machine=4)
+    cluster = vc.build_cluster()
+    assert cluster.total_gpus == 12 == vc.total_gpus
+
+
+def test_topology_rejects_duplicates_and_empty():
+    vc = VirtualCluster(name="a", machines=1, gpus_per_machine=1)
+    with pytest.raises(ValueError):
+        FleetTopology([])
+    with pytest.raises(ValueError):
+        FleetTopology([vc, vc])
+
+
+def test_tenant_access_map():
+    topology = partition_cluster(4, 8, 2)
+    scoped = FleetTopology(
+        topology.vcs, tenant_access={"alice": ["vc1"]}
+    )
+    assert [vc.name for vc in scoped.allowed_vcs("alice")] == ["vc1"]
+    # Tenants without an entry may use every VC, in declaration order.
+    assert scoped.allowed_vcs("bob") == scoped.vcs
+    with pytest.raises(ValueError):
+        FleetTopology(topology.vcs, tenant_access={"eve": ["nope"]})
+
+
+def test_get():
+    topology = partition_cluster(4, 8, 2)
+    assert topology.get("vc1").name == "vc1"
+    assert topology.get("vc9") is None

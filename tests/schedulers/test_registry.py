@@ -91,9 +91,29 @@ def test_make_scheduler_attaches_tracer_to_registered_factory():
         dict.pop(SCHEDULERS, "test-muri")
 
 
-def test_make_scheduler_tracer_noop_for_baselines():
-    scheduler = make_scheduler("fifo", tracer=Tracer())
-    assert not hasattr(scheduler, "tracer")
+def test_make_scheduler_configures_tracer_on_baselines():
+    # Every scheduler shares the uniform configure() surface now, so
+    # baselines carry the tracer too (their decide() just never emits).
+    tracer = Tracer()
+    scheduler = make_scheduler("fifo", tracer=tracer)
+    assert scheduler.tracer is tracer
+
+
+def test_configure_uniform_signature():
+    # The one factory signature: unknown-to-the-policy options are
+    # accepted and ignored instead of raising.
+    scheduler = make_scheduler("fifo", event_regroup=True, workers=4)
+    assert scheduler.name == "FIFO"
+    muri = make_scheduler("muri-s", event_regroup=True, workers=3)
+    assert muri.event_regroup is True
+    assert muri.grouper.workers == 3
+
+
+def test_configure_returns_self_and_chains():
+    scheduler = make_scheduler("muri-l")
+    tracer = Tracer()
+    assert scheduler.configure(tracer=tracer) is scheduler
+    assert scheduler.grouper.tracer is tracer
 
 
 def test_register_scheduler():

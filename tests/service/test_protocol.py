@@ -8,9 +8,21 @@ from repro.jobs.stage import StageProfile
 from repro.schedulers.classic import FifoScheduler
 from repro.service import SchedulerService, ServiceServer
 from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    REJECTION_CODES,
+    CancelRequest,
+    DrainRequest,
+    ErrorResult,
+    PingRequest,
+    ResultRequest,
+    StatusRequest,
+    SubmitRequest,
+    SubmitResult,
     decode_line,
     encode_line,
     error_response,
+    request_from_wire,
+    response_from_wire,
     spec_from_dict,
     spec_to_dict,
 )
@@ -78,6 +90,88 @@ class TestLineCodec:
         }
 
 
+class TestVersionedRequests:
+    def test_v2_submit_round_trip(self):
+        request = SubmitRequest(spec=make_spec(), tenant="alice", vc="vc1")
+        wire = request.to_wire()
+        assert wire["version"] == PROTOCOL_VERSION
+        assert wire["tenant"] == "alice"
+        assert wire["vc"] == "vc1"
+        rebuilt = request_from_wire(decode_line(encode_line(request)))
+        assert isinstance(rebuilt, SubmitRequest)
+        assert rebuilt.tenant == "alice"
+        assert rebuilt.vc == "vc1"
+        assert rebuilt.version == PROTOCOL_VERSION
+        assert rebuilt.spec.num_gpus == request.spec.num_gpus
+
+    def test_v1_submit_decodes_with_defaults(self):
+        # The exact PR-5 wire shape: no version, no tenant, no vc.
+        payload = {"op": "submit", "spec": spec_to_dict(make_spec())}
+        request = request_from_wire(payload)
+        assert isinstance(request, SubmitRequest)
+        assert request.version == 1
+        assert request.tenant == "default"
+        assert request.vc is None
+
+    def test_v1_to_wire_omits_v2_fields(self):
+        request = SubmitRequest(
+            spec=make_spec(), tenant="alice", vc="vc1", version=1
+        )
+        wire = request.to_wire()
+        assert set(wire) == {"op", "spec"}
+
+    def test_fieldless_and_operand_requests_round_trip(self):
+        for request in (
+            StatusRequest(job_id=7),
+            StatusRequest(),
+            CancelRequest(job_id=3),
+            DrainRequest(),
+            ResultRequest(),
+            PingRequest(),
+        ):
+            rebuilt = request_from_wire(request.to_wire())
+            assert rebuilt == request
+
+    def test_v1_operand_requests_decode(self):
+        assert request_from_wire({"op": "cancel", "job_id": 5}) == \
+            CancelRequest(job_id=5, version=1)
+        assert request_from_wire({"op": "drain"}) == DrainRequest(version=1)
+
+    def test_future_version_rejected(self):
+        payload = {"op": "ping", "version": PROTOCOL_VERSION + 1}
+        with pytest.raises(ValueError):
+            request_from_wire(payload)
+        with pytest.raises(ValueError):
+            request_from_wire({"op": "ping", "version": 0})
+
+
+class TestVersionedResponses:
+    def test_submit_result_keeps_v1_field_names(self):
+        wire = SubmitResult(job_id=9, tenant="alice", vc="vc0").to_wire()
+        # A v1 client reads response["job_id"]; it must stay put.
+        assert wire["ok"] is True
+        assert wire["job_id"] == 9
+        rebuilt = response_from_wire("submit", wire)
+        assert isinstance(rebuilt, SubmitResult)
+        assert rebuilt.vc == "vc0"
+        assert int(rebuilt) == 9
+
+    def test_error_decodes_regardless_of_op(self):
+        wire = error_response("queue_full", "full")
+        for op in ("submit", "status", "nonsense"):
+            decoded = response_from_wire(op, wire)
+            assert isinstance(decoded, ErrorResult)
+            assert decoded.code == "queue_full"
+            assert decoded.version == 1  # v1 error shape has no version
+
+    def test_rejection_codes_catalogue(self):
+        # PR-5 codes stay, the fleet codes extend the list.
+        assert {"queue_full", "draining", "too_large",
+                "stopped"} < set(REJECTION_CODES)
+        assert {"unknown_tenant", "quota_exceeded", "credits_exhausted",
+                "no_shard"} < set(REJECTION_CODES)
+
+
 def make_server(cluster=None, **kwargs):
     simulator = ClusterSimulator(
         FifoScheduler(),
@@ -136,12 +230,12 @@ class TestDispatch:
         job_id = server.dispatch(
             {"op": "submit", "spec": spec_to_dict(make_spec(num_gpus=1))}
         )["job_id"]
-        assert server.dispatch({"op": "cancel", "job_id": job_id}) == {
-            "ok": True, "cancelled": True,
-        }
-        assert server.dispatch({"op": "result"}) == {
-            "ok": True, "done": False,
-        }
+        cancelled = server.dispatch({"op": "cancel", "job_id": job_id})
+        assert cancelled["ok"] is True
+        assert cancelled["cancelled"] is True
+        poll = server.dispatch({"op": "result"})
+        assert poll["ok"] is True
+        assert poll["done"] is False
         assert server.dispatch({"op": "drain"})["draining"] is True
         server.service.run_sync(drain=False)
         response = server.dispatch({"op": "result"})

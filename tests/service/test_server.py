@@ -83,7 +83,9 @@ def served(serve_on):
 def test_full_session_over_the_socket(served):
     client, server, thread = served
     assert client.ping() is True
-    ids = [client.submit(spec(10)), client.submit(spec(20, submit=5.0))]
+    submitted = [client.submit(spec(10)), client.submit(spec(20, submit=5.0))]
+    assert all(s.tenant == "default" for s in submitted)
+    ids = [s.job_id for s in submitted]
     assert len(set(ids)) == 2
     status = client.status()
     assert status["jobs"] == 2
@@ -114,18 +116,19 @@ def test_cancel_over_the_socket(serve_on):
     # the cancel deterministically lands while the job is pending (a
     # virtual clock would simulate the whole job between requests).
     client, _server, _thread = serve_on(clock=WallClock(time_scale=1.0))
-    job_id = client.submit(spec(1000, submit=10_000.0))
-    assert client.cancel(job_id) is True
-    assert client.cancel(job_id) is False
+    job_id = client.submit(spec(1000, submit=10_000.0)).job_id
+    assert client.cancel(job_id)
+    assert not client.cancel(job_id)
     assert client.status(job_id)["status"] == "failed"
 
 
-def test_submit_dict_payload(served):
+def test_submit_dict_payload_deprecated(served):
     client, _server, _thread = served
-    job_id = client.submit({
-        "durations": [0.25, 0.25, 0.25, 0.25],
-        "num_gpus": 1,
-        "num_iterations": 5,
-    })
-    assert client.status(job_id)["status"] in ("pending", "running",
-                                               "finished")
+    with pytest.warns(DeprecationWarning):
+        submitted = client.submit({
+            "durations": [0.25, 0.25, 0.25, 0.25],
+            "num_gpus": 1,
+            "num_iterations": 5,
+        })
+    assert client.status(submitted.job_id)["status"] in (
+        "pending", "running", "finished")

@@ -25,6 +25,7 @@ SUBPACKAGES = (
     "repro.sweep",
     "repro.verify",
     "repro.service",
+    "repro.fleet",
     "repro.bench",
     "repro.cli",
 )
@@ -86,6 +87,15 @@ TOP_LEVEL_NAMES = (
     "EpisodeSpec",
     "run_episode",
     "run_fuzz",
+    "SchedulerService",
+    "ServiceClient",
+    "SubmitRejected",
+    "PROTOCOL_VERSION",
+    "FleetFrontEnd",
+    "FleetTopology",
+    "VirtualCluster",
+    "TenantQuota",
+    "partition_cluster",
 )
 
 

@@ -9,6 +9,7 @@ gate sees.
 from pathlib import Path
 
 from repro.bench import (
+    FLEET_BENCH_FILE,
     GROUPING_BENCH_FILE,
     SCHEMA_VERSION,
     SERVICE_BENCH_FILE,
@@ -99,7 +100,9 @@ class TestRoundTrip:
         assert load_bench(path) == _document()
 
     def test_file_constants_are_distinct(self):
-        assert GROUPING_BENCH_FILE != SERVICE_BENCH_FILE
+        assert len({
+            GROUPING_BENCH_FILE, SERVICE_BENCH_FILE, FLEET_BENCH_FILE
+        }) == 3
 
 
 class TestCommittedBaselines:
@@ -123,3 +126,15 @@ class TestCommittedBaselines:
         assert doc["schema"] == SCHEMA_VERSION
         assert doc["suite"] == "service"
         assert gated_metrics(doc)
+
+    def test_fleet_baseline(self):
+        doc = load_bench(self.REPO_ROOT / FLEET_BENCH_FILE)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["suite"] == "fleet"
+        gated = gated_metrics(doc)
+        assert "fleet_submit.p99_normalized" in gated
+        assert "fleet_drain.job_normalized" in gated
+        # Admission+routing is microseconds; a p99 over a millisecond
+        # would mean the fleet layer grew a scan on the submit path.
+        submit = doc["benchmarks"]["fleet_submit"]
+        assert submit["p99_seconds"] < 0.001

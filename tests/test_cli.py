@@ -274,3 +274,30 @@ def test_fuzz_smoke(capsys, tmp_path):
 def test_fuzz_replay_missing_file(capsys):
     with pytest.raises(FileNotFoundError):
         run(capsys, "fuzz", "--replay", "does-not-exist.json")
+
+
+def test_fleet_drained_run_with_oracle(capsys):
+    code, out, _err = run(
+        capsys, "fleet", "--trace", "1", "--jobs", "24",
+        "--shards", "2", "--tenants", "2", "--scheduler", "fifo",
+        "--verify-shards",
+    )
+    assert code == 0
+    assert "fleet run" in out
+    assert "routed to vc0" in out
+    assert "routed to vc1" in out
+    assert "verified bit-identical" in out
+
+
+def test_fleet_muri_shards(capsys):
+    code, out, _err = run(
+        capsys, "fleet", "--trace", "1", "--jobs", "16",
+        "--shards", "2", "--scheduler", "muri-s", "--verify-shards",
+    )
+    assert code == 0
+    assert "verified bit-identical" in out
+
+
+def test_fleet_rejects_bad_shard_count():
+    code = main(["fleet", "--machines", "2", "--shards", "3"])
+    assert code == 2

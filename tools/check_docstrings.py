@@ -70,7 +70,7 @@ def main(argv: List[str]) -> int:
     roots = [Path(a) for a in argv] or [
         Path("src/repro/observe"), Path("src/repro/sweep"),
         Path("src/repro/verify"), Path("src/repro/service"),
-        Path("src/repro/bench"),
+        Path("src/repro/bench"), Path("src/repro/fleet"),
     ]
     failures = 0
     checked = 0

@@ -9,8 +9,8 @@ before diffing, so the CI matrix uploads its three shard artifacts
 and this gate checks the union.
 
 ``--bench`` mode instead compares one ``repro bench`` output document
-(``BENCH_grouping.json`` / ``BENCH_service.json``) against its
-committed baseline.  Only the machine-speed *normalized* metrics are
+(``BENCH_grouping.json`` / ``BENCH_service.json`` /
+``BENCH_fleet.json``) against its committed baseline.  Only the machine-speed *normalized* metrics are
 gated (see ``docs/performance.md``); metrics present on one side only
 are reported as notices, not failures, so a ``--quick`` CI run gates
 cleanly against a committed full-suite baseline.
