@@ -39,7 +39,13 @@ The package provides:
 * ``repro.fleet`` — the multi-tenant sharded fleet: virtual-cluster
   partitioning, per-tenant quotas and fair-share credits, one
   scheduler shard per VC behind a deterministic routing front-end
-  (see ``docs/fleet.md``).
+  (see ``docs/fleet.md``);
+* ``repro.elastic`` — the goodput-adaptive elastic arm: per-job
+  :class:`ScalabilityProfile` speedup curves, a marginal-goodput
+  water-filling :class:`GoodputAllocator`, and
+  :class:`ElasticMuriScheduler`, which renegotiates GPU counts each
+  interval before Algorithm-1 grouping and degenerates bit-identically
+  to Muri on all-rigid workloads (see ``docs/elastic.md``).
 
 Quickstart::
 
@@ -62,7 +68,20 @@ from repro.core import (
     pair_efficiency,
     worst_ordering,
 )
-from repro.jobs import Job, JobSpec, JobStatus, Resource, Stage, StageProfile
+from repro.elastic import (
+    ElasticMuriScheduler,
+    GoodputAllocator,
+    attach_scalability,
+)
+from repro.jobs import (
+    Job,
+    JobSpec,
+    JobStatus,
+    Resource,
+    ScalabilityProfile,
+    Stage,
+    StageProfile,
+)
 from repro.matching import matching_pairs, max_weight_matching
 from repro.models import MODEL_ZOO, ModelProfile, get_model, list_models
 from repro.observe import (
@@ -194,4 +213,9 @@ __all__ = [
     "VirtualCluster",
     "TenantQuota",
     "partition_cluster",
+    # elastic
+    "ElasticMuriScheduler",
+    "GoodputAllocator",
+    "ScalabilityProfile",
+    "attach_scalability",
 ]

@@ -4,9 +4,10 @@ Perf claims in this repo are not prose — they are committed numbers.
 ``repro bench`` runs a fixed suite (cold grouping at several queue
 sizes, warm event-regroup latency percentiles, the service loop's
 submit-to-decision latency, sweep throughput, the fleet front-end's
-admission latency and drain throughput) and writes the results to
-``BENCH_grouping.json`` / ``BENCH_service.json`` / ``BENCH_fleet.json``
-at the repo root.
+admission latency and drain throughput, the elastic arm's cold
+renegotiate-and-group step and per-tick renegotiation latency) and
+writes the results to ``BENCH_grouping.json`` / ``BENCH_service.json``
+/ ``BENCH_fleet.json`` / ``BENCH_elastic.json`` at the repo root.
 Those files are committed; CI re-runs the quick suite and fails when a
 gated metric regresses more than the tolerance
 (``tools/diff_metrics.py --bench``).
@@ -21,6 +22,7 @@ procedure.
 """
 
 from repro.bench.suite import (
+    ELASTIC_BENCH_FILE,
     FLEET_BENCH_FILE,
     GROUPING_BENCH_FILE,
     SCHEMA_VERSION,
@@ -28,6 +30,7 @@ from repro.bench.suite import (
     calibrate,
     gated_metrics,
     load_bench,
+    run_elastic_suite,
     run_fleet_suite,
     run_grouping_suite,
     run_service_suite,
@@ -35,6 +38,7 @@ from repro.bench.suite import (
 )
 
 __all__ = [
+    "ELASTIC_BENCH_FILE",
     "FLEET_BENCH_FILE",
     "GROUPING_BENCH_FILE",
     "SERVICE_BENCH_FILE",
@@ -42,6 +46,7 @@ __all__ = [
     "calibrate",
     "gated_metrics",
     "load_bench",
+    "run_elastic_suite",
     "run_fleet_suite",
     "run_grouping_suite",
     "run_service_suite",

@@ -44,6 +44,7 @@ from repro.jobs.stage import StageProfile
 from repro.jobs.resources import NUM_RESOURCES
 
 __all__ = [
+    "ELASTIC_BENCH_FILE",
     "FLEET_BENCH_FILE",
     "GROUPING_BENCH_FILE",
     "SERVICE_BENCH_FILE",
@@ -51,6 +52,7 @@ __all__ = [
     "calibrate",
     "gated_metrics",
     "load_bench",
+    "run_elastic_suite",
     "run_fleet_suite",
     "run_grouping_suite",
     "run_service_suite",
@@ -61,6 +63,7 @@ __all__ = [
 GROUPING_BENCH_FILE = "BENCH_grouping.json"
 SERVICE_BENCH_FILE = "BENCH_service.json"
 FLEET_BENCH_FILE = "BENCH_fleet.json"
+ELASTIC_BENCH_FILE = "BENCH_elastic.json"
 
 #: Bumped whenever the benchmark workloads change incompatibly; the
 #: diff gate refuses to compare documents with different schemas.
@@ -557,6 +560,152 @@ def run_fleet_suite(
     return {
         "schema": SCHEMA_VERSION,
         "suite": "fleet",
+        "quick": quick,
+        "seed": seed,
+        "calibration_seconds": calibration,
+        "env": _environment(),
+        "benchmarks": benchmarks,
+    }
+
+
+def run_elastic_suite(
+    quick: bool = False, seed: int = 0, progress: Progress = None
+) -> Dict[str, object]:
+    """Run the elastic suite; return the ``BENCH_elastic.json`` document.
+
+    Times what the elastic arm adds on top of Muri, on a seeded
+    half-elastic trace-"1" workload:
+
+    * **cold_elastic_group** — one full cold scheduling step: a fresh
+      :class:`~repro.elastic.ElasticMuriScheduler` renegotiates GPU
+      counts, the resizes are applied (with per-resize cache
+      invalidation, as the simulator would), and Algorithm-1 grouping
+      runs on the resized buckets;
+    * **renegotiate_step** — p50/p99 latency of the per-tick
+      renegotiation step alone (allocator water-fill plus resize
+      application) over a stream of queue-perturbing events.
+
+    Args:
+        quick: Accepted for CLI symmetry; the elastic workloads are
+            already cheap, and shrinking them would make quick-run
+            metrics incomparable with the committed full baseline, so
+            the flag changes nothing here.
+        seed: Workload seed; the default is what the committed
+            baseline uses.
+        progress: Optional callback receiving one line per benchmark.
+    """
+    from repro.elastic.scheduler import ElasticMuriScheduler
+    from repro.elastic.workload import attach_scalability
+    from repro.trace.philly import generate_trace
+    from repro.trace.workload import build_jobs
+
+    def note(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    calibration = calibrate()
+    note(f"calibration {calibration * 1e3:.1f} ms")
+
+    capacity = 64
+    num_jobs = 512
+    repeats = 3
+    specs = build_jobs(
+        generate_trace("1", num_jobs=num_jobs, seed=seed), seed=seed
+    )
+    specs = [s for s in specs if s.num_gpus <= capacity]
+    especs = attach_scalability(specs, fraction=0.5, seed=seed)
+
+    def apply_targets(scheduler, by_id, targets) -> None:
+        for job_id in sorted(targets):
+            old = by_id[job_id].resize(targets[job_id])
+            scheduler.notify_resize(job_id, old, targets[job_id])
+
+    # Cold full step: renegotiate + apply + group, fresh every repeat
+    # (resizes mutate the jobs, so each repeat rebuilds them).
+    best = float("inf")
+    cold_cal = float("inf")
+    resizes = 0
+    groups = 0
+    for _ in range(repeats):
+        cold_cal = min(cold_cal, calibrate(repeats=1))
+        jobs = [Job(spec) for spec in especs]
+        by_id = {job.job_id: job for job in jobs}
+        scheduler = ElasticMuriScheduler()
+        start = time.perf_counter()
+        targets = scheduler.renegotiate(0.0, jobs, capacity)
+        apply_targets(scheduler, by_id, targets)
+        plan = scheduler.decide(0.0, jobs, {}, capacity, reason="tick")
+        best = min(best, time.perf_counter() - start)
+        resizes = len(targets)
+        groups = len(plan)
+    cold_cal = min(cold_cal, calibrate(repeats=1))
+    cold = {
+        "jobs": len(especs),
+        "resizes": resizes,
+        "groups": groups,
+        "seconds": best,
+        "calibration": cold_cal,
+    }
+    note(
+        f"cold_elastic_group: {cold['seconds']:.3f} s "
+        f"({resizes} resizes, {groups} groups)"
+    )
+
+    # Renegotiation-step latency on an evolving queue: each event
+    # removes one job (alternating priority tail/head, as the warm
+    # regroup benchmark does) and times renegotiate + apply alone.
+    events = 100
+    best_p50 = float("inf")
+    best_p99 = float("inf")
+    step_cal = float("inf")
+    observed = 0
+    for _ in range(repeats):
+        step_cal = min(step_cal, calibrate(repeats=1))
+        queue = [Job(spec) for spec in especs]
+        by_id = {job.job_id: job for job in queue}
+        scheduler = ElasticMuriScheduler()
+        ranked = sorted(
+            queue,
+            key=lambda job: (
+                scheduler.policy(job, 0.0),
+                job.spec.submit_time,
+                job.job_id,
+            ),
+        )
+        latencies: List[float] = []
+        now = 1.0
+        for event in range(events):
+            if len(ranked) < 8:
+                break
+            victim = ranked.pop() if event % 2 == 0 else ranked.pop(0)
+            queue = [job for job in queue if job is not victim]
+            start = time.perf_counter()
+            targets = scheduler.renegotiate(now, queue, capacity)
+            apply_targets(scheduler, by_id, targets)
+            latencies.append(time.perf_counter() - start)
+            now += 1.0
+        observed = len(latencies)
+        best_p50 = min(best_p50, _percentile(latencies, 0.50))
+        best_p99 = min(best_p99, _percentile(latencies, 0.99))
+    step_cal = min(step_cal, calibrate(repeats=1))
+    step = {
+        "jobs": len(especs),
+        "events": observed,
+        "p50_seconds": best_p50,
+        "p99_seconds": best_p99,
+        "calibration": step_cal,
+    }
+    note(
+        f"renegotiate_step: p50 {step['p50_seconds'] * 1e3:.2f} ms, "
+        f"p99 {step['p99_seconds'] * 1e3:.2f} ms over {observed} events"
+    )
+
+    benchmarks = {"cold_elastic_group": cold, "renegotiate_step": step}
+    calibration = min(calibration, calibrate())
+    _attach_normalized(benchmarks, calibration)
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "elastic",
         "quick": quick,
         "seed": seed,
         "calibration_seconds": calibration,

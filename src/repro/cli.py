@@ -105,6 +105,18 @@ def build_parser() -> argparse.ArgumentParser:
              "JSON event per line, anything else a Chrome-trace JSON "
              "loadable in Perfetto (ui.perfetto.dev)",
     )
+    simulate.add_argument(
+        "--elastic", type=float, metavar="FRACTION",
+        help="make this fraction of the workload elastic (seeded "
+             "Amdahl scalability curves; pair with --scheduler "
+             "elastic-muri, see docs/elastic.md)",
+    )
+    simulate.add_argument(
+        "--verify-invariants", action="store_true",
+        help="arm the full runtime invariant catalog for the run "
+             "(repro.verify.InvariantChecker; raises on the first "
+             "violation)",
+    )
 
     explain = sub.add_parser(
         "explain",
@@ -267,14 +279,15 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run the pinned performance benchmark suite and write "
              "BENCH_grouping.json / BENCH_service.json / "
-             "BENCH_fleet.json (the committed perf baselines; see "
-             "docs/performance.md)",
+             "BENCH_fleet.json / BENCH_elastic.json (the committed "
+             "perf baselines; see docs/performance.md)",
     )
     bench.add_argument("--quick", action="store_true",
                        help="the CI configuration: skip the largest "
                             "cold size and shorten the event streams")
     bench.add_argument("--suite", default="all",
-                       choices=("grouping", "service", "fleet", "all"),
+                       choices=("grouping", "service", "fleet",
+                                "elastic", "all"),
                        help="which suite(s) to run")
     bench.add_argument("--out-dir", default=".",
                        help="directory the BENCH_*.json files are "
@@ -328,7 +341,18 @@ def _cmd_models(_args) -> int:
 
 def _cmd_simulate(args) -> int:
     trace, specs = _workload(args)
-    tracer = Tracer() if args.trace_out else None
+    if args.elastic is not None:
+        from repro.elastic.workload import attach_scalability
+
+        specs = attach_scalability(
+            specs, fraction=args.elastic, seed=args.seed
+        )
+    if args.verify_invariants:
+        from repro.verify.invariants import InvariantChecker
+
+        tracer = InvariantChecker(store_events=bool(args.trace_out))
+    else:
+        tracer = Tracer() if args.trace_out else None
     scheduler = make_scheduler(args.scheduler, tracer=tracer)
     simulator = ClusterSimulator(
         scheduler, cluster=Cluster(args.machines, args.gpus_per_machine),
@@ -351,6 +375,9 @@ def _cmd_simulate(args) -> int:
             ("preemptions", summary.total_preemptions),
         ],
     ))
+    if args.verify_invariants:
+        print(f"invariants: ok ({len(tracer.invariants)} armed, "
+              f"{len(tracer.violations)} violations)")
     if args.out:
         save_result(result, args.out)
         print(f"result written to {args.out}")
@@ -840,10 +867,12 @@ def _cmd_bench(args) -> int:
     from pathlib import Path
 
     from repro.bench import (
+        ELASTIC_BENCH_FILE,
         FLEET_BENCH_FILE,
         GROUPING_BENCH_FILE,
         SERVICE_BENCH_FILE,
         gated_metrics,
+        run_elastic_suite,
         run_fleet_suite,
         run_grouping_suite,
         run_service_suite,
@@ -859,6 +888,8 @@ def _cmd_bench(args) -> int:
         suites.append((SERVICE_BENCH_FILE, run_service_suite))
     if args.suite in ("fleet", "all"):
         suites.append((FLEET_BENCH_FILE, run_fleet_suite))
+    if args.suite in ("elastic", "all"):
+        suites.append((ELASTIC_BENCH_FILE, run_elastic_suite))
     for filename, run_suite in suites:
         print(f"== {filename} ==")
         document = run_suite(

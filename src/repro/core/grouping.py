@@ -352,6 +352,34 @@ class MultiRoundGrouper:
         self._decision_cache = {}
         self._decision_cache_prev = {}
 
+    def invalidate_gpu_buckets(self, gpu_counts) -> int:
+        """Drop memoized matchings for the given GPU-count buckets.
+
+        An elastic resize moves a job between GPU-count buckets, so the
+        cached per-bucket matchings of both the source and destination
+        bucket describe memberships that no longer exist.  The cache
+        keys embed each node's duration key and would miss anyway, but
+        explicit invalidation keeps correctness independent of key
+        granularity (a coarse ``cache_quantum`` must never revive a
+        pre-resize matching).  The weight/ordering caches are pure in
+        the profile contents and stay.
+
+        Args:
+            gpu_counts: Bucket GPU counts to forget (old and new size
+                of the resized job, typically).
+
+        Returns:
+            Number of cache entries dropped.
+        """
+        drop = set(gpu_counts)
+        dropped = 0
+        for cache in (self._decision_cache, self._decision_cache_prev):
+            stale = [key for key in cache if key[0] in drop]
+            for key in stale:
+                del cache[key]
+            dropped += len(stale)
+        return dropped
+
     def close(self) -> None:
         """Shut down the per-bucket worker pool, if one was started.
 

@@ -385,6 +385,34 @@ class MuriScheduler(Scheduler):
                     ),
                 )
 
+    def notify_resize(self, job_id: int, old_gpus: int, new_gpus: int) -> None:
+        """Invalidate every cache a resized job could have poisoned.
+
+        A resize changes a job's GPU bucket *and* its believed profile,
+        so three caches go stale at once:
+
+        * the whole-plan memo — its signature embeds the old size;
+        * the overflow backfill reservoir — a cached group holding the
+          job carries pre-resize believed profiles and offsets while
+          its live ``num_gpus`` already reads the new size;
+        * the grouper's per-bucket decision cache — both the old and
+          the new GPU-count buckets changed membership.
+
+        The per-bucket cache keys would miss naturally (they embed the
+        node duration keys), but dropping the affected buckets
+        explicitly keeps the invalidation robust to future key
+        coarsening (``cache_quantum``) and is what the cold-vs-warm
+        resize oracle in :mod:`repro.verify.elastic` certifies.
+        """
+        self._plan_memo = None
+        cached = getattr(self, "_cached_overflow", None)
+        if cached:
+            self._cached_overflow = [
+                group for group in cached
+                if all(job.job_id != job_id for job in group.jobs)
+            ]
+        self.grouper.invalidate_gpu_buckets((old_gpus, new_gpus))
+
     def reset_caches(self) -> None:
         """Drop every decision-affecting cache (overflow reservoir and
         the grouper's weight/ordering/decision caches).

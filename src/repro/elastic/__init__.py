@@ -1,0 +1,34 @@
+"""Elastic goodput-adaptive scheduling on top of Muri.
+
+Muri fixes each job's GPU count for life; this package adds the
+ROADMAP's elastic/adaptive-workload arm in the style of Pollux (arXiv
+2008.12260): jobs carry a :class:`~repro.jobs.ScalabilityProfile`
+(per-GPU-count stage durations, i.e. a goodput curve), and
+:class:`ElasticMuriScheduler` renegotiates GPU counts at each
+scheduling interval — shrinking jobs onto their efficient operating
+points and water-filling freed GPUs to the best marginal goodput —
+*before* running Algorithm-1 interleaving grouping on the resized
+GPU-count buckets.
+
+The arm degenerates exactly: when every job is rigid (no scalability
+profile, or a flat single-point one), renegotiation proposes nothing
+and the scheduler is bit-identical to
+:class:`~repro.core.muri.MuriScheduler` — a guarantee enforced by the
+``repro.verify.elastic`` differential oracle and CI.
+
+Build it via the registry (``make_scheduler("elastic-muri")``), the
+CLI (``repro simulate --scheduler elastic-muri``), or directly; see
+``docs/elastic.md``.
+"""
+
+from repro.elastic.allocator import GoodputAllocator
+from repro.elastic.scheduler import ElasticMuriScheduler
+from repro.elastic.workload import attach_scalability
+from repro.jobs.scalability import ScalabilityProfile
+
+__all__ = [
+    "ElasticMuriScheduler",
+    "GoodputAllocator",
+    "ScalabilityProfile",
+    "attach_scalability",
+]

@@ -1,0 +1,121 @@
+"""The elastic Muri scheduler: renegotiate GPU counts, then interleave.
+
+:class:`ElasticMuriScheduler` is :class:`~repro.core.muri.MuriScheduler`
+plus one hook: :meth:`ElasticMuriScheduler.renegotiate`, which the
+simulator calls at each scheduling tick *before* ``decide``.  The hook
+asks the :class:`~repro.elastic.allocator.GoodputAllocator` for target
+GPU counts and returns only the changes; the simulator owns applying
+them (stopping affected groups, conserving progress, emitting
+``sched.resize.*`` events) and notifies the scheduler per resize so
+every demand-keyed cache is invalidated before Algorithm-1 grouping
+runs on the resized buckets.
+
+Degeneracy guarantee: with only rigid/flat jobs the hook returns an
+empty mapping before touching any scheduler state, so ``decide`` —
+inherited unchanged — produces bit-identical plans to ``MuriScheduler``
+(certified by :func:`repro.verify.elastic.compare_flat_identity`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.muri import MuriScheduler
+from repro.elastic.allocator import GoodputAllocator
+from repro.jobs.job import Job
+from repro.observe.events import EventCategory
+
+__all__ = ["ElasticMuriScheduler"]
+
+
+class ElasticMuriScheduler(MuriScheduler):
+    """Muri with Pollux-style goodput-adaptive GPU renegotiation.
+
+    Accepts every :class:`~repro.core.muri.MuriScheduler` argument,
+    plus:
+
+    Args:
+        allocator: The goodput water-filling policy; defaults to a
+            fresh :class:`~repro.elastic.allocator.GoodputAllocator`.
+        renegotiation_interval: Renegotiate on every k-th scheduling
+            tick (1 = every tick, the default).  Between renegotiation
+            ticks the scheduler behaves exactly like ``MuriScheduler``.
+    """
+
+    def __init__(
+        self,
+        policy: str = "srsf",
+        allocator: Optional[GoodputAllocator] = None,
+        renegotiation_interval: int = 1,
+        **kwargs,
+    ) -> None:
+        super().__init__(policy=policy, **kwargs)
+        if renegotiation_interval < 1:
+            raise ValueError(
+                f"renegotiation_interval must be >= 1, got "
+                f"{renegotiation_interval}"
+            )
+        self.allocator = allocator if allocator is not None else GoodputAllocator()
+        self.renegotiation_interval = int(renegotiation_interval)
+        self._renegotiation_calls = 0
+        self.name = f"Elastic-{self.name}"
+
+    def renegotiate(
+        self,
+        now: float,
+        jobs: Sequence[Job],
+        total_gpus: int,
+    ) -> Dict[int, int]:
+        """Propose new GPU counts for the elastic jobs.
+
+        Called by the simulator at each scheduling tick, before
+        ``decide``.  Returns ``{job_id: target_gpus}`` containing only
+        actual changes; the simulator applies them and calls
+        :meth:`~repro.core.muri.MuriScheduler.notify_resize` per job.
+
+        Args:
+            now: Simulation time.
+            jobs: Every schedulable (pending or running) job.
+            total_gpus: Cluster GPU capacity.
+
+        Returns:
+            Target GPU count per job to resize; empty when nothing
+            should change (always empty for all-rigid workloads).
+        """
+        self._renegotiation_calls += 1
+        if (self._renegotiation_calls - 1) % self.renegotiation_interval != 0:
+            return {}
+        if not any(
+            job.spec.scalability is not None
+            and not job.spec.scalability.is_flat
+            for job in jobs
+        ):
+            return {}
+
+        priority = {
+            job.job_id: (self.policy(job, now), job.spec.submit_time, job.job_id)
+            for job in jobs
+        }
+        ordered = sorted(jobs, key=lambda job: priority[job.job_id])
+        granted = self.allocator.allocate(ordered, total_gpus)
+        targets: Dict[int, int] = {}
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        for job in ordered:
+            target = granted.get(job.job_id)
+            if target is None or target == job.num_gpus:
+                continue
+            targets[job.job_id] = target
+            if tracing:
+                tracer.emit(
+                    EventCategory.SCHED,
+                    "sched.resize.target",
+                    now,
+                    job=job.job_id,
+                    old_gpus=job.num_gpus,
+                    new_gpus=target,
+                    speedup=job.spec.scalability.speedup(target),
+                )
+        if tracing and targets:
+            tracer.count("sched.renegotiate.changed", len(targets))
+        return targets

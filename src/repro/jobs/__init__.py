@@ -17,12 +17,14 @@ from repro.jobs.resources import (
     STAGE_NAMES,
     Resource,
 )
+from repro.jobs.scalability import ScalabilityProfile
 from repro.jobs.stage import Stage, StageProfile
 
 __all__ = [
     "Job",
     "JobSpec",
     "JobStatus",
+    "ScalabilityProfile",
     "Resource",
     "RESOURCE_ORDER",
     "NUM_RESOURCES",

@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.jobs.memory import MemoryFootprint
 from repro.jobs.resources import Resource
+from repro.jobs.scalability import ScalabilityProfile
 from repro.jobs.stage import StageProfile
 
 __all__ = ["JobSpec", "Job", "JobStatus"]
@@ -49,6 +50,12 @@ class JobSpec:
         num_iterations: Total training iterations to run.
         memory: Optional per-GPU memory footprint; enables the
             grouper's GPU-memory feasibility check (section 2.2).
+        scalability: Optional per-GPU-count goodput curve; None (the
+            default) means the job is rigid — it only ever runs at
+            ``num_gpus``.  When present, it must support ``num_gpus``
+            and agree with ``profile`` there, and an elastic scheduler
+            may resize the job to any other supported count (see
+            ``repro.elastic``).
     """
 
     profile: StageProfile
@@ -59,10 +66,24 @@ class JobSpec:
     name: Optional[str] = None
     job_id: Optional[int] = None
     memory: Optional[MemoryFootprint] = None
+    scalability: Optional[ScalabilityProfile] = None
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
             raise ValueError(f"num_gpus must be >= 1, got {self.num_gpus}")
+        if self.scalability is not None:
+            if not self.scalability.supports(self.num_gpus):
+                raise ValueError(
+                    f"scalability profile does not support the requested "
+                    f"{self.num_gpus} GPUs (supports "
+                    f"{list(self.scalability.gpu_counts)})"
+                )
+            curve = self.scalability.profile_for(self.num_gpus)
+            if curve.durations != self.profile.durations:
+                raise ValueError(
+                    "scalability profile disagrees with `profile` at the "
+                    f"requested {self.num_gpus} GPUs"
+                )
         if self.num_iterations < 1:
             raise ValueError(
                 f"num_iterations must be >= 1, got {self.num_iterations}"
@@ -116,6 +137,12 @@ class Job:
             resumed by the scheduler.
         restart_penalty_remaining: Seconds of restart overhead still to
             pay before the job makes progress again.
+        allocated_gpus: Current GPU count of an elastically resized
+            job, or None while the job runs at its requested size.
+            Only :meth:`resize` should set it; progress
+            (``remaining_iterations``, ``attained_service``) is never
+            touched by a resize.
+        resizes: Number of times the job was elastically resized.
     """
 
     spec: JobSpec
@@ -126,6 +153,8 @@ class Job:
     finish_time: Optional[float] = None
     preemptions: int = 0
     restart_penalty_remaining: float = 0.0
+    allocated_gpus: Optional[int] = None
+    resizes: int = 0
 
     def __post_init__(self) -> None:
         self.remaining_iterations = float(self.spec.num_iterations)
@@ -142,11 +171,67 @@ class Job:
 
     @property
     def num_gpus(self) -> int:
+        """Current GPU count: the elastic allocation when resized,
+        otherwise the spec's requested count."""
+        if self.allocated_gpus is not None:
+            return self.allocated_gpus
         return self.spec.num_gpus
 
     @property
     def profile(self) -> StageProfile:
+        """Stage profile at the current GPU count.
+
+        A resized elastic job reads its scalability curve; everything
+        else reads the spec's profile directly (bit-identical to the
+        pre-elastic behaviour).
+        """
+        if (
+            self.allocated_gpus is not None
+            and self.spec.scalability is not None
+        ):
+            return self.spec.scalability.profile_for(self.allocated_gpus)
         return self.spec.profile
+
+    # -- elasticity ------------------------------------------------------------
+
+    def resize(self, num_gpus: int) -> int:
+        """Change the job's GPU count, conserving progress.
+
+        Only the allocation (and therefore the active stage profile)
+        changes; ``remaining_iterations`` and ``attained_service`` are
+        untouched — the conservation guarantee the
+        ``resize_progress_conserved`` invariant enforces.
+
+        Args:
+            num_gpus: Target GPU count; must be supported by the
+                spec's scalability profile.
+
+        Returns:
+            The previous GPU count.
+
+        Raises:
+            ValueError: When the job is rigid (no scalability profile),
+                finished, or the count is unsupported.
+        """
+        if self.status == JobStatus.FINISHED:
+            raise ValueError(f"{self.name} already finished")
+        scalability = self.spec.scalability
+        if scalability is None:
+            if num_gpus != self.spec.num_gpus:
+                raise ValueError(
+                    f"{self.name} is rigid (no scalability profile)"
+                )
+            return self.num_gpus
+        if not scalability.supports(num_gpus):
+            raise ValueError(
+                f"{self.name} cannot run at {num_gpus} GPUs (supports "
+                f"{list(scalability.gpu_counts)})"
+            )
+        previous = self.num_gpus
+        if num_gpus != previous:
+            self.allocated_gpus = num_gpus
+            self.resizes += 1
+        return previous
 
     # -- progress --------------------------------------------------------------
 
@@ -156,18 +241,23 @@ class Job:
 
     @property
     def remaining_service_time(self) -> float:
-        """Solo seconds of work left (ignores interleaving slowdown)."""
-        return self.remaining_iterations * self.spec.iteration_time
+        """Solo seconds of work left (ignores interleaving slowdown).
+
+        Uses the *current* profile, so a resized elastic job is sized
+        by its post-resize iteration time; for rigid jobs this is the
+        spec's iteration time exactly.
+        """
+        return self.remaining_iterations * self.profile.iteration_time
 
     @property
     def remaining_gpu_service(self) -> float:
         """Remaining work in GPU-seconds, the SRSF size metric."""
-        return self.remaining_service_time * self.spec.num_gpus
+        return self.remaining_service_time * self.num_gpus
 
     @property
     def attained_gpu_service(self) -> float:
         """Attained service in GPU-seconds, the 2D-LAS metric."""
-        return self.attained_service * self.spec.num_gpus
+        return self.attained_service * self.num_gpus
 
     def advance(self, iterations: float, wall_time: float) -> None:
         """Record training progress.

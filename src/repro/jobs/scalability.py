@@ -1,0 +1,180 @@
+"""Per-GPU-count scalability profiles for elastic jobs.
+
+A :class:`ScalabilityProfile` is the goodput curve of one job: for
+every GPU count the job can run at, the per-iteration stage durations
+of one worker at that count.  It is the information an elastic
+scheduler (Pollux-style goodput-adaptive reallocation, arXiv
+2008.12260) needs to trade GPUs between jobs at each scheduling
+interval — see ``repro.elastic`` and ``docs/elastic.md``.
+
+The default is *flat*: a job without a scalability profile (or with a
+single-point one) supports exactly its requested GPU count, so
+renegotiation can never change it and every existing workload behaves
+bit-identically under the elastic arm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.jobs.stage import StageProfile
+
+__all__ = ["ScalabilityProfile"]
+
+
+@dataclass(frozen=True)
+class ScalabilityProfile:
+    """A job's stage profiles per supported GPU count (goodput curve).
+
+    Attributes:
+        points: ``(gpu_count, profile)`` pairs, one per supported GPU
+            count.  Normalized to ascending GPU count at construction;
+            counts must be positive and unique, and every profile must
+            span the same number of resources.
+    """
+
+    points: Tuple[Tuple[int, StageProfile], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a scalability profile needs at least one point")
+        normalized = tuple(
+            sorted(
+                ((int(gpus), profile) for gpus, profile in self.points),
+                key=lambda point: point[0],
+            )
+        )
+        counts = [gpus for gpus, _ in normalized]
+        if any(gpus < 1 for gpus in counts):
+            raise ValueError(f"GPU counts must be >= 1, got {counts}")
+        if len(set(counts)) != len(counts):
+            raise ValueError(f"duplicate GPU counts in {counts}")
+        widths = {profile.num_resources for _, profile in normalized}
+        if len(widths) != 1:
+            raise ValueError(
+                f"profiles mix resource counts {sorted(widths)}"
+            )
+        object.__setattr__(self, "points", normalized)
+        object.__setattr__(
+            self, "_by_count", {gpus: profile for gpus, profile in normalized}
+        )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def flat(cls, num_gpus: int, profile: StageProfile) -> "ScalabilityProfile":
+        """The degenerate single-point curve: one supported GPU count.
+
+        A flat profile can never be resized, so a job carrying one is
+        indistinguishable from a job with no scalability profile at
+        all — the degeneracy guarantee of the elastic arm rests on it.
+        """
+        return cls(((num_gpus, profile),))
+
+    @classmethod
+    def from_mapping(
+        cls, profiles: Mapping[int, StageProfile]
+    ) -> "ScalabilityProfile":
+        """Build from a ``{gpu_count: profile}`` mapping."""
+        return cls(tuple(profiles.items()))
+
+    @classmethod
+    def from_speedups(
+        cls,
+        base_gpus: int,
+        base_profile: StageProfile,
+        speedups: Mapping[int, float],
+    ) -> "ScalabilityProfile":
+        """Build a curve from per-count speedups relative to a base.
+
+        A speedup of ``s`` at count ``g`` means one iteration at ``g``
+        GPUs takes ``1/s`` of the base iteration time; every stage is
+        scaled proportionally.  The base count itself is always
+        included (speedup 1); sub-linear curves (``s < g / base``)
+        model the synchronization overhead that makes blind scale-out
+        unprofitable.
+
+        Raises:
+            ValueError: On non-positive speedups.
+        """
+        points = {base_gpus: base_profile}
+        for gpus, speedup in speedups.items():
+            if speedup <= 0:
+                raise ValueError(
+                    f"speedup at {gpus} GPUs must be > 0, got {speedup}"
+                )
+            if int(gpus) == base_gpus:
+                continue
+            points[int(gpus)] = base_profile.scaled(1.0 / speedup)
+        return cls.from_mapping(points)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def gpu_counts(self) -> Tuple[int, ...]:
+        """Supported GPU counts, ascending."""
+        return tuple(gpus for gpus, _ in self.points)
+
+    @property
+    def min_gpus(self) -> int:
+        """Smallest supported GPU count."""
+        return self.points[0][0]
+
+    @property
+    def max_gpus(self) -> int:
+        """Largest supported GPU count."""
+        return self.points[-1][0]
+
+    @property
+    def is_flat(self) -> bool:
+        """True when only one GPU count is supported (never resizable)."""
+        return len(self.points) == 1
+
+    def supports(self, num_gpus: int) -> bool:
+        """Whether the job can run at ``num_gpus`` GPUs."""
+        return num_gpus in self._by_count  # type: ignore[attr-defined]
+
+    def profile_for(self, num_gpus: int) -> StageProfile:
+        """The stage profile at ``num_gpus`` GPUs.
+
+        Raises:
+            ValueError: For unsupported counts.
+        """
+        try:
+            return self._by_count[num_gpus]  # type: ignore[attr-defined]
+        except KeyError:
+            raise ValueError(
+                f"unsupported GPU count {num_gpus}; profile supports "
+                f"{list(self.gpu_counts)}"
+            ) from None
+
+    def iteration_time(self, num_gpus: int) -> float:
+        """Solo per-iteration time at ``num_gpus`` GPUs."""
+        return self.profile_for(num_gpus).iteration_time
+
+    def throughput(self, num_gpus: int) -> float:
+        """Iterations per second at ``num_gpus`` GPUs (the goodput)."""
+        return 1.0 / self.iteration_time(num_gpus)
+
+    def speedup(self, num_gpus: int) -> float:
+        """Throughput at ``num_gpus`` relative to the smallest count."""
+        return self.iteration_time(self.min_gpus) / self.iteration_time(num_gpus)
+
+    def next_step(self, num_gpus: int) -> Optional[int]:
+        """The next supported count above ``num_gpus``, or None."""
+        for gpus in self.gpu_counts:
+            if gpus > num_gpus:
+                return gpus
+        return None
+
+    def prev_step(self, num_gpus: int) -> Optional[int]:
+        """The next supported count below ``num_gpus``, or None."""
+        for gpus in reversed(self.gpu_counts):
+            if gpus < num_gpus:
+                return gpus
+        return None
+
+    def counts_up_to(self, limit: int) -> Tuple[int, ...]:
+        """Supported counts not exceeding ``limit``, ascending."""
+        return tuple(gpus for gpus in self.gpu_counts if gpus <= limit)

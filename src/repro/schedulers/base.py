@@ -81,6 +81,22 @@ class Scheduler(ABC):
             self.tracer = tracer
         return self
 
+    def notify_resize(self, job_id: int, old_gpus: int, new_gpus: int) -> None:
+        """A job's GPU count changed (elastic resize); drop stale state.
+
+        The simulator calls this after every applied resize, before the
+        next :meth:`decide`.  Stateless policies have nothing to do;
+        policies with decision caches keyed on GPU demand (Muri's plan
+        memo, overflow reservoir, and per-bucket grouping cache)
+        override this to invalidate them — a cached plan may reference
+        the job at its old size.
+
+        Args:
+            job_id: The resized job.
+            old_gpus: GPU count before the resize.
+            new_gpus: GPU count after the resize.
+        """
+
     @abstractmethod
     def decide(
         self,

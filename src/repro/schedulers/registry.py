@@ -47,6 +47,16 @@ def _muri(policy: str) -> Callable[..., Scheduler]:
     return factory
 
 
+def _elastic_muri(policy: str) -> Callable[..., Scheduler]:
+    def factory(**kwargs) -> Scheduler:
+        # Imported lazily: repro.elastic depends on core.muri.
+        from repro.elastic.scheduler import ElasticMuriScheduler
+
+        return ElasticMuriScheduler(policy=policy, **kwargs)
+
+    return factory
+
+
 class _Registry(Dict[str, Callable[..., Scheduler]]):
     """The scheduler-name -> factory table.
 
@@ -79,6 +89,8 @@ SCHEDULERS: Dict[str, Callable[..., Scheduler]] = _Registry({
     "drf": DrfScheduler,
     "muri-s": _muri("srsf"),
     "muri-l": _muri("las2d"),
+    "elastic-muri": _elastic_muri("srsf"),
+    "elastic-muri-l": _elastic_muri("las2d"),
 })
 
 #: Baseline sets per evaluation scenario (Tables 4 and 5).

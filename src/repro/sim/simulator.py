@@ -373,6 +373,7 @@ class ClusterSimulator:
         for key, rgroup in list(state.running.items()):
             if any(member.job_id == job_id for member in rgroup.active):
                 del state.running[key]
+                self._trace_preempt(state.now, rgroup)
                 self._stop_group(rgroup, state.pending)
                 state.need_reschedule = True
                 state.reschedule_reason = "completion"
@@ -389,6 +390,56 @@ class ClusterSimulator:
                 job=job_id,
             )
         return True
+
+    def resize(self, state: SimulationState, job_id: int, num_gpus: int) -> bool:
+        """Resize one job of an open simulation.
+
+        The external counterpart of scheduler-driven renegotiation:
+        drivers (and tests) use it to change a job's GPU count
+        mid-flight.  A running job's group is stopped first — members
+        requeue, progress is conserved — and a reschedule is owed with
+        reason ``"resize"`` so event-aware schedulers regroup instead
+        of serving a stale backfill cache.
+
+        Returns:
+            True when the count actually changed; False when the job
+            already holds ``num_gpus``.
+
+        Raises:
+            SimulationError: For finalized states, unknown or terminal
+                jobs, counts outside ``[1, total_gpus]``, or counts the
+                job's scalability profile does not support.
+        """
+        if state.finalized:
+            raise SimulationError("cannot resize in a finalized simulation")
+        job = state.jobs.get(job_id)
+        if job is None:
+            raise SimulationError(f"unknown job id {job_id}")
+        if job.status in (JobStatus.FINISHED, JobStatus.FAILED):
+            raise SimulationError(f"job {job_id} is already terminal")
+        if not 1 <= num_gpus <= self.cluster.total_gpus:
+            raise SimulationError(
+                f"job {job_id} cannot resize to {num_gpus} GPUs on a "
+                f"{self.cluster.total_gpus}-GPU cluster"
+            )
+        scalability = job.spec.scalability
+        if num_gpus != job.num_gpus:
+            if scalability is None:
+                raise SimulationError(
+                    f"job {job_id} is rigid (no scalability profile)"
+                )
+            if not scalability.supports(num_gpus):
+                raise SimulationError(
+                    f"job {job_id} does not support {num_gpus} GPUs; "
+                    f"supported counts: {scalability.gpu_counts}"
+                )
+        changed = self._apply_resize(
+            state.now, job, num_gpus, state.pending, state.running
+        )
+        if changed:
+            state.need_reschedule = True
+            state.reschedule_reason = "resize"
+        return changed
 
     def next_event_time(self, state: SimulationState) -> Optional[float]:
         """Earliest future simulation time anything happens, or None.
@@ -553,6 +604,25 @@ class ClusterSimulator:
         active_jobs = [job for job in jobs.values() if not job.is_finished and (
             job.job_id in pending or self._is_running(job, running)
         )]
+
+        # Elastic schedulers renegotiate GPU counts at each scheduling
+        # tick, before grouping; the simulator owns applying the
+        # resizes (and conserving progress) so every policy sees the
+        # same executor semantics.
+        if reason == "tick":
+            renegotiate = getattr(self.scheduler, "renegotiate", None)
+            if renegotiate is not None:
+                targets = renegotiate(
+                    now, active_jobs, self.cluster.total_gpus
+                )
+                for job_id in sorted(targets):
+                    job = jobs.get(job_id)
+                    if job is None or job.is_finished:
+                        continue
+                    self._apply_resize(
+                        now, job, targets[job_id], pending, running
+                    )
+
         running_groups = {key: rg.group for key, rg in running.items()}
         proposal = self.scheduler.decide(
             now, active_jobs, running_groups, self.cluster.total_gpus, reason
@@ -577,20 +647,27 @@ class ClusterSimulator:
                 total_gpus=self.cluster.total_gpus,
             )
 
-        # Stop groups not in the plan.
         stopped = 0
+
+        # A "kept" group whose demand changed (a member resized while
+        # the group sat in a warm plan cache) cannot keep its old
+        # allocation: stop it so it re-places at the new size.  The
+        # comparison must be against the allocation's slot count —
+        # ``JobGroup.num_gpus`` reads the live jobs, so both sides of a
+        # naive group-vs-group check would show the post-resize value.
+        for group in valid:
+            key = group_key(group)
+            rgroup = running.get(key)
+            if rgroup is not None and group.num_gpus != len(rgroup.allocation.slots):
+                del running[key]
+                self._trace_preempt(now, rgroup)
+                self._stop_group(rgroup, pending)
+                stopped += 1
+
+        # Stop groups not in the plan.
         for key in [k for k in running if k not in keyset]:
             rgroup = running.pop(key)
-            if tracing:
-                members = [job.job_id for job in rgroup.active]
-                tracer.emit(
-                    EventCategory.GROUP,
-                    "group.preempt",
-                    now,
-                    members=members,
-                )
-                for job_id in members:
-                    self._trace_outcome(job_id, now, "preempted")
+            self._trace_preempt(now, rgroup)
             self._stop_group(rgroup, pending)
             stopped += 1
 
@@ -697,6 +774,69 @@ class ClusterSimulator:
         self.tracer.provenance.record_outcome(
             job_id, OutcomeRecord(sim_time, outcome, detail)
         )
+
+    def _trace_preempt(self, now: float, rgroup: _RunningGroup) -> None:
+        """Emit the preemption event + outcomes for one stopped group."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        members = [job.job_id for job in rgroup.active]
+        tracer.emit(
+            EventCategory.GROUP,
+            "group.preempt",
+            now,
+            members=members,
+        )
+        for job_id in members:
+            self._trace_outcome(job_id, now, "preempted")
+
+    def _apply_resize(
+        self,
+        now: float,
+        job: Job,
+        num_gpus: int,
+        pending: Dict[int, Job],
+        running: Dict[FrozenSet[int], _RunningGroup],
+    ) -> bool:
+        """Resize one job in place, conserving its progress.
+
+        Stops the job's running group first (every member requeues
+        with its iterations and attained service intact), applies the
+        new count, then notifies the scheduler so demand-keyed caches
+        drop before the next grouping pass.  Returns True when the
+        count actually changed.
+        """
+        if num_gpus == job.num_gpus:
+            return False
+        for key, rgroup in list(running.items()):
+            if any(member.job_id == job.job_id for member in rgroup.active):
+                del running[key]
+                self._trace_preempt(now, rgroup)
+                self._stop_group(rgroup, pending)
+                break
+        remaining_before = job.remaining_iterations
+        attained_before = job.attained_service
+        old_gpus = job.resize(num_gpus)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                EventCategory.SCHED,
+                "sched.resize.apply",
+                now,
+                job=job.job_id,
+                old_gpus=old_gpus,
+                new_gpus=num_gpus,
+                remaining_before=remaining_before,
+                remaining_after=job.remaining_iterations,
+                attained_before=attained_before,
+                attained_after=job.attained_service,
+            )
+            self._trace_outcome(
+                job.job_id, now, "resized",
+                f"{old_gpus} -> {num_gpus} GPUs",
+            )
+        self.scheduler.notify_resize(job.job_id, old_gpus, num_gpus)
+        return True
 
     def _stop_group(
         self,

@@ -23,6 +23,7 @@ __all__ = [
     "job_type_cells",
     "noise_cells",
     "robustness_cells",
+    "elastic_cells",
     "experiment_cells",
 ]
 
@@ -190,9 +191,68 @@ def robustness_cells(
     return cells
 
 
+def elastic_cells(
+    trace_ids: Sequence[str] = ("1", "2"),
+    num_jobs: Optional[int] = 400,
+    seed: int = 0,
+    elastic_fraction: float = 0.5,
+) -> List[RunSpec]:
+    """Cells of the elastic arm: Elastic-Muri vs fixed Muri-S.
+
+    Per trace, three cells on the *same* saturated scalable workload
+    (the same seed elects the same jobs and fits the same Amdahl
+    curves):
+
+    * ``Muri-S (rigid)`` — the fixed-allocation baseline; scalability
+      profiles are attached but never exercised, so this equals plain
+      Muri-S on the rigid workload (the degeneracy guarantee).
+    * ``Elastic-Muri-S`` — renegotiating every tick.
+    * ``Elastic-Muri-S k=4`` — renegotiating every 4th tick, the
+      cheap-renegotiation ablation.
+
+    Plus a light-load pair (at most 160 jobs) per trace, where spare
+    capacity exists for scale-out: the regime in which goodput-adaptive
+    reallocation improves *average JCT*, not just makespan.
+    """
+    cells = []
+    for trace_id in trace_ids:
+        run_seed = seed + int(trace_id[0])
+        common = dict(
+            experiment="elastic",
+            trace_id=trace_id,
+            seed=run_seed,
+            elastic_fraction=elastic_fraction,
+        )
+        cells.append(RunSpec(
+            label="Muri-S (rigid)", scheduler="muri-s",
+            num_jobs=num_jobs, **common
+        ))
+        cells.append(RunSpec(
+            label="Elastic-Muri-S", scheduler="elastic-muri",
+            num_jobs=num_jobs, **common
+        ))
+        cells.append(RunSpec(
+            label="Elastic-Muri-S k=4",
+            scheduler="elastic-muri",
+            scheduler_options={"renegotiation_interval": 4},
+            num_jobs=num_jobs, **common,
+        ))
+        light_jobs = min(num_jobs, 160) if num_jobs else 160
+        cells.append(RunSpec(
+            label="Muri-S (rigid, light)", scheduler="muri-s",
+            num_jobs=light_jobs, **common
+        ))
+        cells.append(RunSpec(
+            label="Elastic-Muri-S (light)", scheduler="elastic-muri",
+            num_jobs=light_jobs, **common
+        ))
+    return cells
+
+
 #: Artifact names ``experiment_cells`` accepts (``"all"`` is their union).
 SWEEPABLE_EXPERIMENTS = (
     "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "robustness",
+    "elastic",
 )
 
 
@@ -219,6 +279,7 @@ def experiment_cells(
         "robustness": lambda: robustness_cells(
             num_jobs=min(num_jobs, 250) if num_jobs else 250
         ),
+        "elastic": lambda: elastic_cells(num_jobs=num_jobs, seed=seed),
     }
     if artifact == "all":
         cells = []

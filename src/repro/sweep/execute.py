@@ -89,7 +89,14 @@ def build_workload(spec: RunSpec) -> Tuple[str, List[JobSpec]]:
     if spec.busiest_interval is not None:
         trace = trace.busiest_interval(spec.busiest_interval)
     models = list(spec.models) if spec.models is not None else None
-    return trace.name, build_jobs(trace, models=models, seed=spec.seed)
+    job_specs = build_jobs(trace, models=models, seed=spec.seed)
+    if spec.elastic_fraction is not None:
+        from repro.elastic.workload import attach_scalability
+
+        job_specs = attach_scalability(
+            job_specs, fraction=spec.elastic_fraction, seed=spec.seed
+        )
+    return trace.name, job_specs
 
 
 def build_scheduler(spec: RunSpec) -> Scheduler:

@@ -79,6 +79,12 @@ class RunSpec:
             and normalized).
         sim_options: Extra :class:`~repro.sim.simulator.ClusterSimulator`
             keyword arguments, normalized like ``scheduler_options``.
+        elastic_fraction: When set, pass the built workload through
+            :func:`repro.elastic.attach_scalability` with this
+            fraction (seeded with ``seed``), making that share of the
+            jobs elastic.  None (the default) leaves the workload
+            rigid — and is omitted from :meth:`to_dict`, so every
+            pre-elastic run id is unchanged.
     """
 
     experiment: str
@@ -95,6 +101,7 @@ class RunSpec:
     gpus_per_machine: int = 8
     scheduler_options: Tuple = ()
     sim_options: Tuple = ()
+    elastic_fraction: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -115,6 +122,10 @@ class RunSpec:
                 value = dict(value)
             elif spec_field.name == "models" and value is not None:
                 value = list(value)
+            elif spec_field.name == "elastic_fraction" and value is None:
+                # Omitted when unset so every pre-elastic run id (and
+                # therefore every committed baseline) stays stable.
+                continue
             payload[spec_field.name] = value
         return payload
 

@@ -26,6 +26,7 @@ from repro.verify.differential import (
     compare_parallel_serial,
     plan_signature,
 )
+from repro.verify.elastic import compare_flat_identity, run_elastic_oracle
 from repro.verify.fleet import compare_fleet_serial
 from repro.verify.fuzz import (
     FuzzConfig,
@@ -70,6 +71,8 @@ __all__ = [
     "compare_fleet_serial",
     "compare_pairs_exact",
     "compare_groups_exact",
+    "compare_flat_identity",
+    "run_elastic_oracle",
     "IncrementalOracle",
     "plan_signature",
     "EpisodeSpec",

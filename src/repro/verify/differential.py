@@ -199,6 +199,40 @@ class IncrementalOracle(Scheduler):
         self.checks += 1
         return plan
 
+    def renegotiate(
+        self,
+        now: float,
+        jobs: Sequence[Job],
+        total_gpus: int,
+    ) -> Dict[int, int]:
+        """Forward elastic renegotiation to the wrapped scheduler.
+
+        Renegotiation itself is not differentially checked — it is
+        deterministic in its inputs and cache-free — but the resizes it
+        triggers exercise every demand-keyed cache, which the next
+        :meth:`decide` then verifies against a cold re-solve.
+        """
+        inner_renegotiate = getattr(self.inner, "renegotiate", None)
+        if inner_renegotiate is None:
+            return {}
+        return inner_renegotiate(now, jobs, total_gpus)
+
+    def notify_resize(self, job_id: int, old_gpus: int, new_gpus: int) -> None:
+        """Forward resize invalidation to the wrapped scheduler."""
+        self.inner.notify_resize(job_id, old_gpus, new_gpus)
+
+    def reset_caches(self) -> None:
+        """Forward cache resets to the wrapped scheduler."""
+        reset = getattr(self.inner, "reset_caches", None)
+        if reset is not None:
+            reset()
+
+    def close(self) -> None:
+        """Release the wrapped scheduler's resources (worker pools)."""
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()
+
 
 def compare_dense_sparse(
     jobs: Sequence[Job],

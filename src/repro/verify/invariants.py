@@ -85,6 +85,11 @@ INVARIANT_CATALOG: Dict[str, str] = {
         "progress_loss of the executed iterations and never pushes "
         "remaining work above the job's total or below what was left."
     ),
+    "resize_progress_conserved": (
+        "Elastic resizes never mint or destroy progress: applying a "
+        "new GPU count leaves the job's remaining iterations and "
+        "attained service exactly as they were."
+    ),
 }
 
 
@@ -431,6 +436,8 @@ class InvariantChecker(Tracer):
             self._on_member_left(sim_time, args.get("job"))
         elif name == "job.fault":
             self._on_fault(sim_time, args)
+        elif name == "sched.resize.apply":
+            self._on_resize(sim_time, args)
 
     def _on_group_start(self, sim_time: float, args: Dict[str, Any]) -> None:
         members = list(args.get("members") or ())
@@ -518,6 +525,36 @@ class InvariantChecker(Tracer):
                     [job_id] if job_id is not None else [],
                 )
         self._on_member_left(sim_time, args.get("job"))
+
+    def _on_resize(self, sim_time: float, args: Dict[str, Any]) -> None:
+        """An applied resize must conserve progress exactly."""
+        if "resize_progress_conserved" not in self.invariants:
+            return
+        job_id = args.get("job")
+        for metric in ("remaining", "attained"):
+            before = args.get(f"{metric}_before")
+            after = args.get(f"{metric}_after")
+            if before is None or after is None:
+                continue
+            tol = self.tolerance * max(1.0, abs(before))
+            if abs(after - before) > tol:
+                self._fail(
+                    "resize_progress_conserved",
+                    f"resize of job {job_id} "
+                    f"({args.get('old_gpus')} -> {args.get('new_gpus')} "
+                    f"GPUs) moved {metric} progress from {before:.6f} "
+                    f"to {after:.6f}",
+                    sim_time,
+                    {
+                        "job": job_id,
+                        "metric": metric,
+                        "before": before,
+                        "after": after,
+                        "old_gpus": args.get("old_gpus"),
+                        "new_gpus": args.get("new_gpus"),
+                    },
+                    [job_id] if job_id is not None else [],
+                )
 
     # -- structural invariants ----------------------------------------------
 

@@ -1,0 +1,96 @@
+"""GoodputAllocator: deterministic marginal-goodput water-filling."""
+
+from repro.elastic.allocator import GoodputAllocator
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.scalability import ScalabilityProfile
+from repro.jobs.stage import StageProfile
+
+UNIT = StageProfile((0.25, 0.25, 0.25, 0.25))
+
+
+def linear_curve(counts):
+    """Perfectly linear speedup: every step-up has the same gain."""
+    return ScalabilityProfile.from_mapping({
+        g: UNIT.scaled(1.0 / g) for g in counts
+    })
+
+
+def rigid_job(gpus=1, iters=100):
+    return Job(JobSpec(profile=UNIT, num_gpus=gpus, num_iterations=iters))
+
+
+def elastic_job(counts=(1, 2, 4), base=1, iters=100, curve=None):
+    curve = curve or linear_curve(counts)
+    return Job(JobSpec(
+        profile=curve.profile_for(base),
+        num_gpus=base,
+        num_iterations=iters,
+        scalability=curve,
+    ))
+
+
+class TestRigidJobs:
+    def test_rigid_jobs_keep_their_count(self):
+        jobs = [rigid_job(2), rigid_job(4)]
+        granted = GoodputAllocator().allocate(jobs, total_gpus=8)
+        assert granted == {jobs[0].job_id: 2, jobs[1].job_id: 4}
+
+    def test_flat_profile_is_rigid(self):
+        job = Job(JobSpec(
+            profile=UNIT, num_gpus=2, num_iterations=10,
+            scalability=ScalabilityProfile.flat(2, UNIT),
+        ))
+        granted = GoodputAllocator().allocate([job], total_gpus=8)
+        assert granted == {job.job_id: 2}
+
+    def test_oversubscribed_rigid_job_not_granted(self):
+        big, small = rigid_job(8), rigid_job(1)
+        granted = GoodputAllocator().allocate([big, small], total_gpus=4)
+        # The rigid 8-GPU job cannot fit; the 1-GPU job still lands.
+        assert big.job_id not in granted
+        assert granted[small.job_id] == 1
+
+
+class TestWaterFill:
+    def test_spare_capacity_grows_elastic_jobs(self):
+        job = elastic_job(counts=(1, 2, 4, 8))
+        granted = GoodputAllocator().allocate([job], total_gpus=8)
+        assert granted[job.job_id] == 8
+
+    def test_capacity_respected(self):
+        jobs = [elastic_job(counts=(1, 2, 4)) for _ in range(3)]
+        granted = GoodputAllocator().allocate(jobs, total_gpus=6)
+        assert sum(granted.values()) <= 6
+        assert all(count >= 1 for count in granted.values())
+
+    def test_priority_breaks_gain_ties(self):
+        # Two identical linear curves: every step has equal gain, so
+        # the earlier (higher-priority) job must win each tie.
+        first = elastic_job(counts=(1, 2, 4))
+        second = elastic_job(counts=(1, 2, 4))
+        granted = GoodputAllocator().allocate([first, second], total_gpus=6)
+        assert granted[first.job_id] == 4
+        assert granted[second.job_id] == 2
+
+    def test_unfunded_elastic_job_shrinks_to_floor(self):
+        hog = rigid_job(4)
+        starved = elastic_job(counts=(2, 4), base=4)
+        granted = GoodputAllocator().allocate([hog, starved], total_gpus=4)
+        # No capacity left, but the elastic job is still shrunk to its
+        # minimum so it queues with the smallest possible demand.
+        assert granted[starved.job_id] == 2
+
+    def test_min_gain_stops_flat_tails(self):
+        # A near-flat tail: 4 GPUs are barely faster than 2.
+        curve = ScalabilityProfile.from_speedups(
+            1, UNIT, {2: 2.0, 4: 2.0 + 1e-9}
+        )
+        job = elastic_job(curve=curve)
+        granted = GoodputAllocator(min_gain=1e-6).allocate([job], total_gpus=8)
+        assert granted[job.job_id] == 2
+
+    def test_deterministic(self):
+        jobs = [elastic_job(counts=(1, 2, 4)) for _ in range(5)]
+        first = GoodputAllocator().allocate(jobs, total_gpus=11)
+        second = GoodputAllocator().allocate(jobs, total_gpus=11)
+        assert first == second

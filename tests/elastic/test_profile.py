@@ -1,0 +1,127 @@
+"""ScalabilityProfile: validation, accessors, and curve fitting."""
+
+import pytest
+
+from repro.jobs.job import JobSpec
+from repro.jobs.scalability import ScalabilityProfile
+from repro.jobs.stage import StageProfile
+from repro.elastic.workload import amdahl_curve, attach_scalability
+
+UNIT = StageProfile((0.25, 0.25, 0.25, 0.25))  # 1 second per iteration
+
+
+def curve(counts):
+    return ScalabilityProfile.from_mapping({
+        g: UNIT.scaled(1.0 / g) for g in counts
+    })
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ScalabilityProfile(())
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError):
+            ScalabilityProfile(((0, UNIT),))
+
+    def test_duplicate_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ScalabilityProfile(((2, UNIT), (2, UNIT.scaled(0.5))))
+
+    def test_mixed_resource_widths_rejected(self):
+        narrow = StageProfile((0.5, 0.5))
+        with pytest.raises(ValueError):
+            ScalabilityProfile(((1, UNIT), (2, narrow)))
+
+    def test_points_normalized_ascending(self):
+        profile = ScalabilityProfile(((4, UNIT.scaled(0.25)), (1, UNIT)))
+        assert profile.gpu_counts == (1, 4)
+
+
+class TestAccessors:
+    def test_flat_profile(self):
+        profile = ScalabilityProfile.flat(2, UNIT)
+        assert profile.is_flat
+        assert profile.gpu_counts == (2,)
+        assert profile.min_gpus == profile.max_gpus == 2
+        assert profile.next_step(2) is None
+        assert profile.prev_step(2) is None
+
+    def test_steps_and_supports(self):
+        profile = curve([1, 2, 4, 8])
+        assert profile.supports(4)
+        assert not profile.supports(3)
+        assert profile.next_step(2) == 4
+        assert profile.next_step(3) == 4
+        assert profile.prev_step(4) == 2
+        assert profile.counts_up_to(5) == (1, 2, 4)
+
+    def test_speedup_relative_to_min(self):
+        profile = curve([1, 2, 4])
+        assert profile.speedup(1) == pytest.approx(1.0)
+        assert profile.speedup(4) == pytest.approx(4.0)
+        assert profile.throughput(2) == pytest.approx(2.0)
+
+    def test_unsupported_count_raises(self):
+        profile = curve([1, 2])
+        with pytest.raises(ValueError):
+            profile.profile_for(3)
+
+
+class TestAmdahlCurve:
+    def test_passes_through_operating_point(self):
+        spec = JobSpec(profile=UNIT, num_gpus=2, num_iterations=10)
+        profile = amdahl_curve(spec, serial_fraction=0.2)
+        # The curve reproduces the spec's own profile at its own count.
+        assert profile.profile_for(2).durations == UNIT.durations
+
+    def test_diminishing_returns(self):
+        spec = JobSpec(profile=UNIT, num_gpus=1, num_iterations=10)
+        profile = amdahl_curve(spec, serial_fraction=0.3)
+        gain_1_2 = profile.speedup(2) - profile.speedup(1)
+        gain_4_8 = profile.speedup(8) - profile.speedup(4)
+        # Per-GPU gain shrinks with scale under Amdahl's law.
+        assert gain_1_2 > (gain_4_8 / 4)
+        assert profile.speedup(8) < 8.0
+
+    def test_serial_fraction_validated(self):
+        spec = JobSpec(profile=UNIT, num_iterations=10)
+        with pytest.raises(ValueError):
+            amdahl_curve(spec, serial_fraction=1.0)
+
+
+class TestAttachScalability:
+    def specs(self, n=40):
+        return [
+            JobSpec(profile=UNIT, num_gpus=1, num_iterations=10)
+            for _ in range(n)
+        ]
+
+    def test_deterministic_in_seed(self):
+        a = attach_scalability(self.specs(), fraction=0.5, seed=7)
+        b = attach_scalability(self.specs(), fraction=0.5, seed=7)
+        assert [s.scalability is not None for s in a] == [
+            s.scalability is not None for s in b
+        ]
+        for left, right in zip(a, b):
+            if left.scalability is not None:
+                assert left.scalability == right.scalability
+
+    def test_fraction_zero_and_one(self):
+        none = attach_scalability(self.specs(), fraction=0.0, seed=0)
+        assert all(s.scalability is None for s in none)
+        everyone = attach_scalability(self.specs(), fraction=1.0, seed=0)
+        assert all(s.scalability is not None for s in everyone)
+
+    def test_identity_preserved(self):
+        originals = self.specs()
+        elastic = attach_scalability(originals, fraction=1.0, seed=0)
+        for before, after in zip(originals, elastic):
+            assert after.job_id == before.job_id
+            assert after.num_gpus == before.num_gpus
+            assert after.profile.durations == before.profile.durations
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            attach_scalability(self.specs(), fraction=1.5)

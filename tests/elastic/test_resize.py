@@ -1,0 +1,171 @@
+"""Simulator-side resize plumbing: the public API and its guarantees."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.muri import MuriScheduler
+from repro.elastic.scheduler import ElasticMuriScheduler
+from repro.jobs.job import JobSpec
+from repro.jobs.scalability import ScalabilityProfile
+from repro.jobs.stage import StageProfile
+from repro.sim.contention import IDEAL_CONTENTION
+from repro.sim.simulator import ClusterSimulator, SimulationError
+from repro.verify.invariants import InvariantChecker
+
+UNIT = StageProfile((0.25, 0.25, 0.25, 0.25))  # 1 second per iteration
+
+
+def linear_curve(counts=(1, 2, 4)):
+    return ScalabilityProfile.from_mapping({
+        g: UNIT.scaled(1.0 / g) for g in counts
+    })
+
+
+def elastic_spec(iters=100, gpus=1, submit=0.0, counts=(1, 2, 4)):
+    return JobSpec(
+        profile=UNIT, num_gpus=gpus, submit_time=submit,
+        num_iterations=iters, scalability=linear_curve(counts),
+    )
+
+
+def rigid_spec(iters=100, gpus=1, submit=0.0):
+    return JobSpec(profile=UNIT, num_gpus=gpus, submit_time=submit,
+                   num_iterations=iters)
+
+
+def simulator(scheduler=None, machines=1, gpus=8, **kwargs):
+    defaults = dict(
+        restart_penalty=0.0,
+        contention=IDEAL_CONTENTION,
+        uncoordinated_penalty=1.0,
+    )
+    defaults.update(kwargs)
+    return ClusterSimulator(
+        scheduler or MuriScheduler(policy="srsf"),
+        cluster=Cluster(machines, gpus),
+        **defaults,
+    )
+
+
+class TestPublicResize:
+    def test_resize_conserves_progress(self):
+        sim = simulator()
+        spec = elastic_spec(iters=100)
+        short = rigid_spec(iters=10)
+        state = sim.begin([spec, short])
+        # Step until the short job completes, so the elastic job has
+        # made partial (non-trivial) progress.
+        from repro.jobs.job import JobStatus
+
+        while state.jobs[short.job_id].status is not JobStatus.FINISHED:
+            sim.step(state)
+        job = state.jobs[spec.job_id]
+        remaining = job.remaining_iterations
+        assert 0 < remaining < 100
+        attained = job.attained_service
+        assert sim.resize(state, spec.job_id, 4) is True
+        assert job.num_gpus == 4
+        assert job.remaining_iterations == remaining
+        assert job.attained_service == attained
+        assert state.need_reschedule
+        assert state.reschedule_reason == "resize"
+
+    def test_resize_to_current_count_is_noop(self):
+        sim = simulator()
+        spec = elastic_spec()
+        state = sim.begin([spec])
+        assert sim.resize(state, spec.job_id, spec.num_gpus) is False
+        assert not state.need_reschedule
+
+    def test_resized_job_completes(self):
+        sim = simulator()
+        spec = elastic_spec(iters=100, counts=(1, 2))
+        state = sim.begin([spec])
+        sim.resize(state, spec.job_id, 2)
+        while state.unfinished:
+            sim.step(state)
+        result = sim.finalize(state)
+        # 2 GPUs on a linear curve: half the iteration time.
+        assert result.jcts[spec.job_id] == pytest.approx(50.0)
+
+    def test_unknown_job_rejected(self):
+        sim = simulator()
+        state = sim.begin([elastic_spec()])
+        with pytest.raises(SimulationError):
+            sim.resize(state, 99999, 2)
+
+    def test_rigid_job_rejected(self):
+        sim = simulator()
+        spec = rigid_spec()
+        state = sim.begin([spec, elastic_spec()])
+        with pytest.raises(SimulationError):
+            sim.resize(state, spec.job_id, 2)
+
+    def test_unsupported_count_rejected(self):
+        sim = simulator()
+        spec = elastic_spec(counts=(1, 2))
+        state = sim.begin([spec])
+        with pytest.raises(SimulationError):
+            sim.resize(state, spec.job_id, 3)
+
+    def test_out_of_range_count_rejected(self):
+        sim = simulator(gpus=4)
+        spec = elastic_spec()
+        state = sim.begin([spec])
+        with pytest.raises(SimulationError):
+            sim.resize(state, spec.job_id, 0)
+        with pytest.raises(SimulationError):
+            sim.resize(state, spec.job_id, 5)
+
+    def test_terminal_job_rejected(self):
+        sim = simulator()
+        spec = elastic_spec(iters=1)
+        state = sim.begin([spec])
+        while state.unfinished:
+            sim.step(state)
+        with pytest.raises(SimulationError):
+            sim.resize(state, spec.job_id, 2)
+
+    def test_finalized_state_rejected(self):
+        sim = simulator()
+        spec = elastic_spec(iters=1)
+        state = sim.begin([spec])
+        while state.unfinished:
+            sim.step(state)
+        sim.finalize(state)
+        with pytest.raises(SimulationError):
+            sim.resize(state, spec.job_id, 2)
+
+
+class TestSchedulerDrivenResize:
+    def test_elastic_scheduler_grows_lone_job(self):
+        # One elastic job on an idle cluster: renegotiation should
+        # grant it the top of its curve and finish ~4x faster.
+        sim = simulator(ElasticMuriScheduler())
+        spec = elastic_spec(iters=400)
+        result = sim.run([spec])
+        assert result.jcts[spec.job_id] < 400.0 * 0.5
+
+    def test_resize_events_traced_with_conservation(self):
+        checker = InvariantChecker(store_events=True)
+        sim = simulator(
+            ElasticMuriScheduler(tracer=checker), tracer=checker
+        )
+        specs = [elastic_spec(iters=300), elastic_spec(iters=300)]
+        sim.run(specs)
+        assert not checker.violations
+        applied = checker.events_named("sched.resize.apply")
+        assert applied
+        for event in applied:
+            assert event.args["remaining_before"] == pytest.approx(
+                event.args["remaining_after"]
+            )
+
+    def test_resize_counted_on_job(self):
+        sim = simulator(ElasticMuriScheduler())
+        spec = elastic_spec(iters=400)
+        state = sim.begin([spec])
+        while state.unfinished:
+            sim.step(state)
+        sim.finalize(state)
+        assert state.jobs[spec.job_id].resizes >= 1

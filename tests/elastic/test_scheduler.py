@@ -1,0 +1,102 @@
+"""ElasticMuriScheduler: renegotiation gating and degeneracy."""
+
+import pytest
+
+from repro.elastic.scheduler import ElasticMuriScheduler
+from repro.jobs.job import Job, JobSpec
+from repro.jobs.scalability import ScalabilityProfile
+from repro.jobs.stage import StageProfile
+from repro.observe.tracer import Tracer
+from repro.schedulers.registry import available_schedulers, make_scheduler
+
+UNIT = StageProfile((0.25, 0.25, 0.25, 0.25))
+
+
+def linear_curve(counts=(1, 2, 4)):
+    return ScalabilityProfile.from_mapping({
+        g: UNIT.scaled(1.0 / g) for g in counts
+    })
+
+
+def rigid_job(iters=100):
+    return Job(JobSpec(profile=UNIT, num_gpus=1, num_iterations=iters))
+
+
+def elastic_job(iters=100, counts=(1, 2, 4)):
+    return Job(JobSpec(
+        profile=UNIT, num_gpus=1, num_iterations=iters,
+        scalability=linear_curve(counts),
+    ))
+
+
+class TestRegistry:
+    def test_registered(self):
+        names = available_schedulers()
+        assert "elastic-muri" in names
+        assert "elastic-muri-l" in names
+
+    def test_factory_builds_elastic(self):
+        scheduler = make_scheduler("elastic-muri")
+        assert isinstance(scheduler, ElasticMuriScheduler)
+        assert scheduler.name == "Elastic-Muri-S"
+        scheduler = make_scheduler(
+            "elastic-muri-l", renegotiation_interval=4
+        )
+        assert scheduler.renegotiation_interval == 4
+        assert scheduler.name == "Elastic-Muri-L"
+
+
+class TestRenegotiate:
+    def test_all_rigid_returns_empty(self):
+        scheduler = ElasticMuriScheduler()
+        jobs = [rigid_job() for _ in range(4)]
+        assert scheduler.renegotiate(0.0, jobs, total_gpus=8) == {}
+
+    def test_flat_profiles_count_as_rigid(self):
+        job = Job(JobSpec(
+            profile=UNIT, num_gpus=2, num_iterations=10,
+            scalability=ScalabilityProfile.flat(2, UNIT),
+        ))
+        scheduler = ElasticMuriScheduler()
+        assert scheduler.renegotiate(0.0, [job], total_gpus=8) == {}
+
+    def test_returns_only_changes(self):
+        job = elastic_job()
+        scheduler = ElasticMuriScheduler()
+        targets = scheduler.renegotiate(0.0, [job], total_gpus=8)
+        assert targets == {job.job_id: 4}
+        job.resize(4)
+        scheduler.notify_resize(job.job_id, 1, 4)
+        # Already at target: the next round proposes nothing.
+        assert scheduler.renegotiate(0.0, [job], total_gpus=8) == {}
+
+    def test_interval_gates_renegotiation(self):
+        scheduler = ElasticMuriScheduler(renegotiation_interval=3)
+        jobs = [elastic_job()]
+        assert scheduler.renegotiate(0.0, jobs, 8) != {}
+        jobs[0].resize(4)
+        jobs[0].resize(1)  # dirty the count so a change is available
+        assert scheduler.renegotiate(1.0, jobs, 8) == {}
+        assert scheduler.renegotiate(2.0, jobs, 8) == {}
+        assert scheduler.renegotiate(3.0, jobs, 8) != {}
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            ElasticMuriScheduler(renegotiation_interval=0)
+
+    def test_emits_resize_target_events(self):
+        tracer = Tracer()
+        scheduler = ElasticMuriScheduler(tracer=tracer)
+        job = elastic_job()
+        scheduler.renegotiate(0.0, [job], total_gpus=8)
+        names = [event.name for event in tracer.events]
+        assert "sched.resize.target" in names
+
+    def test_decide_is_inherited_muri(self):
+        # Between renegotiations the scheduler is plain Muri: decide
+        # groups the (resized) queue with Algorithm 1.
+        scheduler = ElasticMuriScheduler()
+        jobs = [rigid_job() for _ in range(4)]
+        plan = scheduler.decide(0.0, jobs, {}, total_gpus=4)
+        placed = sorted(j.job_id for g in plan for j in g.jobs)
+        assert placed == sorted(j.job_id for j in jobs)

@@ -1,0 +1,39 @@
+"""A seeded elastic job stream under the full armed invariant catalog.
+
+The CI ``elastic`` job scales this to a 2000-job stream via
+``REPRO_ELASTIC_STREAM_JOBS``; the default stays test-suite sized.
+"""
+
+import os
+
+from repro.cluster.cluster import Cluster
+from repro.elastic.scheduler import ElasticMuriScheduler
+from repro.elastic.workload import attach_scalability
+from repro.sim.simulator import ClusterSimulator
+from repro.trace.philly import generate_trace
+from repro.trace.workload import build_jobs
+from repro.verify.invariants import InvariantChecker
+
+NUM_JOBS = int(os.environ.get("REPRO_ELASTIC_STREAM_JOBS", "200"))
+
+
+def test_armed_elastic_stream():
+    cluster = Cluster(4, 8)
+    trace = generate_trace("2", num_jobs=NUM_JOBS, seed=42)
+    specs = [s for s in build_jobs(trace, seed=42)
+             if s.num_gpus <= cluster.total_gpus]
+    specs = attach_scalability(specs, fraction=0.5, seed=42)
+
+    checker = InvariantChecker()  # strict: raises on first violation
+    scheduler = ElasticMuriScheduler(tracer=checker, event_regroup=True)
+    simulator = ClusterSimulator(scheduler, cluster=cluster, tracer=checker)
+    state = simulator.begin(specs)
+    while state.unfinished:
+        simulator.step(state)
+    result = simulator.finalize(state)
+
+    assert not checker.violations
+    assert result.num_jobs == len(specs)
+    # The stream must actually exercise the elastic path.
+    resizes = sum(job.resizes for job in state.jobs.values())
+    assert resizes > 0

@@ -26,6 +26,7 @@ SUBPACKAGES = (
     "repro.verify",
     "repro.service",
     "repro.fleet",
+    "repro.elastic",
     "repro.bench",
     "repro.cli",
 )
@@ -96,6 +97,10 @@ TOP_LEVEL_NAMES = (
     "VirtualCluster",
     "TenantQuota",
     "partition_cluster",
+    "ElasticMuriScheduler",
+    "GoodputAllocator",
+    "ScalabilityProfile",
+    "attach_scalability",
 )
 
 

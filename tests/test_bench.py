@@ -9,6 +9,7 @@ gate sees.
 from pathlib import Path
 
 from repro.bench import (
+    ELASTIC_BENCH_FILE,
     FLEET_BENCH_FILE,
     GROUPING_BENCH_FILE,
     SCHEMA_VERSION,
@@ -101,8 +102,9 @@ class TestRoundTrip:
 
     def test_file_constants_are_distinct(self):
         assert len({
-            GROUPING_BENCH_FILE, SERVICE_BENCH_FILE, FLEET_BENCH_FILE
-        }) == 3
+            GROUPING_BENCH_FILE, SERVICE_BENCH_FILE, FLEET_BENCH_FILE,
+            ELASTIC_BENCH_FILE,
+        }) == 4
 
 
 class TestCommittedBaselines:
@@ -138,3 +140,18 @@ class TestCommittedBaselines:
         # would mean the fleet layer grew a scan on the submit path.
         submit = doc["benchmarks"]["fleet_submit"]
         assert submit["p99_seconds"] < 0.001
+
+    def test_elastic_baseline(self):
+        doc = load_bench(self.REPO_ROOT / ELASTIC_BENCH_FILE)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["suite"] == "elastic"
+        gated = gated_metrics(doc)
+        assert "cold_elastic_group.normalized" in gated
+        assert "renegotiate_step.p99_normalized" in gated
+        cold = doc["benchmarks"]["cold_elastic_group"]
+        # The cold step must actually exercise the elastic path.
+        assert cold["resizes"] > 0
+        # Renegotiation is a per-tick cost: its tail must stay well
+        # under the warm-regroup latency contract.
+        step = doc["benchmarks"]["renegotiate_step"]
+        assert step["p99_seconds"] < 0.010

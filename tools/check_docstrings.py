@@ -71,6 +71,7 @@ def main(argv: List[str]) -> int:
         Path("src/repro/observe"), Path("src/repro/sweep"),
         Path("src/repro/verify"), Path("src/repro/service"),
         Path("src/repro/bench"), Path("src/repro/fleet"),
+        Path("src/repro/elastic"),
     ]
     failures = 0
     checked = 0
