@@ -45,7 +45,16 @@ The package provides:
   water-filling :class:`GoodputAllocator`, and
   :class:`ElasticMuriScheduler`, which renegotiates GPU counts each
   interval before Algorithm-1 grouping and degenerates bit-identically
-  to Muri on all-rigid workloads (see ``docs/elastic.md``).
+  to Muri on all-rigid workloads (see ``docs/elastic.md``);
+* ``repro.hetero`` — GPU generations: a typed cluster substrate
+  (:class:`GpuType` machine labels), per-model per-generation speed
+  scaling, and type-pinned workload builders, with a homogeneous
+  differential oracle proving single-type configs are bit-identical
+  to the untyped path (see ``docs/heterogeneous.md``);
+* ``repro.replay`` — the batch event-driven trace-replay harness for
+  production-scale (100k+-job) traces, fed by the Philly CSV
+  ingestion adapter in ``repro.trace.philly_csv``
+  (see ``docs/replay.md``).
 
 Quickstart::
 
@@ -57,7 +66,7 @@ Quickstart::
     print(result.avg_jct, result.makespan)
 """
 
-from repro.cluster import Cluster, Machine
+from repro.cluster import Cluster, GpuType, Machine
 from repro.core import (
     JobGroup,
     MultiRoundGrouper,
@@ -122,13 +131,29 @@ from repro.service import (
     ServiceClient,
     SubmitRejected,
 )
+from repro.hetero import (
+    DEFAULT_TYPE_SCALING,
+    TypeScaling,
+    build_hetero_jobs,
+    make_hetero_cluster,
+    pin_jobs,
+)
+from repro.replay import ReplayStats, replay_trace, synthetic_trace
 from repro.sweep import ResultStore, RunResult, RunSpec, SweepRunner
-from repro.trace import Trace, TraceRecord, build_jobs, generate_trace
+from repro.trace import (
+    Trace,
+    TraceRecord,
+    build_jobs,
+    generate_trace,
+    load_philly_csv,
+    write_philly_csv,
+)
 from repro.verify import (
     INVARIANT_CATALOG,
     EpisodeSpec,
     InvariantChecker,
     InvariantViolation,
+    compare_homogeneous_identity,
     run_episode,
     run_fuzz,
 )
@@ -190,11 +215,14 @@ __all__ = [
     "EpisodeSpec",
     "run_episode",
     "run_fuzz",
+    "compare_homogeneous_identity",
     # traces & profiling
     "Trace",
     "TraceRecord",
     "generate_trace",
     "build_jobs",
+    "load_philly_csv",
+    "write_philly_csv",
     "ResourceProfiler",
     "UniformNoise",
     # schedulers
@@ -218,4 +246,14 @@ __all__ = [
     "GoodputAllocator",
     "ScalabilityProfile",
     "attach_scalability",
+    # heterogeneous & replay
+    "GpuType",
+    "TypeScaling",
+    "DEFAULT_TYPE_SCALING",
+    "make_hetero_cluster",
+    "pin_jobs",
+    "build_hetero_jobs",
+    "ReplayStats",
+    "replay_trace",
+    "synthetic_trace",
 ]

@@ -5,9 +5,12 @@ Perf claims in this repo are not prose — they are committed numbers.
 sizes, warm event-regroup latency percentiles, the service loop's
 submit-to-decision latency, sweep throughput, the fleet front-end's
 admission latency and drain throughput, the elastic arm's cold
-renegotiate-and-group step and per-tick renegotiation latency) and
-writes the results to ``BENCH_grouping.json`` / ``BENCH_service.json``
-/ ``BENCH_fleet.json`` / ``BENCH_elastic.json`` at the repo root.
+renegotiate-and-group step and per-tick renegotiation latency, and
+the production-scale trace-replay path: CSV ingestion plus the batch
+event-driven harness) and writes the results to
+``BENCH_grouping.json`` / ``BENCH_service.json`` /
+``BENCH_fleet.json`` / ``BENCH_elastic.json`` / ``BENCH_replay.json``
+at the repo root.
 Those files are committed; CI re-runs the quick suite and fails when a
 gated metric regresses more than the tolerance
 (``tools/diff_metrics.py --bench``).
@@ -25,6 +28,7 @@ from repro.bench.suite import (
     ELASTIC_BENCH_FILE,
     FLEET_BENCH_FILE,
     GROUPING_BENCH_FILE,
+    REPLAY_BENCH_FILE,
     SCHEMA_VERSION,
     SERVICE_BENCH_FILE,
     calibrate,
@@ -33,6 +37,7 @@ from repro.bench.suite import (
     run_elastic_suite,
     run_fleet_suite,
     run_grouping_suite,
+    run_replay_suite,
     run_service_suite,
     write_bench,
 )
@@ -41,6 +46,7 @@ __all__ = [
     "ELASTIC_BENCH_FILE",
     "FLEET_BENCH_FILE",
     "GROUPING_BENCH_FILE",
+    "REPLAY_BENCH_FILE",
     "SERVICE_BENCH_FILE",
     "SCHEMA_VERSION",
     "calibrate",
@@ -49,6 +55,7 @@ __all__ = [
     "run_elastic_suite",
     "run_fleet_suite",
     "run_grouping_suite",
+    "run_replay_suite",
     "run_service_suite",
     "write_bench",
 ]

@@ -17,7 +17,12 @@ Two suites, each writing one JSON document:
   front-end of :mod:`repro.fleet` — per-submission admission+routing
   wall latency (tenant ledger, deterministic routing, shard
   admission) over a seeded multi-tenant stream, and the aggregate
-  drain throughput of the sharded run as seconds per job.
+  drain throughput of the sharded run as seconds per job;
+* the **replay** suite (``BENCH_replay.json``) times production-scale
+  trace replay end to end — CSV ingestion throughput of the Philly
+  adapter, and the batch event-driven harness over a constant-load
+  synthetic trace (100k jobs full, 10k quick) as per-job wall seconds
+  plus p50/p99 simulator-step latency.
 
 Every benchmark entry carries raw ``*_seconds`` plus machine-speed
 normalized ``*_normalized`` values (seconds divided by the
@@ -47,6 +52,7 @@ __all__ = [
     "ELASTIC_BENCH_FILE",
     "FLEET_BENCH_FILE",
     "GROUPING_BENCH_FILE",
+    "REPLAY_BENCH_FILE",
     "SERVICE_BENCH_FILE",
     "SCHEMA_VERSION",
     "calibrate",
@@ -55,6 +61,7 @@ __all__ = [
     "run_elastic_suite",
     "run_fleet_suite",
     "run_grouping_suite",
+    "run_replay_suite",
     "run_service_suite",
     "write_bench",
 ]
@@ -64,6 +71,7 @@ GROUPING_BENCH_FILE = "BENCH_grouping.json"
 SERVICE_BENCH_FILE = "BENCH_service.json"
 FLEET_BENCH_FILE = "BENCH_fleet.json"
 ELASTIC_BENCH_FILE = "BENCH_elastic.json"
+REPLAY_BENCH_FILE = "BENCH_replay.json"
 
 #: Bumped whenever the benchmark workloads change incompatibly; the
 #: diff gate refuses to compare documents with different schemas.
@@ -706,6 +714,121 @@ def run_elastic_suite(
     return {
         "schema": SCHEMA_VERSION,
         "suite": "elastic",
+        "quick": quick,
+        "seed": seed,
+        "calibration_seconds": calibration,
+        "env": _environment(),
+        "benchmarks": benchmarks,
+    }
+
+
+def run_replay_suite(
+    quick: bool = False, seed: int = 0, progress: Progress = None
+) -> Dict[str, object]:
+    """Run the replay suite; return the ``BENCH_replay.json`` document.
+
+    The full path of a production-scale replay, on a constant-load
+    :func:`~repro.replay.workload.synthetic_trace` (100k jobs over 20
+    simulated days; the quick configuration replays the same recipe at
+    10k jobs — **not** a subset, so quick runs gate only against a
+    quick baseline, which is what CI commits):
+
+    * **csv_ingest** — Philly CSV adapter throughput: the trace is
+      serialized with ``write_philly_csv`` and ingested back with
+      ``load_philly_csv``, gated as seconds per job row;
+    * **replay_run** — the batch event-driven harness end to end
+      (FIFO shards the cost to the harness and simulator rather than
+      the grouping paths other suites own), gated as wall seconds per
+      job plus the p99 simulator-step latency from
+      :class:`~repro.replay.ReplayStats`.
+
+    Args:
+        quick: Replay 10k jobs instead of 100k (the CI configuration).
+        seed: Workload seed; the default is what the committed
+            baseline uses.
+        progress: Optional callback receiving one line per benchmark.
+    """
+    import tempfile
+
+    from repro.cluster.cluster import Cluster
+    from repro.replay import replay_trace
+    from repro.replay.workload import synthetic_trace
+    from repro.schedulers.registry import make_scheduler
+    from repro.sim.simulator import ClusterSimulator
+    from repro.trace.philly_csv import load_philly_csv, write_philly_csv
+    from repro.trace.workload import build_jobs
+
+    def note(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    calibration = calibrate()
+    note(f"calibration {calibration * 1e3:.1f} ms")
+
+    num_jobs = 10_000 if quick else 100_000
+    trace = synthetic_trace(num_jobs, seed=seed)
+
+    # CSV ingestion: serialize + parse the whole trace through the
+    # Philly adapter; cheap enough to take the best of two rounds.
+    ingest_cal = float("inf")
+    best_ingest = float("inf")
+    loaded = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "replay.csv"
+        for _ in range(2):
+            ingest_cal = min(ingest_cal, calibrate(repeats=1))
+            start = time.perf_counter()
+            write_philly_csv(trace, csv_path)
+            ingested, report = load_philly_csv(csv_path, min_duration=0.0)
+            best_ingest = min(best_ingest, time.perf_counter() - start)
+            loaded = report.jobs_loaded
+    ingest_cal = min(ingest_cal, calibrate(repeats=1))
+    ingest = {
+        "jobs": num_jobs,
+        "loaded": loaded,
+        "job_seconds": best_ingest / max(1, loaded),
+        "calibration": ingest_cal,
+    }
+    note(
+        f"csv_ingest: {loaded} jobs in {best_ingest:.2f} s "
+        f"({ingest['job_seconds'] * 1e6:.1f} us/job)"
+    )
+
+    # The replay itself: one round — the run is deterministic and
+    # minutes long at full size, so repeats would only resample
+    # scheduler jitter the adjacent calibration already cancels.
+    specs = build_jobs(ingested, seed=seed)
+    simulator = ClusterSimulator(
+        make_scheduler("fifo"), cluster=Cluster(256, 8)
+    )
+    replay_cal = calibrate(repeats=1)
+    result, stats = replay_trace(
+        simulator, specs, ingested.name, batch_step_seconds=300.0
+    )
+    replay_cal = min(replay_cal, calibrate(repeats=1))
+    run = {
+        "jobs": num_jobs,
+        "finished": len(result.jcts),
+        "steps": stats.sim_steps,
+        "rounds": stats.rounds,
+        "job_seconds": stats.wall_clock / max(1, num_jobs),
+        "p50_step_seconds": stats.step_seconds_p50,
+        "p99_step_seconds": stats.step_seconds_p99,
+        "calibration": replay_cal,
+    }
+    note(
+        f"replay_run: {num_jobs} jobs in {stats.wall_clock:.1f} s "
+        f"({num_jobs / max(stats.wall_clock, 1e-9):.0f} jobs/s), "
+        f"step p50 {stats.step_seconds_p50 * 1e3:.2f} ms, "
+        f"p99 {stats.step_seconds_p99 * 1e3:.2f} ms"
+    )
+
+    benchmarks = {"csv_ingest": ingest, "replay_run": run}
+    calibration = min(calibration, calibrate())
+    _attach_normalized(benchmarks, calibration)
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "replay",
         "quick": quick,
         "seed": seed,
         "calibration_seconds": calibration,

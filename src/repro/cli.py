@@ -17,7 +17,11 @@ Drives the library from a shell::
     repro fleet --jobs 200 --shards 4 --tenants 3   # sharded fleet
     repro fleet --jobs 100 --shards 4 --verify-shards
     repro fuzz --episodes 50 --seed 0         # invariant fuzzing
+    repro fuzz --episodes 50 --hetero         # + GPU-generation episodes
     repro fuzz --replay repro-failures/repro-seed0-ep3-....json
+    repro replay --jobs 100000 --via-csv /tmp/replay.csv \
+                 --verify-invariants          # production-scale replay
+    repro replay --csv philly.csv --vc vc7 --scheduler muri-s
     repro bench                               # pinned perf suite
     repro bench --quick --out-dir bench-out   # the CI configuration
 
@@ -274,20 +278,60 @@ def build_parser() -> argparse.ArgumentParser:
                       help="serialize failing episodes without shrinking")
     fuzz.add_argument("--replay", metavar="REPRO_FILE",
                       help="replay one repro file instead of fuzzing")
+    fuzz.add_argument("--hetero", action="store_true",
+                      help="generate heterogeneous episodes: typed "
+                           "machine layouts plus GPU-generation job "
+                           "affinities (exercises "
+                           "placement_respects_affinity)")
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a production-scale trace through the batch "
+             "event-driven harness (see docs/replay.md)",
+    )
+    replay.add_argument("--jobs", type=int, default=100_000,
+                        help="synthetic trace size when no --csv is given")
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--csv", metavar="PATH",
+                        help="ingest this Philly-schema CSV instead of "
+                             "synthesizing a trace")
+    replay.add_argument("--vc", help="keep only this virtual cluster "
+                                     "when ingesting --csv")
+    replay.add_argument("--via-csv", metavar="PATH",
+                        help="serialize the synthetic trace to PATH and "
+                             "ingest it back, exercising the full CSV "
+                             "adapter path")
+    replay.add_argument("--batch-step", type=float, default=300.0,
+                        help="admission round length in seconds "
+                             "(0 = continuous, bit-identical to run())")
+    replay.add_argument("--scheduler", default="fifo",
+                        choices=sorted(SCHEDULERS))
+    replay.add_argument("--machines", type=int, default=256)
+    replay.add_argument("--gpus-per-machine", type=int, default=8)
+    replay.add_argument("--fault-mtbf", type=float,
+                        help="arm a fault storm: mean seconds between "
+                             "faults")
+    replay.add_argument("--fault-loss", type=float, default=0.0,
+                        help="fraction of progress lost per fault")
+    replay.add_argument("--verify-invariants", action="store_true",
+                        help="arm the full runtime invariant catalog "
+                             "for the replay")
+    replay.add_argument("--out", help="write the result JSON here")
 
     bench = sub.add_parser(
         "bench",
         help="run the pinned performance benchmark suite and write "
              "BENCH_grouping.json / BENCH_service.json / "
-             "BENCH_fleet.json / BENCH_elastic.json (the committed "
-             "perf baselines; see docs/performance.md)",
+             "BENCH_fleet.json / BENCH_elastic.json / "
+             "BENCH_replay.json (the committed perf baselines; see "
+             "docs/performance.md)",
     )
     bench.add_argument("--quick", action="store_true",
                        help="the CI configuration: skip the largest "
                             "cold size and shorten the event streams")
     bench.add_argument("--suite", default="all",
                        choices=("grouping", "service", "fleet",
-                                "elastic", "all"),
+                                "elastic", "replay", "all"),
                        help="which suite(s) to run")
     bench.add_argument("--out-dir", default=".",
                        help="directory the BENCH_*.json files are "
@@ -851,6 +895,7 @@ def _cmd_fuzz(args) -> int:
         out_dir=Path(args.out_dir),
         invariants=invariants,
         shrink=not args.no_shrink,
+        hetero=args.hetero,
     )
     report = run_fuzz(config, progress=print)
     print(
@@ -863,6 +908,101 @@ def _cmd_fuzz(args) -> int:
     return 1 if report.failures else 0
 
 
+def _cmd_replay(args) -> int:
+    from repro.replay import replay_trace, synthetic_trace
+    from repro.trace.philly_csv import load_philly_csv, write_philly_csv
+
+    report = None
+    if args.csv:
+        ingested, report = load_philly_csv(
+            args.csv, virtual_cluster=args.vc
+        )
+    else:
+        trace = synthetic_trace(args.jobs, seed=args.seed)
+        if args.via_csv:
+            write_philly_csv(trace, args.via_csv)
+            # Round-trip through the adapter: 1-second timestamp
+            # resolution and the min-duration filter both apply, so
+            # this exercises the exact CSV path CI gates on.
+            ingested, report = load_philly_csv(
+                args.via_csv, min_duration=0.0
+            )
+        else:
+            ingested = trace
+    specs = build_jobs(ingested, seed=args.seed)
+    capacity = args.machines * args.gpus_per_machine
+    fitting = [s for s in specs if s.num_gpus <= capacity]
+    if len(fitting) < len(specs):
+        print(f"note: dropped {len(specs) - len(fitting)} job(s) "
+              f"larger than the cluster")
+    if not fitting:
+        print("error: no jobs to replay", file=sys.stderr)
+        return 2
+
+    if args.verify_invariants:
+        from repro.verify.invariants import InvariantChecker
+
+        tracer = InvariantChecker()
+    else:
+        tracer = None
+    fault_injector = None
+    if args.fault_mtbf is not None:
+        from repro.sim.faults import FaultInjector
+
+        fault_injector = FaultInjector(
+            mean_time_between_faults=args.fault_mtbf,
+            seed=args.seed,
+            progress_loss=args.fault_loss,
+        )
+    scheduler = make_scheduler(args.scheduler, tracer=tracer)
+    simulator = ClusterSimulator(
+        scheduler,
+        cluster=Cluster(args.machines, args.gpus_per_machine),
+        fault_injector=fault_injector,
+        tracer=tracer,
+    )
+    result, stats = replay_trace(
+        simulator, fitting, trace_name=ingested.name,
+        batch_step_seconds=args.batch_step,
+    )
+    summary = result.summary()
+    rows = [
+        ("scheduler", scheduler.name),
+        ("trace", ingested.name),
+        ("jobs", summary.num_jobs),
+        ("finished", stats.finished_jobs),
+        ("avg JCT (s)", summary.avg_jct),
+        ("p99 JCT (s)", summary.p99_jct),
+        ("makespan (s)", summary.makespan),
+        ("admission rounds", stats.rounds),
+        ("simulator steps", stats.sim_steps),
+        ("wall clock (s)", round(stats.wall_clock, 2)),
+        ("p50 step (ms)", round(stats.step_seconds_p50 * 1e3, 3)),
+        ("p99 step (ms)", round(stats.step_seconds_p99 * 1e3, 3)),
+    ]
+    if report is not None:
+        rows.append(("csv rows read", report.rows_read))
+        rows.append(("csv jobs loaded", report.jobs_loaded))
+        rows.append(("csv skipped", report.total_skipped))
+    print(format_table(["Metric", "Value"], rows, title="replay"))
+    if report is not None and report.skipped:
+        for reason, count in sorted(report.skipped.items()):
+            print(f"  skipped[{reason}] = {count}")
+    if args.out:
+        save_result(result, args.out)
+        print(f"result written to {args.out}")
+    if args.verify_invariants:
+        if tracer.violations:
+            for violation in tracer.violations:
+                print(f"  [{violation.invariant}] {violation.message}")
+            print(f"invariants: FAILED ({len(tracer.violations)} "
+                  f"violations)")
+            return 1
+        print(f"invariants: ok ({len(tracer.invariants)} armed, "
+              f"0 violations)")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from pathlib import Path
 
@@ -870,11 +1010,13 @@ def _cmd_bench(args) -> int:
         ELASTIC_BENCH_FILE,
         FLEET_BENCH_FILE,
         GROUPING_BENCH_FILE,
+        REPLAY_BENCH_FILE,
         SERVICE_BENCH_FILE,
         gated_metrics,
         run_elastic_suite,
         run_fleet_suite,
         run_grouping_suite,
+        run_replay_suite,
         run_service_suite,
         write_bench,
     )
@@ -890,6 +1032,8 @@ def _cmd_bench(args) -> int:
         suites.append((FLEET_BENCH_FILE, run_fleet_suite))
     if args.suite in ("elastic", "all"):
         suites.append((ELASTIC_BENCH_FILE, run_elastic_suite))
+    if args.suite in ("replay", "all"):
+        suites.append((REPLAY_BENCH_FILE, run_replay_suite))
     for filename, run_suite in suites:
         print(f"== {filename} ==")
         document = run_suite(
@@ -939,6 +1083,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "fleet": _cmd_fleet,
     "fuzz": _cmd_fuzz,
+    "replay": _cmd_replay,
     "bench": _cmd_bench,
     "reproduce": _cmd_reproduce,
 }

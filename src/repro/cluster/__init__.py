@@ -1,7 +1,7 @@
-"""Cluster substrate: machines, GPU slots, and placement."""
+"""Cluster substrate: machines, GPU types/slots, and placement."""
 
 from repro.cluster.cluster import Allocation, Cluster
-from repro.cluster.machine import GpuSlot, Machine
+from repro.cluster.machine import GpuSlot, GpuType, Machine
 from repro.cluster.placement import (
     DescendingPlacer,
     PlacementPlan,
@@ -14,6 +14,7 @@ __all__ = [
     "Allocation",
     "Machine",
     "GpuSlot",
+    "GpuType",
     "DescendingPlacer",
     "SpreadPlacer",
     "RandomPlacer",

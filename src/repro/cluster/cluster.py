@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.cluster.machine import GpuSlot, Machine
+from repro.cluster.machine import GpuSlot, GpuType, Machine
 
 __all__ = ["Cluster", "Allocation"]
 
@@ -38,22 +38,62 @@ class Allocation:
 
 
 class Cluster:
-    """A cluster of homogeneous machines.
+    """A cluster of machines, homogeneous by default.
 
     Args:
         num_machines: Number of servers.
         gpus_per_machine: GPU slots per server (the paper's testbed is
             8 machines x 8 GPUs = 64 GPUs).
+        machine_types: Optional per-machine GPU generations, one per
+            server.  Omitted (the default) every machine is untyped —
+            the original homogeneous cluster, bit-identical to the
+            pre-hetero behaviour.
     """
 
-    def __init__(self, num_machines: int = 8, gpus_per_machine: int = 8) -> None:
+    def __init__(
+        self,
+        num_machines: int = 8,
+        gpus_per_machine: int = 8,
+        machine_types: Optional[Sequence[GpuType]] = None,
+    ) -> None:
         if num_machines < 1:
             raise ValueError("a cluster needs at least one machine")
+        if machine_types is not None and len(machine_types) != num_machines:
+            raise ValueError(
+                f"machine_types has {len(machine_types)} entries for "
+                f"{num_machines} machines"
+            )
         self.machines: List[Machine] = [
-            Machine(machine_id=i, num_gpus=gpus_per_machine)
+            Machine(
+                machine_id=i,
+                num_gpus=gpus_per_machine,
+                gpu_type=machine_types[i] if machine_types else None,
+            )
             for i in range(num_machines)
         ]
         self._allocations: Dict[int, Allocation] = {}
+
+    # -- GPU generations ------------------------------------------------------
+
+    def gpu_type_names(self) -> Tuple[str, ...]:
+        """Distinct generation names present, sorted; empty if untyped."""
+        return tuple(sorted({
+            m.gpu_type.name for m in self.machines if m.gpu_type is not None
+        }))
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when machines carry more than one GPU generation."""
+        return len(self.gpu_type_names()) > 1
+
+    def machines_of_type(self, type_name: Optional[str]) -> List[Machine]:
+        """Machines satisfying a type-affinity key, cluster order."""
+        return [m for m in self.machines if m.matches_type(type_name)]
+
+    def gpu_type_of_machine(self, machine_id: int) -> Optional[str]:
+        """Generation name of one machine, or None when untyped."""
+        gpu_type = self.machines[machine_id].gpu_type
+        return None if gpu_type is None else gpu_type.name
 
     # -- capacity -------------------------------------------------------------
 

@@ -13,7 +13,31 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-__all__ = ["Machine", "GpuSlot"]
+__all__ = ["Machine", "GpuSlot", "GpuType"]
+
+
+@dataclass(frozen=True)
+class GpuType:
+    """One GPU generation (e.g. K80, P100, V100, A100).
+
+    Attributes:
+        name: Generation name; the affinity key jobs pin or prefer.
+        speed_factor: Relative compute speed against the baseline
+            generation (the paper's V100 testbed is 1.0).  A job's
+            stage durations are divided by this factor when its
+            profile is scaled for the generation it lands on.
+        memory_gb: Device memory per GPU (metadata).
+    """
+
+    name: str
+    speed_factor: float = 1.0
+    memory_gb: float = 32.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a GPU type needs a non-empty name")
+        if not self.speed_factor > 0:
+            raise ValueError("speed_factor must be > 0")
 
 
 @dataclass(frozen=True)
@@ -37,6 +61,10 @@ class Machine:
         num_cpus: Physical CPU sockets/cores (metadata).
         memory_gb: RAM in gigabytes (metadata).
         nic_gbps: Network bandwidth in Gbit/s (metadata).
+        gpu_type: GPU generation installed on this machine, or None
+            for the untyped homogeneous default (all pre-hetero
+            clusters).  Machines never mix generations — the Philly
+            clusters rack one SKU per server.
     """
 
     machine_id: int
@@ -44,12 +72,25 @@ class Machine:
     num_cpus: int = 2
     memory_gb: int = 256
     nic_gbps: int = 100
+    gpu_type: Optional[GpuType] = None
 
     _allocated: Dict[int, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
             raise ValueError("a machine needs at least one GPU")
+
+    # -- GPU generation ---------------------------------------------------
+
+    def matches_type(self, type_name: Optional[str]) -> bool:
+        """True when this machine satisfies a type-affinity key.
+
+        ``None`` (no affinity) matches every machine; a concrete name
+        matches only typed machines of that generation.
+        """
+        if type_name is None:
+            return True
+        return self.gpu_type is not None and self.gpu_type.name == type_name
 
     # -- capacity ---------------------------------------------------------
 

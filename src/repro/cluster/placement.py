@@ -16,6 +16,14 @@ Two alternative policies exist for the placement ablation:
 load-balancing strategy some clusters use) and :class:`RandomPlacer`
 (a seeded random feasible machine).  Both consolidate less, so
 multi-GPU jobs fragment and span machines more often.
+
+On heterogeneous clusters every policy accepts a *type affinity*
+(``gpu_type`` plus ``prefer``): a pinned demand only considers
+machines of that GPU generation, a preferred demand tries them first
+and falls back to the whole cluster.  With no affinity — and on any
+single-generation cluster — the machine pool is the full machine
+list in cluster order, so plans are bit-identical to the homogeneous
+code path (`repro.verify.compare_homogeneous_identity` pins this).
 """
 
 from __future__ import annotations
@@ -82,8 +90,23 @@ class DescendingPlacer:
             tuple(placed), tuple(owner for _, owner in unplaced)
         )
 
-    def plan_for(self, cluster: Cluster, num_gpus: int) -> Optional[Dict[int, int]]:
+    def plan_for(
+        self,
+        cluster: Cluster,
+        num_gpus: int,
+        gpu_type: Optional[str] = None,
+        prefer: bool = False,
+    ) -> Optional[Dict[int, int]]:
         """Compute a per-machine slot plan for one demand.
+
+        Args:
+            cluster: The cluster to plan against (not mutated).
+            num_gpus: GPU slots required.
+            gpu_type: Optional GPU-generation affinity: only machines
+                of this type are considered.
+            prefer: When True the affinity is soft — if no plan fits
+                on the preferred generation the whole cluster is
+                retried; when False (a pin) infeasibility is final.
 
         Returns:
             ``{machine_id: count}`` or None when the demand cannot be
@@ -91,12 +114,22 @@ class DescendingPlacer:
         """
         if num_gpus < 1:
             raise ValueError("num_gpus must be >= 1")
-        if not cluster.can_fit(num_gpus):
+        if gpu_type is not None:
+            plan = self._plan_on(cluster.machines_of_type(gpu_type), num_gpus)
+            if plan is not None or not prefer:
+                return plan
+        return self._plan_on(cluster.machines, num_gpus)
+
+    def _plan_on(
+        self, machines: Sequence, num_gpus: int
+    ) -> Optional[Dict[int, int]]:
+        """Best-fit-then-span plan over one machine pool."""
+        if num_gpus > sum(m.free_gpu_count for m in machines):
             return None
 
         # Best fit on one machine: tightest sufficient free capacity.
         single_candidates = [
-            m for m in cluster.machines if m.free_gpu_count >= num_gpus
+            m for m in machines if m.free_gpu_count >= num_gpus
         ]
         if single_candidates:
             best = min(
@@ -109,7 +142,7 @@ class DescendingPlacer:
         plan: Dict[int, int] = {}
         remaining = num_gpus
         for machine in sorted(
-            cluster.machines,
+            machines,
             key=lambda m: (-m.free_gpu_count, m.machine_id),
         ):
             if remaining == 0:
@@ -131,13 +164,13 @@ class SpreadPlacer(DescendingPlacer):
     must span, paying the cross-machine synchronization penalty.
     """
 
-    def plan_for(self, cluster: Cluster, num_gpus: int) -> Optional[Dict[int, int]]:
-        if num_gpus < 1:
-            raise ValueError("num_gpus must be >= 1")
-        if not cluster.can_fit(num_gpus):
+    def _plan_on(
+        self, machines: Sequence, num_gpus: int
+    ) -> Optional[Dict[int, int]]:
+        if num_gpus > sum(m.free_gpu_count for m in machines):
             return None
         candidates = [
-            m for m in cluster.machines if m.free_gpu_count >= num_gpus
+            m for m in machines if m.free_gpu_count >= num_gpus
         ]
         if candidates:
             best = max(
@@ -145,7 +178,7 @@ class SpreadPlacer(DescendingPlacer):
             )
             return {best.machine_id: num_gpus}
         # Fall back to the consolidating span plan.
-        return super().plan_for(cluster, num_gpus)
+        return super()._plan_on(machines, num_gpus)
 
 
 class RandomPlacer(DescendingPlacer):
@@ -157,15 +190,15 @@ class RandomPlacer(DescendingPlacer):
     def __init__(self, seed: int = 0) -> None:
         self._rng = random.Random(seed)
 
-    def plan_for(self, cluster: Cluster, num_gpus: int) -> Optional[Dict[int, int]]:
-        if num_gpus < 1:
-            raise ValueError("num_gpus must be >= 1")
-        if not cluster.can_fit(num_gpus):
+    def _plan_on(
+        self, machines: Sequence, num_gpus: int
+    ) -> Optional[Dict[int, int]]:
+        if num_gpus > sum(m.free_gpu_count for m in machines):
             return None
         candidates = [
-            m for m in cluster.machines if m.free_gpu_count >= num_gpus
+            m for m in machines if m.free_gpu_count >= num_gpus
         ]
         if candidates:
             choice = self._rng.choice(candidates)
             return {choice.machine_id: num_gpus}
-        return super().plan_for(cluster, num_gpus)
+        return super()._plan_on(machines, num_gpus)

@@ -471,6 +471,12 @@ class MultiRoundGrouper:
             gpu_counts = {by_id[job_id][0].num_gpus for job_id in members}
             if len(gpu_counts) != 1:
                 continue
+            affinities = {
+                (by_id[j][0].spec.gpu_affinity, by_id[j][0].spec.affinity_mode)
+                for j in members
+            }
+            if len(affinities) != 1:
+                continue
             if any(job_id in seed_of for job_id in members):
                 continue
             for job_id in members:
@@ -507,11 +513,18 @@ class MultiRoundGrouper:
         footprints only matter when the feasibility check is active.
         """
         if self.gpu_memory_gb is None:
-            return tuple(node.keys)
-        return (
-            tuple(node.keys),
-            tuple(job.spec.memory for job in node.jobs),
-        )
+            key: Tuple = tuple(node.keys)
+        else:
+            key = (
+                tuple(node.keys),
+                tuple(job.spec.memory for job in node.jobs),
+            )
+        # Affinity only joins the key when present, so every pre-hetero
+        # cache key (and therefore warm-plan hit pattern) is unchanged.
+        spec = node.jobs[0].spec
+        if spec.gpu_affinity is not None:
+            key = (key, ("affinity", spec.gpu_affinity, spec.affinity_mode))
+        return key
 
     def _candidate_merges(
         self,
@@ -600,7 +613,16 @@ class MultiRoundGrouper:
             for entry in entries
             if entry[3] is None and len(entry[1]) >= self.PARALLEL_MIN_NODES
         ]
-        return eligible if len(eligible) >= 2 else []
+        if len(eligible) < 2:
+            return []
+        # Worker payloads do not carry affinity metadata, so buckets
+        # with affine nodes must match serially (which enforces
+        # _affinity_compatible) rather than on the pool.
+        for entry in eligible:
+            for node in entry[1]:
+                if node.jobs[0].spec.gpu_affinity is not None:
+                    return []
+        return eligible
 
     def _worker_config(self) -> Dict[str, object]:
         """Constructor kwargs reproducing this grouper in a worker."""
@@ -742,6 +764,8 @@ class MultiRoundGrouper:
         """Edge weight of merging two nodes, or None if infeasible."""
         if u.size + v.size > self.max_group_size:
             return None
+        if not self._affinity_compatible(u, v):
+            return None
         if not self._memory_feasible(u, v):
             return None
         weight = self._merge_weight(u, v)
@@ -775,6 +799,8 @@ class MultiRoundGrouper:
             u = subset[a]
             v = subset[b]
             if u.size + v.size > self.max_group_size:
+                continue
+            if not self._affinity_compatible(u, v):
                 continue
             if not self._memory_feasible(u, v):
                 continue
@@ -899,6 +925,25 @@ class MultiRoundGrouper:
             )
             demand += gpus
         return demand
+
+    def _affinity_compatible(self, a: _Node, b: _Node) -> bool:
+        """May two nodes share GPUs on a heterogeneous cluster?
+
+        Nodes are affinity-homogeneous by construction (singletons
+        trivially, merges inductively), so the first job speaks for
+        each node.  Unaffine nodes always combine — the homogeneous
+        fast path — while affine nodes only combine with identical
+        ``(gpu_affinity, affinity_mode)``: a group must be placeable
+        on a single generation pool.
+        """
+        sa = a.jobs[0].spec
+        sb = b.jobs[0].spec
+        if sa.gpu_affinity is None and sb.gpu_affinity is None:
+            return True
+        return (
+            sa.gpu_affinity == sb.gpu_affinity
+            and sa.affinity_mode == sb.affinity_mode
+        )
 
     def _memory_feasible(self, a: _Node, b: _Node) -> bool:
         """Would the merged group fit in GPU memory (section 2.2)?"""
@@ -1071,6 +1116,11 @@ class MultiRoundGrouper:
                 for profile in nodes[idx].profiles
             )
             if len(profiles) > self.max_group_size:
+                return 0.0
+            if any(
+                not self._affinity_compatible(nodes[group_indices[0]], nodes[idx])
+                for idx in group_indices[1:]
+            ):
                 return 0.0
             _offsets, period = best_ordering(profiles, self.num_resources)
             gamma = efficiency_for_period(profiles, period, self.num_resources)

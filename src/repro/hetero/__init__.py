@@ -1,0 +1,36 @@
+"""Heterogeneous GPU generations: catalogue, scaling, and workloads.
+
+``repro.hetero`` opens the heterogeneous-cluster scenario (see
+``docs/heterogeneous.md``): a generation catalogue
+(:data:`GPU_GENERATIONS`), per-model per-generation speed factors
+(:class:`TypeScaling`), seeded cluster layouts
+(:func:`make_hetero_cluster`), and type-pinned workload builders
+(:func:`pin_jobs`, :func:`build_hetero_jobs`) whose job profiles are
+pre-scaled for the generation they land on.  Placement affinity is
+enforced by ``repro.cluster.placement`` and checked at runtime by the
+``placement_respects_affinity`` invariant in ``repro.verify``.
+"""
+
+from repro.hetero.types import (
+    DEFAULT_TYPE_SCALING,
+    GPU_GENERATIONS,
+    TypeScaling,
+    get_gpu_type,
+)
+from repro.hetero.workload import (
+    build_hetero_jobs,
+    make_hetero_cluster,
+    make_type_mix,
+    pin_jobs,
+)
+
+__all__ = [
+    "DEFAULT_TYPE_SCALING",
+    "GPU_GENERATIONS",
+    "TypeScaling",
+    "get_gpu_type",
+    "build_hetero_jobs",
+    "make_hetero_cluster",
+    "make_type_mix",
+    "pin_jobs",
+]

@@ -1,0 +1,133 @@
+"""GPU generations and per-model speed scaling.
+
+The paper's testbed is homogeneous V100s, but the Philly clusters it
+draws traces from mix generations — and Pollux (arXiv 2008.12260)
+shows that per-device goodput scaling must be modelled explicitly
+rather than averaged away.  This module provides the generation
+catalogue (:data:`GPU_GENERATIONS`) and :class:`TypeScaling`, the
+per-model, per-generation stage-duration speed factors that
+``repro.hetero.workload`` threads into job profiles.
+
+The model: a generation with speed factor ``f`` runs every stage of a
+job's iteration ``f`` times faster than the V100 baseline (durations
+divide by ``f``).  Per-model overrides refine that — a memory-bound
+RL model gains less from an A100 than a compute-dense transformer —
+without touching the base catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.cluster.machine import GpuType
+
+__all__ = [
+    "GPU_GENERATIONS",
+    "DEFAULT_TYPE_SCALING",
+    "TypeScaling",
+    "get_gpu_type",
+]
+
+#: The generation catalogue, keyed by name.  Speed factors are relative
+#: to the paper's V100 testbed (1.0); memory is per-device.
+GPU_GENERATIONS: Dict[str, GpuType] = {
+    "k80": GpuType("k80", speed_factor=0.35, memory_gb=12.0),
+    "p100": GpuType("p100", speed_factor=0.6, memory_gb=16.0),
+    "v100": GpuType("v100", speed_factor=1.0, memory_gb=32.0),
+    "a100": GpuType("a100", speed_factor=2.0, memory_gb=40.0),
+}
+
+
+def get_gpu_type(name: str) -> GpuType:
+    """Look up a generation by name (case-insensitive).
+
+    Raises:
+        KeyError: For names not in :data:`GPU_GENERATIONS`.
+    """
+    key = name.lower()
+    if key not in GPU_GENERATIONS:
+        raise KeyError(
+            f"unknown GPU generation {name!r}; known: "
+            f"{sorted(GPU_GENERATIONS)}"
+        )
+    return GPU_GENERATIONS[key]
+
+
+@dataclass(frozen=True)
+class TypeScaling:
+    """Per-model, per-generation stage-duration speed factors.
+
+    Attributes:
+        base: ``generation name -> speed factor`` defaults, usually the
+            catalogue's :attr:`GpuType.speed_factor` values.
+        per_model: Optional ``model name -> {generation -> factor}``
+            overrides (model names matched case-insensitively); absent
+            entries fall back to ``base``.
+    """
+
+    base: Mapping[str, float]
+    per_model: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, factor in self.base.items():
+            if not factor > 0:
+                raise ValueError(f"factor for {name!r} must be > 0")
+        for model, overrides in self.per_model.items():
+            for name, factor in overrides.items():
+                if not factor > 0:
+                    raise ValueError(
+                        f"factor for {model!r} on {name!r} must be > 0"
+                    )
+
+    def factor(self, model: str, type_name: str) -> float:
+        """Speed factor of one model on one generation.
+
+        Raises:
+            KeyError: When the generation is in neither the model's
+                overrides nor the base table.
+        """
+        overrides = self.per_model.get(model.lower())
+        if overrides is not None and type_name in overrides:
+            return overrides[type_name]
+        if type_name not in self.base:
+            raise KeyError(
+                f"no speed factor for generation {type_name!r}; known: "
+                f"{sorted(self.base)}"
+            )
+        return self.base[type_name]
+
+    def uniformly_scaled(self, k: float) -> "TypeScaling":
+        """A copy with every factor multiplied by ``k``.
+
+        The metamorphic handle of the speed-scaling property tests:
+        scaling every generation by ``k`` must scale makespan by
+        ``~1/k``.
+        """
+        if not k > 0:
+            raise ValueError("k must be > 0")
+        return TypeScaling(
+            base={name: factor * k for name, factor in self.base.items()},
+            per_model={
+                model: {name: factor * k for name, factor in overrides.items()}
+                for model, overrides in self.per_model.items()
+            },
+        )
+
+    def names(self) -> Tuple[str, ...]:
+        """Generation names with a base factor, sorted."""
+        return tuple(sorted(self.base))
+
+
+#: Catalogue-derived defaults with per-model refinements: RL models
+#: (CPU-heavy simulation loops) gain less from newer silicon, dense
+#: language models gain more.
+DEFAULT_TYPE_SCALING = TypeScaling(
+    base={name: t.speed_factor for name, t in GPU_GENERATIONS.items()},
+    per_model={
+        "a2c": {"a100": 1.4, "p100": 0.7},
+        "dqn": {"a100": 1.4, "p100": 0.7},
+        "gpt2": {"a100": 2.4, "k80": 0.25},
+        "bert": {"a100": 2.2, "k80": 0.3},
+    },
+)

@@ -56,6 +56,15 @@ class JobSpec:
             and agree with ``profile`` there, and an elastic scheduler
             may resize the job to any other supported count (see
             ``repro.elastic``).
+        gpu_affinity: Optional GPU-generation name this job is bound
+            to on a heterogeneous cluster; None (the default) runs
+            anywhere.  A pinned job's ``profile`` is expected to be
+            pre-scaled for that generation (see ``repro.hetero``).
+        affinity_mode: ``"pin"`` (the default) makes the affinity
+            hard — placement only considers machines of that
+            generation; ``"prefer"`` tries them first and falls back
+            to the whole cluster.  Ignored when ``gpu_affinity`` is
+            None.
     """
 
     profile: StageProfile
@@ -67,10 +76,17 @@ class JobSpec:
     job_id: Optional[int] = None
     memory: Optional[MemoryFootprint] = None
     scalability: Optional[ScalabilityProfile] = None
+    gpu_affinity: Optional[str] = None
+    affinity_mode: str = "pin"
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
             raise ValueError(f"num_gpus must be >= 1, got {self.num_gpus}")
+        if self.affinity_mode not in ("pin", "prefer"):
+            raise ValueError(
+                f"affinity_mode must be 'pin' or 'prefer', "
+                f"got {self.affinity_mode!r}"
+            )
         if self.scalability is not None:
             if not self.scalability.supports(self.num_gpus):
                 raise ValueError(

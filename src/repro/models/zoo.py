@@ -75,7 +75,12 @@ class ModelProfile:
         if max(self.stage_percentages) <= 0:
             raise ValueError("at least one stage percentage must be > 0")
 
-    def stage_profile(self, num_gpus: int = 1, network_scaling: float = 0.0) -> StageProfile:
+    def stage_profile(
+        self,
+        num_gpus: int = 1,
+        network_scaling: float = 0.0,
+        speed_factor: float = 1.0,
+    ) -> StageProfile:
         """Build the per-worker :class:`StageProfile` for this model.
 
         Following the paper's methodology, the profile is measured once
@@ -90,9 +95,15 @@ class ModelProfile:
                 synchronization stage per worker-count doubling beyond
                 eight GPUs, modelling all-reduce cost growth.  Zero
                 (the default) keeps the Table 1 percentages unchanged.
+            speed_factor: Relative speed of the GPU generation the job
+                runs on (see :class:`repro.cluster.GpuType`); every
+                stage duration is divided by it.  1.0 (the default,
+                the paper's V100 baseline) leaves durations unchanged.
         """
         if num_gpus < 1:
             raise ValueError("num_gpus must be >= 1")
+        if not speed_factor > 0:
+            raise ValueError("speed_factor must be > 0")
         fractions: Dict[Resource, float] = dict(
             zip(RESOURCE_ORDER, self.stage_percentages)
         )
@@ -104,6 +115,8 @@ class ModelProfile:
                 Resource.NETWORK,
                 profile.duration(Resource.NETWORK) * factor,
             )
+        if speed_factor != 1.0:
+            profile = profile.scaled(1.0 / speed_factor)
         return profile
 
     def throughput(self, num_gpus: int = 1) -> float:

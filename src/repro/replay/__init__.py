@@ -1,0 +1,14 @@
+"""Batch event-driven trace replay (see ``docs/replay.md``).
+
+A Firmament-style harness that drains a time-ordered arrival queue
+into the PR-5 online simulator lifecycle in rounds of
+``batch_step_seconds``, so 100k+-job multi-day traces replay through
+one uniform event loop across every scheduler arm.  At
+``batch_step_seconds == 0`` the harness is bit-identical to
+``ClusterSimulator.run()``.
+"""
+
+from repro.replay.harness import ReplayStats, replay_trace
+from repro.replay.workload import synthetic_trace
+
+__all__ = ["ReplayStats", "replay_trace", "synthetic_trace"]

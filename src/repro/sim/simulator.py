@@ -679,7 +679,20 @@ class ClusterSimulator:
             self.tracer, "sim.place", now, groups=len(new_groups)
         ):
             for group in new_groups:
-                plan = self.placer.plan_for(self.cluster, group.num_gpus)
+                # Affinity-homogeneous groups (the grouper's
+                # _affinity_compatible guarantee) let the first member
+                # speak for the group; unaffine groups take the exact
+                # pre-hetero call so custom placers keep working.
+                lead_spec = group.jobs[0].spec
+                if lead_spec.gpu_affinity is not None:
+                    plan = self.placer.plan_for(
+                        self.cluster,
+                        group.num_gpus,
+                        gpu_type=lead_spec.gpu_affinity,
+                        prefer=lead_spec.affinity_mode == "prefer",
+                    )
+                else:
+                    plan = self.placer.plan_for(self.cluster, group.num_gpus)
                 if plan is None:
                     # Fragmentation; members stay pending.
                     if tracing:
@@ -718,6 +731,23 @@ class ClusterSimulator:
                         gpus=group.num_gpus,
                         spans_machines=allocation.spans_machines,
                     )
+                    if any(
+                        job.spec.gpu_affinity is not None for job in members
+                    ):
+                        tracer.emit(
+                            EventCategory.SCHED,
+                            "sched.hetero.place",
+                            now,
+                            members=member_ids,
+                            affinities=[
+                                (job.spec.gpu_affinity, job.spec.affinity_mode)
+                                for job in members
+                            ],
+                            machine_types=[
+                                self.cluster.gpu_type_of_machine(machine_id)
+                                for machine_id in allocation.machine_ids
+                            ],
+                        )
                     detail = (
                         f"group {member_ids}" if len(member_ids) > 1 else "solo"
                     )

@@ -40,6 +40,7 @@ from repro.sweep.cells import (
     group_size_cells,
     job_type_cells,
     noise_cells,
+    replay_cells,
     robustness_cells,
     simulation_cells,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "group_size_cells",
     "job_type_cells",
     "noise_cells",
+    "replay_cells",
     "robustness_cells",
     "results_by_label",
     "summarize_runs",

@@ -24,6 +24,7 @@ __all__ = [
     "noise_cells",
     "robustness_cells",
     "elastic_cells",
+    "replay_cells",
     "experiment_cells",
 ]
 
@@ -249,10 +250,42 @@ def elastic_cells(
     return cells
 
 
-#: Artifact names ``experiment_cells`` accepts (``"all"`` is their union).
+def replay_cells(
+    num_jobs: Optional[int] = 2_000,
+    seed: int = 0,
+    batch_steps: Sequence[float] = (0.0, 300.0, 1800.0),
+) -> List[RunSpec]:
+    """Cells of the replay arm: admission-round length vs JCT.
+
+    Per scheduler, one cell per ``batch_step_seconds``: ``0.0`` is the
+    continuous mode (bit-identical to ``simulator.run()`` — the sweep
+    carries its own differential anchor), the others quantize
+    admission to rounds, trading scheduler invocations for queueing
+    delay.  The workload is the replay arm's constant-load synthetic
+    trace (``trace_id="replay"``), not a Philly preset.
+    """
+    cells = []
+    for label, scheduler in (("FIFO", "fifo"), ("Muri-S", "muri-s")):
+        for batch_step in batch_steps:
+            cells.append(RunSpec(
+                experiment="replay",
+                label=f"{label} B={batch_step:g}s",
+                scheduler=scheduler,
+                trace_id="replay",
+                seed=seed,
+                num_jobs=num_jobs,
+                machines=32,
+                gpus_per_machine=8,
+                replay_batch_step=batch_step,
+            ))
+    return cells
+
+
+#: Artifact names ``experiment_cells`` accepts (``"all"`` is their union,
+#: except ``"replay"`` — see ``experiment_cells``).
 SWEEPABLE_EXPERIMENTS = (
     "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "robustness",
-    "elastic",
+    "elastic", "replay",
 )
 
 
@@ -280,10 +313,16 @@ def experiment_cells(
             num_jobs=min(num_jobs, 250) if num_jobs else 250
         ),
         "elastic": lambda: elastic_cells(num_jobs=num_jobs, seed=seed),
+        "replay": lambda: replay_cells(num_jobs=num_jobs, seed=seed),
     }
     if artifact == "all":
+        # "replay" is opt-in: its cells are not paper artifacts, and
+        # growing the "all" grid would shift the committed sweep
+        # baselines the metrics gate diffs against.
         cells = []
         for name in SWEEPABLE_EXPERIMENTS:
+            if name == "replay":
+                continue
             cells.extend(builders[name]())
         return cells
     if artifact not in builders:

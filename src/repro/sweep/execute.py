@@ -80,12 +80,19 @@ def build_workload(spec: RunSpec) -> Tuple[str, List[JobSpec]]:
     Returns:
         ``(trace_name, job_specs)`` — deterministic for a given spec.
     """
-    trace = generate_trace(
-        spec.trace_id,
-        num_jobs=spec.num_jobs,
-        seed=spec.seed,
-        at_time_zero=spec.at_time_zero,
-    )
+    if spec.trace_id == "replay":
+        # The replay arm's constant-load trace; sized by num_jobs
+        # rather than drawn from the paper's Philly presets.
+        from repro.replay import synthetic_trace
+
+        trace = synthetic_trace(spec.num_jobs or 2_000, seed=spec.seed)
+    else:
+        trace = generate_trace(
+            spec.trace_id,
+            num_jobs=spec.num_jobs,
+            seed=spec.seed,
+            at_time_zero=spec.at_time_zero,
+        )
     if spec.busiest_interval is not None:
         trace = trace.busiest_interval(spec.busiest_interval)
     models = list(spec.models) if spec.models is not None else None
@@ -128,6 +135,14 @@ def execute_run(spec: RunSpec) -> SimulationResult:
         cluster=Cluster(spec.machines, spec.gpus_per_machine),
         **dict(spec.sim_options),
     )
+    if spec.replay_batch_step is not None:
+        from repro.replay import replay_trace
+
+        result, _ = replay_trace(
+            simulator, job_specs, trace_name=trace_name,
+            batch_step_seconds=spec.replay_batch_step,
+        )
+        return result
     return simulator.run(job_specs, trace_name)
 
 

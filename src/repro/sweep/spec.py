@@ -85,6 +85,13 @@ class RunSpec:
             jobs elastic.  None (the default) leaves the workload
             rigid — and is omitted from :meth:`to_dict`, so every
             pre-elastic run id is unchanged.
+        replay_batch_step: When set, execute through
+            :func:`repro.replay.replay_trace` with this
+            ``batch_step_seconds`` instead of ``simulator.run()``
+            (``0.0`` is the bit-identical continuous mode, so it is a
+            meaningful value and only None means "not a replay
+            cell").  Omitted from :meth:`to_dict` when None, so every
+            pre-replay run id is unchanged.
     """
 
     experiment: str
@@ -102,6 +109,7 @@ class RunSpec:
     scheduler_options: Tuple = ()
     sim_options: Tuple = ()
     elastic_fraction: Optional[float] = None
+    replay_batch_step: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -122,9 +130,13 @@ class RunSpec:
                 value = dict(value)
             elif spec_field.name == "models" and value is not None:
                 value = list(value)
-            elif spec_field.name == "elastic_fraction" and value is None:
-                # Omitted when unset so every pre-elastic run id (and
-                # therefore every committed baseline) stays stable.
+            elif (
+                spec_field.name in ("elastic_fraction", "replay_batch_step")
+                and value is None
+            ):
+                # Omitted when unset so every pre-elastic / pre-replay
+                # run id (and therefore every committed baseline)
+                # stays stable.
                 continue
             payload[spec_field.name] = value
         return payload

@@ -13,6 +13,12 @@ from repro.trace.philly import (
     TracePreset,
     generate_trace,
 )
+from repro.trace.philly_csv import (
+    IngestError,
+    IngestReport,
+    load_philly_csv,
+    write_philly_csv,
+)
 from repro.trace.philly_loader import load_philly_json
 from repro.trace.records import Trace, TraceRecord
 from repro.trace.workload import assign_models, build_jobs
@@ -26,6 +32,10 @@ __all__ = [
     "PhillyTraceGenerator",
     "generate_trace",
     "load_philly_json",
+    "load_philly_csv",
+    "write_philly_csv",
+    "IngestError",
+    "IngestReport",
     "assign_models",
     "build_jobs",
     "poisson_arrivals",

@@ -225,4 +225,5 @@ class Trace:
     def from_records(
         cls, name: str, records: Iterable[TraceRecord]
     ) -> "Trace":
+        """Build a named trace from any iterable of records."""
         return cls(name=name, records=tuple(records))

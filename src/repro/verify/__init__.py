@@ -28,6 +28,7 @@ from repro.verify.differential import (
 )
 from repro.verify.elastic import compare_flat_identity, run_elastic_oracle
 from repro.verify.fleet import compare_fleet_serial
+from repro.verify.hetero import compare_homogeneous_identity
 from repro.verify.fuzz import (
     FuzzConfig,
     FuzzReport,
@@ -72,6 +73,7 @@ __all__ = [
     "compare_pairs_exact",
     "compare_groups_exact",
     "compare_flat_identity",
+    "compare_homogeneous_identity",
     "run_elastic_oracle",
     "IncrementalOracle",
     "plan_signature",

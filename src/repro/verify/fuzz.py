@@ -40,6 +40,14 @@ _SCHEDULER_POOL: Tuple[str, ...] = (
     "srsf", "tiresias", "antman", "tetris",
 )
 
+#: Hetero episodes sample only the affinity-aware Muri variants: the
+#: baselines group without the affinity-checked grouper, so their
+#: mixed-pin groups would report findings about schedulers that never
+#: claimed to honor affinity.
+_HETERO_SCHEDULER_POOL: Tuple[str, ...] = (
+    "muri-s", "muri-s", "muri-s", "muri-l", "muri-l",
+)
+
 
 @dataclass
 class FuzzConfig:
@@ -52,6 +60,9 @@ class FuzzConfig:
         out_dir: Directory repro files are written to.
         invariants: Invariant names to arm (None = all).
         shrink: Shrink failing episodes before serializing.
+        hetero: Generate heterogeneous episodes — typed machine
+            layouts plus GPU-generation job affinities — exercising
+            the ``placement_respects_affinity`` invariant.
     """
 
     episodes: int = 50
@@ -60,6 +71,7 @@ class FuzzConfig:
     out_dir: Path = field(default_factory=lambda: Path("repro-failures"))
     invariants: Optional[List[str]] = None
     shrink: bool = True
+    hetero: bool = False
 
 
 @dataclass
@@ -82,17 +94,43 @@ class FuzzReport:
         return not self.failures
 
 
-def random_episode(rng: random.Random, index: int, max_jobs: int = 12) -> EpisodeSpec:
+def random_episode(
+    rng: random.Random,
+    index: int,
+    max_jobs: int = 12,
+    hetero: bool = False,
+) -> EpisodeSpec:
     """One random episode, fully determined by ``rng``'s state.
 
     Workloads are small and episodes short (tens of iterations per
     job), so a fuzz run of dozens of episodes stays in CI budget while
     still crossing scheduler ticks, completions, preemptions, group
-    re-keying, backfill, and fault requeues.
+    re-keying, backfill, and fault requeues.  With ``hetero`` the
+    cluster gets an explicit per-machine GPU-generation layout and a
+    random subset of jobs carries a generation affinity — hard pins
+    only when the pinned pool can actually host the job (a pin larger
+    than its pool would starve forever, a finding about the episode
+    generator rather than the scheduler), soft preferences otherwise.
     """
     num_machines = rng.randint(1, 3)
     gpus_per_machine = rng.choice((2, 4, 8))
     total_gpus = num_machines * gpus_per_machine
+
+    gpu_types: Optional[List[str]] = None
+    pool_gpus: dict = {}
+    if hetero:
+        palette = rng.sample(
+            ("k80", "p100", "v100", "a100"), min(2, num_machines)
+        )
+        # Every palette generation appears at least once; the tail is
+        # uniform — the same shape make_type_mix produces.
+        gpu_types = list(palette)
+        gpu_types.extend(
+            rng.choice(palette)
+            for _ in range(num_machines - len(palette))
+        )
+        for name in gpu_types:
+            pool_gpus[name] = pool_gpus.get(name, 0) + gpus_per_machine
 
     jobs: List[JobSpecData] = []
     for _ in range(rng.randint(1, max_jobs)):
@@ -103,20 +141,31 @@ def random_episode(rng: random.Random, index: int, max_jobs: int = 12) -> Episod
         if not any(durations):
             durations[rng.randrange(4)] = round(rng.uniform(0.5, 8.0), 3)
         gpu_choices = [g for g in (1, 1, 1, 2, 4) if g <= total_gpus]
+        num_gpus = rng.choice(gpu_choices)
+        gpu_affinity = None
+        affinity_mode = "pin"
+        if hetero and rng.random() < 0.7:
+            gpu_affinity = rng.choice(sorted(pool_gpus))
+            if pool_gpus[gpu_affinity] < num_gpus or rng.random() < 0.3:
+                affinity_mode = "prefer"
         jobs.append(JobSpecData(
             durations=tuple(durations),
-            num_gpus=rng.choice(gpu_choices),
+            num_gpus=num_gpus,
             submit_time=(
                 0.0 if rng.random() < 0.5
                 else round(rng.uniform(0.0, 720.0), 1)
             ),
             num_iterations=rng.randint(1, 60),
+            gpu_affinity=gpu_affinity,
+            affinity_mode=affinity_mode,
         ))
 
     inject_faults = rng.random() < 0.4
     return EpisodeSpec(
         seed=index,
-        scheduler=rng.choice(_SCHEDULER_POOL),
+        scheduler=rng.choice(
+            _HETERO_SCHEDULER_POOL if hetero else _SCHEDULER_POOL
+        ),
         num_machines=num_machines,
         gpus_per_machine=gpus_per_machine,
         scheduling_interval=rng.choice((60.0, 180.0, 360.0)),
@@ -127,6 +176,7 @@ def random_episode(rng: random.Random, index: int, max_jobs: int = 12) -> Episod
         fault_loss=round(rng.uniform(0.0, 1.0), 2) if inject_faults else 0.0,
         fault_seed=rng.randrange(1 << 16),
         jobs=jobs,
+        gpu_types=gpu_types,
     )
 
 
@@ -211,7 +261,9 @@ def run_fuzz(
     rng = random.Random(config.seed)
     report = FuzzReport()
     for index in range(config.episodes):
-        episode = random_episode(rng, index, max_jobs=config.max_jobs)
+        episode = random_episode(
+            rng, index, max_jobs=config.max_jobs, hetero=config.hetero
+        )
         if config.invariants is not None:
             episode.invariants = list(config.invariants)
         outcome = run_episode(episode)

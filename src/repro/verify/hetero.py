@@ -1,0 +1,150 @@
+"""Differential oracle for the heterogeneous-cluster arm.
+
+The guarantee backing ``repro.hetero`` (see ``docs/heterogeneous.md``):
+when every machine carries the *same* GPU generation and every job is
+pinned to it, the whole heterogeneity surface — affinity-aware bucket
+feasibility in the grouper, type-filtered placement pools, affinity
+cache-key suffixes — must collapse into a no-op.
+:func:`compare_homogeneous_identity` certifies it end to end by
+running the single-type heterogeneous configuration against a plain
+homogeneous cluster whose jobs carry the *identical pre-scaled
+profiles* but no affinity, and demanding bit-identical results: same
+JCTs, same finish times, same preemption counts, same cluster time
+series.
+
+Mismatches raise :class:`~repro.verify.invariants.InvariantViolation`
+with invariant name ``differential.homogeneous``, matching the other
+differential oracles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.hetero.types import TypeScaling, get_gpu_type
+from repro.hetero.workload import pin_jobs
+from repro.jobs.job import JobSpec
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import ClusterSimulator
+from repro.verify.invariants import InvariantViolation
+
+__all__ = ["compare_homogeneous_identity"]
+
+
+def _simulate(
+    scheduler,
+    specs: Sequence[JobSpec],
+    cluster: Cluster,
+    sim_kwargs: Dict,
+    trace_name: str,
+) -> SimulationResult:
+    simulator = ClusterSimulator(scheduler, cluster=cluster, **sim_kwargs)
+    try:
+        return simulator.run(specs, trace_name=trace_name)
+    finally:
+        close = getattr(scheduler, "close", None)
+        if close is not None:
+            close()
+
+
+def compare_homogeneous_identity(
+    specs: Sequence[JobSpec],
+    type_name: str = "v100",
+    scheduler: str = "muri-s",
+    cluster_shape: Tuple[int, int] = (8, 8),
+    scaling: Optional[TypeScaling] = None,
+    seed: int = 0,
+    sim_kwargs: Optional[Dict] = None,
+    trace_name: str = "homogeneous-identity",
+) -> Tuple[SimulationResult, SimulationResult]:
+    """Single-type hetero vs plain homogeneous; must be bit-identical.
+
+    Both sides see the *same pre-scaled job profiles* (the hetero
+    side's :func:`~repro.hetero.pin_jobs` output, affinity stripped on
+    the baseline), so any divergence is introduced by the affinity
+    machinery itself — grouper feasibility checks, cache-key suffixes,
+    the type-filtered placement pool — exactly the surface this oracle
+    pins down.
+
+    Args:
+        specs: The workload, before pinning.
+        type_name: The single generation every machine and job gets.
+        scheduler: Registry name built fresh for each side.
+        cluster_shape: ``(machines, gpus_per_machine)`` for both sides.
+        scaling: Speed-factor table forwarded to ``pin_jobs``.
+        seed: Pinning seed (only the RNG stream; with one candidate
+            type every job pins identically regardless).
+        sim_kwargs: Extra :class:`~repro.sim.ClusterSimulator`
+            arguments applied to both simulators.
+        trace_name: Workload label stamped on both results.
+
+    Returns:
+        ``(homogeneous_result, hetero_result)`` once identity holds.
+
+    Raises:
+        InvariantViolation: With invariant ``differential.homogeneous``
+            on any divergence.
+        KeyError: For an unknown generation name.
+    """
+    from repro.schedulers.registry import make_scheduler
+
+    sim_kwargs = dict(sim_kwargs or {})
+    machines, gpus = cluster_shape
+    gpu_type = get_gpu_type(type_name)
+
+    pinned = pin_jobs(specs, [type_name], seed=seed, scaling=scaling)
+    stripped = [replace(spec, gpu_affinity=None) for spec in pinned]
+
+    homogeneous = _simulate(
+        make_scheduler(scheduler),
+        stripped,
+        Cluster(machines, gpus),
+        sim_kwargs,
+        trace_name,
+    )
+    hetero = _simulate(
+        make_scheduler(scheduler),
+        pinned,
+        Cluster(machines, gpus, machine_types=[gpu_type] * machines),
+        sim_kwargs,
+        trace_name,
+    )
+
+    mismatches: Dict[str, object] = {}
+    if homogeneous.jcts != hetero.jcts:
+        mismatches["jcts"] = {
+            "homogeneous_jobs": len(homogeneous.jcts),
+            "hetero_jobs": len(hetero.jcts),
+            "diverging": sorted(
+                job_id
+                for job_id in set(homogeneous.jcts) | set(hetero.jcts)
+                if homogeneous.jcts.get(job_id) != hetero.jcts.get(job_id)
+            )[:16],
+        }
+    if homogeneous.finish_times != hetero.finish_times:
+        mismatches["finish_times"] = True
+    if homogeneous.total_preemptions != hetero.total_preemptions:
+        mismatches["total_preemptions"] = {
+            "homogeneous": homogeneous.total_preemptions,
+            "hetero": hetero.total_preemptions,
+        }
+    if homogeneous.total_restart_time != hetero.total_restart_time:
+        mismatches["total_restart_time"] = {
+            "homogeneous": homogeneous.total_restart_time,
+            "hetero": hetero.total_restart_time,
+        }
+    if homogeneous.timeseries != hetero.timeseries:
+        mismatches["timeseries"] = {
+            "homogeneous_points": len(homogeneous.timeseries),
+            "hetero_points": len(hetero.timeseries),
+        }
+    if mismatches:
+        raise InvariantViolation(
+            "differential.homogeneous",
+            f"single-type ({type_name}) heterogeneous run diverged from "
+            "the homogeneous baseline (affinity no-op guarantee broken)",
+            details={"mismatches": mismatches},
+        )
+    return homogeneous, hetero

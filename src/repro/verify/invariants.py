@@ -90,6 +90,12 @@ INVARIANT_CATALOG: Dict[str, str] = {
         "new GPU count leaves the job's remaining iterations and "
         "attained service exactly as they were."
     ),
+    "placement_respects_affinity": (
+        "Heterogeneous placement honors GPU-generation affinity: a "
+        "group never mixes jobs with different affinities, and a "
+        "pinned group's allocation lands only on machines of the "
+        "pinned generation."
+    ),
 }
 
 
@@ -438,6 +444,8 @@ class InvariantChecker(Tracer):
             self._on_fault(sim_time, args)
         elif name == "sched.resize.apply":
             self._on_resize(sim_time, args)
+        elif name == "sched.hetero.place":
+            self._on_hetero_place(sim_time, args)
 
     def _on_group_start(self, sim_time: float, args: Dict[str, Any]) -> None:
         members = list(args.get("members") or ())
@@ -525,6 +533,49 @@ class InvariantChecker(Tracer):
                     [job_id] if job_id is not None else [],
                 )
         self._on_member_left(sim_time, args.get("job"))
+
+    def _on_hetero_place(self, sim_time: float, args: Dict[str, Any]) -> None:
+        """A placed group must honor its members' GPU-type affinity."""
+        if "placement_respects_affinity" not in self.invariants:
+            return
+        members = list(args.get("members") or ())
+        affinities = [tuple(a) for a in (args.get("affinities") or ())]
+        machine_types = list(args.get("machine_types") or ())
+        # Soft preferences may land anywhere and may mix freely; hard
+        # pins are the promise.  Two distinct pins in one group are
+        # irreconcilable (members share one allocation), and a single
+        # pin must cover every machine of that allocation.
+        pins = sorted({
+            gpu_type
+            for gpu_type, mode in affinities
+            if gpu_type is not None and mode == "pin"
+        })
+        if len(pins) > 1:
+            self._fail(
+                "placement_respects_affinity",
+                f"group {members} mixes pinned GPU generations {pins}",
+                sim_time,
+                {"members": members, "affinities": affinities},
+                members,
+            )
+            return
+        if not pins:
+            return
+        gpu_type = pins[0]
+        stray = sorted({str(t) for t in machine_types if t != gpu_type})
+        if stray:
+            self._fail(
+                "placement_respects_affinity",
+                f"group {members} is pinned to {gpu_type!r} but was "
+                f"placed on machine types {stray}",
+                sim_time,
+                {
+                    "members": members,
+                    "pinned": gpu_type,
+                    "machine_types": machine_types,
+                },
+                members,
+            )
 
     def _on_resize(self, sim_time: float, args: Dict[str, Any]) -> None:
         """An applied resize must conserve progress exactly."""

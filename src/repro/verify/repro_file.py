@@ -52,12 +52,16 @@ class JobSpecData:
         num_gpus: GPUs the job requests.
         submit_time: Arrival time in seconds.
         num_iterations: Training iterations to run.
+        gpu_affinity: GPU generation the job is tied to (None = any).
+        affinity_mode: ``"pin"`` (hard) or ``"prefer"`` (soft).
     """
 
     durations: Tuple[float, ...]
     num_gpus: int = 1
     submit_time: float = 0.0
     num_iterations: int = 10
+    gpu_affinity: Optional[str] = None
+    affinity_mode: str = "pin"
 
     def to_spec(self, job_id: int) -> JobSpec:
         """Materialize as a :class:`~repro.jobs.job.JobSpec`."""
@@ -68,6 +72,8 @@ class JobSpecData:
             num_iterations=self.num_iterations,
             job_id=job_id,
             name=f"fuzz-{job_id}",
+            gpu_affinity=self.gpu_affinity,
+            affinity_mode=self.affinity_mode,
         )
 
 
@@ -92,6 +98,9 @@ class EpisodeSpec:
         jobs: The workload, one :class:`JobSpecData` per job; job ids
             are assigned 0..n-1 in list order on replay.
         invariants: Invariant names to arm (None = all).
+        gpu_types: Explicit per-machine GPU generation layout (one
+            catalogue name per machine, length ``num_machines``); None
+            replays on an untyped homogeneous cluster.
     """
 
     seed: int = 0
@@ -108,6 +117,7 @@ class EpisodeSpec:
     fault_seed: int = 0
     jobs: List[JobSpecData] = field(default_factory=list)
     invariants: Optional[List[str]] = None
+    gpu_types: Optional[List[str]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-serializable copy."""
@@ -125,6 +135,8 @@ class EpisodeSpec:
                 num_gpus=job.get("num_gpus", 1),
                 submit_time=job.get("submit_time", 0.0),
                 num_iterations=job.get("num_iterations", 10),
+                gpu_affinity=job.get("gpu_affinity"),
+                affinity_mode=job.get("affinity_mode", "pin"),
             )
             for job in payload.get("jobs", ())
         ]
@@ -189,9 +201,18 @@ def run_episode(
             seed=episode.fault_seed,
             progress_loss=episode.fault_loss,
         )
+    machine_types = None
+    if episode.gpu_types is not None:
+        from repro.hetero.types import get_gpu_type
+
+        machine_types = [get_gpu_type(name) for name in episode.gpu_types]
     simulator = ClusterSimulator(
         scheduler,
-        cluster=Cluster(episode.num_machines, episode.gpus_per_machine),
+        cluster=Cluster(
+            episode.num_machines,
+            episode.gpus_per_machine,
+            machine_types=machine_types,
+        ),
         scheduling_interval=episode.scheduling_interval,
         restart_penalty=episode.restart_penalty,
         fault_injector=fault_injector,

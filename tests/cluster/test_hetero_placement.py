@@ -1,0 +1,95 @@
+"""Typed machines, typed clusters, and affinity-aware placement."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import GpuType
+from repro.cluster.placement import DescendingPlacer
+
+V100 = GpuType("v100", speed_factor=1.0, memory_gb=32.0)
+A100 = GpuType("a100", speed_factor=2.0, memory_gb=40.0)
+
+
+def typed_cluster():
+    """Two v100 machines (ids 0-1), two a100 machines (ids 2-3)."""
+    return Cluster(4, 4, machine_types=[V100, V100, A100, A100])
+
+
+class TestTypedCluster:
+    def test_machine_types_length_validated(self):
+        with pytest.raises(ValueError):
+            Cluster(3, 4, machine_types=[V100])
+
+    def test_untyped_cluster_has_no_type_names(self):
+        cluster = Cluster(2, 4)
+        assert cluster.gpu_type_names() == ()
+        assert not cluster.is_heterogeneous
+        assert cluster.gpu_type_of_machine(0) is None
+
+    def test_typed_cluster_reports_names(self):
+        cluster = typed_cluster()
+        assert cluster.gpu_type_names() == ("a100", "v100")
+        assert cluster.is_heterogeneous
+        assert cluster.gpu_type_of_machine(0) == "v100"
+        assert cluster.gpu_type_of_machine(3) == "a100"
+
+    def test_machines_of_type_filters(self):
+        cluster = typed_cluster()
+        assert [m.machine_id for m in cluster.machines_of_type("a100")] == [2, 3]
+        assert cluster.machines_of_type("k80") == []
+
+    def test_machines_of_type_none_returns_all(self):
+        cluster = typed_cluster()
+        assert len(cluster.machines_of_type(None)) == 4
+
+
+class TestMachineTypeMatching:
+    def test_matches_none_always(self):
+        cluster = typed_cluster()
+        assert cluster.machine(0).matches_type(None)
+
+    def test_matches_own_type_only(self):
+        machine = typed_cluster().machine(2)
+        assert machine.matches_type("a100")
+        assert not machine.matches_type("v100")
+
+    def test_untyped_machine_matches_nothing_specific(self):
+        machine = Cluster(1, 4).machine(0)
+        assert machine.matches_type(None)
+        assert not machine.matches_type("v100")
+
+
+class TestAffinityPlacement:
+    def test_pin_restricts_to_the_typed_pool(self):
+        cluster = typed_cluster()
+        plan = DescendingPlacer().plan_for(cluster, 4, gpu_type="a100")
+        assert plan is not None
+        assert set(plan) <= {2, 3}
+
+    def test_pin_infeasible_when_pool_exhausted(self):
+        cluster = typed_cluster()
+        # a100 pool is 8 GPUs; a 9-GPU pin cannot fit even though the
+        # cluster as a whole has 16 free.
+        assert DescendingPlacer().plan_for(
+            cluster, 9, gpu_type="a100"
+        ) is None
+
+    def test_prefer_falls_back_to_whole_cluster(self):
+        cluster = typed_cluster()
+        plan = DescendingPlacer().plan_for(
+            cluster, 9, gpu_type="a100", prefer=True
+        )
+        assert plan is not None
+        assert sum(plan.values()) == 9
+
+    def test_prefer_stays_on_type_when_feasible(self):
+        cluster = typed_cluster()
+        plan = DescendingPlacer().plan_for(
+            cluster, 4, gpu_type="a100", prefer=True
+        )
+        assert set(plan) <= {2, 3}
+
+    def test_untyped_plan_unchanged(self):
+        cluster = typed_cluster()
+        plan = DescendingPlacer().plan_for(cluster, 16)
+        assert sum(plan.values()) == 16

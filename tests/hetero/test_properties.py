@@ -1,0 +1,89 @@
+"""Property tests of the heterogeneous arm.
+
+Two properties lock the speed-scaling model down:
+
+* **Metamorphic k-scaling** — multiplying every generation's speed
+  factor by ``k`` (``TypeScaling.uniformly_scaled``) must scale the
+  makespan of a contention-free at-time-zero workload by ``~1/k``.
+  The workload is sized under cluster capacity so every job starts at
+  the first scheduling pass; then every time component of the run is
+  a stage duration, and stage durations scale exactly.
+* **Single-type identity** — a one-generation heterogeneous
+  configuration must be bit-identical to the untyped homogeneous
+  path, for any seed, via the
+  :func:`~repro.verify.compare_homogeneous_identity` oracle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.hetero.types import DEFAULT_TYPE_SCALING, get_gpu_type
+from repro.hetero.workload import build_hetero_jobs
+from repro.schedulers.registry import make_scheduler
+from repro.sim.simulator import ClusterSimulator
+from repro.trace.philly import generate_trace
+from repro.verify import compare_homogeneous_identity
+
+#: Explicit half/half two-generation layout: per-type capacity (64
+#: GPUs each) exceeds any 8-job workload's pinned demand, so every job
+#: starts at t=0 and makespan is a pure function of stage durations.
+_LAYOUT = [get_gpu_type("v100")] * 8 + [get_gpu_type("a100")] * 8
+
+
+def _makespan(scaling, num_jobs, seed):
+    trace = generate_trace(
+        "1", num_jobs=num_jobs, seed=seed, at_time_zero=True
+    )
+    specs = build_hetero_jobs(
+        trace, ("v100", "a100"), seed=seed, scaling=scaling
+    )
+    cluster = Cluster(16, 8, machine_types=list(_LAYOUT))
+    # restart_penalty is a fixed startup cost, not a stage duration,
+    # so it would add a non-scaling constant; zero it to keep the
+    # makespan a pure function of (scaled) stage durations.
+    result = ClusterSimulator(
+        make_scheduler("fifo"), cluster=cluster, restart_penalty=0.0
+    ).run(specs, trace.name)
+    assert len(result.jcts) == len(specs)
+    return result.makespan
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    k=st.floats(min_value=0.3, max_value=3.0,
+                allow_nan=False, allow_infinity=False),
+    num_jobs=st.integers(min_value=3, max_value=8),
+    seed=st.integers(min_value=0, max_value=40),
+)
+def test_uniform_speed_scaling_scales_makespan(k, num_jobs, seed):
+    base = _makespan(DEFAULT_TYPE_SCALING, num_jobs, seed)
+    scaled = _makespan(
+        DEFAULT_TYPE_SCALING.uniformly_scaled(k), num_jobs, seed
+    )
+    assert scaled == pytest.approx(base / k, rel=1e-6)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=30),
+    num_jobs=st.integers(min_value=4, max_value=12),
+    type_name=st.sampled_from(("k80", "v100", "a100")),
+    scheduler=st.sampled_from(("muri-s", "muri-l", "fifo")),
+)
+def test_single_type_hetero_is_bit_identical(
+    seed, num_jobs, type_name, scheduler
+):
+    trace = generate_trace("1", num_jobs=num_jobs, seed=seed)
+    from repro.trace.workload import build_jobs
+
+    specs = build_jobs(trace, seed=seed)
+    homogeneous, hetero = compare_homogeneous_identity(
+        specs,
+        type_name=type_name,
+        scheduler=scheduler,
+        cluster_shape=(4, 8),
+        seed=seed,
+    )
+    assert homogeneous.jcts == hetero.jcts

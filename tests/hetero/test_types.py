@@ -1,0 +1,79 @@
+"""The generation catalogue and TypeScaling speed-factor tables."""
+
+import pytest
+
+from repro.hetero.types import (
+    DEFAULT_TYPE_SCALING,
+    GPU_GENERATIONS,
+    TypeScaling,
+    get_gpu_type,
+)
+
+
+class TestCatalogue:
+    def test_v100_is_the_baseline(self):
+        assert GPU_GENERATIONS["v100"].speed_factor == 1.0
+
+    def test_generations_ordered_by_speed(self):
+        factors = [
+            GPU_GENERATIONS[name].speed_factor
+            for name in ("k80", "p100", "v100", "a100")
+        ]
+        assert factors == sorted(factors)
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_gpu_type("A100") is GPU_GENERATIONS["a100"]
+
+    def test_unknown_generation_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="h100"):
+            get_gpu_type("h100")
+
+
+class TestTypeScaling:
+    def test_base_factor_lookup(self):
+        table = TypeScaling(base={"v100": 1.0, "a100": 2.0})
+        assert table.factor("resnet50", "a100") == 2.0
+
+    def test_per_model_override_wins(self):
+        table = TypeScaling(
+            base={"a100": 2.0},
+            per_model={"gpt2": {"a100": 2.4}},
+        )
+        assert table.factor("gpt2", "a100") == 2.4
+        assert table.factor("GPT2", "a100") == 2.4
+        assert table.factor("resnet50", "a100") == 2.0
+
+    def test_unknown_generation_raises(self):
+        table = TypeScaling(base={"v100": 1.0})
+        with pytest.raises(KeyError, match="a100"):
+            table.factor("resnet50", "a100")
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan")])
+    def test_non_positive_factors_rejected(self, bad):
+        with pytest.raises(ValueError):
+            TypeScaling(base={"v100": bad})
+        with pytest.raises(ValueError):
+            TypeScaling(base={"v100": 1.0}, per_model={"m": {"v100": bad}})
+
+    def test_uniformly_scaled_multiplies_everything(self):
+        table = TypeScaling(
+            base={"v100": 1.0, "a100": 2.0},
+            per_model={"gpt2": {"a100": 2.4}},
+        )
+        doubled = table.uniformly_scaled(2.0)
+        assert doubled.factor("resnet50", "v100") == 2.0
+        assert doubled.factor("resnet50", "a100") == 4.0
+        assert doubled.factor("gpt2", "a100") == 4.8
+
+    def test_uniformly_scaled_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            TypeScaling(base={"v100": 1.0}).uniformly_scaled(0.0)
+
+    def test_names_sorted(self):
+        assert DEFAULT_TYPE_SCALING.names() == ("a100", "k80", "p100", "v100")
+
+    def test_default_table_covers_catalogue(self):
+        for name, gpu_type in GPU_GENERATIONS.items():
+            assert DEFAULT_TYPE_SCALING.factor("resnet50", name) == (
+                gpu_type.speed_factor
+            )

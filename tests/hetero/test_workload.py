@@ -1,0 +1,118 @@
+"""Hetero layout and workload builders: determinism and scaling."""
+
+import pytest
+
+from repro.hetero.types import DEFAULT_TYPE_SCALING, TypeScaling
+from repro.hetero.workload import (
+    build_hetero_jobs,
+    make_hetero_cluster,
+    make_type_mix,
+    pin_jobs,
+)
+from repro.trace.philly import generate_trace
+from repro.trace.workload import build_jobs
+
+
+def small_specs(num_jobs=6, seed=0):
+    trace = generate_trace("1", num_jobs=num_jobs, seed=seed)
+    return build_jobs(trace, seed=seed)
+
+
+class TestMakeTypeMix:
+    def test_every_generation_appears(self):
+        layout = make_type_mix(("v100", "a100", "k80"), 12, seed=3)
+        assert len(layout) == 12
+        assert {t.name for t in layout} == {"v100", "a100", "k80"}
+
+    def test_deterministic_per_seed(self):
+        a = make_type_mix(("v100", "a100"), 10, seed=5)
+        b = make_type_mix(("v100", "a100"), 10, seed=5)
+        c = make_type_mix(("v100", "a100"), 10, seed=6)
+        assert a == b
+        assert [t.name for t in a] != [t.name for t in c] or a == c
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValueError):
+            make_type_mix((), 4)
+
+    def test_more_names_than_machines_rejected(self):
+        with pytest.raises(ValueError):
+            make_type_mix(("v100", "a100", "k80"), 2)
+
+    def test_unknown_generation_rejected(self):
+        with pytest.raises(KeyError):
+            make_type_mix(("h100",), 4)
+
+
+class TestMakeHeteroCluster:
+    def test_cluster_carries_the_mix(self):
+        cluster = make_hetero_cluster(
+            num_machines=6, gpus_per_machine=4,
+            type_names=("v100", "a100"), seed=0,
+        )
+        assert cluster.total_gpus == 24
+        assert cluster.is_heterogeneous
+        assert set(cluster.gpu_type_names()) == {"v100", "a100"}
+
+    def test_single_type_is_not_heterogeneous(self):
+        cluster = make_hetero_cluster(type_names=("v100",))
+        assert not cluster.is_heterogeneous
+        assert cluster.gpu_type_names() == ("v100",)
+
+
+class TestPinJobs:
+    def test_every_job_pinned_and_scaled(self):
+        specs = small_specs()
+        pinned = pin_jobs(specs, ("a100",), seed=0)
+        for before, after in zip(specs, pinned):
+            assert after.gpu_affinity == "a100"
+            assert after.affinity_mode == "pin"
+            factor = DEFAULT_TYPE_SCALING.factor(before.model, "a100")
+            assert after.profile == before.profile.scaled(1.0 / factor)
+
+    def test_deterministic_assignment(self):
+        specs = small_specs()
+        a = pin_jobs(specs, ("v100", "a100"), seed=9)
+        b = pin_jobs(specs, ("v100", "a100"), seed=9)
+        assert [s.gpu_affinity for s in a] == [s.gpu_affinity for s in b]
+
+    def test_prefer_jobs_keep_baseline_profile(self):
+        specs = small_specs()
+        pinned = pin_jobs(specs, ("a100",), seed=0, prefer_fraction=1.0)
+        for before, after in zip(specs, pinned):
+            assert after.affinity_mode == "prefer"
+            assert after.profile == before.profile
+
+    def test_custom_scaling_table(self):
+        specs = small_specs(num_jobs=3)
+        table = TypeScaling(base={"a100": 4.0})
+        pinned = pin_jobs(specs, ("a100",), scaling=table)
+        for before, after in zip(specs, pinned):
+            assert after.profile == before.profile.scaled(0.25)
+
+    def test_inputs_not_mutated(self):
+        specs = small_specs(num_jobs=3)
+        pin_jobs(specs, ("a100",))
+        assert all(s.gpu_affinity is None for s in specs)
+
+    def test_validation(self):
+        specs = small_specs(num_jobs=2)
+        with pytest.raises(ValueError):
+            pin_jobs(specs, ())
+        with pytest.raises(ValueError):
+            pin_jobs(specs, ("v100",), prefer_fraction=1.5)
+        with pytest.raises(KeyError):
+            pin_jobs(specs, ("h100",))
+
+
+class TestBuildHeteroJobs:
+    def test_matches_build_jobs_then_pin(self):
+        trace = generate_trace("1", num_jobs=5, seed=2)
+        direct = build_hetero_jobs(trace, ("v100", "a100"), seed=2)
+        composed = pin_jobs(
+            build_jobs(trace, seed=2), ("v100", "a100"), seed=2
+        )
+        assert [s.gpu_affinity for s in direct] == [
+            s.gpu_affinity for s in composed
+        ]
+        assert [s.profile for s in direct] == [s.profile for s in composed]

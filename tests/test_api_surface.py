@@ -28,6 +28,8 @@ SUBPACKAGES = (
     "repro.fleet",
     "repro.elastic",
     "repro.bench",
+    "repro.hetero",
+    "repro.replay",
     "repro.cli",
 )
 

@@ -94,6 +94,59 @@ class TestShrinking:
         assert run_episode(shrunk).violation.invariant == violation.invariant
 
 
+class TestHeteroEpisodes:
+    def test_hetero_generation_deterministic(self):
+        a = [random_episode(random.Random(3), i, hetero=True)
+             for i in range(10)]
+        b = [random_episode(random.Random(3), i, hetero=True)
+             for i in range(10)]
+        assert a == b
+
+    def test_hetero_episodes_are_wellformed(self):
+        rng = random.Random(9)
+        for index in range(30):
+            episode = random_episode(rng, index, hetero=True)
+            assert episode.gpu_types is not None
+            assert len(episode.gpu_types) == episode.num_machines
+            pools: dict = {}
+            for name in episode.gpu_types:
+                pools[name] = pools.get(name, 0) + episode.gpus_per_machine
+            for job in episode.jobs:
+                if job.gpu_affinity is None:
+                    continue
+                assert job.gpu_affinity in pools
+                # Hard pins only when the pinned pool can host the
+                # job; an infeasible pin would starve forever.
+                if job.affinity_mode == "pin":
+                    assert pools[job.gpu_affinity] >= job.num_gpus
+
+    def test_hetero_episodes_run_clean(self):
+        rng = random.Random(5)
+        for index in range(8):
+            episode = random_episode(rng, index, hetero=True)
+            outcome = run_episode(episode)
+            assert outcome.ok, outcome.violation
+
+    def test_hetero_campaign_runs_clean(self, tmp_path):
+        config = FuzzConfig(
+            episodes=8, seed=1, out_dir=tmp_path / "out", hetero=True
+        )
+        report = run_fuzz(config)
+        assert report.ok
+        assert report.episodes_run == 8
+
+    def test_from_dict_accepts_pre_hetero_payloads(self):
+        # Repro files written before the heterogeneous arm carry no
+        # gpu_types / gpu_affinity / affinity_mode keys.
+        episode = EpisodeSpec.from_dict({
+            "scheduler": "muri-s",
+            "jobs": [{"durations": [1.0, 2.0, 1.0, 0.5]}],
+        })
+        assert episode.gpu_types is None
+        assert episode.jobs[0].gpu_affinity is None
+        assert episode.jobs[0].affinity_mode == "pin"
+
+
 class TestReproFiles:
     def test_roundtrip(self, tmp_path):
         episode = EpisodeSpec(
@@ -159,6 +212,15 @@ class TestCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "5 episodes" in out
+        assert "0 violation" in out
+
+    def test_fuzz_command_hetero_flag(self, capsys, tmp_path):
+        code = main([
+            "fuzz", "--episodes", "4", "--seed", "7", "--hetero",
+            "--out-dir", str(tmp_path / "out"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
         assert "0 violation" in out
 
     def test_fuzz_command_reports_failures(self, capsys, tmp_path,

@@ -219,6 +219,75 @@ class TestEventDrivenChecks:
         )
 
 
+class TestAffinityChecks:
+    """``sched.hetero.place`` → ``placement_respects_affinity``."""
+
+    def emit(self, checker, t=0.0, **args):
+        checker.emit(EventCategory.SCHED, "sched.hetero.place", t, **args)
+
+    def checker(self):
+        return InvariantChecker(invariants=["placement_respects_affinity"])
+
+    def test_mixed_pins_violation(self):
+        checker = self.checker()
+        with pytest.raises(InvariantViolation) as exc:
+            self.emit(
+                checker, members=[1, 2],
+                affinities=[("v100", "pin"), ("a100", "pin")],
+                machine_types=["v100"],
+            )
+        assert exc.value.invariant == "placement_respects_affinity"
+        assert "mixes pinned GPU generations" in exc.value.message
+
+    def test_pinned_group_on_wrong_machines(self):
+        checker = self.checker()
+        with pytest.raises(InvariantViolation) as exc:
+            self.emit(
+                checker, members=[3],
+                affinities=[("a100", "pin")],
+                machine_types=["v100", "a100"],
+            )
+        assert exc.value.details["pinned"] == "a100"
+
+    def test_pinned_group_on_matching_machines_passes(self):
+        checker = self.checker()
+        self.emit(
+            checker, members=[1, 2],
+            affinities=[("a100", "pin"), (None, "pin")],
+            machine_types=["a100", "a100"],
+        )
+        assert not checker.violations
+
+    def test_prefer_only_groups_may_mix(self):
+        # Soft preferences are hints, not promises: a prefer-only
+        # group may land anywhere and may mix generations freely.
+        checker = self.checker()
+        self.emit(
+            checker, members=[1, 2],
+            affinities=[("v100", "prefer"), ("a100", "prefer")],
+            machine_types=["k80", "a100"],
+        )
+        assert not checker.violations
+
+    def test_pin_with_prefer_companions_checks_only_the_pin(self):
+        checker = self.checker()
+        self.emit(
+            checker, members=[1, 2],
+            affinities=[("v100", "pin"), ("a100", "prefer")],
+            machine_types=["v100"],
+        )
+        assert not checker.violations
+
+    def test_unarmed_check_skipped(self):
+        checker = InvariantChecker(invariants=["clock_monotone"])
+        self.emit(
+            checker, members=[1, 2],
+            affinities=[("v100", "pin"), ("a100", "pin")],
+            machine_types=["k80"],
+        )
+        assert not checker.violations
+
+
 class TestInspectChecks:
     def test_plan_capacity_violation(self):
         checker = InvariantChecker(invariants=["plan_capacity"])

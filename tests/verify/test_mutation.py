@@ -1,16 +1,18 @@
-"""Mutation smoke test: a deliberately broken grouper must be caught.
+"""Mutation smoke tests: deliberately broken components must be caught.
 
-The point of the harness is that an optimization bug in the grouping
-hot path cannot slip through silently.  This test *injects* such a bug
-— a grouper that proposes one job in two groups of the same plan, the
-exact double-booking the Fig. 7 analysis forbids — registers it as a
-scheduler, and demands that (a) an armed episode catches it with a
-structured violation, (b) the violation serializes to a repro file,
-and (c) the repro file replays to the same violation.
+The point of the harness is that an optimization bug in a hot path
+cannot slip through silently.  These tests *inject* such bugs — a
+grouper that proposes one job in two groups of the same plan (the
+exact double-booking the Fig. 7 analysis forbids), and a placer that
+drops GPU-generation affinity on the floor — and demand that (a) an
+armed episode catches each with a structured violation, (b) the
+violation serializes to a repro file, and (c) the repro file replays
+to the same violation.
 """
 
 import pytest
 
+from repro.cluster.placement import DescendingPlacer
 from repro.core.group import JobGroup
 from repro.core.grouping import GroupingResult, MultiRoundGrouper
 from repro.core.muri import MuriScheduler
@@ -99,5 +101,69 @@ class TestMutationIsCaught:
         episode = broken_episode()
         episode.scheduler = "muri-s"
         outcome = run_episode(episode)
+        assert outcome.ok
+        assert outcome.result is not None
+
+
+@pytest.fixture()
+def affinity_blind_placer(monkeypatch):
+    """Mutate placement to ignore GPU-generation affinity entirely."""
+    original = DescendingPlacer.plan_for
+
+    def blind(self, cluster, num_gpus, gpu_type=None, prefer=False):
+        return original(self, cluster, num_gpus)
+
+    monkeypatch.setattr(DescendingPlacer, "plan_for", blind)
+
+
+def hetero_episode():
+    """Two pinned 4-GPU jobs on a [v100, a100] cluster.
+
+    Each machine hosts exactly one job, so an affinity-blind placer
+    necessarily strands at least one pin on the wrong generation —
+    the violation fires regardless of placement tie-breaking.
+    """
+    return EpisodeSpec(
+        scheduler="fifo",
+        num_machines=2,
+        gpus_per_machine=4,
+        gpu_types=["v100", "a100"],
+        jobs=[
+            JobSpecData(
+                durations=(1.0, 2.0, 1.0, 0.5), num_gpus=4,
+                gpu_affinity="a100", affinity_mode="pin",
+            ),
+            JobSpecData(
+                durations=(0.5, 1.0, 2.0, 1.0), num_gpus=4,
+                gpu_affinity="v100", affinity_mode="pin",
+            ),
+        ],
+    )
+
+
+class TestAffinityMutationIsCaught:
+    def test_blind_placer_trips_the_invariant(self, affinity_blind_placer):
+        outcome = run_episode(hetero_episode())
+        assert not outcome.ok
+        violation = outcome.violation
+        assert violation.invariant == "placement_respects_affinity"
+        assert "pinned to" in violation.message
+        assert violation.details["pinned"] in ("v100", "a100")
+
+    def test_repro_file_roundtrip_reproduces(
+        self, affinity_blind_placer, tmp_path
+    ):
+        outcome = run_episode(hetero_episode())
+        path = tmp_path / "affinity-blind.json"
+        save_repro(path, hetero_episode(), outcome.violation)
+
+        episode, recorded = load_repro(path)
+        assert recorded["invariant"] == "placement_respects_affinity"
+        replay = run_episode(episode)
+        assert not replay.ok
+        assert replay.violation.invariant == "placement_respects_affinity"
+
+    def test_healthy_placer_passes_same_episode(self):
+        outcome = run_episode(hetero_episode())
         assert outcome.ok
         assert outcome.result is not None

@@ -2,8 +2,10 @@
 """Docstring lint for the public observability/sweep/verify/bench APIs.
 
 Walks every module under the default roots (``src/repro/observe/``,
-``src/repro/sweep/``, ``src/repro/verify/``, ``src/repro/service/``
-and ``src/repro/bench/``) and fails (exit 1) if any *public*
+``src/repro/sweep/``, ``src/repro/verify/``, ``src/repro/service/``,
+``src/repro/bench/``, ``src/repro/fleet/``, ``src/repro/elastic/``,
+``src/repro/hetero/``, ``src/repro/replay/`` and ``src/repro/trace/``)
+and fails (exit 1) if any *public*
 definition — module, class, function, or method whose name does not
 start with an underscore — lacks a docstring. Dunders (including
 ``__init__``) are exempt: constructor arguments are documented on the
@@ -71,7 +73,8 @@ def main(argv: List[str]) -> int:
         Path("src/repro/observe"), Path("src/repro/sweep"),
         Path("src/repro/verify"), Path("src/repro/service"),
         Path("src/repro/bench"), Path("src/repro/fleet"),
-        Path("src/repro/elastic"),
+        Path("src/repro/elastic"), Path("src/repro/hetero"),
+        Path("src/repro/replay"), Path("src/repro/trace"),
     ]
     failures = 0
     checked = 0
