@@ -7,10 +7,11 @@ submit-to-decision latency, sweep throughput, the fleet front-end's
 admission latency and drain throughput, the elastic arm's cold
 renegotiate-and-group step and per-tick renegotiation latency, and
 the production-scale trace-replay path: CSV ingestion plus the batch
-event-driven harness) and writes the results to
+event-driven harness, and the heterogeneous placement arm's
+throughput-aware-vs-default makespan ratio) and writes the results to
 ``BENCH_grouping.json`` / ``BENCH_service.json`` /
 ``BENCH_fleet.json`` / ``BENCH_elastic.json`` / ``BENCH_replay.json``
-at the repo root.
+/ ``BENCH_hetero.json`` at the repo root.
 Those files are committed; CI re-runs the quick suite and fails when a
 gated metric regresses more than the tolerance
 (``tools/diff_metrics.py --bench``).
@@ -28,6 +29,7 @@ from repro.bench.suite import (
     ELASTIC_BENCH_FILE,
     FLEET_BENCH_FILE,
     GROUPING_BENCH_FILE,
+    HETERO_BENCH_FILE,
     REPLAY_BENCH_FILE,
     SCHEMA_VERSION,
     SERVICE_BENCH_FILE,
@@ -37,6 +39,7 @@ from repro.bench.suite import (
     run_elastic_suite,
     run_fleet_suite,
     run_grouping_suite,
+    run_hetero_suite,
     run_replay_suite,
     run_service_suite,
     write_bench,
@@ -46,6 +49,7 @@ __all__ = [
     "ELASTIC_BENCH_FILE",
     "FLEET_BENCH_FILE",
     "GROUPING_BENCH_FILE",
+    "HETERO_BENCH_FILE",
     "REPLAY_BENCH_FILE",
     "SERVICE_BENCH_FILE",
     "SCHEMA_VERSION",
@@ -55,6 +59,7 @@ __all__ = [
     "run_elastic_suite",
     "run_fleet_suite",
     "run_grouping_suite",
+    "run_hetero_suite",
     "run_replay_suite",
     "run_service_suite",
     "write_bench",

@@ -22,7 +22,13 @@ Two suites, each writing one JSON document:
   trace replay end to end — CSV ingestion throughput of the Philly
   adapter, and the batch event-driven harness over a constant-load
   synthetic trace (100k jobs full, 10k quick) as per-job wall seconds
-  plus p50/p99 simulator-step latency.
+  plus p50/p99 simulator-step latency;
+* the **hetero** suite (``BENCH_hetero.json``) pins the
+  throughput-aware placement claim — the Gavel-style
+  :class:`~repro.cluster.placement.ThroughputAwarePlacer` against the
+  default descending placer on one seeded mixed k80+a100 workload —
+  as a simulated-makespan ratio (deterministic, gated) next to the
+  wall cost of the heterogeneous scheduling path.
 
 Every benchmark entry carries raw ``*_seconds`` plus machine-speed
 normalized ``*_normalized`` values (seconds divided by the
@@ -52,6 +58,7 @@ __all__ = [
     "ELASTIC_BENCH_FILE",
     "FLEET_BENCH_FILE",
     "GROUPING_BENCH_FILE",
+    "HETERO_BENCH_FILE",
     "REPLAY_BENCH_FILE",
     "SERVICE_BENCH_FILE",
     "SCHEMA_VERSION",
@@ -61,6 +68,7 @@ __all__ = [
     "run_elastic_suite",
     "run_fleet_suite",
     "run_grouping_suite",
+    "run_hetero_suite",
     "run_replay_suite",
     "run_service_suite",
     "write_bench",
@@ -72,6 +80,7 @@ SERVICE_BENCH_FILE = "BENCH_service.json"
 FLEET_BENCH_FILE = "BENCH_fleet.json"
 ELASTIC_BENCH_FILE = "BENCH_elastic.json"
 REPLAY_BENCH_FILE = "BENCH_replay.json"
+HETERO_BENCH_FILE = "BENCH_hetero.json"
 
 #: Bumped whenever the benchmark workloads change incompatibly; the
 #: diff gate refuses to compare documents with different schemas.
@@ -829,6 +838,111 @@ def run_replay_suite(
     return {
         "schema": SCHEMA_VERSION,
         "suite": "replay",
+        "quick": quick,
+        "seed": seed,
+        "calibration_seconds": calibration,
+        "env": _environment(),
+        "benchmarks": benchmarks,
+    }
+
+
+def run_hetero_suite(
+    quick: bool = False, seed: int = 0, progress: Progress = None
+) -> Dict[str, object]:
+    """Run the hetero suite; return the ``BENCH_hetero.json`` document.
+
+    One seeded workload pinned/preferred onto a mixed k80+a100
+    cluster, run through Muri-S twice — default descending placer vs
+    the Gavel-style throughput-aware placer — with landing-speed
+    scaling active on both arms, so the *only* difference is where
+    preferred and unaffine groups land:
+
+    * **hetero_placement** — the headline claim.
+      ``makespan_ratio_normalized`` is the aware arm's simulated
+      makespan divided by the baseline arm's: deterministic for the
+      seed (simulated time, no clock involved — it needs no
+      calibration, the ``_normalized`` suffix opts it into the gate),
+      lower is better, and strictly below 1.0 while throughput-aware
+      placement actually beats affinity-only placement.  Per-arm
+      makespans and per-generation occupancy ride along for humans,
+      and ``run_seconds`` (both arms' wall time, calibrated) gates
+      the cost of the heterogeneous scheduling path itself.
+    """
+    from repro.cluster.placement import ThroughputAwarePlacer
+    from repro.hetero.types import DEFAULT_TYPE_SCALING
+    from repro.hetero.workload import make_hetero_cluster, pin_jobs
+    from repro.schedulers.registry import make_scheduler
+    from repro.sim.simulator import ClusterSimulator
+    from repro.trace.philly import generate_trace
+    from repro.trace.workload import build_jobs
+
+    def note(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    calibration = calibrate()
+    note(f"calibration {calibration * 1e3:.1f} ms")
+
+    num_jobs = 256 if quick else 1_024
+    type_names = ("k80", "a100")
+    specs = build_jobs(
+        generate_trace("1", num_jobs=num_jobs, seed=seed), seed=seed
+    )
+    pinned = pin_jobs(
+        specs, list(type_names), seed=seed, prefer_fraction=0.6
+    )
+
+    arm_cal = calibrate(repeats=1)
+    makespans: Dict[str, float] = {}
+    occupancy: Dict[str, Dict[str, float]] = {}
+    wall = 0.0
+    for label, placer in (
+        ("baseline", None),
+        ("aware", ThroughputAwarePlacer()),
+    ):
+        cluster = make_hetero_cluster(
+            8, 8, type_names=type_names, seed=seed
+        )
+        simulator = ClusterSimulator(
+            make_scheduler("muri-s"),
+            cluster=cluster,
+            landing_speed_scaling=DEFAULT_TYPE_SCALING,
+            placer=placer,
+        )
+        start = time.perf_counter()
+        result = simulator.run(pinned, "hetero-bench")
+        wall += time.perf_counter() - start
+        makespans[label] = result.makespan
+        occupancy[label] = {
+            name: round(value, 4)
+            for name, value in result.utilization_by_type().items()
+        }
+    arm_cal = min(arm_cal, calibrate(repeats=1))
+
+    placement = {
+        "jobs": num_jobs,
+        "makespan_baseline": makespans["baseline"],
+        "makespan_aware": makespans["aware"],
+        "improvement": 1.0 - makespans["aware"] / makespans["baseline"],
+        "makespan_ratio_normalized": (
+            makespans["aware"] / makespans["baseline"]
+        ),
+        "utilization_by_type": occupancy,
+        "run_seconds": wall,
+        "calibration": arm_cal,
+    }
+    note(
+        f"hetero_placement: baseline {makespans['baseline']:.0f} s, "
+        f"aware {makespans['aware']:.0f} s "
+        f"({placement['improvement']:.1%} better) in {wall:.1f} s wall"
+    )
+
+    benchmarks = {"hetero_placement": placement}
+    calibration = min(calibration, calibrate())
+    _attach_normalized(benchmarks, calibration)
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "hetero",
         "quick": quick,
         "seed": seed,
         "calibration_seconds": calibration,

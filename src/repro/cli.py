@@ -176,6 +176,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--list", action="store_true",
                        help="print the cell grid (with shard buckets) "
                             "and exit without running")
+    sweep.add_argument("--philly-csv",
+                       help="hetero artifact only: replay this ingested "
+                            "Philly CSV instead of the synthetic preset")
 
     trace = sub.add_parser("trace", help="generate a synthetic trace")
     trace.add_argument("--trace", default="1")
@@ -323,15 +326,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the pinned performance benchmark suite and write "
              "BENCH_grouping.json / BENCH_service.json / "
              "BENCH_fleet.json / BENCH_elastic.json / "
-             "BENCH_replay.json (the committed perf baselines; see "
-             "docs/performance.md)",
+             "BENCH_replay.json / BENCH_hetero.json (the committed "
+             "perf baselines; see docs/performance.md)",
     )
     bench.add_argument("--quick", action="store_true",
                        help="the CI configuration: skip the largest "
                             "cold size and shorten the event streams")
     bench.add_argument("--suite", default="all",
                        choices=("grouping", "service", "fleet",
-                                "elastic", "replay", "all"),
+                                "elastic", "replay", "hetero", "all"),
                        help="which suite(s) to run")
     bench.add_argument("--out-dir", default=".",
                        help="directory the BENCH_*.json files are "
@@ -577,7 +580,14 @@ def _cmd_experiment(args) -> int:
 
 def _cmd_sweep(args) -> int:
     num_jobs = args.jobs if args.jobs > 0 else None
-    cells = experiment_cells(args.artifact, num_jobs=num_jobs, seed=args.seed)
+    if args.philly_csv and args.artifact != "hetero":
+        print("error: --philly-csv applies to the hetero artifact only",
+              file=sys.stderr)
+        return 2
+    cells = experiment_cells(
+        args.artifact, num_jobs=num_jobs, seed=args.seed,
+        philly_csv=args.philly_csv,
+    )
     shard = parse_shard(args.shard) if args.shard else None
 
     if args.list:
@@ -621,6 +631,24 @@ def _cmd_sweep(args) -> int:
         title=f"sweep {args.artifact}: {len(results)} of {len(cells)} "
               f"cells" + (f" (shard {args.shard})" if shard else ""),
     ))
+    if args.artifact == "hetero":
+        completed = [run for run in results.values() if run.ok]
+        names: List[str] = []
+        if completed:
+            names = sorted(completed[0].simulation_result().gpus_by_type)
+        if names:
+            util_rows = []
+            for run in completed:
+                util = run.simulation_result().utilization_by_type()
+                util_rows.append((
+                    run.spec.label if run.spec else run.run_id,
+                    *(f"{util.get(name, 0.0):.3f}" for name in names),
+                ))
+            print(format_table(
+                ["Arm"] + [f"{name} util" for name in names],
+                util_rows,
+                title="per-generation GPU occupancy",
+            ))
     counters = tracer.counters
     print(
         "completed {completed}  resumed {resumed}  failed {failed}  "
@@ -1010,12 +1038,14 @@ def _cmd_bench(args) -> int:
         ELASTIC_BENCH_FILE,
         FLEET_BENCH_FILE,
         GROUPING_BENCH_FILE,
+        HETERO_BENCH_FILE,
         REPLAY_BENCH_FILE,
         SERVICE_BENCH_FILE,
         gated_metrics,
         run_elastic_suite,
         run_fleet_suite,
         run_grouping_suite,
+        run_hetero_suite,
         run_replay_suite,
         run_service_suite,
         write_bench,
@@ -1034,6 +1064,8 @@ def _cmd_bench(args) -> int:
         suites.append((ELASTIC_BENCH_FILE, run_elastic_suite))
     if args.suite in ("replay", "all"):
         suites.append((REPLAY_BENCH_FILE, run_replay_suite))
+    if args.suite in ("hetero", "all"):
+        suites.append((HETERO_BENCH_FILE, run_hetero_suite))
     for filename, run_suite in suites:
         print(f"== {filename} ==")
         document = run_suite(

@@ -24,17 +24,37 @@ and falls back to the whole cluster.  With no affinity — and on any
 single-generation cluster — the machine pool is the full machine
 list in cluster order, so plans are bit-identical to the homogeneous
 code path (`repro.verify.compare_homogeneous_identity` pins this).
+
+:class:`ThroughputAwarePlacer` goes further (Gavel, arXiv 2008.12260):
+instead of treating a soft preference as a feasibility fallback, it
+scores every generation pool by the group's effective speed factor
+there and places on the fastest pool that can host the demand.  The
+realized landing speed is modelled by the simulator's
+``landing_speed_scaling`` option, which scales a baseline-profile
+group's period by its landing generation's factor.  With uniform
+speed factors the placer degenerates bit-identically to
+:class:`DescendingPlacer`
+(`repro.verify.compare_uniform_scaling_identity` pins this).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Allocation, Cluster
 
-__all__ = ["DescendingPlacer", "SpreadPlacer", "RandomPlacer", "PlacementPlan"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hetero.types import TypeScaling
+
+__all__ = [
+    "DescendingPlacer",
+    "SpreadPlacer",
+    "RandomPlacer",
+    "ThroughputAwarePlacer",
+    "PlacementPlan",
+]
 
 
 @dataclass(frozen=True)
@@ -120,6 +140,40 @@ class DescendingPlacer:
                 return plan
         return self._plan_on(cluster.machines, num_gpus)
 
+    def plan_for_model(
+        self,
+        cluster: Cluster,
+        num_gpus: int,
+        gpu_type: Optional[str] = None,
+        prefer: bool = False,
+        model: Optional[str] = None,
+    ) -> Optional[Dict[int, int]]:
+        """Plan one demand, optionally informed by the lead model.
+
+        The base policies are throughput-blind and ignore ``model``,
+        delegating to :meth:`plan_for` with the historical call shapes
+        (no-affinity demands take the exact pre-hetero two-argument
+        form so custom placers keep working).
+        :class:`ThroughputAwarePlacer` overrides this to score
+        generation pools by the model's speed factors.
+
+        Args:
+            cluster: The cluster to plan against (not mutated).
+            num_gpus: GPU slots required.
+            gpu_type: Optional generation affinity (see
+                :meth:`plan_for`).
+            prefer: Soft-affinity flag (see :meth:`plan_for`).
+            model: Model-zoo name of the group's lead job, used by
+                throughput-aware policies to look up speed factors.
+
+        Returns:
+            ``{machine_id: count}`` or None when the demand cannot be
+            satisfied.
+        """
+        if gpu_type is None:
+            return self.plan_for(cluster, num_gpus)
+        return self.plan_for(cluster, num_gpus, gpu_type, prefer)
+
     def _plan_on(
         self, machines: Sequence, num_gpus: int
     ) -> Optional[Dict[int, int]]:
@@ -202,3 +256,87 @@ class RandomPlacer(DescendingPlacer):
             choice = self._rng.choice(candidates)
             return {choice.machine_id: num_gpus}
         return super()._plan_on(machines, num_gpus)
+
+
+class ThroughputAwarePlacer(DescendingPlacer):
+    """Gavel-style throughput-aware placement across GPU generations.
+
+    For demands whose landing generation is a *choice* — soft
+    preferences and unaffine groups on a typed cluster — generation
+    pools are scored by the lead model's speed factor and tried
+    fastest-first, so a group lands where it runs fastest rather than
+    merely where its preference points.  Hard pins stay pure
+    feasibility constraints (their profiles were pre-scaled for the
+    pinned generation by ``pin_jobs``), and each pool is planned with
+    the parent's best-fit-then-span policy, so consolidation behaviour
+    inside a pool is unchanged.  The realized landing speed is
+    modelled by the simulator's ``landing_speed_scaling`` option, not
+    by the placer.
+
+    Degenerate cases fall back to :class:`DescendingPlacer` exactly —
+    untyped or single-generation clusters, demands with no model, and
+    *uniform* speed factors (equal factors carry no throughput signal;
+    ``repro.verify.compare_uniform_scaling_identity`` pins the
+    bit-identity).
+
+    Args:
+        scaling: Per-model × per-generation speed factors; defaults to
+            ``repro.hetero.DEFAULT_TYPE_SCALING``.
+    """
+
+    def __init__(self, scaling: Optional["TypeScaling"] = None) -> None:
+        if scaling is None:
+            from repro.hetero.types import DEFAULT_TYPE_SCALING
+
+            scaling = DEFAULT_TYPE_SCALING
+        self.scaling = scaling
+
+    def plan_for_model(
+        self,
+        cluster: Cluster,
+        num_gpus: int,
+        gpu_type: Optional[str] = None,
+        prefer: bool = False,
+        model: Optional[str] = None,
+    ) -> Optional[Dict[int, int]]:
+        if gpu_type is not None and not prefer:
+            # A pin's pool is not a choice: pure feasibility.
+            return self.plan_for(cluster, num_gpus, gpu_type, prefer)
+        factors = self._pool_factors(cluster, model)
+        if factors is None:
+            return super().plan_for_model(
+                cluster, num_gpus, gpu_type, prefer, model
+            )
+        # Fastest pool first; the preferred generation breaks factor
+        # ties, then the name keeps the order deterministic.
+        order = sorted(
+            factors,
+            key=lambda name: (
+                -factors[name], 0 if name == gpu_type else 1, name
+            ),
+        )
+        for name in order:
+            plan = self._plan_on(cluster.machines_of_type(name), num_gpus)
+            if plan is not None:
+                return plan
+        # No single generation pool can host the demand: span the
+        # whole cluster.
+        return self._plan_on(cluster.machines, num_gpus)
+
+    def _pool_factors(
+        self, cluster: Cluster, model: Optional[str]
+    ) -> Optional[Dict[str, float]]:
+        """Per-generation speed factors, or None when throughput
+        carries no placement signal and the parent path applies."""
+        generations = cluster.gpu_type_names()
+        if model is None or len(generations) < 2:
+            return None
+        factors: Dict[str, float] = {}
+        for name in generations:
+            try:
+                factors[name] = self.scaling.factor(model, name)
+            except KeyError:
+                return None
+        if max(factors.values()) == min(factors.values()):
+            return None
+        return factors

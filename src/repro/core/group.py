@@ -131,13 +131,20 @@ class JobGroup:
     def peak_memory_gb(self, residual: float = 0.10) -> Optional[float]:
         """Peak per-GPU memory of the interleaved group (section 2.2).
 
-        Returns None when any member lacks a memory footprint; the
-        grouper then skips the feasibility check for that group.
+        Members without a declared footprint contribute nothing to the
+        peak, so a mixed known/unknown group reports the peak of its
+        *known* footprints — a lower bound that still lets memory caps
+        bind — instead of silently bypassing the feasibility check.
+        Returns None only when no member declares a footprint.
         """
         from repro.jobs.memory import group_peak_memory
 
-        footprints = [job.spec.memory for job in self.jobs]
-        if any(f is None for f in footprints):
+        footprints = [
+            job.spec.memory
+            for job in self.jobs
+            if job.spec.memory is not None
+        ]
+        if not footprints:
             return None
         return group_peak_memory(
             footprints, coordinated=self.coordinated, residual=residual

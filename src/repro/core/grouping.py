@@ -168,8 +168,18 @@ class MultiRoundGrouper:
             added to the graph, leaving poorly matched jobs ungrouped.
         gpu_memory_gb: Optional per-GPU memory capacity.  Merges whose
             interleaved peak memory (section 2.2's model) would exceed
-            it are never formed.  Jobs without a declared footprint are
-            exempt from the check.
+            it are never formed.  Members without a declared footprint
+            contribute nothing to the peak (their share is unknown);
+            groups where *no* member declares a footprint are exempt.
+            Either skip bumps the ``group.memory_check_skipped``
+            tracer counter.
+        gpu_memory_by_type: Optional ``generation name -> memory_gb``
+            per-type capacities.  An affine node (its jobs carry a
+            ``gpu_affinity``) is checked against its landing
+            generation's capacity instead of the flat
+            ``gpu_memory_gb``, so a group that fits an a100 but not a
+            k80 forms when it is bound for the a100 pool.  Unaffine
+            nodes keep the flat cap.
         sparsify_threshold: Bucket size at which the blossom matcher
             switches from the dense O(n^2) edge build to a
             bounded-degree candidate graph.  ``None`` disables
@@ -213,6 +223,7 @@ class MultiRoundGrouper:
         ordering: str = "best",
         min_efficiency: float = 0.0,
         gpu_memory_gb: Optional[float] = None,
+        gpu_memory_by_type: Optional[Dict[str, float]] = None,
         sparsify_threshold: Optional[int] = 128,
         max_degree: int = 8,
         probe_limit: Optional[int] = None,
@@ -241,6 +252,9 @@ class MultiRoundGrouper:
         self.ordering = ordering
         self.min_efficiency = min_efficiency
         self.gpu_memory_gb = gpu_memory_gb
+        self.gpu_memory_by_type = (
+            dict(gpu_memory_by_type) if gpu_memory_by_type else None
+        )
         self.sparsify_threshold = sparsify_threshold
         self.cache_quantum = cache_quantum
         self._sparsify_config: Optional[SparsifyConfig] = None
@@ -512,7 +526,7 @@ class MultiRoundGrouper:
         Durations keys fix every weight and size constraint; the memory
         footprints only matter when the feasibility check is active.
         """
-        if self.gpu_memory_gb is None:
+        if self._memory_cap(node) is None:
             key: Tuple = tuple(node.keys)
         else:
             key = (
@@ -521,6 +535,8 @@ class MultiRoundGrouper:
             )
         # Affinity only joins the key when present, so every pre-hetero
         # cache key (and therefore warm-plan hit pattern) is unchanged.
+        # The per-type memory cap is a function of the affinity, so the
+        # suffix also disambiguates cached decisions across caps.
         spec = node.jobs[0].spec
         if spec.gpu_affinity is not None:
             key = (key, ("affinity", spec.gpu_affinity, spec.affinity_mode))
@@ -945,18 +961,50 @@ class MultiRoundGrouper:
             and sa.affinity_mode == sb.affinity_mode
         )
 
+    def _memory_cap(self, node: _Node) -> Optional[float]:
+        """Effective per-GPU memory capacity for one node.
+
+        An affine node is bound for its generation's pool, so its cap
+        is that generation's capacity when a per-type table is set;
+        unaffine nodes (and generations missing from the table) fall
+        back to the flat ``gpu_memory_gb``.
+        """
+        by_type = self.gpu_memory_by_type
+        if by_type:
+            affinity = node.jobs[0].spec.gpu_affinity
+            if affinity is not None:
+                cap = by_type.get(affinity)
+                if cap is not None:
+                    return cap
+        return self.gpu_memory_gb
+
     def _memory_feasible(self, a: _Node, b: _Node) -> bool:
-        """Would the merged group fit in GPU memory (section 2.2)?"""
-        if self.gpu_memory_gb is None:
+        """Would the merged group fit in GPU memory (section 2.2)?
+
+        Affinity compatibility is checked before memory, so ``a``
+        speaks for the merged group's landing cap.  Members without a
+        declared footprint are excluded from the peak — their share is
+        unknown, and rejecting the merge outright would forbid every
+        grouping in partially profiled workloads — but the check still
+        binds over the *known* footprints instead of being skipped
+        wholesale; both the partial and the wholly-unknown skip bump
+        the ``group.memory_check_skipped`` counter.
+        """
+        cap = self._memory_cap(a)
+        if cap is None:
             return True
         from repro.jobs.memory import group_peak_memory
 
         footprints = [
             job.spec.memory for job in a.jobs + b.jobs
         ]
-        if any(f is None for f in footprints):
-            return True
-        return group_peak_memory(footprints) <= self.gpu_memory_gb
+        known = [f for f in footprints if f is not None]
+        if len(known) < len(footprints):
+            if self._tracing:
+                self.tracer.count("group.memory_check_skipped")
+            if not known:
+                return True
+        return group_peak_memory(known) <= cap
 
     def _node_efficiency(self, node: _Node) -> float:
         return self._weight_for(node.keys, node.profiles)

@@ -48,6 +48,11 @@ class MuriScheduler(Scheduler):
             created, leaving badly paired jobs solo.
         gpu_memory_gb: Optional per-GPU memory capacity for the
             grouper's feasibility check (section 2.2).
+        gpu_memory_by_type: Optional ``generation name -> memory_gb``
+            per-type capacities for the grouper: affine groups are
+            checked against their landing generation's capacity
+            instead of the flat cap (see
+            :class:`~repro.core.grouping.MultiRoundGrouper`).
         sparsify_threshold: Bucket size at which the grouper switches
             to a bounded-degree candidate graph ("Decision latency and
             scaling" in docs/simulation_model.md); None disables it.
@@ -86,6 +91,7 @@ class MuriScheduler(Scheduler):
         ordering: str = "best",
         min_efficiency: float = 0.0,
         gpu_memory_gb: Optional[float] = None,
+        gpu_memory_by_type: Optional[Dict[str, float]] = None,
         sparsify_threshold: Optional[int] = 128,
         max_degree: int = 8,
         cache_quantum: float = 0.0,
@@ -108,6 +114,7 @@ class MuriScheduler(Scheduler):
             ordering=ordering,
             min_efficiency=min_efficiency,
             gpu_memory_gb=gpu_memory_gb,
+            gpu_memory_by_type=gpu_memory_by_type,
             sparsify_threshold=sparsify_threshold,
             max_degree=max_degree,
             cache_quantum=cache_quantum,

@@ -11,11 +11,13 @@ enforced by ``repro.cluster.placement`` and checked at runtime by the
 ``placement_respects_affinity`` invariant in ``repro.verify``.
 """
 
+from repro.cluster.placement import ThroughputAwarePlacer
 from repro.hetero.types import (
     DEFAULT_TYPE_SCALING,
     GPU_GENERATIONS,
     TypeScaling,
     get_gpu_type,
+    memory_caps_by_type,
 )
 from repro.hetero.workload import (
     build_hetero_jobs,
@@ -27,8 +29,10 @@ from repro.hetero.workload import (
 __all__ = [
     "DEFAULT_TYPE_SCALING",
     "GPU_GENERATIONS",
+    "ThroughputAwarePlacer",
     "TypeScaling",
     "get_gpu_type",
+    "memory_caps_by_type",
     "build_hetero_jobs",
     "make_hetero_cluster",
     "make_type_mix",

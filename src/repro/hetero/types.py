@@ -27,6 +27,7 @@ __all__ = [
     "DEFAULT_TYPE_SCALING",
     "TypeScaling",
     "get_gpu_type",
+    "memory_caps_by_type",
 ]
 
 #: The generation catalogue, keyed by name.  Speed factors are relative
@@ -52,6 +53,32 @@ def get_gpu_type(name: str) -> GpuType:
             f"{sorted(GPU_GENERATIONS)}"
         )
     return GPU_GENERATIONS[key]
+
+
+def memory_caps_by_type(
+    type_names: Optional[Tuple[str, ...]] = None,
+) -> Dict[str, float]:
+    """``generation name -> memory_gb`` capacities from the catalogue.
+
+    The table the grouper's per-type memory feasibility check expects
+    (``MultiRoundGrouper(gpu_memory_by_type=...)``): an affine group is
+    checked against its landing generation's device memory instead of
+    a flat cluster-wide cap.
+
+    Args:
+        type_names: Generations to include; None takes the whole
+            catalogue.
+
+    Raises:
+        KeyError: For names not in :data:`GPU_GENERATIONS`.
+    """
+    if type_names is None:
+        return {
+            name: t.memory_gb for name, t in GPU_GENERATIONS.items()
+        }
+    return {
+        name.lower(): get_gpu_type(name).memory_gb for name in type_names
+    }
 
 
 @dataclass(frozen=True)

@@ -74,6 +74,27 @@ class ReplayStats:
     step_seconds_p99: float = 0.0
     _step_samples: List[float] = field(default_factory=list, repr=False)
 
+    def finalize_step_stats(self) -> None:
+        """Fold the collected step samples into the p50/p99 fields.
+
+        Degenerate sample sets never raise: a replay whose rounds all
+        fast-forwarded (pure admission, no simulator step) has no
+        samples and keeps the 0.0 defaults, and a single sample is
+        both its own median and its own tail.
+        """
+        if not self._step_samples:
+            self.step_seconds_p50 = 0.0
+            self.step_seconds_p99 = 0.0
+            return
+        if len(self._step_samples) == 1:
+            only = self._step_samples[0]
+            self.step_seconds_p50 = only
+            self.step_seconds_p99 = only
+            return
+        samples = sorted(self._step_samples)
+        self.step_seconds_p50 = percentile(samples, 50, presorted=True)
+        self.step_seconds_p99 = percentile(samples, 99, presorted=True)
+
     def to_dict(self) -> Dict[str, float]:
         """JSON-friendly summary (CLI and bench suite)."""
         return {
@@ -214,10 +235,7 @@ def replay_trace(
     result = simulator.finalize(state)
     stats.finished_jobs = len(result.jcts)
     stats.wall_clock = _time.monotonic() - started
-    if stats._step_samples:
-        samples = sorted(stats._step_samples)
-        stats.step_seconds_p50 = percentile(samples, 50, presorted=True)
-        stats.step_seconds_p99 = percentile(samples, 99, presorted=True)
+    stats.finalize_step_stats()
     if tracing:
         tracer.emit(
             EventCategory.SIM,

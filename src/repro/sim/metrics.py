@@ -117,6 +117,12 @@ class SimulationResult:
         total_restart_time: Seconds lost to restart penalties.
         wall_clock: Real seconds the simulation took (not simulated
             time).
+        gpu_seconds_by_type: Occupied GPU-seconds per GPU generation
+            (empty on untyped clusters); fed by the simulator's
+            advance loop, including restart-penalty time — occupancy,
+            not productive work.
+        gpus_by_type: Total GPU slots per generation of the cluster
+            the run used (empty on untyped clusters).
     """
 
     scheduler_name: str
@@ -128,6 +134,8 @@ class SimulationResult:
     total_preemptions: int = 0
     total_restart_time: float = 0.0
     wall_clock: float = 0.0
+    gpu_seconds_by_type: Dict[str, float] = field(default_factory=dict)
+    gpus_by_type: Dict[str, int] = field(default_factory=dict)
 
     # -- headline metrics ---------------------------------------------------
 
@@ -206,6 +214,28 @@ class SimulationResult:
 
     # -- summaries ----------------------------------------------------------------
 
+    def utilization_by_type(self) -> Dict[str, float]:
+        """Occupancy fraction per GPU generation over the makespan.
+
+        ``gpu_seconds / (slots * makespan)`` for each generation the
+        cluster carried; empty on untyped clusters.  This is the
+        per-generation view the heterogeneous sweep and bench report
+        — it shows where a placement policy actually lands work.
+        """
+        if not self.gpus_by_type or not self.finish_times:
+            return {}
+        horizon = self.makespan
+        if horizon <= 0:
+            return {name: 0.0 for name in self.gpus_by_type}
+        return {
+            name: (
+                self.gpu_seconds_by_type.get(name, 0.0)
+                / (slots * horizon)
+            )
+            for name, slots in sorted(self.gpus_by_type.items())
+            if slots > 0
+        }
+
     def summary(self) -> MetricsSummary:
         """Collapse the run into a :class:`MetricsSummary`."""
         # Both quantiles share one sort instead of re-sorting per call.
@@ -232,8 +262,10 @@ class SimulationResult:
 
         Round-trips through :meth:`from_dict`; job-id keys become
         strings (JSON object keys), the time series a list of dicts.
+        The per-generation dicts appear only when populated, so every
+        pre-hetero payload (and committed baseline) is byte-stable.
         """
-        return {
+        payload = {
             "format_version": self.FORMAT_VERSION,
             "scheduler_name": self.scheduler_name,
             "trace_name": self.trace_name,
@@ -255,6 +287,13 @@ class SimulationResult:
                 for p in self.timeseries
             ],
         }
+        if self.gpu_seconds_by_type:
+            payload["gpu_seconds_by_type"] = dict(
+                sorted(self.gpu_seconds_by_type.items())
+            )
+        if self.gpus_by_type:
+            payload["gpus_by_type"] = dict(sorted(self.gpus_by_type.items()))
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "SimulationResult":
@@ -293,6 +332,13 @@ class SimulationResult:
             )
             for p in payload["timeseries"]
         ]
+        result.gpu_seconds_by_type = dict(
+            payload.get("gpu_seconds_by_type", {})
+        )
+        result.gpus_by_type = {
+            name: int(slots)
+            for name, slots in payload.get("gpus_by_type", {}).items()
+        }
         return result
 
     def speedup_over(self, baseline: "SimulationResult") -> Dict[str, float]:

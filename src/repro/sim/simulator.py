@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Allocation, Cluster
 from repro.cluster.placement import DescendingPlacer
@@ -42,6 +42,9 @@ from repro.sim.engine import Event, EventKind, EventQueue
 from repro.sim.faults import FaultInjector
 from repro.sim.metrics import SimulationResult, TimePoint
 from repro.sim.monitor import WorkerMonitor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hetero.types import TypeScaling
 
 __all__ = ["ClusterSimulator", "SimulationError", "SimulationState"]
 
@@ -64,6 +67,14 @@ class _RunningGroup:
     offsets: Dict[int, int]
     penalty_remaining: float = 0.0
     fault_deadlines: Dict[int, float] = field(default_factory=dict)
+    #: Speed factor of the landing GPU generation relative to the
+    #: members' profile baseline (``landing_speed_scaling``).  1.0 —
+    #: the default, and always when the scaling is off — leaves the
+    #: period arithmetic untouched.
+    speedup: float = 1.0
+    #: GPU slots held per generation name; None on untyped clusters,
+    #: where per-generation occupancy is not tracked.
+    slots_by_type: Optional[Dict[str, int]] = None
 
     def period(self, contention: ContentionModel, uncoordinated_penalty: float) -> float:
         """Current true iteration period of the active members."""
@@ -73,6 +84,8 @@ class _RunningGroup:
         factor = contention.factor(len(self.active), self.allocation.spans_machines)
         if not self.group.coordinated and len(self.active) > 1:
             factor *= uncoordinated_penalty
+        if self.speedup != 1.0:
+            factor /= self.speedup
         return base * factor
 
     def busy_time(self, resource: int) -> float:
@@ -184,6 +197,14 @@ class ClusterSimulator:
             notifications during the run.
         placer: GPU placement policy; defaults to the paper's
             descending / best-fit consolidation.
+        landing_speed_scaling: Optional per-model × per-generation
+            speed factors (:class:`~repro.hetero.TypeScaling`).  When
+            set, a placed group whose profiles are *baseline* —
+            soft-preference and unaffine jobs; hard pins were
+            pre-scaled by ``pin_jobs`` — runs at the speed of the
+            slowest generation its allocation touches: the period
+            divides by ``factor(lead model, generation)``.  None (the
+            default) keeps the pre-hetero arithmetic bit-identical.
         decision_log: Optional audit log recording every scheduler
             invocation (kept/started/preempted/unplaced groups).
         tracer: Optional :class:`~repro.observe.Tracer`.  When enabled,
@@ -209,6 +230,7 @@ class ClusterSimulator:
         arrival_reason: str = "completion",
         monitor: Optional["WorkerMonitor"] = None,
         placer: Optional[DescendingPlacer] = None,
+        landing_speed_scaling: Optional["TypeScaling"] = None,
         decision_log: Optional[DecisionLog] = None,
         tracer: Optional[Tracer] = None,
         max_steps: Optional[int] = None,
@@ -234,6 +256,10 @@ class ClusterSimulator:
         self.tracer = tracer
         self.max_steps = max_steps
         self.placer = placer if placer is not None else DescendingPlacer()
+        self.landing_speed_scaling = landing_speed_scaling
+        # Typed clusters additionally get per-generation occupancy
+        # accounting (SimulationResult.gpu_seconds_by_type).
+        self._track_gpu_types = bool(self.cluster.gpu_type_names())
 
     # -- public API ------------------------------------------------------------
 
@@ -560,6 +586,14 @@ class ClusterSimulator:
             if job.is_finished
         }
         result.wall_clock = _time.monotonic() - state.started_wall
+        if self._track_gpu_types:
+            result.gpus_by_type = {
+                name: sum(
+                    machine.num_gpus
+                    for machine in self.cluster.machines_of_type(name)
+                )
+                for name in self.cluster.gpu_type_names()
+            }
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer.emit(
@@ -685,22 +719,37 @@ class ClusterSimulator:
                 # pre-hetero call so custom placers keep working.
                 lead_spec = group.jobs[0].spec
                 if lead_spec.gpu_affinity is not None:
-                    plan = self.placer.plan_for(
+                    plan = self.placer.plan_for_model(
                         self.cluster,
                         group.num_gpus,
                         gpu_type=lead_spec.gpu_affinity,
                         prefer=lead_spec.affinity_mode == "prefer",
+                        model=lead_spec.model,
                     )
                 else:
-                    plan = self.placer.plan_for(self.cluster, group.num_gpus)
+                    plan = self.placer.plan_for_model(
+                        self.cluster, group.num_gpus, model=lead_spec.model
+                    )
                 if plan is None:
                     # Fragmentation; members stay pending.
                     if tracing:
                         unplaced_groups.append(group)
                     continue
                 started += 1
+                speedup = self._landing_speedup(lead_spec, plan)
                 key = group_key(group)
                 allocation = self.cluster.allocate(self._owner_id(key), plan)
+                slots_by_type: Optional[Dict[str, int]] = None
+                if self._track_gpu_types:
+                    slots_by_type = {}
+                    for slot in allocation.slots:
+                        name = self.cluster.gpu_type_of_machine(
+                            slot.machine_id
+                        )
+                        if name is not None:
+                            slots_by_type[name] = (
+                                slots_by_type.get(name, 0) + 1
+                            )
                 members = [job for job in group.jobs]
                 deadlines: Dict[int, float] = {}
                 for job in members:
@@ -719,6 +768,8 @@ class ClusterSimulator:
                     },
                     penalty_remaining=self.restart_penalty,
                     fault_deadlines=deadlines,
+                    speedup=speedup,
+                    slots_by_type=slots_by_type,
                 )
                 result.total_restart_time += self.restart_penalty
                 if tracing:
@@ -747,6 +798,7 @@ class ClusterSimulator:
                                 self.cluster.gpu_type_of_machine(machine_id)
                                 for machine_id in allocation.machine_ids
                             ],
+                            speedup=speedup,
                         )
                     detail = (
                         f"group {member_ids}" if len(member_ids) > 1 else "solo"
@@ -888,6 +940,38 @@ class ClusterSimulator:
 
     # -- execution -----------------------------------------------------------------
 
+    def _landing_speedup(self, lead_spec: JobSpec, plan: Dict[int, int]) -> float:
+        """Realized speed of a group on the machines it landed on.
+
+        Active only under ``landing_speed_scaling``.  Hard pins run
+        neutrally — their profiles were pre-scaled for the pinned
+        generation — while baseline-profile groups (soft preferences
+        and unaffine jobs) run at the slowest landed generation's
+        factor for the lead model.  Untyped machines and generations
+        missing from the table count as the V100 baseline (1.0).
+        """
+        scaling = self.landing_speed_scaling
+        if scaling is None:
+            return 1.0
+        if (
+            lead_spec.gpu_affinity is not None
+            and lead_spec.affinity_mode == "pin"
+        ):
+            return 1.0
+        speed = None
+        for machine_id in plan:
+            name = self.cluster.gpu_type_of_machine(machine_id)
+            if name is None:
+                factor = 1.0
+            else:
+                try:
+                    factor = scaling.factor(lead_spec.model, name)
+                except KeyError:
+                    factor = 1.0
+            if speed is None or factor < speed:
+                speed = factor
+        return 1.0 if speed is None else speed
+
     def _advance(
         self,
         span: float,
@@ -904,6 +988,10 @@ class ClusterSimulator:
         tracing = tracer is not None and tracer.enabled
         for key in list(running):
             rgroup = running[key]
+            if rgroup.slots_by_type:
+                by_type = result.gpu_seconds_by_type
+                for name, count in rgroup.slots_by_type.items():
+                    by_type[name] = by_type.get(name, 0.0) + span * count
             paid = min(rgroup.penalty_remaining, span)
             rgroup.penalty_remaining -= paid
             productive = span - paid

@@ -38,6 +38,7 @@ from repro.sweep.cells import (
     ablation_cells,
     experiment_cells,
     group_size_cells,
+    hetero_cells,
     job_type_cells,
     noise_cells,
     replay_cells,
@@ -83,6 +84,7 @@ __all__ = [
     "job_type_cells",
     "noise_cells",
     "replay_cells",
+    "hetero_cells",
     "robustness_cells",
     "results_by_label",
     "summarize_runs",

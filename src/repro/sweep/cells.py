@@ -25,6 +25,7 @@ __all__ = [
     "robustness_cells",
     "elastic_cells",
     "replay_cells",
+    "hetero_cells",
     "experiment_cells",
 ]
 
@@ -281,11 +282,51 @@ def replay_cells(
     return cells
 
 
+def hetero_cells(
+    num_jobs: Optional[int] = 400,
+    seed: int = 0,
+    type_names: Sequence[str] = ("k80", "a100"),
+    prefer_fraction: float = 0.6,
+    philly_csv: Optional[str] = None,
+) -> List[RunSpec]:
+    """Cells of the heterogeneous arm: placement policy vs makespan.
+
+    One mixed-generation cluster and one pinned/preferred workload,
+    three scheduling arms over it: FIFO, Muri-S with the default
+    descending placer, and Muri-S with the Gavel-style
+    :class:`~repro.cluster.placement.ThroughputAwarePlacer` — the grid
+    behind ``BENCH_hetero.json``'s improvement claim, as resumable
+    sweep cells.
+
+    With ``philly_csv`` the cells replay that ingested CSV end to end
+    (adapter skip accounting included) instead of the synthetic
+    preset; such cells carry a filesystem path in their run id, which
+    is why ``hetero`` never joins the committed ``"all"`` grid.
+    """
+    common = dict(
+        experiment="hetero",
+        trace_id="1",
+        seed=seed,
+        num_jobs=num_jobs,
+        hetero_types=tuple(type_names),
+        prefer_fraction=prefer_fraction,
+        trace_path=philly_csv,
+    )
+    return [
+        RunSpec(label="FIFO", scheduler="fifo", **common),
+        RunSpec(label="Muri-S", scheduler="muri-s", **common),
+        RunSpec(
+            label="Muri-S + aware", scheduler="muri-s",
+            placement="aware", **common,
+        ),
+    ]
+
+
 #: Artifact names ``experiment_cells`` accepts (``"all"`` is their union,
-#: except ``"replay"`` — see ``experiment_cells``).
+#: except ``"replay"`` and ``"hetero"`` — see ``experiment_cells``).
 SWEEPABLE_EXPERIMENTS = (
     "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "robustness",
-    "elastic", "replay",
+    "elastic", "replay", "hetero",
 )
 
 
@@ -293,11 +334,15 @@ def experiment_cells(
     artifact: str,
     num_jobs: Optional[int] = 400,
     seed: int = 0,
+    philly_csv: Optional[str] = None,
 ) -> List[RunSpec]:
     """Cells for one sweepable artifact, or ``"all"`` for their union.
 
     The robustness artifact ignores ``seed`` (it *is* a seed sweep)
     and caps its per-run size at 250 jobs, matching the benchmark.
+    ``philly_csv`` applies to the ``hetero`` artifact only: it routes
+    the cells through the CSV ingestion adapter instead of the
+    synthetic preset.
 
     Raises:
         ValueError: For unknown artifact names.
@@ -314,14 +359,18 @@ def experiment_cells(
         ),
         "elastic": lambda: elastic_cells(num_jobs=num_jobs, seed=seed),
         "replay": lambda: replay_cells(num_jobs=num_jobs, seed=seed),
+        "hetero": lambda: hetero_cells(
+            num_jobs=num_jobs, seed=seed, philly_csv=philly_csv
+        ),
     }
     if artifact == "all":
-        # "replay" is opt-in: its cells are not paper artifacts, and
-        # growing the "all" grid would shift the committed sweep
-        # baselines the metrics gate diffs against.
+        # "replay" and "hetero" are opt-in: their cells are not paper
+        # artifacts, and growing the "all" grid would shift the
+        # committed sweep baselines the metrics gate diffs against
+        # ("hetero" may also carry a machine-local CSV path).
         cells = []
         for name in SWEEPABLE_EXPERIMENTS:
-            if name == "replay":
+            if name in ("replay", "hetero"):
                 continue
             cells.extend(builders[name]())
         return cells

@@ -80,7 +80,16 @@ def build_workload(spec: RunSpec) -> Tuple[str, List[JobSpec]]:
     Returns:
         ``(trace_name, job_specs)`` — deterministic for a given spec.
     """
-    if spec.trace_id == "replay":
+    if spec.trace_path is not None:
+        # End-to-end ingestion: the cell replays a real (or
+        # round-tripped) Philly CSV dump through the full adapter,
+        # skip accounting included.
+        from repro.trace.philly_csv import load_philly_csv
+
+        trace, _ = load_philly_csv(spec.trace_path)
+        if spec.num_jobs is not None and len(trace) > spec.num_jobs:
+            trace = trace.head(spec.num_jobs)
+    elif spec.trace_id == "replay":
         # The replay arm's constant-load trace; sized by num_jobs
         # rather than drawn from the paper's Philly presets.
         from repro.replay import synthetic_trace
@@ -102,6 +111,15 @@ def build_workload(spec: RunSpec) -> Tuple[str, List[JobSpec]]:
 
         job_specs = attach_scalability(
             job_specs, fraction=spec.elastic_fraction, seed=spec.seed
+        )
+    if spec.hetero_types is not None:
+        from repro.hetero.workload import pin_jobs
+
+        job_specs = pin_jobs(
+            job_specs,
+            list(spec.hetero_types),
+            seed=spec.seed,
+            prefer_fraction=spec.prefer_fraction or 0.0,
         )
     return trace.name, job_specs
 
@@ -130,10 +148,32 @@ def execute_run(spec: RunSpec) -> SimulationResult:
     """
     trace_name, job_specs = build_workload(spec)
     scheduler = build_scheduler(spec)
+    sim_options = dict(spec.sim_options)
+    if spec.hetero_types is not None:
+        from repro.hetero.types import DEFAULT_TYPE_SCALING
+        from repro.hetero.workload import make_hetero_cluster
+
+        cluster = make_hetero_cluster(
+            spec.machines,
+            spec.gpus_per_machine,
+            type_names=tuple(spec.hetero_types),
+            seed=spec.seed,
+        )
+        sim_options.setdefault("landing_speed_scaling", DEFAULT_TYPE_SCALING)
+    else:
+        cluster = Cluster(spec.machines, spec.gpus_per_machine)
+    if spec.placement == "aware":
+        from repro.cluster.placement import ThroughputAwarePlacer
+
+        sim_options["placer"] = ThroughputAwarePlacer()
+    elif spec.placement is not None:
+        raise ValueError(
+            f"unknown placement policy {spec.placement!r}; expected 'aware'"
+        )
     simulator = ClusterSimulator(
         scheduler,
-        cluster=Cluster(spec.machines, spec.gpus_per_machine),
-        **dict(spec.sim_options),
+        cluster=cluster,
+        **sim_options,
     )
     if spec.replay_batch_step is not None:
         from repro.replay import replay_trace

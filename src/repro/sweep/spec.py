@@ -92,6 +92,28 @@ class RunSpec:
             meaningful value and only None means "not a replay
             cell").  Omitted from :meth:`to_dict` when None, so every
             pre-replay run id is unchanged.
+        hetero_types: When set, run on a seeded mixed-generation
+            cluster (:func:`repro.hetero.make_hetero_cluster` over
+            these names) with the workload pinned/preferred onto the
+            same mix via :func:`repro.hetero.pin_jobs`, and with
+            landing-speed scaling active.  None (the default) keeps
+            the homogeneous cluster — and is omitted from
+            :meth:`to_dict`, so every pre-hetero run id is unchanged.
+        prefer_fraction: Share of jobs carrying a soft (``prefer``)
+            affinity instead of a hard pin; only meaningful with
+            ``hetero_types``.  Omitted from :meth:`to_dict` when None.
+        placement: Placement-policy override: ``"aware"`` selects the
+            Gavel-style
+            :class:`~repro.cluster.placement.ThroughputAwarePlacer`;
+            None keeps the default descending best-fit.  Omitted from
+            :meth:`to_dict` when None.
+        trace_path: When set, ingest this Philly CSV file
+            (:func:`repro.trace.load_philly_csv`) as the workload
+            trace instead of a synthetic ``trace_id`` preset — the
+            end-to-end path of the hetero sweep cell.  Omitted from
+            :meth:`to_dict` when None; note a path makes the run id
+            machine-layout dependent, so such cells never join the
+            committed ``"all"`` grid.
     """
 
     experiment: str
@@ -110,6 +132,10 @@ class RunSpec:
     sim_options: Tuple = ()
     elastic_fraction: Optional[float] = None
     replay_batch_step: Optional[float] = None
+    hetero_types: Optional[Tuple[str, ...]] = None
+    prefer_fraction: Optional[float] = None
+    placement: Optional[str] = None
+    trace_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -120,6 +146,8 @@ class RunSpec:
         )
         if self.models is not None:
             object.__setattr__(self, "models", tuple(self.models))
+        if self.hetero_types is not None:
+            object.__setattr__(self, "hetero_types", tuple(self.hetero_types))
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible representation (options become objects)."""
@@ -128,15 +156,22 @@ class RunSpec:
             value = getattr(self, spec_field.name)
             if spec_field.name in ("scheduler_options", "sim_options"):
                 value = dict(value)
-            elif spec_field.name == "models" and value is not None:
+            elif (
+                spec_field.name in ("models", "hetero_types")
+                and value is not None
+            ):
                 value = list(value)
             elif (
-                spec_field.name in ("elastic_fraction", "replay_batch_step")
+                spec_field.name in (
+                    "elastic_fraction", "replay_batch_step",
+                    "hetero_types", "prefer_fraction", "placement",
+                    "trace_path",
+                )
                 and value is None
             ):
                 # Omitted when unset so every pre-elastic / pre-replay
-                # run id (and therefore every committed baseline)
-                # stays stable.
+                # / pre-hetero run id (and therefore every committed
+                # baseline) stays stable.
                 continue
             payload[spec_field.name] = value
         return payload

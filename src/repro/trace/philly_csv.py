@@ -85,7 +85,9 @@ class IngestReport:
         jobs_seen: Distinct job ids encountered.
         jobs_loaded: Jobs that became trace records.
         skipped: ``reason -> count`` over every dropped row and job.
-            Row-level reasons: ``missing_field``, ``bad_gpus``,
+            Row-level reasons: ``missing_field``, ``bad_gpus``
+            (unparseable or negative), ``zero_gpus`` (an explicit 0 —
+            a CPU-only attempt, common in the public Philly dump),
             ``bad_attempt_window``.  Job-level reasons:
             ``filtered_vc``, ``filtered_status``, ``bad_submit_time``,
             ``too_short``, ``no_gpus``.
@@ -212,7 +214,13 @@ def load_philly_csv(
             except ValueError:
                 report.record("bad_gpus", line, job_id)
                 continue
-            if gpus < 1:
+            if gpus == 0:
+                # CPU-only attempts are a distinct population in the
+                # public dump: call them out instead of lumping them
+                # with malformed rows (and never round 0 up to 1 GPU).
+                report.record("zero_gpus", line, job_id)
+                continue
+            if gpus < 0:
                 report.record("bad_gpus", line, job_id)
                 continue
             window = _attempt_window(

@@ -28,7 +28,10 @@ from repro.verify.differential import (
 )
 from repro.verify.elastic import compare_flat_identity, run_elastic_oracle
 from repro.verify.fleet import compare_fleet_serial
-from repro.verify.hetero import compare_homogeneous_identity
+from repro.verify.hetero import (
+    compare_homogeneous_identity,
+    compare_uniform_scaling_identity,
+)
 from repro.verify.fuzz import (
     FuzzConfig,
     FuzzReport,
@@ -74,6 +77,7 @@ __all__ = [
     "compare_groups_exact",
     "compare_flat_identity",
     "compare_homogeneous_identity",
+    "compare_uniform_scaling_identity",
     "run_elastic_oracle",
     "IncrementalOracle",
     "plan_signature",

@@ -15,6 +15,13 @@ series.
 Mismatches raise :class:`~repro.verify.invariants.InvariantViolation`
 with invariant name ``differential.homogeneous``, matching the other
 differential oracles.
+
+:func:`compare_uniform_scaling_identity` certifies the second
+degeneracy promise: when every generation carries the *same* speed
+factor there is no throughput signal, so the Gavel-style
+:class:`~repro.cluster.placement.ThroughputAwarePlacer` must collapse
+into today's :class:`~repro.cluster.placement.DescendingPlacer` path
+bit-identically (invariant ``differential.uniform_scaling``).
 """
 
 from __future__ import annotations
@@ -23,14 +30,18 @@ from dataclasses import replace
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
-from repro.hetero.types import TypeScaling, get_gpu_type
-from repro.hetero.workload import pin_jobs
+from repro.cluster.placement import ThroughputAwarePlacer
+from repro.hetero.types import GPU_GENERATIONS, TypeScaling, get_gpu_type
+from repro.hetero.workload import make_hetero_cluster, pin_jobs
 from repro.jobs.job import JobSpec
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import ClusterSimulator
 from repro.verify.invariants import InvariantViolation
 
-__all__ = ["compare_homogeneous_identity"]
+__all__ = [
+    "compare_homogeneous_identity",
+    "compare_uniform_scaling_identity",
+]
 
 
 def _simulate(
@@ -112,34 +123,9 @@ def compare_homogeneous_identity(
         trace_name,
     )
 
-    mismatches: Dict[str, object] = {}
-    if homogeneous.jcts != hetero.jcts:
-        mismatches["jcts"] = {
-            "homogeneous_jobs": len(homogeneous.jcts),
-            "hetero_jobs": len(hetero.jcts),
-            "diverging": sorted(
-                job_id
-                for job_id in set(homogeneous.jcts) | set(hetero.jcts)
-                if homogeneous.jcts.get(job_id) != hetero.jcts.get(job_id)
-            )[:16],
-        }
-    if homogeneous.finish_times != hetero.finish_times:
-        mismatches["finish_times"] = True
-    if homogeneous.total_preemptions != hetero.total_preemptions:
-        mismatches["total_preemptions"] = {
-            "homogeneous": homogeneous.total_preemptions,
-            "hetero": hetero.total_preemptions,
-        }
-    if homogeneous.total_restart_time != hetero.total_restart_time:
-        mismatches["total_restart_time"] = {
-            "homogeneous": homogeneous.total_restart_time,
-            "hetero": hetero.total_restart_time,
-        }
-    if homogeneous.timeseries != hetero.timeseries:
-        mismatches["timeseries"] = {
-            "homogeneous_points": len(homogeneous.timeseries),
-            "hetero_points": len(hetero.timeseries),
-        }
+    mismatches = _result_mismatches(
+        homogeneous, hetero, "homogeneous", "hetero"
+    )
     if mismatches:
         raise InvariantViolation(
             "differential.homogeneous",
@@ -148,3 +134,145 @@ def compare_homogeneous_identity(
             details={"mismatches": mismatches},
         )
     return homogeneous, hetero
+
+
+def _result_mismatches(
+    left: SimulationResult,
+    right: SimulationResult,
+    left_label: str,
+    right_label: str,
+) -> Dict[str, object]:
+    """Full-surface divergence report between two simulation results."""
+    mismatches: Dict[str, object] = {}
+    if left.jcts != right.jcts:
+        mismatches["jcts"] = {
+            f"{left_label}_jobs": len(left.jcts),
+            f"{right_label}_jobs": len(right.jcts),
+            "diverging": sorted(
+                job_id
+                for job_id in set(left.jcts) | set(right.jcts)
+                if left.jcts.get(job_id) != right.jcts.get(job_id)
+            )[:16],
+        }
+    if left.finish_times != right.finish_times:
+        mismatches["finish_times"] = True
+    if left.total_preemptions != right.total_preemptions:
+        mismatches["total_preemptions"] = {
+            left_label: left.total_preemptions,
+            right_label: right.total_preemptions,
+        }
+    if left.total_restart_time != right.total_restart_time:
+        mismatches["total_restart_time"] = {
+            left_label: left.total_restart_time,
+            right_label: right.total_restart_time,
+        }
+    if left.timeseries != right.timeseries:
+        mismatches["timeseries"] = {
+            f"{left_label}_points": len(left.timeseries),
+            f"{right_label}_points": len(right.timeseries),
+        }
+    return mismatches
+
+
+def compare_uniform_scaling_identity(
+    specs: Sequence[JobSpec],
+    type_names: Sequence[str] = ("k80", "a100"),
+    scheduler: str = "muri-s",
+    cluster_shape: Tuple[int, int] = (8, 8),
+    factor: float = 1.0,
+    prefer_fraction: float = 0.5,
+    seed: int = 0,
+    sim_kwargs: Optional[Dict] = None,
+    trace_name: str = "uniform-scaling-identity",
+) -> Tuple[SimulationResult, SimulationResult]:
+    """Throughput-aware vs default placement under uniform factors.
+
+    With every generation carrying the *same* speed factor there is no
+    throughput signal, so the Gavel-style scoring in
+    :class:`~repro.cluster.placement.ThroughputAwarePlacer` must make
+    exactly the decisions today's
+    :class:`~repro.cluster.placement.DescendingPlacer` path makes —
+    same plans, bit-identical results.  Both runs share one
+    mixed-generation cluster layout, one uniformly-scaled
+    pinned/preferred workload, and the same
+    ``landing_speed_scaling``; the only difference is the placer,
+    exactly the surface this oracle pins down.  With the default
+    ``factor=1.0`` the baseline side *is* today's path — every
+    realized landing speed is neutral.
+
+    Args:
+        specs: The workload, before pinning.  Jobs whose demand
+            exceeds their seeded generation pool starve rather than
+            diverge (a hard pin never relaxes), so size demands under
+            the smallest pool — or under ``gpus_per_machine``, which
+            every pool can host — when sweeping seeds.
+        type_names: Generation mix of cluster and workload.
+        scheduler: Registry name built fresh for each side.
+        cluster_shape: ``(machines, gpus_per_machine)`` for both sides.
+        factor: The one speed factor every generation gets.
+        prefer_fraction: Share of jobs pinned softly (prefer) instead
+            of hard — the population the throughput-aware placer
+            actually steers.
+        seed: Pinning and cluster-layout seed.
+        sim_kwargs: Extra :class:`~repro.sim.ClusterSimulator`
+            arguments applied to both simulators.
+        trace_name: Workload label stamped on both results.
+
+    Returns:
+        ``(baseline_result, aware_result)`` once identity holds.
+
+    Raises:
+        InvariantViolation: With invariant
+            ``differential.uniform_scaling`` on any divergence.
+        KeyError: For an unknown generation name.
+    """
+    from repro.schedulers.registry import make_scheduler
+
+    sim_kwargs = dict(sim_kwargs or {})
+    machines, gpus = cluster_shape
+    uniform = TypeScaling(
+        base={name: factor for name in GPU_GENERATIONS}
+    )
+
+    pinned = pin_jobs(
+        specs,
+        list(type_names),
+        seed=seed,
+        scaling=uniform,
+        prefer_fraction=prefer_fraction,
+    )
+
+    def typed_cluster() -> Cluster:
+        return make_hetero_cluster(
+            machines, gpus, type_names=tuple(type_names), seed=seed
+        )
+
+    baseline = _simulate(
+        make_scheduler(scheduler),
+        pinned,
+        typed_cluster(),
+        dict(sim_kwargs, landing_speed_scaling=uniform),
+        trace_name,
+    )
+    aware = _simulate(
+        make_scheduler(scheduler),
+        pinned,
+        typed_cluster(),
+        dict(
+            sim_kwargs,
+            landing_speed_scaling=uniform,
+            placer=ThroughputAwarePlacer(scaling=uniform),
+        ),
+        trace_name,
+    )
+
+    mismatches = _result_mismatches(baseline, aware, "baseline", "aware")
+    if mismatches:
+        raise InvariantViolation(
+            "differential.uniform_scaling",
+            "throughput-aware placement diverged from the default "
+            "placer under uniform speed factors (degeneracy promise "
+            "broken)",
+            details={"mismatches": mismatches},
+        )
+    return baseline, aware

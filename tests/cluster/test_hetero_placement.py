@@ -1,13 +1,17 @@
 """Typed machines, typed clusters, and affinity-aware placement."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.machine import GpuType
-from repro.cluster.placement import DescendingPlacer
+from repro.cluster.placement import DescendingPlacer, ThroughputAwarePlacer
+from repro.hetero.types import TypeScaling
 
 V100 = GpuType("v100", speed_factor=1.0, memory_gb=32.0)
 A100 = GpuType("a100", speed_factor=2.0, memory_gb=40.0)
+K80 = GpuType("k80", speed_factor=0.35, memory_gb=12.0)
 
 
 def typed_cluster():
@@ -93,3 +97,176 @@ class TestAffinityPlacement:
         cluster = typed_cluster()
         plan = DescendingPlacer().plan_for(cluster, 16)
         assert sum(plan.values()) == 16
+
+
+@st.composite
+def occupied_typed_clusters(draw):
+    """A partially occupied typed cluster plus one demand and a target
+    generation — the inputs of a single plan_for call."""
+    machines = draw(st.integers(min_value=2, max_value=6))
+    gpus = draw(st.integers(min_value=1, max_value=8))
+    types = draw(
+        st.lists(
+            st.sampled_from([V100, A100, K80]),
+            min_size=machines, max_size=machines,
+        )
+    )
+    cluster = Cluster(machines, gpus, machine_types=types)
+    used = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=gpus),
+            min_size=machines, max_size=machines,
+        )
+    )
+    for machine_id, count in enumerate(used):
+        if count > 0:
+            cluster.allocate(1000 + machine_id, {machine_id: count})
+    demand = draw(st.integers(min_value=1, max_value=machines * gpus))
+    target = draw(st.sampled_from(["v100", "a100", "k80"]))
+    return cluster, demand, target
+
+
+@settings(max_examples=150, deadline=None)
+@given(occupied_typed_clusters())
+def test_feasibility_is_monotone_pin_prefer_untyped(params):
+    """Relaxing the affinity never loses feasibility: a demand a hard
+    pin can place, a soft preference can place; a demand a preference
+    can place, the untyped path can place.  And whenever the pinned
+    pool suffices, the preference actually lands there."""
+    cluster, demand, target = params
+    placer = DescendingPlacer()
+    typed_ids = {
+        m.machine_id for m in cluster.machines_of_type(target)
+    }
+
+    pin = placer.plan_for(cluster, demand, gpu_type=target)
+    prefer = placer.plan_for(cluster, demand, gpu_type=target, prefer=True)
+    untyped = placer.plan_for(cluster, demand)
+
+    if pin is not None:
+        assert prefer is not None
+        assert set(prefer) <= typed_ids
+    if prefer is not None:
+        assert untyped is not None
+    # Every produced plan delivers exactly the demand, and a pinned
+    # plan never leaves its pool.
+    for plan in (pin, prefer, untyped):
+        if plan is not None:
+            assert sum(plan.values()) == demand
+    if pin is not None:
+        assert set(pin) <= typed_ids
+
+
+def three_gen_cluster():
+    """Two machines per generation: k80 ids 0-1, v100 2-3, a100 4-5."""
+    return Cluster(6, 4, machine_types=[K80, K80, V100, V100, A100, A100])
+
+
+class TestThroughputAwarePlacer:
+    def test_unaffine_demand_steered_to_fastest_pool(self):
+        placer = ThroughputAwarePlacer(
+            scaling=TypeScaling(base={"v100": 1.0, "a100": 2.0})
+        )
+        plan = placer.plan_for_model(typed_cluster(), 2, model="gpt2")
+        assert set(plan) <= {2, 3}  # the a100 machines
+
+    def test_preference_for_slower_pool_is_overridden(self):
+        placer = ThroughputAwarePlacer(
+            scaling=TypeScaling(base={"v100": 1.0, "a100": 2.0})
+        )
+        plan = placer.plan_for_model(
+            typed_cluster(), 2, gpu_type="v100", prefer=True, model="gpt2"
+        )
+        assert set(plan) <= {2, 3}
+
+    def test_hard_pin_is_never_steered(self):
+        placer = ThroughputAwarePlacer(
+            scaling=TypeScaling(base={"v100": 1.0, "a100": 2.0})
+        )
+        plan = placer.plan_for_model(
+            typed_cluster(), 2, gpu_type="v100", prefer=False, model="gpt2"
+        )
+        assert set(plan) <= {0, 1}
+
+    def test_factor_tie_broken_by_preferred_generation(self):
+        placer = ThroughputAwarePlacer(
+            scaling=TypeScaling(
+                base={"k80": 1.0, "v100": 2.0, "a100": 2.0}
+            )
+        )
+        preferred = placer.plan_for_model(
+            three_gen_cluster(), 2, gpu_type="v100", prefer=True,
+            model="gpt2",
+        )
+        assert set(preferred) <= {2, 3}
+        # Without a preference the name orders equal factors: a100
+        # before v100, deterministically.
+        unaffine = placer.plan_for_model(
+            three_gen_cluster(), 2, model="gpt2"
+        )
+        assert set(unaffine) <= {4, 5}
+
+    def test_spans_cluster_when_no_pool_suffices(self):
+        placer = ThroughputAwarePlacer(
+            scaling=TypeScaling(base={"v100": 1.0, "a100": 2.0})
+        )
+        plan = placer.plan_for_model(typed_cluster(), 12, model="gpt2")
+        assert sum(plan.values()) == 12
+        assert len(plan) > 2  # necessarily crosses generation pools
+
+    def test_steering_falls_back_when_pools_are_busy(self):
+        cluster = typed_cluster()
+        cluster.allocate(99, {2: 4, 3: 4})  # exhaust the a100 pool
+        placer = ThroughputAwarePlacer(
+            scaling=TypeScaling(base={"v100": 1.0, "a100": 2.0})
+        )
+        plan = placer.plan_for_model(cluster, 2, model="gpt2")
+        assert set(plan) <= {0, 1}  # second-fastest pool hosts it
+
+
+class TestThroughputAwareDegeneracy:
+    """Every no-signal case must match the parent plan exactly."""
+
+    def _assert_matches_parent(self, placer, cluster, **kwargs):
+        parent = DescendingPlacer().plan_for_model(cluster, 3, **kwargs)
+        aware = placer.plan_for_model(cluster, 3, **kwargs)
+        assert aware == parent
+
+    def test_no_model_matches_parent(self):
+        placer = ThroughputAwarePlacer(
+            scaling=TypeScaling(base={"v100": 1.0, "a100": 2.0})
+        )
+        self._assert_matches_parent(placer, typed_cluster(), model=None)
+
+    def test_uniform_factors_match_parent(self):
+        placer = ThroughputAwarePlacer(
+            scaling=TypeScaling(base={"v100": 1.5, "a100": 1.5})
+        )
+        self._assert_matches_parent(
+            placer, typed_cluster(), gpu_type="a100", prefer=True,
+            model="gpt2",
+        )
+
+    def test_untyped_cluster_matches_parent(self):
+        placer = ThroughputAwarePlacer(
+            scaling=TypeScaling(base={"v100": 1.0, "a100": 2.0})
+        )
+        self._assert_matches_parent(placer, Cluster(4, 4), model="gpt2")
+
+    def test_single_generation_matches_parent(self):
+        placer = ThroughputAwarePlacer(
+            scaling=TypeScaling(base={"v100": 1.0, "a100": 2.0})
+        )
+        cluster = Cluster(4, 4, machine_types=[A100] * 4)
+        self._assert_matches_parent(placer, cluster, model="gpt2")
+
+    def test_unknown_generation_matches_parent(self):
+        # a100 missing from the table: no complete factor set, so the
+        # aware path must abstain rather than half-score the pools.
+        placer = ThroughputAwarePlacer(
+            scaling=TypeScaling(base={"v100": 1.0})
+        )
+        self._assert_matches_parent(
+            placer, typed_cluster(), gpu_type="v100", prefer=True,
+            model="gpt2",
+        )

@@ -87,3 +87,78 @@ def test_single_type_hetero_is_bit_identical(
         seed=seed,
     )
     assert homogeneous.jcts == hetero.jcts
+
+
+class TestUniformScalingIdentity:
+    """The throughput-aware placer's degeneracy oracle.
+
+    Uniform speed factors carry no placement signal, so the aware
+    placer must reproduce the default path bit-identically — for the
+    neutral factor 1.0 and for any other uniform factor.
+    """
+
+    @staticmethod
+    def _specs(num_jobs=96, seed=0):
+        from repro.trace.workload import build_jobs
+
+        trace = generate_trace("1", num_jobs=num_jobs, seed=seed)
+        return build_jobs(trace, seed=seed)
+
+    @pytest.mark.parametrize("factor", [1.0, 0.5, 2.0])
+    def test_identity_holds_for_uniform_factors(self, factor):
+        from repro.verify import compare_uniform_scaling_identity
+
+        baseline, aware = compare_uniform_scaling_identity(
+            self._specs(), factor=factor, cluster_shape=(8, 8), seed=0
+        )
+        assert baseline.jcts == aware.jcts
+        assert baseline.makespan == aware.makespan
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=20),
+        scheduler=st.sampled_from(("muri-s", "fifo")),
+    )
+    def test_identity_holds_across_seeds(self, seed, scheduler):
+        from repro.verify import compare_uniform_scaling_identity
+
+        # Cap per-job demand at one machine so a hard pin can always
+        # be hosted by its generation's pool, whatever mix the seed
+        # draws — an oversized pin would starve, not diverge.
+        specs = [
+            spec for spec in self._specs(num_jobs=32, seed=seed)
+            if spec.num_gpus <= 8
+        ]
+        baseline, aware = compare_uniform_scaling_identity(
+            specs,
+            scheduler=scheduler,
+            cluster_shape=(4, 8),
+            seed=seed,
+        )
+        assert baseline.jcts == aware.jcts
+
+    def test_oracle_detects_a_divergent_placer(self, monkeypatch):
+        """Non-vacuity: a placer that mis-ranks pools under uniform
+        factors must trip the oracle."""
+        from repro.cluster.placement import ThroughputAwarePlacer
+        from repro.verify import compare_uniform_scaling_identity
+        from repro.verify.invariants import InvariantViolation
+
+        def skewed(self, cluster, model):
+            # Fabricate a throughput signal that is not there, forcing
+            # genuine steering (and with it, different plans).
+            names = cluster.gpu_type_names()
+            if model is None or len(names) < 2:
+                return None
+            return {
+                name: float(index + 1)
+                for index, name in enumerate(names)
+            }
+
+        monkeypatch.setattr(
+            ThroughputAwarePlacer, "_pool_factors", skewed
+        )
+        with pytest.raises(InvariantViolation, match="uniform_scaling"):
+            compare_uniform_scaling_identity(
+                self._specs(), cluster_shape=(8, 8), seed=0
+            )

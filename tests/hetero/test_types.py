@@ -7,6 +7,7 @@ from repro.hetero.types import (
     GPU_GENERATIONS,
     TypeScaling,
     get_gpu_type,
+    memory_caps_by_type,
 )
 
 
@@ -77,3 +78,18 @@ class TestTypeScaling:
             assert DEFAULT_TYPE_SCALING.factor("resnet50", name) == (
                 gpu_type.speed_factor
             )
+
+
+class TestMemoryCapsByType:
+    def test_full_catalogue_by_default(self):
+        caps = memory_caps_by_type()
+        assert set(caps) == set(GPU_GENERATIONS)
+        assert caps["k80"] == GPU_GENERATIONS["k80"].memory_gb
+
+    def test_subset_and_case_folding(self):
+        caps = memory_caps_by_type(("K80", "a100"))
+        assert caps == {"k80": 12.0, "a100": 40.0}
+
+    def test_unknown_generation_raises(self):
+        with pytest.raises(KeyError, match="h100"):
+            memory_caps_by_type(("h100",))

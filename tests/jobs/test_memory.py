@@ -121,3 +121,86 @@ class TestGrouperConstraint:
         job = Job(JobSpec(profile=StageProfile((0.1, 0.1, 0.7, 0.1)),
                           num_iterations=10))
         assert JobGroup.solo(job).peak_memory_gb() is None
+
+    def test_mixed_footprints_report_known_peak(self):
+        """A mixed known/unknown group reports the peak of its known
+        footprints — a binding lower bound, not a silent exemption."""
+        known = self._job(4.0)
+        unknown = Job(JobSpec(profile=StageProfile((0.1, 0.1, 0.7, 0.1)),
+                              num_iterations=10))
+        group = MultiRoundGrouper().group(
+            [known, unknown], capacity=1
+        ).groups[0]
+        assert group.size == 2
+        assert group.peak_memory_gb() == pytest.approx(1.0 + 4.0)
+
+    def test_mixed_footprints_still_block_infeasible_merge(self):
+        # The known member alone exceeds the cap; the unknown member
+        # must not launder the merge through the old exemption.
+        big, plain = self._job(14.0), Job(JobSpec(
+            profile=StageProfile((0.1, 0.1, 0.7, 0.1)), num_iterations=10,
+        ))
+        grouper = MultiRoundGrouper(gpu_memory_gb=12.0)
+        result = grouper.group([big, plain], capacity=1)
+        assert all(group.size == 1 for group in result.groups)
+
+    def test_skipped_checks_are_counted(self):
+        from repro.observe import Tracer
+
+        big, plain = self._job(2.0), Job(JobSpec(
+            profile=StageProfile((0.1, 0.1, 0.7, 0.1)), num_iterations=10,
+        ))
+        tracer = Tracer()
+        grouper = MultiRoundGrouper(gpu_memory_gb=16.0, tracer=tracer)
+        grouper.group([big, plain], capacity=1)
+        assert tracer.counters.get("group.memory_check_skipped", 0) >= 1
+
+
+class TestPerTypeCaps:
+    """gpu_memory_by_type: feasibility follows the landing generation."""
+
+    @staticmethod
+    def _job(affinity=None, mode="pin"):
+        return Job(JobSpec(
+            profile=StageProfile((0.1, 0.1, 0.7, 0.1)),
+            num_iterations=10,
+            memory=MemoryFootprint(1.0, 14.0),
+            model="custom",
+            gpu_affinity=affinity,
+            affinity_mode=mode,
+        ))
+
+    # Two of these jobs merged peak at 2.0 + 14.0 + 1.4 = 17.4 GB:
+    # over a k80's 12 GB, comfortably under an a100's 40 GB.
+    CAPS = {"k80": 12.0, "a100": 40.0}
+
+    def test_merge_fits_the_roomy_generation(self):
+        grouper = MultiRoundGrouper(
+            gpu_memory_gb=12.0, gpu_memory_by_type=self.CAPS
+        )
+        jobs = [self._job("a100"), self._job("a100")]
+        result = grouper.group(jobs, capacity=1)
+        assert result.groups[0].size == 2
+
+    def test_same_merge_blocked_on_the_tight_generation(self):
+        grouper = MultiRoundGrouper(
+            gpu_memory_gb=40.0, gpu_memory_by_type=self.CAPS
+        )
+        jobs = [self._job("k80"), self._job("k80")]
+        result = grouper.group(jobs, capacity=1)
+        assert all(group.size == 1 for group in result.groups)
+
+    def test_unaffine_jobs_keep_the_flat_cap(self):
+        grouper = MultiRoundGrouper(
+            gpu_memory_gb=12.0, gpu_memory_by_type=self.CAPS
+        )
+        result = grouper.group([self._job(), self._job()], capacity=1)
+        assert all(group.size == 1 for group in result.groups)
+
+    def test_generation_missing_from_table_falls_back_flat(self):
+        grouper = MultiRoundGrouper(
+            gpu_memory_gb=12.0, gpu_memory_by_type=self.CAPS
+        )
+        jobs = [self._job("p100"), self._job("p100")]
+        result = grouper.group(jobs, capacity=1)
+        assert all(group.size == 1 for group in result.groups)

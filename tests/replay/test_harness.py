@@ -146,6 +146,29 @@ class TestReplayStats:
         assert payload["injected_jobs"] == 50
         assert "_step_samples" not in payload
 
+    def test_finalize_with_no_samples_keeps_zero_defaults(self):
+        # A replay whose rounds all fast-forwarded drove no simulator
+        # step; the percentile fold must not raise on the empty set.
+        stats = ReplayStats()
+        stats.finalize_step_stats()
+        assert stats.step_seconds_p50 == 0.0
+        assert stats.step_seconds_p99 == 0.0
+
+    def test_finalize_with_one_sample_is_its_own_tail(self):
+        stats = ReplayStats()
+        stats._step_samples.append(0.25)
+        stats.finalize_step_stats()
+        assert stats.step_seconds_p50 == 0.25
+        assert stats.step_seconds_p99 == 0.25
+
+    def test_finalize_is_idempotent(self):
+        stats = ReplayStats()
+        stats._step_samples.extend([0.1, 0.2, 0.3, 0.4])
+        stats.finalize_step_stats()
+        first = (stats.step_seconds_p50, stats.step_seconds_p99)
+        stats.finalize_step_stats()
+        assert (stats.step_seconds_p50, stats.step_seconds_p99) == first
+
 
 class TestValidation:
     def test_negative_batch_rejected(self):

@@ -158,6 +158,50 @@ class TestSerialization:
             SimulationResult.from_dict(payload)
 
 
+class TestUtilizationByType:
+    def make_typed_result(self):
+        result = make_result()
+        # Makespan is 660.0 (latest finish time).
+        result.gpus_by_type = {"k80": 8, "a100": 4}
+        result.gpu_seconds_by_type = {"k80": 2640.0, "a100": 1320.0}
+        return result
+
+    def test_per_generation_ratio(self):
+        utilization = self.make_typed_result().utilization_by_type()
+        assert utilization["k80"] == pytest.approx(2640.0 / (8 * 660.0))
+        assert utilization["a100"] == pytest.approx(1320.0 / (4 * 660.0))
+
+    def test_untyped_result_reports_nothing(self):
+        assert make_result().utilization_by_type() == {}
+
+    def test_generation_with_no_seconds_reads_zero(self):
+        result = self.make_typed_result()
+        result.gpu_seconds_by_type = {"k80": 2640.0}
+        assert result.utilization_by_type()["a100"] == 0.0
+
+    def test_no_finished_jobs_reports_nothing(self):
+        result = SimulationResult(scheduler_name="X", trace_name="t")
+        result.gpus_by_type = {"k80": 8}
+        assert result.utilization_by_type() == {}
+
+    def test_occupancy_round_trips(self):
+        original = self.make_typed_result()
+        payload = original.to_dict()
+        json.dumps(payload)
+        restored = SimulationResult.from_dict(payload)
+        assert restored.gpus_by_type == original.gpus_by_type
+        assert restored.gpu_seconds_by_type == original.gpu_seconds_by_type
+        assert restored.utilization_by_type() == (
+            original.utilization_by_type()
+        )
+
+    def test_untyped_payload_is_byte_stable(self):
+        # Pre-hetero payloads must not grow keys they never had.
+        payload = make_result().to_dict()
+        assert "gpu_seconds_by_type" not in payload
+        assert "gpus_by_type" not in payload
+
+
 class TestJctCdf:
     def test_endpoints(self):
         result = make_result()

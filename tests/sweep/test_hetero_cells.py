@@ -1,0 +1,134 @@
+"""The hetero sweep arm: cells, execution, and run-id stability."""
+
+import pytest
+
+from repro.sweep.cells import experiment_cells, hetero_cells
+from repro.sweep.execute import build_workload, execute_run
+from repro.sweep.spec import RunSpec
+
+
+class TestHeteroCells:
+    def test_three_arms_one_workload(self):
+        cells = hetero_cells(num_jobs=40)
+        assert [cell.label for cell in cells] == [
+            "FIFO", "Muri-S", "Muri-S + aware"
+        ]
+        assert [cell.scheduler for cell in cells] == [
+            "fifo", "muri-s", "muri-s"
+        ]
+        assert [cell.placement for cell in cells] == [None, None, "aware"]
+        # Same experiment, trace, mix, and seed — placement/scheduler
+        # is the only axis.
+        assert {cell.experiment for cell in cells} == {"hetero"}
+        assert {cell.hetero_types for cell in cells} == {("k80", "a100")}
+        assert len({cell.run_id for cell in cells}) == 3
+
+    def test_artifact_is_sweepable_but_not_in_all(self):
+        assert [
+            cell.experiment for cell in experiment_cells("hetero", num_jobs=20)
+        ] == ["hetero"] * 3
+        assert all(
+            cell.experiment != "hetero"
+            for cell in experiment_cells("all", num_jobs=20)
+        )
+
+    def test_philly_csv_routes_through_the_adapter(self, tmp_path):
+        from repro.trace import generate_trace, write_philly_csv
+
+        path = tmp_path / "dump.csv"
+        write_philly_csv(generate_trace("1", num_jobs=30, seed=0), path)
+        cells = experiment_cells(
+            "hetero", num_jobs=20, philly_csv=str(path)
+        )
+        assert {cell.trace_path for cell in cells} == {str(path)}
+        trace_name, specs = build_workload(cells[0])
+        assert 0 < len(specs) <= 20
+
+    def test_synthetic_cells_carry_no_path(self):
+        assert {cell.trace_path for cell in hetero_cells(num_jobs=20)} == {
+            None
+        }
+
+
+class TestHeteroExecution:
+    def test_typed_run_reports_per_generation_occupancy(self):
+        spec = hetero_cells(num_jobs=24, seed=0)[1]  # Muri-S, default placer
+        result = execute_run(spec)
+        assert len(result.jcts) == 24
+        assert set(result.gpus_by_type) == {"k80", "a100"}
+        utilization = result.utilization_by_type()
+        assert set(utilization) == {"k80", "a100"}
+        for value in utilization.values():
+            assert 0.0 < value <= 1.0
+        # Occupancy survives the worker serialization boundary.
+        restored = type(result).from_dict(result.to_dict())
+        assert restored.utilization_by_type() == utilization
+
+    def test_aware_cell_executes(self):
+        spec = hetero_cells(num_jobs=24, seed=0)[2]
+        result = execute_run(spec)
+        assert len(result.jcts) == 24
+
+    def test_unknown_placement_rejected(self):
+        spec = RunSpec(
+            experiment="hetero", label="x", scheduler="fifo",
+            trace_id="1", seed=0, num_jobs=4, placement="spread-out",
+        )
+        with pytest.raises(ValueError, match="placement"):
+            execute_run(spec)
+
+    def test_untyped_run_serializes_no_occupancy_keys(self):
+        spec = RunSpec(
+            experiment="fig9", label="x", scheduler="fifo",
+            trace_id="1", seed=0, num_jobs=6, machines=2,
+            gpus_per_machine=4,
+        )
+        payload = execute_run(spec).to_dict()
+        assert "gpu_seconds_by_type" not in payload
+        assert "gpus_by_type" not in payload
+
+
+class TestRunIdStability:
+    """The four new spec fields must not disturb pre-hetero run ids."""
+
+    LEGACY_PAYLOAD = {
+        "experiment": "fig9",
+        "label": "Muri-S",
+        "scheduler": "muri-s",
+        "trace_id": "1",
+        "seed": 0,
+        "num_jobs": 400,
+        "at_time_zero": False,
+        "busiest_interval": None,
+        "models": None,
+        "noise_level": None,
+        "machines": 8,
+        "gpus_per_machine": 8,
+        "scheduler_options": {},
+        "sim_options": {},
+    }
+
+    def test_defaults_omit_the_new_fields(self):
+        spec = RunSpec.from_dict(self.LEGACY_PAYLOAD)
+        payload = spec.to_dict()
+        for key in (
+            "hetero_types", "prefer_fraction", "placement", "trace_path"
+        ):
+            assert key not in payload
+
+    def test_legacy_payload_and_fresh_spec_share_a_run_id(self):
+        legacy = RunSpec.from_dict(self.LEGACY_PAYLOAD)
+        fresh = RunSpec(
+            experiment="fig9", label="Muri-S", scheduler="muri-s",
+            trace_id="1", seed=0, num_jobs=400,
+        )
+        assert legacy.run_id == fresh.run_id
+
+    def test_set_fields_do_join_the_run_id(self):
+        base = hetero_cells(num_jobs=40)[1]
+        aware = hetero_cells(num_jobs=40)[2]
+        assert base.run_id != aware.run_id
+        payload = aware.to_dict()
+        assert payload["placement"] == "aware"
+        assert payload["hetero_types"] == ["k80", "a100"]
+        assert RunSpec.from_dict(payload) == aware

@@ -12,6 +12,7 @@ from repro.bench import (
     ELASTIC_BENCH_FILE,
     FLEET_BENCH_FILE,
     GROUPING_BENCH_FILE,
+    HETERO_BENCH_FILE,
     SCHEMA_VERSION,
     SERVICE_BENCH_FILE,
     calibrate,
@@ -103,8 +104,8 @@ class TestRoundTrip:
     def test_file_constants_are_distinct(self):
         assert len({
             GROUPING_BENCH_FILE, SERVICE_BENCH_FILE, FLEET_BENCH_FILE,
-            ELASTIC_BENCH_FILE,
-        }) == 4
+            ELASTIC_BENCH_FILE, HETERO_BENCH_FILE,
+        }) == 5
 
 
 class TestCommittedBaselines:
@@ -155,3 +156,15 @@ class TestCommittedBaselines:
         # under the warm-regroup latency contract.
         step = doc["benchmarks"]["renegotiate_step"]
         assert step["p99_seconds"] < 0.010
+
+    def test_hetero_baseline(self):
+        doc = load_bench(self.REPO_ROOT / HETERO_BENCH_FILE)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["suite"] == "hetero"
+        gated = gated_metrics(doc)
+        # The placement claim is the gate: the ratio is simulated time
+        # (aware / baseline), so it must sit strictly under 1.0.
+        assert gated["hetero_placement.makespan_ratio_normalized"] < 1.0
+        entry = doc["benchmarks"]["hetero_placement"]
+        assert entry["improvement"] > 0.0
+        assert set(entry["utilization_by_type"]) == {"baseline", "aware"}

@@ -1,8 +1,9 @@
 """Golden-file tests of the Philly CSV ingestion adapter.
 
-``data/philly_golden.csv`` is a committed 47-row fixture modelled on
+``data/philly_golden.csv`` is a committed 50-row fixture modelled on
 the real Philly dump's failure modes: multi-attempt jobs, rows with a
-missing job id, non-numeric and non-positive GPU counts, open and
+missing job id, non-numeric GPU counts, CPU-only (zero-GPU) attempts
+— both alongside GPU attempts and as a job's only attempts — open and
 inverted (out-of-order) attempt windows, non-``Pass`` final statuses,
 an unparseable submit time, and a sub-``min_duration`` job.  The
 tests pin the *exact* skip/error accounting and the exact surviving
@@ -29,20 +30,21 @@ GOLDEN = Path(__file__).parent / "data" / "philly_golden.csv"
 class TestGoldenAccounting:
     def test_exact_skip_accounting(self):
         trace, report = load_philly_csv(GOLDEN)
-        assert report.rows_read == 47
-        assert report.jobs_seen == 41
-        assert report.jobs_loaded == 36
+        assert report.rows_read == 50
+        assert report.jobs_seen == 43
+        assert report.jobs_loaded == 37
         assert report.skipped == {
             "missing_field": 1,
-            "bad_gpus": 2,
+            "bad_gpus": 1,
+            "zero_gpus": 3,
             "bad_attempt_window": 2,
             "filtered_status": 2,
             "bad_submit_time": 1,
-            "no_gpus": 1,
+            "no_gpus": 2,
             "too_short": 1,
         }
-        assert report.total_skipped == 10
-        assert len(trace.records) == 36
+        assert report.total_skipped == 13
+        assert len(trace.records) == 37
 
     def test_exact_error_details_in_file_order(self):
         _, report = load_philly_csv(GOLDEN)
@@ -50,13 +52,16 @@ class TestGoldenAccounting:
             IngestError(8, "app_05", "bad_attempt_window"),
             IngestError(10, None, "missing_field"),
             IngestError(11, "app_06", "bad_gpus"),
-            IngestError(12, "app_06", "bad_gpus"),
+            IngestError(12, "app_06", "zero_gpus"),
             IngestError(13, "app_07", "bad_attempt_window"),
+            IngestError(49, "app_42", "zero_gpus"),
+            IngestError(51, "app_43", "zero_gpus"),
             IngestError(11, "app_06", "no_gpus"),
             IngestError(13, "app_07", "too_short"),
             IngestError(15, "app_08", "filtered_status"),
             IngestError(16, "app_09", "filtered_status"),
             IngestError(17, "app_10", "bad_submit_time"),
+            IngestError(51, "app_43", "no_gpus"),
         ]
 
     def test_report_to_dict_is_json_friendly(self):
@@ -64,8 +69,9 @@ class TestGoldenAccounting:
 
         _, report = load_philly_csv(GOLDEN)
         payload = json.loads(json.dumps(report.to_dict()))
-        assert payload["jobs_loaded"] == 36
-        assert payload["skipped"]["bad_gpus"] == 2
+        assert payload["jobs_loaded"] == 37
+        assert payload["skipped"]["bad_gpus"] == 1
+        assert payload["skipped"]["zero_gpus"] == 3
 
 
 class TestGoldenRecords:
@@ -95,6 +101,18 @@ class TestGoldenRecords:
         )
         assert app_05.duration == 600.0
 
+    def test_cpu_only_attempt_dropped_but_job_survives(self):
+        trace, report = load_philly_csv(GOLDEN)
+        # app_42: the zero-GPU (CPU-only) attempt is dropped as
+        # ``zero_gpus`` — never rounded up to 1 GPU — while the real
+        # GPU attempt alone defines the job: 600 s on 2 GPUs.
+        app_42 = next(r for r in trace.records if r.submit_time == 27000.0)
+        assert app_42.duration == 600.0
+        assert app_42.num_gpus == 2
+        # app_43 is CPU-only in every attempt: each row is counted
+        # ``zero_gpus`` and the job itself ends as ``no_gpus``.
+        assert report.skipped["no_gpus"] == 2
+
     def test_trace_name_defaults_to_stem(self):
         trace, _ = load_philly_csv(GOLDEN)
         assert trace.name == "philly_golden"
@@ -103,9 +121,9 @@ class TestGoldenRecords:
 class TestFilters:
     def test_vc_filter_counts_other_clusters(self):
         trace, report = load_philly_csv(GOLDEN, virtual_cluster="vc1")
-        # app_03 + app_05 (vc2), app_11 (vc3), 15 bulk vc2 jobs.
-        assert report.skipped["filtered_vc"] == 18
-        assert report.jobs_loaded == 18
+        # app_03 + app_05 + app_43 (vc2), app_11 (vc3), 15 bulk vc2 jobs.
+        assert report.skipped["filtered_vc"] == 19
+        assert report.jobs_loaded == 19
         assert trace.name == "philly_golden-vc1"
         # The vc1 slice rebases to app_01's submission.
         assert trace.records[0].submit_time == 0.0
@@ -113,12 +131,12 @@ class TestFilters:
     def test_include_failed_keeps_non_pass_jobs(self):
         _, report = load_philly_csv(GOLDEN, include_failed=True)
         assert "filtered_status" not in report.skipped
-        assert report.jobs_loaded == 38
+        assert report.jobs_loaded == 39
 
     def test_min_duration_zero_keeps_short_jobs(self):
         _, report = load_philly_csv(GOLDEN, min_duration=0.0)
         assert "too_short" not in report.skipped
-        assert report.jobs_loaded == 37
+        assert report.jobs_loaded == 38
 
     def test_all_jobs_filtered_raises_with_accounting(self):
         with pytest.raises(ValueError, match="filtered_vc"):
